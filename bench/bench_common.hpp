@@ -1,0 +1,49 @@
+// Shared plumbing for the experiment benches: standard option handling,
+// banner/config printing, and the Makalu parameter presets matching the
+// paper's two configurations.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/topology_factory.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace makalu::bench {
+
+/// The paper's §3 topology-analysis configuration: mean node degree 10-12.
+inline MakaluParameters analysis_makalu_parameters() {
+  MakaluParameters p;
+  p.capacity_min = 10;
+  p.capacity_max = 14;
+  return p;
+}
+
+/// The paper's §4/§5 search configuration: mean node degree ≈ 9.5
+/// (library default).
+inline MakaluParameters search_makalu_parameters() { return {}; }
+
+inline void print_config(const std::string& name, std::size_t nodes,
+                         std::size_t runs, std::size_t queries,
+                         std::uint64_t seed, bool paper) {
+  print_banner(std::cout, name);
+  std::cout << "config: n=" << nodes << " runs=" << runs
+            << " queries=" << queries << " seed=" << seed
+            << (paper ? " [paper scale]" : " [laptop scale]") << "\n"
+            << "(--n/--runs/--queries/--seed/--paper/--csv; paper values "
+               "shown beside measurements)\n\n";
+}
+
+inline void emit(const Table& table, bool csv) {
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\ncsv:\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+}  // namespace makalu::bench

@@ -1,0 +1,175 @@
+// Extension bench — the search mechanisms the paper discusses but does
+// not evaluate, run against the same Makalu overlay:
+//
+//  1. TTL-selection policies (§6's Chang & Liu integration): fixed TTL vs
+//     expanding ring vs randomized ladder, across replication ratios.
+//  2. Flood/gossip hybrid (§4.4's epidemic suggestion): deterministic
+//     flooding to the convergence boundary, probabilistic beyond it.
+//  3. k-walker random walks (Lv et al., the related-work baseline §6
+//     contrasts with flooding).
+#include "bench_common.hpp"
+
+#include "search/flood_search.hpp"
+#include "search/gossip_flood.hpp"
+#include "search/random_walk_search.hpp"
+#include "search/ttl_policy.hpp"
+#include "net/latency_model.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace makalu;
+
+struct Accumulator {
+  std::size_t queries = 0;
+  std::size_t hits = 0;
+  OnlineStats messages;
+
+  void add(bool success, std::uint64_t msgs) {
+    ++queries;
+    hits += success;
+    messages.add(static_cast<double>(msgs));
+  }
+  [[nodiscard]] double success() const {
+    return queries ? static_cast<double>(hits) /
+                         static_cast<double>(queries)
+                   : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  const std::size_t n = options.nodes(paper ? 100'000 : 20'000);
+  const std::size_t queries = options.queries(paper ? 400 : 200);
+  const std::uint64_t seed = options.seed(42);
+  bench::print_config("extension: dynamic TTL, gossip, random walks", n, 1,
+                      queries, seed, paper);
+
+  const EuclideanModel latency(n, seed ^ 0xd15c);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, seed);
+  const CsrGraph csr = CsrGraph::from_graph(overlay.graph);
+
+  // --- 1. TTL policies -----------------------------------------------------
+  print_banner(std::cout, "TTL policies (messages include failed rings)");
+  Table ttl_table({"replication", "policy", "success", "msgs/query",
+                   "attempts/query"});
+  FloodEngine flood(csr);
+  for (const double percent : {1.0, 0.1, 0.01}) {
+    const ObjectCatalog catalog(n, 30, percent / 100.0, seed ^ 21);
+    const FixedTtlPolicy fixed(4);
+    const ExpandingRingPolicy ring({1, 2, 3, 4});
+    const RandomizedTtlPolicy randomized({2, 3, 4}, 0.5);
+    const TtlPolicy* policies[] = {&fixed, &ring, &randomized};
+    for (const TtlPolicy* policy : policies) {
+      Rng rng(seed ^ 31);
+      Accumulator acc;
+      OnlineStats attempts;
+      for (std::size_t q = 0; q < queries; ++q) {
+        const auto source = static_cast<NodeId>(rng.uniform_below(n));
+        const auto object = static_cast<ObjectId>(rng.uniform_below(30));
+        const auto r =
+            run_with_policy(flood, *policy, source, object, catalog, rng);
+        acc.add(r.success, r.total_messages);
+        attempts.add(static_cast<double>(r.attempts));
+      }
+      ttl_table.add_row({Table::num(percent, 2) + "%", policy->name(),
+                         Table::percent(acc.success()),
+                         Table::num(acc.messages.mean(), 1),
+                         Table::num(attempts.mean(), 2)});
+    }
+  }
+  bench::emit(ttl_table, options.csv());
+  std::cout << "\nexpanding ring wins big on popular objects (most queries "
+               "stop at ring 1-2) and costs ~2x on rare ones (failed rings "
+               "are re-paid); the randomized ladder hedges between the "
+               "two, as Chang & Liu predict.\n";
+
+  // --- 2. Flood/gossip hybrid ----------------------------------------------
+  print_banner(std::cout,
+               "flood/gossip hybrid past the convergence boundary");
+  Table gossip_table({"mechanism", "success", "msgs/query", "dup fraction"});
+  {
+    const ObjectCatalog catalog(n, 20, 0.0001, seed ^ 41);  // rare objects
+    FloodOptions deep;
+    deep.ttl = 6;
+    Rng rng(seed ^ 51);
+    QueryAggregate flood_agg;
+    for (std::size_t q = 0; q < queries / 2; ++q) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(n));
+      const auto object = static_cast<ObjectId>(rng.uniform_below(20));
+      flood_agg.add(flood.run(source, object, catalog, deep));
+    }
+    gossip_table.add_row({"flood TTL 6",
+                          Table::percent(flood_agg.success_rate()),
+                          Table::num(flood_agg.mean_messages(), 1),
+                          Table::percent(flood_agg.duplicate_fraction())});
+    GossipFloodEngine gossip(csr);
+    for (const double p : {0.6, 0.4, 0.25}) {
+      GossipFloodOptions gopts;
+      gopts.ttl = 6;
+      gopts.boundary_hops = 4;
+      gopts.gossip_probability = p;
+      Rng grng(seed ^ 51);
+      QueryAggregate agg;
+      for (std::size_t q = 0; q < queries / 2; ++q) {
+        const auto source = static_cast<NodeId>(grng.uniform_below(n));
+        const auto object = static_cast<ObjectId>(grng.uniform_below(20));
+        agg.add(gossip.run(source, object, catalog, grng, gopts));
+      }
+      gossip_table.add_row(
+          {"gossip p=" + Table::num(p, 2) + " past hop 4",
+           Table::percent(agg.success_rate()),
+           Table::num(agg.mean_messages(), 1),
+           Table::percent(agg.duplicate_fraction())});
+    }
+  }
+  bench::emit(gossip_table, options.csv());
+  std::cout << "\ngossip prunes exactly the post-boundary transmissions "
+               "that would have been duplicates: large message savings for "
+               "a small, tunable success cost.\n";
+
+  // --- 3. Random-walk baseline ----------------------------------------------
+  print_banner(std::cout, "k-walker random walk (related-work baseline)");
+  Table walk_table({"mechanism", "replication", "success", "msgs/query"});
+  RandomWalkEngine walker(csr);
+  for (const double percent : {1.0, 0.1}) {
+    const ObjectCatalog catalog(n, 20, percent / 100.0, seed ^ 61);
+    Rng rng(seed ^ 71);
+    Accumulator walk_acc;
+    Accumulator flood_acc;
+    for (std::size_t q = 0; q < queries / 2; ++q) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(n));
+      const auto object = static_cast<ObjectId>(rng.uniform_below(20));
+      RandomWalkOptions wopts;
+      wopts.walkers = 16;
+      wopts.ttl = 64;
+      const auto w = walker.run(source, object, catalog, rng, wopts);
+      walk_acc.add(w.success, w.messages);
+      FloodOptions fopts;
+      fopts.ttl = 4;
+      const auto f = flood.run(source, object, catalog, fopts);
+      flood_acc.add(f.success, f.messages);
+    }
+    walk_table.add_row({"16 walkers x 64 steps",
+                        Table::num(percent, 1) + "%",
+                        Table::percent(walk_acc.success()),
+                        Table::num(walk_acc.messages.mean(), 1)});
+    walk_table.add_row({"flood TTL 4", Table::num(percent, 1) + "%",
+                        Table::percent(flood_acc.success()),
+                        Table::num(flood_acc.messages.mean(), 1)});
+  }
+  bench::emit(walk_table, options.csv());
+  std::cout << "\nwalks trade messages for recall and latency — they shine "
+               "on popular objects and fall behind floods on rare ones, "
+               "which is why the paper keeps flooding as the wild-card "
+               "mechanism and adds ABF routing for identifiers.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

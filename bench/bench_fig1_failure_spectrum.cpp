@@ -1,0 +1,129 @@
+// Figure 1 — Normalized Laplacian eigenvalue spectrum of the Makalu
+// topology when the most highly connected nodes fail (no recovery).
+//
+// Paper claims: multiplicity of eigenvalue 0 stays 1 (the overlay remains
+// connected), multiplicity of eigenvalue 1 stays low (no weakly-connected
+// "edge" nodes appear), and the spectrum's shape stays close to the
+// k-regular ideal even at 30% targeted failures.
+//
+// Output: per failure level, the multiplicities and a coarse (rank, λ)
+// sampling of the spectrum curve; the k-regular spectrum is printed for
+// visual comparison. The dense eigensolver is O(n^3): default n is modest
+// and --paper raises it.
+#include "bench_common.hpp"
+
+#include "analysis/flood_experiments.hpp"
+#include "analysis/spectral_experiments.hpp"
+#include "net/latency_model.hpp"
+#include "sim/failure.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace {
+
+using namespace makalu;
+
+void print_spectrum_row(Table& table, const std::string& label,
+                        const std::vector<double>& spectrum,
+                        std::size_t mult0, std::size_t mult1) {
+  // Sample the curve at fixed normalized ranks.
+  const auto points = normalized_spectrum_points(spectrum);
+  auto at = [&](double x) {
+    const auto idx = static_cast<std::size_t>(
+        x * static_cast<double>(points.size() - 1));
+    return points[idx].second;
+  };
+  table.add_row({label, Table::integer(static_cast<long long>(mult0)),
+                 Table::integer(static_cast<long long>(mult1)),
+                 Table::num(at(0.05), 3), Table::num(at(0.25), 3),
+                 Table::num(at(0.5), 3), Table::num(at(0.75), 3),
+                 Table::num(at(0.95), 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv, {"random-failures"});
+  const bool paper = options.paper_scale();
+  const std::size_t n = options.nodes(paper ? 3'000 : 1'200);
+  const std::uint64_t seed = options.seed(42);
+  const bool random_adversary = options.has("random-failures");
+  bench::print_config("fig 1: normalized Laplacian spectrum under failure",
+                      n, 1, 0, seed, paper);
+  if (random_adversary) {
+    std::cout << "adversary: RANDOM failures (paper's targeted variant is "
+                 "the default)\n\n";
+  }
+
+  const EuclideanModel latency(n, seed ^ 0xf00d);
+  TopologyFactoryOptions topo;
+  topo.makalu = bench::analysis_makalu_parameters();
+  const auto makalu_topology =
+      build_topology(TopologyKind::kMakalu, latency, seed, topo);
+  const auto kreg_topology =
+      build_topology(TopologyKind::kKRegular, latency, seed, topo);
+
+  Table table({"snapshot", "mult(0)", "mult(1)", "λ@5%", "λ@25%", "λ@50%",
+               "λ@75%", "λ@95%"});
+  for (const double fraction : {0.0, 0.1, 0.2, 0.3}) {
+    const auto result = spectrum_under_failure(
+        makalu_topology.graph, fraction, random_adversary, seed);
+    print_spectrum_row(
+        table,
+        "Makalu, " + Table::num(fraction * 100.0, 0) + "% failed",
+        result.spectrum, result.multiplicity_zero, result.multiplicity_one);
+  }
+  {
+    const auto ideal =
+        spectrum_under_failure(kreg_topology.graph, 0.0, false, seed);
+    print_spectrum_row(table, "k-regular ideal, 0% failed", ideal.spectrum,
+                       ideal.multiplicity_zero, ideal.multiplicity_one);
+  }
+  bench::emit(table, options.csv());
+  std::cout << "\nshape check (paper): mult(0) stays 1 — the overlay "
+               "remains one component even at 30% targeted failures; "
+               "mult(1) stays ~0 — no weakly-connected edge nodes; the "
+               "quantile curve stays near the k-regular row.\n";
+
+  // §7's companion claim: the overlay "was able to withstand the failure
+  // of over 30% of the nodes ... while still maintaining good
+  // communication costs and search performance". Flood the failed
+  // snapshot (no recovery; content re-placed on survivors to isolate
+  // routing from data loss).
+  print_banner(std::cout, "search performance on the failed snapshot");
+  Table search_table({"failed", "success (TTL 4)", "msgs/query",
+                      "dup fraction"});
+  for (const double fraction : {0.0, 0.1, 0.2, 0.3}) {
+    const auto failed = fraction > 0.0
+                            ? select_top_degree_failures(
+                                  makalu_topology.graph, fraction)
+                            : std::vector<bool>(
+                                  makalu_topology.graph.node_count(), false);
+    BuiltTopology damaged;
+    damaged.kind = TopologyKind::kMakalu;
+    damaged.graph = apply_failures(makalu_topology.graph, failed);
+    FloodExperimentOptions fopts;
+    fopts.replication_ratio = 0.01;
+    fopts.ttl = 4;
+    fopts.queries = 150;
+    fopts.runs = 1;
+    fopts.objects = 20;
+    fopts.seed = seed;
+    const auto agg = run_flood_batch(damaged, fopts);
+    search_table.add_row({Table::percent(fraction, 0),
+                          Table::percent(agg.success_rate()),
+                          Table::num(agg.mean_messages(), 1),
+                          Table::percent(agg.duplicate_fraction())});
+  }
+  bench::emit(search_table, options.csv());
+  std::cout << "\nsearch survives: success holds at ~100% through 30% "
+               "targeted failure. (At this spectral-bench size a TTL-4 "
+               "flood saturates the network, so message counts track the "
+               "shrinking survivor set and duplicate share is boundary-"
+               "dominated; bench_table1 --n covers the pre-saturation "
+               "regime.)\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,82 @@
+// Figure 2 — Messages per query vs network size (log-log), 1% replication,
+// fixed TTL 4.
+//
+// Paper: the curve grows sub-linearly — increasing the network two orders
+// of magnitude (1k → 100k) increases messages/query by only ~2.6x. We
+// print the series plus the growth exponent fitted on the log-log points.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "analysis/flood_experiments.hpp"
+#include "analysis/paper_reference.hpp"
+#include "net/latency_model.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  const std::size_t runs = options.runs(2);
+  const std::size_t queries = options.queries(paper ? 500 : 200);
+  const std::uint64_t seed = options.seed(42);
+
+  std::vector<std::size_t> sizes{100, 200, 500, 1'000, 2'000,
+                                 5'000, 10'000, 20'000};
+  if (paper) sizes.push_back(100'000);
+  bench::print_config("fig 2: messages/query vs network size (1% repl, "
+                      "TTL 4, log-log)",
+                      sizes.back(), runs, queries, seed, paper);
+
+  Table table({"n", "msgs/query", "success", "msgs growth vs prev",
+               "n growth vs prev"});
+  std::vector<std::pair<double, double>> loglog;
+  double prev_msgs = 0.0;
+  std::size_t prev_n = 0;
+  for (const std::size_t n : sizes) {
+    const EuclideanModel latency(n, seed ^ (0xf16 + n));
+    TopologyFactoryOptions topo;
+    topo.makalu = bench::search_makalu_parameters();
+    const auto topology =
+        build_topology(TopologyKind::kMakalu, latency, seed, topo);
+    FloodExperimentOptions fopts;
+    fopts.replication_ratio = 0.01;
+    fopts.ttl = 4;
+    fopts.queries = queries;
+    fopts.runs = runs;
+    fopts.objects = 30;
+    fopts.seed = seed;
+    const auto agg = run_flood_batch(topology, fopts);
+    const double msgs = agg.mean_messages();
+    loglog.emplace_back(std::log10(static_cast<double>(n)),
+                        std::log10(std::max(1.0, msgs)));
+    table.add_row(
+        {Table::integer(static_cast<long long>(n)), Table::num(msgs, 1),
+         Table::percent(agg.success_rate()),
+         prev_n ? Table::num(msgs / prev_msgs, 2) + "x" : "-",
+         prev_n ? Table::num(static_cast<double>(n) /
+                                 static_cast<double>(prev_n), 2) + "x"
+                : "-"});
+    prev_msgs = msgs;
+    prev_n = n;
+  }
+  bench::emit(table, options.csv());
+
+  // Least-squares slope on the log-log points = growth exponent.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : loglog) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const auto m = static_cast<double>(loglog.size());
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  std::cout << "\nlog-log growth exponent: " << Table::num(slope, 3)
+            << "  (sub-linear scaling requires < 1; paper: x100 nodes => "
+               "x" << paper::kMessageGrowth100x
+            << " messages, i.e. exponent ~0.2)\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

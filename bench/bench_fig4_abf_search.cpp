@@ -1,0 +1,183 @@
+// Figure 4 — Success rate vs TTL for attenuated-Bloom-filter identifier
+// search on a Makalu overlay (paper: 100,000 nodes, ABF depth 3).
+//
+// Paper: at >=0.5% replication, >95% of queries resolve within 5 hops and
+// all within 8; at 0.1%, >75% within 10 hops and >95% within 15.
+//
+// --ablate sweeps the filter depth (1..4) at 0.5% replication to show why
+// the paper chose depth 3 (DESIGN.md §6.2).
+#include "bench_common.hpp"
+
+#include "analysis/abf_experiments.hpp"
+#include "analysis/paper_reference.hpp"
+#include "dht/chord.hpp"
+#include "net/latency_model.hpp"
+#include "sim/failure.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv, {"ablate"});
+  const bool paper = options.paper_scale();
+  const std::size_t n = options.nodes(paper ? 100'000 : 20'000);
+  const std::size_t runs = options.runs(2);
+  const std::size_t queries = options.queries(paper ? 300 : 150);
+  const std::uint64_t seed = options.seed(42);
+  constexpr std::uint32_t kMaxTtl = 25;
+  bench::print_config("fig 4: ABF identifier search, success vs TTL", n,
+                      runs, queries, seed, paper);
+
+  const EuclideanModel latency(n, seed ^ 0xabf);
+  TopologyFactoryOptions topo;
+  topo.makalu = bench::search_makalu_parameters();
+  const auto topology =
+      build_topology(TopologyKind::kMakalu, latency, seed, topo);
+
+  Table table({"replication", "TTL5", "TTL8", "TTL10", "TTL15", "TTL20",
+               "TTL25", "paper reference"});
+  struct Row {
+    double percent;
+    const char* reference;
+  };
+  const Row rows[] = {
+      {0.1, ">75% by 10, >95% by 15"},
+      {0.5, ">95% by 5, 100% by 8"},
+      {1.0, ">95% by 5, 100% by 8"},
+  };
+  for (const auto& row : rows) {
+    AbfExperimentOptions aopts;
+    aopts.replication_ratio = row.percent / 100.0;
+    aopts.queries = queries;
+    aopts.runs = runs;
+    aopts.objects = 40;
+    aopts.seed = seed;
+    const auto rates = abf_success_vs_ttl(topology, aopts, kMaxTtl);
+    table.add_row({Table::num(row.percent, 1) + "%",
+                   Table::percent(rates[5]), Table::percent(rates[8]),
+                   Table::percent(rates[10]), Table::percent(rates[15]),
+                   Table::percent(rates[20]), Table::percent(rates[25]),
+                   row.reference});
+  }
+  bench::emit(table, options.csv());
+  std::cout << "\nshape check: higher replication saturates in fewer hops; "
+               "0.1% needs the deep tail. Most queries resolve in <10 "
+               "messages — comparable to structured (DHT) systems.\n";
+
+  // --- structured baseline: making §4.6's "comparable to structured P2P
+  // systems" claim measurable. Routing-resilience comparison: in both
+  // systems the querying node and the data host are alive; what differs
+  // is whether the *routing fabric* still delivers. Chord fails when the
+  // finger/successor chain is dead; ABF-on-Makalu fails only if the
+  // damaged overlay no longer reaches a replica within the TTL.
+  {
+    print_banner(std::cout, "structured baseline: Chord (64-bit ring)");
+    const ChordRing chord(n, seed ^ 0xc0de);
+    Table base({"system", "healthy cost", "success @10% fail",
+                "success @30% fail"});
+
+    // Chord rows: random failures (no degree skew to target), keys with
+    // live owners only.
+    auto chord_success = [&](double fraction, std::size_t successor_list) {
+      Rng frng(seed ^ 0x5eed);
+      std::vector<bool> failed(n, false);
+      std::size_t count = static_cast<std::size_t>(
+          fraction * static_cast<double>(n));
+      while (count > 0) {
+        const auto v = static_cast<NodeId>(frng.uniform_below(n));
+        if (!failed[v]) {
+          failed[v] = true;
+          --count;
+        }
+      }
+      ChordLookupOptions lopts;
+      lopts.failed = &failed;
+      lopts.successor_list = successor_list;
+      Rng rng(seed ^ 0xfee1);
+      std::size_t hits = 0;
+      std::size_t attempts = 0;
+      while (attempts < 300) {
+        const auto source = static_cast<NodeId>(rng.uniform_below(n));
+        const std::uint64_t key = rng();
+        if (failed[source] || failed[chord.responsible_node(key)]) continue;
+        ++attempts;
+        hits += chord.lookup(source, key, lopts).success;
+      }
+      return static_cast<double>(hits) / static_cast<double>(attempts);
+    };
+    const double chord_hops = chord.mean_lookup_hops(400, seed ^ 0x40e1);
+    base.add_row({"Chord (plain)",
+                  Table::num(chord_hops, 1) + " hops",
+                  Table::percent(chord_success(0.10, 1)),
+                  Table::percent(chord_success(0.30, 1))});
+    base.add_row({"Chord (successor list 8)",
+                  Table::num(chord_hops, 1) + " hops",
+                  Table::percent(chord_success(0.10, 8)),
+                  Table::percent(chord_success(0.30, 8))});
+
+    // Makalu + ABF row: targeted (worst-case) failures of the overlay's
+    // top-degree nodes; content re-placed on survivors so the row
+    // isolates routing resilience from data durability.
+    auto abf_after_failure = [&](double fraction) {
+      const auto failed =
+          select_top_degree_failures(topology.graph, fraction);
+      const Graph survivors = apply_failures(topology.graph, failed);
+      BuiltTopology damaged;
+      damaged.kind = TopologyKind::kMakalu;
+      damaged.graph = survivors;
+      AbfExperimentOptions aopts;
+      aopts.replication_ratio = 0.005;
+      aopts.queries = 150;
+      aopts.runs = 1;
+      aopts.objects = 30;
+      aopts.seed = seed;
+      return run_abf_batch(damaged, 15, aopts).success_rate();
+    };
+    {
+      AbfExperimentOptions aopts;
+      aopts.replication_ratio = 0.005;
+      aopts.queries = 150;
+      aopts.runs = 1;
+      aopts.objects = 30;
+      aopts.seed = seed;
+      const auto healthy = run_abf_batch(topology, 15, aopts);
+      base.add_row({"Makalu + ABF (0.5% repl)",
+                    Table::num(healthy.hit_hops().mean(), 1) + " msgs",
+                    Table::percent(abf_after_failure(0.10)),
+                    Table::percent(abf_after_failure(0.30))});
+    }
+    bench::emit(base, options.csv());
+    std::cout << "\nhealthy cost is indeed comparable (a handful of "
+                 "messages either way — the paper's §4.6 claim); under "
+                 "failure, plain Chord's rigid fabric degrades while "
+                 "Makalu+ABF rides on the expander's redundancy. Chord "
+                 "needs successor lists (state + maintenance) to match "
+                 "what Makalu gets structurally.\n";
+  }
+
+  if (options.has("ablate")) {
+    print_banner(std::cout, "ablation: ABF depth (0.5% replication)");
+    Table ab({"depth", "TTL5", "TTL10", "TTL25", "table bytes/link"});
+    for (const std::size_t depth : {1u, 2u, 3u, 4u}) {
+      AbfExperimentOptions aopts;
+      aopts.replication_ratio = 0.005;
+      aopts.queries = std::min<std::size_t>(queries, 100);
+      aopts.runs = 1;
+      aopts.objects = 40;
+      aopts.seed = seed;
+      aopts.abf.depth = depth;
+      const auto rates = abf_success_vs_ttl(topology, aopts, kMaxTtl);
+      ab.add_row({Table::integer(static_cast<long long>(depth)),
+                  Table::percent(rates[5]), Table::percent(rates[10]),
+                  Table::percent(rates[25]),
+                  Table::integer(static_cast<long long>(
+                      depth * aopts.abf.level_params.bits / 8))});
+    }
+    bench::emit(ab, options.csv());
+    std::cout << "\ndepth 3 is the knee: depth 1-2 filters see too little "
+                 "of the network; depth 4 pays memory/exchange cost for "
+                 "marginal gain (deep levels are noisy).\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

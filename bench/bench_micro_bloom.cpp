@@ -1,0 +1,92 @@
+// Microbenchmarks: Bloom filter and attenuated-Bloom-filter hot paths
+// (insert, query, merge, level-weighted match scoring).
+#include <benchmark/benchmark.h>
+
+#include "bloom/attenuated_bloom_filter.hpp"
+#include "bloom/bloom_filter.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace makalu;
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter filter({static_cast<std::size_t>(state.range(0)), 4});
+  Rng rng(1);
+  for (auto _ : state) {
+    filter.insert(rng());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomInsert)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_BloomQueryHit(benchmark::State& state) {
+  BloomFilter filter({static_cast<std::size_t>(state.range(0)), 4});
+  Rng rng(2);
+  std::vector<std::uint64_t> keys(512);
+  for (auto& k : keys) {
+    k = rng();
+    filter.insert(k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.maybe_contains(keys[i++ & 511]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomQueryHit)->Arg(1024)->Arg(65536);
+
+void BM_BloomQueryMiss(benchmark::State& state) {
+  BloomFilter filter({8192, 4});
+  Rng fill(3);
+  for (int i = 0; i < 512; ++i) filter.insert(fill());
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.maybe_contains(rng()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomQueryMiss);
+
+void BM_BloomMerge(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  BloomFilter a({bits, 4});
+  BloomFilter b({bits, 4});
+  Rng rng(5);
+  for (int i = 0; i < 256; ++i) b.insert(rng());
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_BloomMerge)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_AbfMatchScore(benchmark::State& state) {
+  AttenuatedBloomFilter abf(3, {1024, 4});
+  Rng rng(6);
+  for (std::size_t level = 0; level < 3; ++level) {
+    for (int i = 0; i < 100; ++i) abf.insert_at(level, rng());
+  }
+  Rng probe(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abf.match_score(probe()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbfMatchScore);
+
+void BM_AbfShiftedMerge(benchmark::State& state) {
+  AttenuatedBloomFilter ours(3, {1024, 4});
+  AttenuatedBloomFilter theirs(3, {1024, 4});
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) theirs.insert_at(0, rng());
+  for (auto _ : state) {
+    ours.merge_shifted_from(theirs);
+    benchmark::DoNotOptimize(ours);
+  }
+}
+BENCHMARK(BM_AbfShiftedMerge);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Microbenchmarks: graph traversal kernels (BFS, Dijkstra, flood) on
+// Makalu-sized overlays.
+#include <benchmark/benchmark.h>
+
+#include "core/overlay_builder.hpp"
+#include "graph/algorithms.hpp"
+#include "net/latency_model.hpp"
+#include "search/flood_search.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace {
+
+using namespace makalu;
+
+struct World {
+  explicit World(std::size_t n)
+      : latency(n, 42),
+        overlay(OverlayBuilder().build(latency, 7)),
+        csr(CsrGraph::from_graph(overlay.graph)),
+        weighted(CsrGraph::from_graph(
+            overlay.graph,
+            [this](NodeId a, NodeId b) { return latency.latency(a, b); })) {}
+
+  EuclideanModel latency;
+  MakaluOverlay overlay;
+  CsrGraph csr;
+  CsrGraph weighted;
+};
+
+World& world(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<World>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<World>(n);
+  return *slot;
+}
+
+void BM_BfsHops(benchmark::State& state) {
+  auto& w = world(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint32_t> distances;
+  std::vector<NodeId> scratch;
+  NodeId source = 0;
+  for (auto _ : state) {
+    bfs_hops(w.csr, source, distances, scratch);
+    source = (source + 1) % static_cast<NodeId>(w.csr.node_count());
+    benchmark::DoNotOptimize(distances.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.csr.node_count()));
+}
+BENCHMARK(BM_BfsHops)->Arg(2000)->Arg(10000);
+
+void BM_Dijkstra(benchmark::State& state) {
+  auto& w = world(static_cast<std::size_t>(state.range(0)));
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra_costs(w.weighted, source));
+    source = (source + 1) % static_cast<NodeId>(w.csr.node_count());
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(2000)->Arg(10000);
+
+void BM_FloodTtl4(benchmark::State& state) {
+  auto& w = world(static_cast<std::size_t>(state.range(0)));
+  FloodEngine engine(w.csr);
+  FloodOptions options;
+  options.ttl = 4;
+  NodeId source = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto r = engine.run(
+        source, [](NodeId) { return false; }, options);
+    messages += r.messages;
+    source = (source + 1) % static_cast<NodeId>(w.csr.node_count());
+  }
+  state.counters["msgs/flood"] = benchmark::Counter(
+      static_cast<double>(messages) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FloodTtl4)->Arg(2000)->Arg(10000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  auto& w = world(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components(w.csr));
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(10000);
+
+void BM_CsrFromGraph(benchmark::State& state) {
+  auto& w = world(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph::from_graph(w.overlay.graph));
+  }
+}
+BENCHMARK(BM_CsrFromGraph)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Microbenchmarks: Makalu overlay construction and the rating-function
+// hot path, plus the candidate-gathering ablation (MH walk vs uniform
+// oracle).
+#include <benchmark/benchmark.h>
+
+#include "core/overlay_builder.hpp"
+#include "core/rating.hpp"
+#include "net/latency_model.hpp"
+
+namespace {
+
+using namespace makalu;
+
+void BM_OverlayBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const EuclideanModel latency(n, 42);
+  const OverlayBuilder builder;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(latency, seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OverlayBuild)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_OverlayBuildOracleCandidates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const EuclideanModel latency(n, 42);
+  MakaluParameters params;
+  params.oracle_uniform_candidates = true;
+  const OverlayBuilder builder(params);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(latency, seed++));
+  }
+}
+BENCHMARK(BM_OverlayBuildOracleCandidates)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RateNeighbors(benchmark::State& state) {
+  const std::size_t n = 5000;
+  const EuclideanModel latency(n, 42);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 7);
+  RatingEngine engine(overlay.graph, latency);
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.rate_neighbors(u));
+    u = (u + 1) % static_cast<NodeId>(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RateNeighbors);
+
+void BM_WorstNeighbor(benchmark::State& state) {
+  const std::size_t n = 5000;
+  const EuclideanModel latency(n, 42);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 7);
+  RatingEngine engine(overlay.graph, latency);
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.worst_neighbor(u));
+    u = (u + 1) % static_cast<NodeId>(n);
+  }
+}
+BENCHMARK(BM_WorstNeighbor);
+
+void BM_MaintenanceRound(benchmark::State& state) {
+  const std::size_t n = 2000;
+  const EuclideanModel latency(n, 42);
+  const OverlayBuilder builder;
+  MakaluOverlay overlay = builder.build(latency, 7);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.maintenance_round(overlay, latency, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MaintenanceRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Microbenchmarks: spectral machinery — dense eigensolver, Lanczos
+// algebraic connectivity, Laplacian matvec — at the sizes the Figure 1 /
+// §3.3 analyses run at.
+#include <benchmark/benchmark.h>
+
+#include "core/overlay_builder.hpp"
+#include "net/latency_model.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace {
+
+using namespace makalu;
+
+const CsrGraph& overlay_graph(std::size_t n) {
+  static std::map<std::size_t, CsrGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const EuclideanModel latency(n, 42);
+    it = cache.emplace(n, CsrGraph::from_graph(
+                              OverlayBuilder().build(latency, 7).graph))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_DenseNormalizedSpectrum(benchmark::State& state) {
+  const auto& csr = overlay_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalized_laplacian_spectrum(csr));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseNormalizedSpectrum)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AlgebraicConnectivityLanczos(benchmark::State& state) {
+  const auto& csr = overlay_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebraic_connectivity(csr));
+  }
+}
+BENCHMARK(BM_AlgebraicConnectivityLanczos)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LaplacianMatvec(benchmark::State& state) {
+  const auto& csr = overlay_graph(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> x(csr.node_count(), 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    laplacian_matvec(csr, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * csr.edge_count()));
+}
+BENCHMARK(BM_LaplacianMatvec)->Arg(5000)->Arg(20000);
+
+void BM_TridiagonalEigenvalues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> diag(n, 2.0);
+  std::vector<double> off(n - 1, -1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tridiagonal_eigenvalues(diag, off));
+  }
+}
+BENCHMARK(BM_TridiagonalEigenvalues)->Arg(100)->Arg(400);
+
+}  // namespace

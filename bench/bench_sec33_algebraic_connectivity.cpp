@@ -1,0 +1,89 @@
+// §3.3 — Structural and connectivity properties: algebraic connectivity
+// (λ₁, the Fiedler value of the combinatorial Laplacian) of the four
+// topology families.
+//
+// Paper: k-regular 2.7315 | Makalu 2.7189 | v0.4 0.035 | v0.6 0.936.
+// (The paper's k-regular value matches k = 8: k - 2 sqrt(k-1) = 2.708.)
+#include "bench_common.hpp"
+
+#include "support/stats.hpp"
+
+#include "analysis/paper_reference.hpp"
+#include "analysis/spectral_experiments.hpp"
+#include "graph/metrics.hpp"
+#include "net/latency_model.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  const std::size_t n = options.nodes(paper ? 10'000 : 4'000);
+  const std::size_t runs = options.runs(paper ? 3 : 2);
+  const std::uint64_t seed = options.seed(42);
+  bench::print_config("sec 3.3: algebraic connectivity (lambda_1)", n, runs,
+                      0, seed, paper);
+
+  const EuclideanModel latency(n, seed ^ 0x51ed2701);
+  TopologyFactoryOptions topo;
+  topo.makalu = bench::analysis_makalu_parameters();
+
+  Table table({"topology", "lambda_1 (mean)", "paper", "min", "max"});
+  const TopologyKind kinds[] = {
+      TopologyKind::kKRegular, TopologyKind::kMakalu,
+      TopologyKind::kGnutellaV04, TopologyKind::kGnutellaV06};
+  auto measure = [&](TopologyKind kind, const TopologyFactoryOptions& t,
+                     const std::string& label) {
+    OnlineStats stats;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto built = build_topology(kind, latency, seed + run, t);
+      stats.add(topology_algebraic_connectivity(built.graph));
+    }
+    const paper::ConnectivityReference* ref = nullptr;
+    for (const auto& r : paper::kAlgebraicConnectivity) {
+      if (std::string(topology_name(kind)).rfind(r.topology, 0) == 0) {
+        ref = &r;
+      }
+    }
+    table.add_row({label, Table::num(stats.mean(), 4),
+                   ref ? Table::num(ref->lambda1, 4) : std::string("-"),
+                   Table::num(stats.min(), 4), Table::num(stats.max(), 4)});
+  };
+  for (const auto kind : kinds) {
+    measure(kind, topo, topology_name(kind));
+    if (kind == TopologyKind::kMakalu) {
+      // lambda_1 tracks mean degree; report the paper's search
+      // configuration (mean degree ~9.5) alongside the heavier topology-
+      // analysis configuration (10-12).
+      TopologyFactoryOptions light = topo;
+      light.makalu = bench::search_makalu_parameters();
+      measure(kind, light, "Makalu (mean degree ~9.5)");
+    }
+  }
+  bench::emit(table, options.csv());
+  std::cout << "\nshape check: Makalu within a factor of ~1.3 of the "
+               "k-regular ideal; v0.6 an order of magnitude lower; v0.4 "
+               "nearly disconnected spectrally.\n";
+
+  // Supporting evidence for the expansion claim (§2/§3): fraction of the
+  // network inside the h-hop ball, averaged over sampled sources.
+  print_banner(std::cout, "neighborhood expansion profile |B(v,h)| / n");
+  Table expansion({"topology", "h=1", "h=2", "h=3", "h=4"});
+  for (const auto kind : kinds) {
+    const auto built = build_topology(kind, latency, seed, topo);
+    const auto profile = expansion_profile(
+        CsrGraph::from_graph(built.graph), 4, 64, seed ^ 0xe8);
+    expansion.add_row({topology_name(kind), Table::percent(profile[1]),
+                       Table::percent(profile[2]),
+                       Table::percent(profile[3]),
+                       Table::percent(profile[4])});
+  }
+  bench::emit(expansion, options.csv());
+  std::cout << "\nMakalu's h-hop balls grow like the k-regular ideal's "
+               "(geometric until saturation); the power-law overlay "
+               "expands an order of magnitude slower from typical "
+               "(low-degree) sources.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,72 @@
+// Table 2 — Traffic comparison between Makalu and Gnutella search traffic
+// under the 2006 trace's query pressure (§5, experimental validation).
+//
+// Paper:                       Gnutella     Makalu
+//   Outgoing msgs per query      38.439        8.5
+//   Outgoing msgs per second    124.16        27.45
+//   Outgoing bandwidth          103.4 kbps    23.04 kbps
+//   Query success rate            6.9%        36%
+//
+// Procedure: the Gnutella column comes from the 2006 trace statistics;
+// the Makalu column applies the same incoming query pressure (3.23 q/s,
+// 106 B/query) to a simulated Makalu overlay (mean degree ≈9.5, TTL-5
+// floods, worst-case single-replica objects).
+#include "bench_common.hpp"
+
+#include "analysis/paper_reference.hpp"
+#include "analysis/traffic_comparison.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  TrafficComparisonOptions topts;
+  topts.nodes = options.nodes(paper ? 100'000 : 20'000);
+  topts.queries = options.queries(paper ? 500 : 300);
+  topts.runs = options.runs(2);
+  topts.seed = options.seed(42);
+  bench::print_config("table 2: Makalu vs Gnutella search traffic",
+                      topts.nodes, topts.runs, topts.queries, topts.seed,
+                      paper);
+
+  const auto result = run_traffic_comparison(topts);
+  const auto& g = result.gnutella;
+  const auto& m = result.makalu;
+
+  Table table({"metric", "Gnutella (trace)", "paper", "Makalu (sim)",
+               "paper"});
+  table.add_row({"Outgoing msgs per query", Table::num(g.forward_fanout, 3),
+                 Table::num(paper::kTable2Gnutella.outgoing_msgs_per_query, 3),
+                 Table::num(m.forward_fanout, 2),
+                 Table::num(paper::kTable2Makalu.outgoing_msgs_per_query, 1)});
+  table.add_row(
+      {"Outgoing msgs per second",
+       Table::num(g.outgoing_messages_per_second(), 2),
+       Table::num(paper::kTable2Gnutella.outgoing_msgs_per_second, 2),
+       Table::num(m.outgoing_messages_per_second(), 2),
+       Table::num(paper::kTable2Makalu.outgoing_msgs_per_second, 2)});
+  table.add_row({"Outgoing bandwidth (kbps)", Table::num(g.outgoing_kbps(), 1),
+                 Table::num(paper::kTable2Gnutella.outgoing_kbps, 1),
+                 Table::num(m.outgoing_kbps(), 2),
+                 Table::num(paper::kTable2Makalu.outgoing_kbps, 2)});
+  table.add_row({"Query success rate",
+                 Table::percent(g.observed_success_rate),
+                 Table::percent(paper::kTable2Gnutella.success_rate),
+                 Table::percent(m.observed_success_rate),
+                 Table::percent(paper::kTable2Makalu.success_rate)});
+  table.add_row({"Neighbors per node", Table::num(g.active_neighbors, 0),
+                 "~38", Table::num(result.makalu_mean_degree, 1), "9.5"});
+  bench::emit(table, options.csv());
+  std::cout << "\nwhole-flood messages per Makalu query: "
+            << Table::num(result.makalu_messages_per_query, 1)
+            << " (TTL 5, worst-case single replica)\n"
+            << "shape check: Makalu resolves several times more queries "
+               "than Gnutella's 6.9% while using ~75% less outgoing "
+               "bandwidth and ~75% fewer neighbors per node. Success rate "
+               "is sensitive to n (coverage/n); --paper reproduces the "
+               "100k-node setting where the paper measured 36%.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,116 @@
+// Fault tolerance and churn: the paper's §3.4 scenario, then one step
+// beyond it — recovery.
+//
+// 1. Build Makalu and Gnutella v0.4 overlays over the same nodes.
+// 2. Kill the most highly connected 10/20/30% of nodes instantly (the
+//    paper's worst-case adversary) and compare the damage on the
+//    immediate snapshot (no recovery), exactly as in Figure 1.
+// 3. Then let Makalu recover: failed nodes re-join through the normal
+//    join protocol and the survivors run maintenance rounds — showing
+//    that the same local rules that build the overlay also heal it.
+#include <iostream>
+
+#include "core/overlay_builder.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/metrics.hpp"
+#include "net/latency_model.hpp"
+#include "sim/failure.hpp"
+#include "spectral/laplacian.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace makalu;
+
+struct Damage {
+  std::size_t components = 0;
+  double giant_fraction = 0.0;
+  double lambda1 = 0.0;
+};
+
+Damage assess(const Graph& survivors) {
+  Damage d;
+  const CsrGraph csr = CsrGraph::from_graph(survivors);
+  const auto comps = connected_components(csr);
+  d.components = comps.count;
+  d.giant_fraction = static_cast<double>(comps.largest_size()) /
+                     static_cast<double>(survivors.node_count());
+  d.lambda1 = survivors.node_count() >= 2 ? algebraic_connectivity(csr) : 0;
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliOptions options(argc, argv);
+  const std::size_t n = options.nodes(3'000);
+  const std::uint64_t seed = options.seed(21);
+
+  const EuclideanModel latency(n, seed);
+  MakaluParameters params;
+  params.capacity_min = 10;  // the paper's §3 analysis configuration
+  params.capacity_max = 14;
+  const OverlayBuilder builder(params);
+  const MakaluOverlay makalu = builder.build(latency, seed);
+  const Graph power_law = PowerLawGenerator().generate(n, seed);
+
+  std::cout << "targeted failures: killing the most-connected nodes "
+               "(snapshot, no recovery)\n\n";
+  Table table({"overlay", "failed", "components", "giant component",
+               "lambda_1"});
+  for (const double fraction : {0.1, 0.2, 0.3}) {
+    for (const auto* which : {"Makalu", "Gnutella v0.4"}) {
+      const Graph& graph =
+          which == std::string("Makalu") ? makalu.graph : power_law;
+      const auto failed = select_top_degree_failures(graph, fraction);
+      const Graph survivors = apply_failures(graph, failed);
+      const Damage d = assess(survivors);
+      table.add_row({which, Table::percent(fraction, 0),
+                     Table::integer(static_cast<long long>(d.components)),
+                     Table::percent(d.giant_fraction),
+                     Table::num(d.lambda1, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nMakalu degrades gracefully (one component, lambda_1 "
+               "stays expander-grade); the power-law overlay shatters when "
+               "its hubs die.\n\n";
+
+  // --- Recovery: the failed nodes come back and re-join. -----------------
+  std::cout << "recovery: failed 30% re-join via the normal protocol\n\n";
+  MakaluOverlay healing = builder.build(latency, seed);
+  const auto failed = select_top_degree_failures(healing.graph, 0.3);
+  for (NodeId v = 0; v < n; ++v) {
+    if (failed[v]) healing.graph.isolate(v);
+  }
+  {
+    // Post-failure: survivors only (isolated nodes excluded from metrics).
+    const Graph snapshot = healing.graph.remove_nodes(failed);
+    const Damage d = assess(snapshot);
+    std::cout << "  after failure : giant "
+              << Table::percent(d.giant_fraction) << ", lambda_1 "
+              << Table::num(d.lambda1, 3) << "\n";
+  }
+  Rng rng(seed ^ 5);
+  for (NodeId v = 0; v < n; ++v) {
+    if (failed[v]) builder.join_node(healing, latency, v, rng);
+  }
+  builder.maintenance_round(healing, latency, rng);
+  {
+    const Damage d = assess(healing.graph);
+    const auto degrees = degree_stats(CsrGraph::from_graph(healing.graph));
+    std::cout << "  after re-join : giant "
+              << Table::percent(d.giant_fraction) << ", lambda_1 "
+              << Table::num(d.lambda1, 3) << ", mean degree "
+              << Table::num(degrees.mean, 1) << "\n\n";
+  }
+  std::cout << "the same local join/manage rules that construct the "
+               "overlay restore expander-grade connectivity after mass "
+               "failure — no global coordination involved.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

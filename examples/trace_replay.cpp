@@ -1,0 +1,112 @@
+// Trace replay: drive a synthetic Gnutella-2006 query stream over Makalu
+// and Gnutella v0.6 overlays (the full version of the paper's §5
+// validation), then use the discrete-event engine to measure wall-clock
+// response latency of a few queries on the physical-latency model.
+//
+//   $ ./trace_replay [--n=5000] [--seconds=30]
+#include <iostream>
+
+#include "analysis/topology_factory.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "search/timed_flood.hpp"
+#include "search/two_tier_flood.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trace/synthetic_trace.hpp"
+
+using namespace makalu;
+
+int main(int argc, char** argv) try {
+  const CliOptions options(argc, argv, {"seconds"});
+  const std::size_t n = options.nodes(5'000);
+  const double seconds = options.get_double("seconds", 30.0);
+  const std::uint64_t seed = options.seed(31);
+
+  const EuclideanModel latency(n, seed);
+  const auto makalu = build_topology(TopologyKind::kMakalu, latency, seed);
+  const auto v06 =
+      build_topology(TopologyKind::kGnutellaV06, latency, seed);
+
+  // Worst-case-ish content: 200 objects at 0.1% replication.
+  const ObjectCatalog catalog(n, 200, 0.001, seed ^ 6);
+
+  const auto profile = gnutella_traffic_2006();
+  SyntheticTraceOptions topts;
+  topts.duration_seconds = seconds;
+  topts.node_count = n;
+  topts.object_count = 200;
+  const auto trace = generate_trace(profile, topts, seed ^ 7);
+  std::cout << "replaying " << trace.size() << " queries ("
+            << profile.queries_per_second << "/s Poisson, Zipf objects, "
+            << seconds << "s) over " << n << " nodes\n\n";
+
+  Table table({"overlay", "success", "msgs/query", "net kbps (all nodes)",
+               "busiest node msgs"});
+  {
+    const CsrGraph csr = CsrGraph::from_graph(makalu.graph);
+    const auto report = replay_flood_trace(csr, catalog, trace, 4);
+    table.add_row({"Makalu (flood TTL 4)",
+                   Table::percent(report.aggregate.success_rate()),
+                   Table::num(report.aggregate.mean_messages(), 1),
+                   Table::num(report.total_outgoing_kbps(), 1),
+                   Table::num(report.per_node_outgoing.max(), 0)});
+  }
+  {
+    // v0.6 replay: drive the two-tier engine query by query.
+    const CsrGraph csr = CsrGraph::from_graph(v06.graph);
+    TwoTierFloodEngine engine(csr, v06.is_ultrapeer);
+    TwoTierFloodOptions fopts;
+    fopts.ttl = 4;
+    QueryAggregate agg;
+    OnlineStats bytes;
+    std::vector<std::uint64_t> per_node(n, 0);
+    for (const auto& q : trace) {
+      const auto r = engine.run(q.source, q.object, catalog, fopts);
+      agg.add(r);
+      bytes.add(static_cast<double>(q.size_bytes));
+    }
+    const double msgs_per_s =
+        agg.mean_messages() * static_cast<double>(agg.queries()) /
+        std::max(1e-9, trace.back().time_ms / 1000.0);
+    table.add_row({"Gnutella v0.6 (TTL 4)", Table::percent(agg.success_rate()),
+                   Table::num(agg.mean_messages(), 1),
+                   Table::num(msgs_per_s * bytes.mean() * 8.0 / 1000.0, 1),
+                   "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nresponse latency (discrete-event simulation, physical "
+               "latencies):\n";
+  const CsrGraph csr = CsrGraph::from_graph(makalu.graph);
+  TimedFloodEngine timed(csr, latency);
+  Rng rng(seed ^ 8);
+  OnlineStats first_hit;
+  OnlineStats response;
+  std::size_t misses = 0;
+  for (int q = 0; q < 25; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(n));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(200));
+    const auto r = timed.run(source, object, catalog, 4);
+    if (r.success) {
+      first_hit.add(r.first_hit_ms);
+      response.add(r.response_ms);
+    } else {
+      ++misses;
+    }
+  }
+  std::cout << "  first replica reached after: mean "
+            << Table::num(first_hit.mean(), 1) << " / max "
+            << Table::num(first_hit.max(), 1)
+            << "; full response (reverse path): mean "
+            << Table::num(response.mean(), 1) << " / max "
+            << Table::num(response.max(), 1)
+            << " (latency units), misses: " << misses << "\n"
+            << "\nMakalu resolves more of the trace with a fraction of "
+               "the v0.6 message volume — the §5 result, replayed.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,74 @@
+#include "analysis/abf_experiments.hpp"
+
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+QueryAggregate run_abf_batch(const BuiltTopology& topology, std::uint32_t ttl,
+                             const AbfExperimentOptions& options) {
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  const std::size_t n = csr.node_count();
+
+  QueryAggregate aggregate;
+  Rng master(options.seed);
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    Rng rng = master.split(run + 1);
+    const ObjectCatalog catalog(n, options.objects,
+                                options.replication_ratio, rng());
+    AbfRouter router(csr, catalog, options.abf);
+    for (std::size_t q = 0; q < options.queries; ++q) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(n));
+      const auto object =
+          static_cast<ObjectId>(rng.uniform_below(options.objects));
+      aggregate.add(router.route(source, object, ttl, rng));
+    }
+  }
+  return aggregate;
+}
+
+std::vector<double> abf_success_vs_ttl(const BuiltTopology& topology,
+                                       const AbfExperimentOptions& options,
+                                       std::uint32_t max_ttl) {
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  const std::size_t n = csr.node_count();
+
+  std::vector<std::size_t> successes(max_ttl + 1, 0);
+  std::size_t total_queries = 0;
+
+  Rng master(options.seed);
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    Rng rng = master.split(run + 1);
+    const ObjectCatalog catalog(n, options.objects,
+                                options.replication_ratio, rng());
+    AbfRouter router(csr, catalog, options.abf);
+    for (std::size_t q = 0; q < options.queries; ++q) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(n));
+      const auto object =
+          static_cast<ObjectId>(rng.uniform_below(options.objects));
+      ++total_queries;
+      // One route at the full budget; a query that succeeded with k
+      // messages would also succeed for every TTL >= k, so bucket by the
+      // message count at success.
+      Rng query_rng = rng.split(q + 1);
+      const QueryResult r =
+          router.route(source, object, max_ttl, query_rng);
+      if (r.success) {
+        const auto needed =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                r.messages, max_ttl));
+        for (std::uint32_t t = needed; t <= max_ttl; ++t) ++successes[t];
+      }
+    }
+  }
+
+  std::vector<double> rates(max_ttl + 1, 0.0);
+  if (total_queries == 0) return rates;
+  for (std::uint32_t t = 0; t <= max_ttl; ++t) {
+    rates[t] = static_cast<double>(successes[t]) /
+               static_cast<double>(total_queries);
+  }
+  return rates;
+}
+
+}  // namespace makalu

@@ -1,0 +1,81 @@
+#include "analysis/flood_experiments.hpp"
+
+#include "search/flood_search.hpp"
+#include "search/two_tier_flood.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+QueryAggregate run_flood_batch(const BuiltTopology& topology,
+                               const FloodExperimentOptions& options) {
+  MAKALU_EXPECTS(options.runs >= 1);
+  MAKALU_EXPECTS(options.queries >= 1);
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  const std::size_t n = csr.node_count();
+
+  QueryAggregate aggregate;
+  Rng master(options.seed);
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    Rng rng = master.split(run + 1);
+    const ObjectCatalog catalog(n, options.objects,
+                                options.replication_ratio, rng());
+
+    if (topology.kind == TopologyKind::kGnutellaV06) {
+      TwoTierFloodEngine engine(csr, topology.is_ultrapeer);
+      TwoTierFloodOptions flood;
+      flood.ttl = options.ttl;
+      for (std::size_t q = 0; q < options.queries; ++q) {
+        const auto source = static_cast<NodeId>(rng.uniform_below(n));
+        const auto object =
+            static_cast<ObjectId>(rng.uniform_below(options.objects));
+        aggregate.add(engine.run(source, object, catalog, flood));
+      }
+    } else {
+      FloodEngine engine(csr);
+      FloodOptions flood;
+      flood.ttl = options.ttl;
+      flood.duplicate_suppression = options.duplicate_suppression;
+      for (std::size_t q = 0; q < options.queries; ++q) {
+        const auto source = static_cast<NodeId>(rng.uniform_below(n));
+        const auto object =
+            static_cast<ObjectId>(rng.uniform_below(options.objects));
+        aggregate.add(engine.run(source, object, catalog, flood));
+      }
+    }
+  }
+  return aggregate;
+}
+
+MinTtlResult find_min_ttl(const BuiltTopology& topology,
+                          FloodExperimentOptions options, double target,
+                          std::uint32_t max_ttl) {
+  MinTtlResult result;
+  for (std::uint32_t ttl = 1; ttl <= max_ttl; ++ttl) {
+    options.ttl = ttl;
+    QueryAggregate aggregate = run_flood_batch(topology, options);
+    if (aggregate.success_rate() >= target) {
+      result.min_ttl = ttl;
+      result.reached = true;
+      result.at_min_ttl = aggregate;
+      return result;
+    }
+    result.min_ttl = ttl;
+    result.at_min_ttl = aggregate;  // keep the deepest attempt
+  }
+  return result;
+}
+
+std::vector<double> success_vs_ttl(const BuiltTopology& topology,
+                                   FloodExperimentOptions options,
+                                   std::uint32_t max_ttl) {
+  std::vector<double> rates;
+  rates.reserve(max_ttl + 1);
+  for (std::uint32_t ttl = 0; ttl <= max_ttl; ++ttl) {
+    options.ttl = ttl;
+    rates.push_back(run_flood_batch(topology, options).success_rate());
+  }
+  return rates;
+}
+
+}  // namespace makalu

@@ -1,0 +1,53 @@
+// Flood-search experiment drivers shared by the Table 1 / Figure 2 /
+// Figure 3 / §4.3 / §4.4 benches: run query batches on a built topology,
+// sweep TTLs, and find the minimum TTL reaching a success threshold.
+//
+// Methodology follows §4.1-§4.2: objects placed uniformly at random at the
+// given replication ratio; each query starts at a uniformly random node
+// and targets a random object; every unique object is queried across the
+// batch. Results aggregate over independent (placement, query) runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/topology_factory.hpp"
+#include "sim/query_stats.hpp"
+
+namespace makalu {
+
+struct FloodExperimentOptions {
+  double replication_ratio = 0.01;
+  std::uint32_t ttl = 4;
+  std::size_t queries = 200;       ///< queries per run
+  std::size_t objects = 50;        ///< distinct objects per placement
+  std::size_t runs = 3;            ///< independent placements
+  bool duplicate_suppression = true;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the batch on `topology` (dispatching to the two-tier engine for
+/// v0.6 graphs, plain flooding otherwise) and returns the aggregate.
+[[nodiscard]] QueryAggregate run_flood_batch(
+    const BuiltTopology& topology, const FloodExperimentOptions& options);
+
+struct MinTtlResult {
+  std::uint32_t min_ttl = 0;          ///< smallest TTL reaching the target
+  bool reached = false;               ///< false if max_ttl hit first
+  QueryAggregate at_min_ttl;          ///< aggregate at that TTL
+};
+
+/// Finds the minimum TTL whose success rate >= `target` (paper: floods
+/// must resolve "most (>95%) of the queries").
+[[nodiscard]] MinTtlResult find_min_ttl(const BuiltTopology& topology,
+                                        FloodExperimentOptions options,
+                                        double target = 0.95,
+                                        std::uint32_t max_ttl = 12);
+
+/// Success rate for every TTL in [0, max_ttl] (Figure 3 / Figure 4 style
+/// series for flooding).
+[[nodiscard]] std::vector<double> success_vs_ttl(
+    const BuiltTopology& topology, FloodExperimentOptions options,
+    std::uint32_t max_ttl);
+
+}  // namespace makalu

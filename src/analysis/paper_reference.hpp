@@ -1,0 +1,84 @@
+// The paper's published numbers, embedded so every bench can print
+// paper-vs-measured side by side (EXPERIMENTS.md is generated from these
+// runs). All values transcribed from Acosta & Chandra, ICPP 2007.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace makalu::paper {
+
+// --- §3.2: APSP on 10,000 nodes, Euclidean underlay -----------------------
+struct PathReference {
+  const char* topology;
+  double avg_path_cost;      // physical-latency units
+  double avg_diameter_hops;  // hops
+};
+inline constexpr std::array<PathReference, 4> kPathTable{{
+    {"Makalu", 1205.905, 5.0},
+    {"k-regular random", 1629.639, 6.0},
+    {"Gnutella v0.4 (power law)", 2915.106, 16.0},
+    {"Gnutella v0.6 (two-tier)", 1370.809, 6.0},
+}};
+
+// --- §3.3: algebraic connectivity λ1 ---------------------------------------
+struct ConnectivityReference {
+  const char* topology;
+  double lambda1;
+};
+inline constexpr std::array<ConnectivityReference, 4> kAlgebraicConnectivity{{
+    {"k-regular random", 2.7315},
+    {"Makalu", 2.7189},
+    {"Gnutella v0.4 (power law)", 0.035},
+    {"Gnutella v0.6 (two-tier)", 0.936},
+}};
+
+// --- Table 1: flooding on 100,000 nodes ------------------------------------
+struct Table1Row {
+  double replication_percent;  // % of nodes holding a replica
+  double v04_messages;
+  std::uint32_t v04_min_ttl;
+  double v06_messages;
+  std::uint32_t v06_min_ttl;
+  double makalu_messages;
+  std::uint32_t makalu_ttl;
+};
+inline constexpr std::array<Table1Row, 4> kTable1{{
+    {0.05, 30557.96, 7, 51184.12, 4, 6783.32, 4},
+    {0.10, 24155.84, 7, 51127.22, 4, 6668.36, 4},
+    {0.50, 11959.16, 6, 6444.22, 3, 769.84, 3},
+    {1.00, 11942.28, 6, 6426.56, 3, 758.48, 3},
+}};
+
+// --- §4.3: Makalu flooding efficiency ---------------------------------------
+inline constexpr double kDuplicateFractionTtl4 = 0.027;   // 2.7% duplicates
+inline constexpr double kMessagesTtl4 = 6500.0;           // ~6,500 messages
+inline constexpr double kMessagesTtl3HighReplication = 800.0;
+inline constexpr double kSuccessAt005PercentTtl4 = 0.95;
+
+// --- §4.4: very low replication ---------------------------------------------
+inline constexpr double kSuccessAt001PercentTtl4 = 0.56;  // 0.01%, 4 hops
+
+// --- §4.5 / Figure 2: scalability -------------------------------------------
+// "Increasing the network size by two orders of magnitude only increased
+// the number of messages per query by about 2.6 times."
+inline constexpr double kMessageGrowth100x = 2.6;
+
+// --- Figure 4: ABF search on 100,000 nodes ----------------------------------
+inline constexpr double kAbfHighReplicationSuccessAt5 = 0.95;  // ≥0.5%
+inline constexpr std::uint32_t kAbfHighReplicationAllBy = 8;
+inline constexpr double kAbfLowReplicationSuccessAt10 = 0.75;  // 0.1%
+inline constexpr double kAbfLowReplicationSuccessAt15 = 0.95;
+
+// --- Table 2: traffic comparison (2006 trace) -------------------------------
+struct Table2Reference {
+  double outgoing_msgs_per_query;
+  double outgoing_msgs_per_second;
+  double outgoing_kbps;
+  double success_rate;
+};
+inline constexpr Table2Reference kTable2Gnutella{38.439, 124.16, 103.4,
+                                                 0.069};
+inline constexpr Table2Reference kTable2Makalu{8.5, 27.45, 23.04, 0.36};
+
+}  // namespace makalu::paper

@@ -1,0 +1,41 @@
+#include "analysis/spectral_experiments.hpp"
+
+#include "sim/failure.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+SpectrumUnderFailure spectrum_under_failure(const Graph& graph,
+                                            double fraction,
+                                            bool random_adversary,
+                                            std::uint64_t seed) {
+  SpectrumUnderFailure out;
+  out.failure_fraction = fraction;
+
+  std::vector<bool> failed;
+  if (fraction <= 0.0) {
+    failed.assign(graph.node_count(), false);
+  } else if (random_adversary) {
+    Rng rng(seed);
+    failed = select_random_failures(graph.node_count(), fraction, rng);
+  } else {
+    failed = select_top_degree_failures(graph, fraction);
+  }
+
+  const Graph survivors = apply_failures(graph, failed);
+  out.surviving_nodes = survivors.node_count();
+  const CsrGraph csr = CsrGraph::from_graph(survivors);
+  out.spectrum = normalized_laplacian_spectrum(csr);
+  // Dense solvers round; 1e-6 separates true multiplicities from noise on
+  // graphs of a few thousand nodes.
+  out.multiplicity_zero = eigenvalue_multiplicity(out.spectrum, 0.0, 1e-6);
+  out.multiplicity_one = eigenvalue_multiplicity(out.spectrum, 1.0, 1e-6);
+  return out;
+}
+
+double topology_algebraic_connectivity(const Graph& graph) {
+  const CsrGraph csr = CsrGraph::from_graph(graph);
+  return algebraic_connectivity(csr);
+}
+
+}  // namespace makalu

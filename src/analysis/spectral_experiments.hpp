@@ -1,0 +1,32 @@
+// Spectral experiment drivers for §3.3 (algebraic connectivity) and §3.4 /
+// Figure 1 (normalized Laplacian spectrum under targeted failures).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/topology_factory.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace makalu {
+
+struct SpectrumUnderFailure {
+  double failure_fraction = 0.0;
+  std::vector<double> spectrum;          ///< normalized Laplacian, ascending
+  std::size_t multiplicity_zero = 0;     ///< # connected components
+  std::size_t multiplicity_one = 0;      ///< # weakly-connected edge nodes
+  std::size_t surviving_nodes = 0;
+};
+
+/// Fails the top-degree `fraction` of nodes (targeted, worst case — §3.4's
+/// reported adversary), snapshots the survivor graph without recovery, and
+/// returns its normalized spectrum. Use `random_adversary` to switch to
+/// uniform failures.
+[[nodiscard]] SpectrumUnderFailure spectrum_under_failure(
+    const Graph& graph, double fraction, bool random_adversary = false,
+    std::uint64_t seed = 99);
+
+/// λ1 of the combinatorial Laplacian of a built topology (§3.3's numbers).
+[[nodiscard]] double topology_algebraic_connectivity(const Graph& graph);
+
+}  // namespace makalu

@@ -1,0 +1,58 @@
+#include "analysis/topology_factory.hpp"
+
+#include <stdexcept>
+
+namespace makalu {
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMakalu:
+      return "Makalu";
+    case TopologyKind::kGnutellaV04:
+      return "Gnutella v0.4 (power law)";
+    case TopologyKind::kGnutellaV06:
+      return "Gnutella v0.6 (two-tier)";
+    case TopologyKind::kKRegular:
+      return "k-regular random";
+  }
+  return "unknown";
+}
+
+BuiltTopology build_topology(TopologyKind kind, const LatencyModel& latency,
+                             std::uint64_t seed,
+                             const TopologyFactoryOptions& options) {
+  const std::size_t n = latency.node_count();
+  BuiltTopology out;
+  out.kind = kind;
+  switch (kind) {
+    case TopologyKind::kMakalu: {
+      OverlayBuilder builder(options.makalu);
+      MakaluOverlay overlay = builder.build(latency, seed);
+      out.graph = std::move(overlay.graph);
+      out.capacity = std::move(overlay.capacity);
+      return out;
+    }
+    case TopologyKind::kGnutellaV04: {
+      PowerLawGenerator generator(options.power_law);
+      out.graph = generator.generate(n, seed);
+      return out;
+    }
+    case TopologyKind::kGnutellaV06: {
+      TwoTierGenerator generator(options.two_tier);
+      auto result = generator.generate(n, seed);
+      out.graph = std::move(result.graph);
+      out.is_ultrapeer = std::move(result.is_ultrapeer);
+      return out;
+    }
+    case TopologyKind::kKRegular: {
+      std::size_t k = options.k_regular_degree;
+      if ((n * k) % 2 != 0) ++k;  // keep n*k even regardless of n
+      KRegularGenerator generator(k);
+      out.graph = generator.generate(n, seed);
+      return out;
+    }
+  }
+  throw std::invalid_argument("build_topology: unknown kind");
+}
+
+}  // namespace makalu

@@ -1,0 +1,51 @@
+// Uniform construction of the four topology families every experiment
+// compares (§3.1): Makalu, Gnutella v0.4 power-law, Gnutella v0.6
+// two-tier, and k-regular random (the theoretical expander ideal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/overlay_builder.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "topology/generators.hpp"
+
+namespace makalu {
+
+enum class TopologyKind {
+  kMakalu,
+  kGnutellaV04,
+  kGnutellaV06,
+  kKRegular,
+};
+
+[[nodiscard]] const char* topology_name(TopologyKind kind);
+
+struct TopologyFactoryOptions {
+  MakaluParameters makalu{};
+  PowerLawParameters power_law{};
+  TwoTierParameters two_tier{};
+  // Paper's k-regular baseline: lambda_1 = 2.7315 matches the Alon-
+  // Boppana value k - 2 sqrt(k-1) for k = 8.
+  std::size_t k_regular_degree = 8;
+};
+
+struct BuiltTopology {
+  TopologyKind kind = TopologyKind::kMakalu;
+  Graph graph;
+  /// Non-empty only for kGnutellaV06.
+  std::vector<bool> is_ultrapeer;
+  /// Non-empty only for kMakalu.
+  std::vector<std::size_t> capacity;
+};
+
+/// Builds a topology of `kind` over the nodes of `latency` (only Makalu
+/// actually consults latencies; the reference generators are pure graph
+/// processes, as in the paper).
+[[nodiscard]] BuiltTopology build_topology(
+    TopologyKind kind, const LatencyModel& latency, std::uint64_t seed,
+    const TopologyFactoryOptions& options = {});
+
+}  // namespace makalu

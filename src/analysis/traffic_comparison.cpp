@@ -1,0 +1,50 @@
+#include "analysis/traffic_comparison.hpp"
+
+#include "analysis/flood_experiments.hpp"
+#include "graph/metrics.hpp"
+#include "net/latency_model.hpp"
+
+namespace makalu {
+
+MakaluParameters TrafficComparisonOptions::degree95_parameters() {
+  MakaluParameters p;
+  // Capacities drawn uniformly from [7, 12] target the paper's "mean node
+  // degree of 9.5"; pruning keeps realised degree at or just under
+  // capacity.
+  p.capacity_min = 7;
+  p.capacity_max = 12;
+  return p;
+}
+
+TrafficComparisonResult run_traffic_comparison(
+    const TrafficComparisonOptions& options) {
+  TrafficComparisonResult result;
+  result.gnutella = gnutella_traffic_2006();
+
+  const EuclideanModel latency(options.nodes, options.seed ^ 0xabcdef);
+  TopologyFactoryOptions topo_options;
+  topo_options.makalu = options.makalu;
+  const BuiltTopology topology = build_topology(
+      TopologyKind::kMakalu, latency, options.seed, topo_options);
+
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  result.makalu_mean_degree = degree_stats(csr).mean;
+
+  FloodExperimentOptions flood;
+  // Worst case: every object on exactly 1 of n nodes.
+  flood.replication_ratio = 1.0 / static_cast<double>(options.nodes);
+  flood.ttl = options.ttl;
+  flood.queries = options.queries;
+  flood.objects = options.objects;
+  flood.runs = options.runs;
+  flood.seed = options.seed;
+  const QueryAggregate aggregate = run_flood_batch(topology, flood);
+
+  result.makalu_messages_per_query = aggregate.mean_messages();
+  result.makalu = makalu_profile_from(
+      result.gnutella, aggregate.mean_messages_per_forwarder(),
+      aggregate.success_rate(), result.makalu_mean_degree);
+  return result;
+}
+
+}  // namespace makalu

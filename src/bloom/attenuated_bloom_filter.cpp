@@ -1,0 +1,66 @@
+#include "bloom/attenuated_bloom_filter.hpp"
+
+namespace makalu {
+
+AttenuatedBloomFilter::AttenuatedBloomFilter(std::size_t depth,
+                                             BloomParameters level_params) {
+  MAKALU_EXPECTS(depth >= 1);
+  levels_.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    levels_.emplace_back(level_params);
+  }
+}
+
+void AttenuatedBloomFilter::merge(const AttenuatedBloomFilter& other) {
+  MAKALU_EXPECTS(structure_matches(other));
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    levels_[i].merge(other.levels_[i]);
+  }
+}
+
+void AttenuatedBloomFilter::merge_shifted_from(
+    const AttenuatedBloomFilter& other) {
+  MAKALU_EXPECTS(structure_matches(other));
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    levels_[i + 1].merge(other.levels_[i]);
+  }
+}
+
+void AttenuatedBloomFilter::clear() noexcept {
+  for (auto& filter : levels_) filter.clear();
+}
+
+std::optional<std::size_t> AttenuatedBloomFilter::first_match_level(
+    std::uint64_t key) const noexcept {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].maybe_contains(key)) return i;
+  }
+  return std::nullopt;
+}
+
+double AttenuatedBloomFilter::match_score(std::uint64_t key) const noexcept {
+  double score = 0.0;
+  double weight = 1.0;
+  for (const auto& filter : levels_) {
+    if (filter.maybe_contains(key)) score += weight;
+    weight *= 0.5;
+  }
+  return score;
+}
+
+std::size_t AttenuatedBloomFilter::byte_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& filter : levels_) total += filter.byte_size();
+  return total;
+}
+
+bool AttenuatedBloomFilter::structure_matches(
+    const AttenuatedBloomFilter& other) const noexcept {
+  if (levels_.size() != other.levels_.size()) return false;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].parameters_match(other.levels_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace makalu

@@ -1,0 +1,77 @@
+// Attenuated Bloom filter (Rhea & Kubiatowicz, INFOCOM 2002) — the routing
+// summary behind the paper's exact-identifier search (§4.6).
+//
+// An attenuated Bloom filter of depth D is a stack of D Bloom filters.
+// When node u keeps one per neighbor link (u -> v), level i of that stack
+// summarises the objects stored on nodes exactly i hops past v (level 0 is
+// v's own store). Queries are forwarded to the neighbor whose filter gives
+// the best *level-weighted* match: shallow levels are aggregated over few
+// nodes, so their filters are sparse and trusted; deep levels are
+// "attenuated" with geometrically decreasing weight because their false
+// positive rates grow with aggregation.
+//
+// Aggregation uses shift-and-merge: the advertisement u sends v is
+//   level 0 := u's own content,
+//   level i := union over u's other neighbors w of level i-1 of the
+//              advertisement w last sent u.
+// (`merge_shifted_from` implements the shift; `search/abf_search` drives
+// the fixed-point exchange rounds.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+
+namespace makalu {
+
+class AttenuatedBloomFilter {
+ public:
+  AttenuatedBloomFilter(std::size_t depth, BloomParameters level_params);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return levels_.size(); }
+
+  [[nodiscard]] BloomFilter& level(std::size_t i) {
+    MAKALU_EXPECTS(i < levels_.size());
+    return levels_[i];
+  }
+  [[nodiscard]] const BloomFilter& level(std::size_t i) const {
+    MAKALU_EXPECTS(i < levels_.size());
+    return levels_[i];
+  }
+
+  void insert_at(std::size_t level_index, std::uint64_t key) {
+    level(level_index).insert(key);
+  }
+
+  /// Level-wise OR (parameters of every level must match).
+  void merge(const AttenuatedBloomFilter& other);
+
+  /// OR other's level i into this filter's level i+1 for all i < depth-1;
+  /// the deepest level of `other` falls off the end (attenuation).
+  void merge_shifted_from(const AttenuatedBloomFilter& other);
+
+  void clear() noexcept;
+
+  /// Shallowest level whose filter may contain `key`, if any. This is the
+  /// distance estimate ABF routing steers by.
+  [[nodiscard]] std::optional<std::size_t> first_match_level(
+      std::uint64_t key) const noexcept;
+
+  /// Level-weighted match score: sum of weight(i) over matching levels i,
+  /// with weight(i) = 1/2^i by default (shallow evidence dominates, as the
+  /// paper prescribes). Zero when no level matches.
+  [[nodiscard]] double match_score(std::uint64_t key) const noexcept;
+
+  /// Bytes on the wire when two peers exchange this summary.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  [[nodiscard]] bool structure_matches(
+      const AttenuatedBloomFilter& other) const noexcept;
+
+ private:
+  std::vector<BloomFilter> levels_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,92 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace makalu {
+
+BloomParameters BloomParameters::optimal(std::size_t expected_items,
+                                         double target_fpr) {
+  MAKALU_EXPECTS(expected_items > 0);
+  MAKALU_EXPECTS(target_fpr > 0.0 && target_fpr < 1.0);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(target_fpr) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  BloomParameters params;
+  params.bits = static_cast<std::size_t>(std::ceil(m));
+  params.hashes = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                               std::llround(k)));
+  return params;
+}
+
+BloomFilter::BloomFilter(BloomParameters params)
+    : bits_((params.bits + 63) / 64 * 64),
+      hashes_(params.hashes),
+      blocks_(bits_ / 64, 0) {
+  MAKALU_EXPECTS(params.bits > 0);
+  MAKALU_EXPECTS(params.hashes > 0);
+}
+
+BloomFilter::Probes BloomFilter::hash_key(std::uint64_t key) noexcept {
+  std::uint64_t state = key;
+  const std::uint64_t h1 = splitmix64(state);
+  std::uint64_t h2 = splitmix64(state);
+  h2 |= 1;  // odd stride: cycles through all positions for power-of-two m
+  return {h1, h2};
+}
+
+void BloomFilter::insert(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t pos = (h1 + i * h2) % bits_;
+    blocks_[pos / 64] |= (1ULL << (pos % 64));
+  }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const noexcept {
+  const auto [h1, h2] = hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t pos = (h1 + i * h2) % bits_;
+    if ((blocks_[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  MAKALU_EXPECTS(parameters_match(other));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i] |= other.blocks_[i];
+  }
+}
+
+void BloomFilter::clear() noexcept {
+  std::fill(blocks_.begin(), blocks_.end(), 0ULL);
+}
+
+std::size_t BloomFilter::set_bit_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto block : blocks_) {
+    count += static_cast<std::size_t>(std::popcount(block));
+  }
+  return count;
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  return static_cast<double>(set_bit_count()) / static_cast<double>(bits_);
+}
+
+double BloomFilter::estimated_fpr() const noexcept {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+double BloomFilter::estimated_cardinality() const noexcept {
+  const double fill = fill_ratio();
+  if (fill >= 1.0) return static_cast<double>(bits_);  // saturated
+  return -static_cast<double>(bits_) / static_cast<double>(hashes_) *
+         std::log(1.0 - fill);
+}
+
+}  // namespace makalu

@@ -1,0 +1,83 @@
+// Bloom filter (Bloom, CACM 1970) keyed on 64-bit object identifiers.
+//
+// Double hashing (Kirsch & Mitzenmacher): the k probe positions are
+// h1 + i*h2 mod m, with h1/h2 derived from one splitmix64 pass each —
+// asymptotically as good as k independent hashes and much cheaper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+struct BloomParameters {
+  std::size_t bits = 1024;  ///< m, rounded up to a multiple of 64 internally
+  std::size_t hashes = 4;   ///< k
+
+  /// Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2 for n expected
+  /// items at target false-positive probability p.
+  static BloomParameters optimal(std::size_t expected_items,
+                                 double target_fpr);
+};
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParameters params = {});
+
+  void insert(std::uint64_t key) noexcept;
+  [[nodiscard]] bool maybe_contains(std::uint64_t key) const noexcept;
+
+  /// Direct bit access, used by CountingBloomFilter::to_bloom_filter to
+  /// snapshot its nonzero slots (probe layouts are identical, so setting
+  /// bit j here reproduces membership slot-for-slot).
+  void set_bit(std::size_t position) noexcept {
+    MAKALU_EXPECTS(position < bits_);
+    blocks_[position / 64] |= (1ULL << (position % 64));
+  }
+  [[nodiscard]] bool test_bit(std::size_t position) const noexcept {
+    MAKALU_EXPECTS(position < bits_);
+    return (blocks_[position / 64] & (1ULL << (position % 64))) != 0;
+  }
+
+  /// Bitwise OR of another filter with identical parameters.
+  void merge(const BloomFilter& other);
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t hash_count() const noexcept { return hashes_; }
+  [[nodiscard]] std::size_t set_bit_count() const noexcept;
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// Estimated false-positive probability at the current fill:
+  /// (fill_ratio)^k. This is what the ABF level weighting reasons about.
+  [[nodiscard]] double estimated_fpr() const noexcept;
+
+  /// Approximate number of distinct inserted items from the fill ratio:
+  /// n ≈ -(m/k) ln(1 - fill).
+  [[nodiscard]] double estimated_cardinality() const noexcept;
+
+  [[nodiscard]] bool parameters_match(const BloomFilter& other) const noexcept {
+    return bits_ == other.bits_ && hashes_ == other.hashes_;
+  }
+
+  /// Serialized size in bytes (bit array only) — used for the bandwidth
+  /// accounting of filter exchanges.
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bits_ / 8; }
+
+ private:
+  struct Probes {
+    std::uint64_t h1;
+    std::uint64_t h2;
+  };
+  [[nodiscard]] static Probes hash_key(std::uint64_t key) noexcept;
+
+  std::size_t bits_;
+  std::size_t hashes_;
+  std::vector<std::uint64_t> blocks_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,84 @@
+#include "bloom/counting_bloom_filter.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace makalu {
+
+CountingBloomFilter::CountingBloomFilter(BloomParameters params)
+    : hashes_(params.hashes),
+      counters_((params.bits + 63) / 64 * 64, 0) {
+  MAKALU_EXPECTS(params.bits > 0);
+  MAKALU_EXPECTS(params.hashes > 0);
+}
+
+CountingBloomFilter::Probes CountingBloomFilter::hash_key(
+    std::uint64_t key) noexcept {
+  // Identical derivation to BloomFilter::hash_key so that
+  // to_bloom_filter() snapshots are probe-compatible with filters built
+  // directly from the same keys.
+  std::uint64_t state = key;
+  const std::uint64_t h1 = splitmix64(state);
+  std::uint64_t h2 = splitmix64(state);
+  h2 |= 1;
+  return {h1, h2};
+}
+
+void CountingBloomFilter::insert(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % counters_.size()];
+    if (counter < kSaturation) ++counter;
+  }
+}
+
+void CountingBloomFilter::remove(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % counters_.size()];
+    // Saturated counters have lost their exact count; decrementing one
+    // could silently drop another key's last reference.
+    if (counter > 0 && counter < kSaturation) --counter;
+  }
+}
+
+bool CountingBloomFilter::maybe_contains(std::uint64_t key) const noexcept {
+  const auto [h1, h2] = hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    if (counters_[(h1 + i * h2) % counters_.size()] == 0) return false;
+  }
+  return true;
+}
+
+void CountingBloomFilter::clear() noexcept {
+  std::fill(counters_.begin(), counters_.end(), std::uint8_t{0});
+}
+
+BloomFilter CountingBloomFilter::to_bloom_filter() const {
+  BloomParameters params;
+  params.bits = counters_.size();
+  params.hashes = hashes_;
+  BloomFilter out(params);
+  // Probe layouts match slot-for-slot (same hash derivation, same modulus
+  // after the 64-multiple round-up), so bit j set iff counter j nonzero
+  // reproduces membership exactly.
+  for (std::size_t slot = 0; slot < counters_.size(); ++slot) {
+    if (counters_[slot] != 0) out.set_bit(slot);
+  }
+  return out;
+}
+
+std::size_t CountingBloomFilter::nonzero_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(counters_.begin(), counters_.end(),
+                    [](std::uint8_t c) { return c != 0; }));
+}
+
+std::size_t CountingBloomFilter::saturated_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(counters_.begin(), counters_.end(),
+                    [](std::uint8_t c) { return c == kSaturation; }));
+}
+
+}  // namespace makalu

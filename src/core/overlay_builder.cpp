@@ -1,0 +1,252 @@
+#include "core/overlay_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topology/generators.hpp"
+
+namespace makalu {
+
+OverlayBuilder::OverlayBuilder(MakaluParameters params)
+    : params_(params) {
+  MAKALU_EXPECTS(params_.capacity_min >= 2);
+  MAKALU_EXPECTS(params_.capacity_max >= params_.capacity_min);
+  MAKALU_EXPECTS(params_.walk_length >= 1);
+  MAKALU_EXPECTS(params_.candidate_set_size >= 1);
+}
+
+std::vector<NodeId> OverlayBuilder::gather_candidates(const Graph& g,
+                                                      NodeId start,
+                                                      NodeId self,
+                                                      std::size_t want,
+                                                      Rng& rng) const {
+  // One independent walk per wanted candidate, all starting at the seed;
+  // each walk's *endpoint* is kept. Endpoints of separate walk_length-step
+  // walks are near-independent samples of the walk's stationary
+  // distribution, so the candidate set spans the whole overlay rather than
+  // one seed-local neighborhood — collecting every node along a single
+  // walk would hand the joiner a path-shaped (clustered) neighbor set and
+  // destroy expansion.
+  std::vector<NodeId> candidates;
+  if (g.node_count() == 0) return candidates;
+  candidates.reserve(want);
+  if (params_.oracle_uniform_candidates) {
+    // Rejection-sample distinct connected nodes.
+    for (std::size_t tries = 0; tries < 40 * want && candidates.size() < want;
+         ++tries) {
+      const auto c = static_cast<NodeId>(rng.uniform_below(g.node_count()));
+      if (c == self || g.degree(c) == 0) continue;
+      if (std::find(candidates.begin(), candidates.end(), c) ==
+          candidates.end()) {
+        candidates.push_back(c);
+      }
+    }
+    return candidates;
+  }
+  for (std::size_t walk = 0; walk < want; ++walk) {
+    NodeId current = start;
+    for (std::size_t step = 0; step < params_.walk_length; ++step) {
+      const auto nbrs = g.neighbors(current);
+      if (nbrs.empty()) break;
+      // Metropolis-Hastings degree correction: a plain random walk samples
+      // nodes proportionally to degree, which under accept-then-prune
+      // management starves low-degree peers of connection offers
+      // (rich-get-richer). Moving to a uniform neighbor y with acceptance
+      // min(1, deg(x)/deg(y)) makes the stationary distribution uniform
+      // over nodes, using only information both endpoints already have.
+      const NodeId proposal = nbrs[rng.uniform_below(nbrs.size())];
+      const double accept =
+          static_cast<double>(g.degree(current)) /
+          static_cast<double>(g.degree(proposal));
+      if (accept >= 1.0 || rng.uniform() < accept) current = proposal;
+    }
+    if (current == self) continue;
+    if (std::find(candidates.begin(), candidates.end(), current) ==
+        candidates.end()) {
+      candidates.push_back(current);
+    }
+  }
+  // The seed itself is a valid candidate when the walks could not produce
+  // enough distinct peers (tiny bootstrap networks).
+  if (candidates.size() < want && start != self &&
+      std::find(candidates.begin(), candidates.end(), start) ==
+          candidates.end()) {
+    candidates.push_back(start);
+  }
+  return candidates;
+}
+
+std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
+                                   RatingEngine& engine, NodeId u) const {
+  std::size_t removed = 0;
+  while (overlay.graph.degree(u) > overlay.capacity[u]) {
+    // Lowest-rated neighbor, skipping peers at or below the low-water
+    // mark (dropping them would orphan them); fall back to the absolute
+    // worst when every neighbor is protected.
+    const auto ratings = engine.rate_neighbors(u);
+    MAKALU_ASSERT(!ratings.empty());
+    const NeighborRating* worst = nullptr;
+    const NeighborRating* worst_unprotected = nullptr;
+    auto better = [](const NeighborRating& a, const NeighborRating* b) {
+      if (b == nullptr) return true;
+      if (a.score != b->score) return a.score < b->score;
+      return a.neighbor < b->neighbor;
+    };
+    for (const auto& r : ratings) {
+      if (better(r, worst)) worst = &r;
+      if (overlay.graph.degree(r.neighbor) > params_.low_water_mark &&
+          better(r, worst_unprotected)) {
+        worst_unprotected = &r;
+      }
+    }
+    const NodeId victim = worst_unprotected != nullptr
+                              ? worst_unprotected->neighbor
+                              : worst->neighbor;
+    overlay.graph.remove_edge(u, victim);
+    ++removed;
+  }
+  return removed;
+}
+
+void OverlayBuilder::join_node(MakaluOverlay& overlay,
+                               const LatencyModel& latency, NodeId joiner,
+                               Rng& rng) const {
+  RatingEngine engine(overlay.graph, latency, params_.weights);
+  // Pick a random live seed: any node that is already part of the overlay
+  // (has at least one connection).
+  const Graph& g = overlay.graph;
+  NodeId seed_peer = kInvalidNode;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto candidate =
+        static_cast<NodeId>(rng.uniform_below(g.node_count()));
+    if (candidate != joiner && g.degree(candidate) > 0) {
+      seed_peer = candidate;
+      break;
+    }
+  }
+  if (seed_peer == kInvalidNode) return;  // nothing to join yet
+  join_node(overlay, engine, joiner, seed_peer, rng);
+}
+
+void OverlayBuilder::join_node(MakaluOverlay& overlay, RatingEngine& engine,
+                               NodeId joiner, NodeId seed_peer,
+                               Rng& rng) const {
+  Graph& g = overlay.graph;
+  MAKALU_EXPECTS(joiner < g.node_count());
+  MAKALU_EXPECTS(seed_peer < g.node_count() && seed_peer != joiner);
+
+  // Join phase: connect to the candidate set until sufficient neighbors
+  // are obtained. Acceptors do NOT prune mid-join — the paper's management
+  // loop runs after connections are accepted, which matters: only once the
+  // joiner's neighborhood exists can its connectivity contribution be
+  // rated fairly (a half-joined peer would always look worthless and be
+  // evicted immediately, starving newcomers).
+  const auto candidates = gather_candidates(
+      g, seed_peer, joiner, params_.candidate_set_size, rng);
+  std::vector<NodeId> accepted;
+  for (const NodeId c : candidates) {
+    if (g.degree(joiner) >= overlay.capacity[joiner]) break;
+    if (g.add_edge(joiner, c)) accepted.push_back(c);
+  }
+  // Management phase: every party enforces its capacity.
+  manage(overlay, engine, joiner);
+  for (const NodeId c : accepted) manage(overlay, engine, c);
+}
+
+std::size_t OverlayBuilder::maintenance_round(
+    MakaluOverlay& overlay, const LatencyModel& latency, Rng& rng,
+    const std::vector<bool>* active) const {
+  RatingEngine engine(overlay.graph, latency, params_.weights);
+  return maintenance_round(overlay, engine, rng, active);
+}
+
+std::size_t OverlayBuilder::maintenance_round(
+    MakaluOverlay& overlay, RatingEngine& engine, Rng& rng,
+    const std::vector<bool>* active) const {
+  Graph& g = overlay.graph;
+  const std::size_t n = g.node_count();
+  MAKALU_EXPECTS(active == nullptr || active->size() == n);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_below(i)]);
+  }
+
+  std::size_t changes = 0;
+  for (const NodeId u : order) {
+    if (active != nullptr && !(*active)[u]) continue;
+    // Under-provisioned nodes solicit fresh candidates via a random walk
+    // from a random neighbor (or a random node if isolated).
+    if (g.degree(u) < overlay.capacity[u]) {
+      NodeId start;
+      const auto nbrs = g.neighbors(u);
+      if (!nbrs.empty()) {
+        start = nbrs[rng.uniform_below(nbrs.size())];
+      } else {
+        start = static_cast<NodeId>(rng.uniform_below(n));
+        if (start == u) continue;
+        if (active != nullptr && !(*active)[start]) continue;
+        if (g.degree(start) == 0) continue;  // don't seed from a loner
+      }
+      const auto candidates = gather_candidates(
+          g, start, u, params_.candidate_set_size, rng);
+      std::vector<NodeId> accepted;
+      for (const NodeId c : candidates) {
+        if (g.degree(u) >= overlay.capacity[u]) break;
+        if (g.add_edge(u, c)) {
+          accepted.push_back(c);
+          ++changes;
+        }
+      }
+      for (const NodeId c : accepted) changes += manage(overlay, engine, c);
+    }
+    changes += manage(overlay, engine, u);
+  }
+  return changes;
+}
+
+MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
+                                    std::uint64_t seed) const {
+  const std::size_t n = latency.node_count();
+  MAKALU_EXPECTS(n >= 2);
+  Rng rng(seed);
+
+  MakaluOverlay overlay;
+  overlay.graph = Graph(n);
+  overlay.capacity.resize(n);
+  for (auto& cap : overlay.capacity) {
+    cap = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params_.capacity_min),
+        static_cast<std::int64_t>(params_.capacity_max)));
+  }
+
+  // Nodes join one at a time in a random order (node ids carry no meaning;
+  // randomising decouples join order from latency-model structure).
+  std::vector<NodeId> join_order(n);
+  std::iota(join_order.begin(), join_order.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(join_order[i - 1], join_order[rng.uniform_below(i)]);
+  }
+  // Bootstrap: connect the first two joiners directly.
+  overlay.graph.add_edge(join_order[0], join_order[1]);
+  RatingEngine engine(overlay.graph, latency, params_.weights);
+  for (std::size_t i = 2; i < n; ++i) {
+    // Seed from a uniformly random node that has already joined: in a real
+    // deployment the bootstrap cache only ever hands out live peers.
+    const NodeId seed_peer = join_order[rng.uniform_below(i)];
+    join_node(overlay, engine, join_order[i], seed_peer, rng);
+  }
+
+  for (std::size_t round = 0; round < params_.maintenance_rounds; ++round) {
+    maintenance_round(overlay, engine, rng, nullptr);
+  }
+
+  // Safety net: the decentralised protocol produces a connected overlay in
+  // practice; stitch stragglers (isolated latecomers whose candidates all
+  // pruned them) exactly as a real deployment's re-join would.
+  ensure_connected(overlay.graph, rng);
+  return overlay;
+}
+
+}  // namespace makalu

@@ -1,0 +1,126 @@
+// Makalu overlay construction (paper §2.2).
+//
+// Join protocol: a node entering the overlay takes the address of one seed
+// peer, runs a random walk from the seed to gather a candidate set, and
+// connects to candidates until it has enough neighbors. Nodes in the
+// management phase accept incoming connections freely and, whenever they
+// exceed their capacity, repeatedly drop the neighbor with the lowest
+// rating (Manage() in the paper's pseudocode):
+//
+//   repeat
+//     accept connections
+//     while neighbors > max_connections:
+//       compute rating for each neighbor
+//       remove neighbor with lowest rating
+//   until disconnected
+//
+// Capacities are heterogeneous — each node picks its own connection budget
+// from its available bandwidth; we model that with a per-node draw from
+// [capacity_min, capacity_max] (paper: mean degree 10-12 suffices even at
+// 100k nodes).
+//
+// After the join sequence the builder runs a few maintenance rounds in
+// which under-provisioned nodes solicit more candidates and every node
+// re-evaluates its neighbor set; this mirrors steady-state management and
+// lets early joiners benefit from the full network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rating.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct MakaluParameters {
+  RatingWeights weights{};          ///< alpha/beta (paper: both 1)
+  std::size_t capacity_min = 6;     ///< per-node connection budget range
+  std::size_t capacity_max = 13;    ///< mean ~9.5, the paper's flooding
+                                    ///< and Table-2 configuration
+  std::size_t walk_length = 12;  ///< steps per candidate-gathering walk
+  std::size_t candidate_set_size = 16;  ///< independent walks (= candidates)
+  std::size_t maintenance_rounds = 2;   ///< post-join management sweeps
+  /// Diagnostic/ablation switch: draw candidates uniformly from the nodes
+  /// already in the overlay instead of via random walks (an oracle a real
+  /// deployment does not have — used to quantify what walk-based gathering
+  /// costs).
+  bool oracle_uniform_candidates = false;
+  /// Low-water protection: when pruning, never drop a neighbor whose own
+  /// degree would fall below this (unless every neighbor is that weak).
+  /// Without it, geographically remote peers are evicted by every
+  /// acceptor in turn — proximity is relative, so *someone* is always the
+  /// far one — and a handful of degree-1 stragglers destroys the
+  /// overlay's algebraic connectivity. The neighbor's degree is local
+  /// information (peers exchange routing tables on connect). Set to 0 to
+  /// disable (ablation).
+  std::size_t low_water_mark = 3;
+};
+
+/// A built overlay: the graph plus the per-node capacities that shaped it.
+struct MakaluOverlay {
+  Graph graph;
+  std::vector<std::size_t> capacity;
+
+  [[nodiscard]] std::size_t node_count() const {
+    return graph.node_count();
+  }
+};
+
+class OverlayBuilder {
+ public:
+  explicit OverlayBuilder(MakaluParameters params = MakaluParameters{});
+
+  /// Builds an overlay over every node of `latency` (network size is the
+  /// model's node count). Deterministic in `seed`.
+  [[nodiscard]] MakaluOverlay build(const LatencyModel& latency,
+                                    std::uint64_t seed) const;
+
+  /// Join a single new node into an existing overlay (used by churn /
+  /// repair experiments). `joiner` must currently be isolated.
+  void join_node(MakaluOverlay& overlay, const LatencyModel& latency,
+                 NodeId joiner, Rng& rng) const;
+
+  /// One management sweep: every node (in random order) re-solicits
+  /// candidates if under capacity and prunes if over capacity. Returns the
+  /// number of edges changed (added + removed). `active` (optional)
+  /// restricts the sweep to nodes flagged true — churn simulations pass
+  /// the online mask so offline peers are neither managed nor re-attached.
+  std::size_t maintenance_round(MakaluOverlay& overlay,
+                                const LatencyModel& latency, Rng& rng,
+                                const std::vector<bool>* active =
+                                    nullptr) const;
+
+  [[nodiscard]] const MakaluParameters& parameters() const noexcept {
+    return params_;
+  }
+
+ private:
+  /// Random walk from `start` collecting up to `want` distinct candidate
+  /// peers (excluding `self`).
+  [[nodiscard]] std::vector<NodeId> gather_candidates(const Graph& g,
+                                                      NodeId start,
+                                                      NodeId self,
+                                                      std::size_t want,
+                                                      Rng& rng) const;
+
+  /// Enforce the capacity constraint at u by pruning lowest-rated
+  /// neighbors. Returns edges removed.
+  std::size_t manage(MakaluOverlay& overlay, RatingEngine& engine,
+                     NodeId u) const;
+
+  // Engine-reusing worker variants: build() allocates one RatingEngine
+  // (its scratch is O(n)) and threads it through every join/maintenance
+  // step instead of re-allocating per node.
+  void join_node(MakaluOverlay& overlay, RatingEngine& engine, NodeId joiner,
+                 NodeId seed_peer, Rng& rng) const;
+  std::size_t maintenance_round(MakaluOverlay& overlay, RatingEngine& engine,
+                                Rng& rng,
+                                const std::vector<bool>* active) const;
+
+  MakaluParameters params_;
+};
+
+}  // namespace makalu

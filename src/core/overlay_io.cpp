@@ -1,0 +1,62 @@
+#include "core/overlay_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "graph/io.hpp"
+
+namespace makalu {
+
+namespace {
+using graph_io_detail::fail;
+using graph_io_detail::read_edges;
+using graph_io_detail::read_magic;
+using graph_io_detail::write_edges;
+constexpr const char* kOverlayMagic = "makalu-overlay v1";
+}  // namespace
+
+void save_overlay(std::ostream& os, const MakaluOverlay& overlay) {
+  MAKALU_EXPECTS(overlay.capacity.size() == overlay.graph.node_count());
+  os << kOverlayMagic << '\n';
+  write_edges(os, overlay.graph);
+  os << "capacities\n";
+  for (std::size_t i = 0; i < overlay.capacity.size(); ++i) {
+    os << overlay.capacity[i]
+       << ((i + 1) % 16 == 0 || i + 1 == overlay.capacity.size() ? '\n'
+                                                                 : ' ');
+  }
+  if (!os) fail("write failure");
+}
+
+MakaluOverlay load_overlay(std::istream& is) {
+  if (read_magic(is) != kOverlayMagic) {
+    fail("bad magic (expected overlay v1)");
+  }
+  MakaluOverlay overlay;
+  overlay.graph = read_edges(is);
+  std::string marker;
+  if (!(is >> marker) || marker != "capacities") {
+    fail("missing capacities block");
+  }
+  overlay.capacity.resize(overlay.graph.node_count());
+  for (auto& c : overlay.capacity) {
+    if (!(is >> c)) fail("truncated capacities block");
+  }
+  return overlay;
+}
+
+void save_overlay_file(const std::string& path,
+                       const MakaluOverlay& overlay) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open for write: " + path);
+  save_overlay(os, overlay);
+}
+
+MakaluOverlay load_overlay_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open for read: " + path);
+  return load_overlay(is);
+}
+
+}  // namespace makalu

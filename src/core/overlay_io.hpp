@@ -1,0 +1,19 @@
+// (De)serialization of Makalu overlays: the graph plus the per-node
+// capacity vector that shaped it. Format documented in graph/io.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/overlay_builder.hpp"
+
+namespace makalu {
+
+void save_overlay(std::ostream& os, const MakaluOverlay& overlay);
+[[nodiscard]] MakaluOverlay load_overlay(std::istream& is);
+
+void save_overlay_file(const std::string& path,
+                       const MakaluOverlay& overlay);
+[[nodiscard]] MakaluOverlay load_overlay_file(const std::string& path);
+
+}  // namespace makalu

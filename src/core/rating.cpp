@@ -1,0 +1,150 @@
+#include "core/rating.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace makalu {
+
+namespace {
+// Latency floor: co-located nodes (same PlanetLab site before jitter, or
+// coincident plane points) must not produce an infinite proximity score.
+constexpr double kMinLatency = 1e-6;
+// seen_count_ value marking members of Γ(u) ∪ {u} (never boundary).
+constexpr std::uint32_t kDirectSentinel = 0xffffffffu;
+}  // namespace
+
+RatingEngine::RatingEngine(const Graph& graph, const LatencyModel& latency,
+                           RatingWeights weights)
+    : graph_(graph), latency_(latency), weights_(weights) {
+  MAKALU_EXPECTS(graph.node_count() <= latency.node_count());
+  MAKALU_EXPECTS(weights_.alpha >= 0.0 && weights_.beta >= 0.0);
+}
+
+void RatingEngine::prepare_marks(NodeId u) {
+  if (mark_epoch_.size() < graph_.node_count()) {
+    mark_epoch_.resize(graph_.node_count(), 0);
+    seen_count_.resize(graph_.node_count(), 0);
+  }
+  ++stamp_;
+  // Epoch 0 is never a valid stamp; on wrap, reset all epochs.
+  if (stamp_ == 0) {
+    std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+  // Mark Γ(u) ∪ {u} with the "direct" sentinel: these are trivially
+  // reachable and never count as boundary members.
+  mark_epoch_[u] = stamp_;
+  seen_count_[u] = kDirectSentinel;
+  for (const NodeId w : graph_.neighbors(u)) {
+    mark_epoch_[w] = stamp_;
+    seen_count_[w] = kDirectSentinel;
+  }
+}
+
+std::vector<NeighborRating> RatingEngine::rate_neighbors(NodeId u) {
+  MAKALU_EXPECTS(u < graph_.node_count());
+  std::vector<NeighborRating> ratings;
+  const auto neighbors = graph_.neighbors(u);
+  if (neighbors.empty()) return ratings;
+
+  prepare_marks(u);
+  // Pass 1: accumulate seen_count over boundary candidates. A boundary
+  // candidate x (x ∉ Γ(u) ∪ {u}) gets seen_count_[x] incremented once per
+  // neighbor w of u with x ∈ Γ(w).
+  std::size_t boundary = 0;
+  for (const NodeId w : neighbors) {
+    for (const NodeId x : graph_.neighbors(w)) {
+      if (mark_epoch_[x] != stamp_) {
+        mark_epoch_[x] = stamp_;
+        seen_count_[x] = 1;
+        ++boundary;
+      } else if (seen_count_[x] != kDirectSentinel) {
+        ++seen_count_[x];
+      }
+    }
+  }
+
+  // Pass 2: latency extremes.
+  double d_max = 0.0;
+  double d_min = std::numeric_limits<double>::infinity();
+  for (const NodeId w : neighbors) {
+    const double d = std::max(kMinLatency, latency_.latency(u, w));
+    d_max = std::max(d_max, d);
+    d_min = std::min(d_min, d);
+  }
+  const double proximity_numerator =
+      weights_.scaling == ProximityScaling::kNormalized ? d_min : d_max;
+
+  // Pass 3: per-neighbor unique-reachable counts and scores.
+  //
+  // Connectivity scaling: the paper divides |R(u,v)| by |∂Γ(u)|, which is
+  // proportional to deg(v)/Σdeg — a raw-degree preference that rewards
+  // big neighbors even when they add nothing unique, and (worse) evicts
+  // newly-joined low-degree peers wholesale. kNormalized instead scores
+  // the *fraction of v's neighborhood that only v provides*,
+  // |R(u,v)| / |Γ(v)\{u}| ∈ [0,1]: degree-neutral redundancy, commensurate
+  // with the normalized proximity term. (Same numerator; the denominator
+  // is the "relative" scaling that makes alpha = beta = 1 meaningful.)
+  const bool normalized =
+      weights_.scaling == ProximityScaling::kNormalized;
+  ratings.reserve(neighbors.size());
+  for (const NodeId w : neighbors) {
+    NeighborRating r;
+    r.neighbor = w;
+    std::size_t unique = 0;
+    std::size_t others = 0;  // |Γ(w) \ {u}|
+    for (const NodeId x : graph_.neighbors(w)) {
+      if (x != u) ++others;
+      // x counts as uniquely reachable through w iff it is a boundary
+      // member seen by exactly one of u's neighbors (necessarily w).
+      if (seen_count_[x] == 1 && mark_epoch_[x] == stamp_) ++unique;
+    }
+    r.unique_reachable = unique;
+    if (normalized) {
+      r.connectivity = others > 0 ? static_cast<double>(unique) /
+                                        static_cast<double>(others)
+                                  : 0.0;
+    } else {
+      r.connectivity =
+          boundary > 0 ? static_cast<double>(unique) /
+                             static_cast<double>(boundary)
+                       : 0.0;
+    }
+    const double d = std::max(kMinLatency, latency_.latency(u, w));
+    r.proximity = proximity_numerator / d;
+    r.score = weights_.alpha * r.connectivity + weights_.beta * r.proximity;
+    ratings.push_back(r);
+  }
+  return ratings;
+}
+
+NodeId RatingEngine::worst_neighbor(NodeId u) {
+  const auto ratings = rate_neighbors(u);
+  if (ratings.empty()) return kInvalidNode;
+  const auto it = std::min_element(
+      ratings.begin(), ratings.end(),
+      [](const NeighborRating& a, const NeighborRating& b) {
+        if (a.score != b.score) return a.score < b.score;
+        return a.neighbor < b.neighbor;
+      });
+  return it->neighbor;
+}
+
+std::size_t RatingEngine::boundary_size(NodeId u) {
+  MAKALU_EXPECTS(u < graph_.node_count());
+  if (graph_.neighbors(u).empty()) return 0;
+  prepare_marks(u);
+  std::size_t boundary = 0;
+  for (const NodeId w : graph_.neighbors(u)) {
+    for (const NodeId x : graph_.neighbors(w)) {
+      if (mark_epoch_[x] != stamp_) {
+        mark_epoch_[x] = stamp_;
+        seen_count_[x] = 1;
+        ++boundary;
+      }
+    }
+  }
+  return boundary;
+}
+
+}  // namespace makalu

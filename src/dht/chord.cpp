@@ -1,0 +1,145 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+namespace {
+
+// Is x in the half-open ring interval (a, b]? (Wraps modulo 2^64.)
+bool in_interval(std::uint64_t x, std::uint64_t a, std::uint64_t b) {
+  if (a < b) return x > a && x <= b;
+  if (a > b) return x > a || x <= b;
+  return true;  // a == b: full circle
+}
+
+}  // namespace
+
+ChordRing::ChordRing(std::size_t nodes, std::uint64_t seed) {
+  MAKALU_EXPECTS(nodes >= 2);
+  ring_ids_.resize(nodes);
+  for (NodeId v = 0; v < nodes; ++v) {
+    std::uint64_t state = seed ^ (0x8f3a9c51d2e7b604ULL + v);
+    ring_ids_[v] = splitmix64(state);
+  }
+  sorted_by_ring_.resize(nodes);
+  for (NodeId v = 0; v < nodes; ++v) sorted_by_ring_[v] = v;
+  std::sort(sorted_by_ring_.begin(), sorted_by_ring_.end(),
+            [&](NodeId a, NodeId b) { return ring_ids_[a] < ring_ids_[b]; });
+  position_of_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    position_of_[sorted_by_ring_[i]] = i;
+  }
+
+  // Finger tables: successor(id + 2^k) for k = 0..63, deduplicated and
+  // excluding the node itself.
+  fingers_.resize(nodes);
+  for (NodeId v = 0; v < nodes; ++v) {
+    auto& table = fingers_[v];
+    table.reserve(kFingerBits);
+    NodeId previous = kInvalidNode;
+    for (std::size_t k = 0; k < kFingerBits; ++k) {
+      const NodeId target = finger_target(v, k);
+      if (target == v || target == previous) continue;
+      table.push_back(target);
+      previous = target;
+    }
+  }
+}
+
+std::size_t ChordRing::successor_index(std::uint64_t x) const {
+  // First sorted ring id >= x, wrapping.
+  const auto it = std::lower_bound(
+      sorted_by_ring_.begin(), sorted_by_ring_.end(), x,
+      [&](NodeId node, std::uint64_t value) {
+        return ring_ids_[node] < value;
+      });
+  if (it == sorted_by_ring_.end()) return 0;
+  return static_cast<std::size_t>(it - sorted_by_ring_.begin());
+}
+
+NodeId ChordRing::finger_target(NodeId node, std::size_t k) const {
+  const std::uint64_t start =
+      ring_ids_[node] + (k < 64 ? (1ULL << k) : 0);
+  return sorted_by_ring_[successor_index(start)];
+}
+
+NodeId ChordRing::responsible_node(std::uint64_t key) const {
+  return sorted_by_ring_[successor_index(key)];
+}
+
+ChordRing::LookupResult ChordRing::lookup(
+    NodeId source, std::uint64_t key, const LookupOptions& options) const {
+  MAKALU_EXPECTS(source < ring_ids_.size());
+  MAKALU_EXPECTS(options.successor_list >= 1);
+  const std::vector<bool>* failed = options.failed;
+  auto dead = [&](NodeId v) {
+    return failed != nullptr && (*failed)[v];
+  };
+
+  LookupResult result;
+  if (dead(source)) return result;
+  const NodeId owner = responsible_node(key);
+  if (dead(owner)) return result;  // data lost with the owner
+
+  NodeId current = source;
+  for (std::uint32_t hop = 0; hop <= options.max_hops; ++hop) {
+    if (current == owner) {
+      result.success = true;
+      result.final_node = current;
+      return result;
+    }
+    // Greedy step: the live finger whose ring id most closely precedes
+    // the key (classic closest-preceding-finger), falling back to the
+    // successor list.
+    const std::uint64_t here = ring_ids_[current];
+    NodeId next = kInvalidNode;
+    const auto& table = fingers_[current];
+    for (auto it = table.rbegin(); it != table.rend(); ++it) {
+      const NodeId candidate = *it;
+      if (dead(candidate)) continue;
+      if (in_interval(ring_ids_[candidate], here, key - 1)) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == kInvalidNode) {
+      // No useful finger: walk the successor list for a live node.
+      const std::size_t n = ring_ids_.size();
+      std::size_t index = position_of_[current];
+      for (std::size_t step = 1; step <= options.successor_list; ++step) {
+        const NodeId candidate = sorted_by_ring_[(index + step) % n];
+        if (!dead(candidate)) {
+          next = candidate;
+          break;
+        }
+      }
+    }
+    if (next == kInvalidNode || next == current) {
+      return result;  // stranded: every forwarding option is dead
+    }
+    current = next;
+    ++result.hops;
+  }
+  return result;  // loop guard tripped
+}
+
+double ChordRing::mean_lookup_hops(std::size_t samples,
+                                   std::uint64_t seed) const {
+  MAKALU_EXPECTS(samples > 0);
+  Rng rng(seed);
+  double total = 0.0;
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto source =
+        static_cast<NodeId>(rng.uniform_below(ring_ids_.size()));
+    const auto result = lookup(source, rng());
+    if (result.success) {
+      total += static_cast<double>(result.hops);
+      ++succeeded;
+    }
+  }
+  return succeeded > 0 ? total / static_cast<double>(succeeded) : 0.0;
+}
+
+}  // namespace makalu

@@ -1,0 +1,88 @@
+// Chord-style structured overlay (Stoica et al.) — the structured-P2P
+// baseline the paper's §4.6 claim ("performance ... comparable to that of
+// structured P2P systems") and §6 discussion (Structella, Kademlia/
+// Overnet) compare against, built so the claim can be measured.
+//
+// Simulation-level model:
+//  - node identifiers hash onto a 64-bit ring; each node keeps its
+//    successor and a 64-entry finger table (successor of id + 2^k),
+//  - an object key is owned by its successor node; lookups route greedily
+//    through fingers in O(log n) hops,
+//  - failures: a dead-node mask. Plain Chord's correctness depends on
+//    live successors; `lookup` takes the mask and (optionally) a
+//    successor-list depth r — routing skips dead fingers, and a lookup
+//    fails when a hop's r successors are all dead. This mirrors the
+//    snapshot-no-recovery methodology of §3.4 so that structured vs
+//    unstructured fault tolerance is an apples-to-apples comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct ChordLookupOptions {
+  /// Per-node dead mask; empty = everyone alive.
+  const std::vector<bool>* failed = nullptr;
+  /// Successor-list depth: how many consecutive ring successors a node
+  /// can fall back to when fingers/successor are dead. 1 = plain Chord.
+  std::size_t successor_list = 1;
+  std::uint32_t max_hops = 256;  ///< routing-loop guard
+};
+
+class ChordRing {
+ public:
+  static constexpr std::size_t kFingerBits = 64;
+
+  /// Builds a ring of `nodes` peers with ids drawn from a keyed hash of
+  /// the node index (deterministic in `seed`).
+  ChordRing(std::size_t nodes, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return ring_ids_.size();
+  }
+
+  /// The node owning `key` (its successor on the ring).
+  [[nodiscard]] NodeId responsible_node(std::uint64_t key) const;
+
+  struct LookupResult {
+    bool success = false;
+    std::uint32_t hops = 0;      ///< routing messages used
+    NodeId final_node = kInvalidNode;
+  };
+
+  using LookupOptions = ChordLookupOptions;
+
+  /// Greedy finger routing from `source` toward `key`'s owner. Fails when
+  /// the source is dead, the owner is dead, or routing strands on a node
+  /// whose fingers and successor list are all dead.
+  [[nodiscard]] LookupResult lookup(
+      NodeId source, std::uint64_t key,
+      const LookupOptions& options = LookupOptions{}) const;
+
+  /// Ring id of a node (exposed for tests).
+  [[nodiscard]] std::uint64_t ring_id(NodeId node) const {
+    return ring_ids_[node];
+  }
+
+  /// Mean lookup hops over `samples` random (source, key) pairs — the
+  /// O(log n)/2 figure structured systems advertise.
+  [[nodiscard]] double mean_lookup_hops(std::size_t samples,
+                                        std::uint64_t seed) const;
+
+ private:
+  /// Index (into sorted ring order) of the successor of ring position x.
+  [[nodiscard]] std::size_t successor_index(std::uint64_t x) const;
+  [[nodiscard]] NodeId finger_target(NodeId node, std::size_t k) const;
+
+  std::vector<std::uint64_t> ring_ids_;       // per node
+  std::vector<NodeId> sorted_by_ring_;        // ring order
+  std::vector<std::size_t> position_of_;      // node -> index in ring order
+  std::vector<std::vector<NodeId>> fingers_;  // per node, deduplicated
+};
+
+}  // namespace makalu

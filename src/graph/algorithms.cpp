@@ -1,0 +1,110 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace makalu {
+
+void bfs_hops(const CsrGraph& g, NodeId source,
+              std::vector<std::uint32_t>& distances,
+              std::vector<NodeId>& queue_scratch) {
+  const std::size_t n = g.node_count();
+  MAKALU_EXPECTS(source < n);
+  distances.assign(n, kUnreachableHops);
+  queue_scratch.clear();
+  queue_scratch.push_back(source);
+  distances[source] = 0;
+  // Plain frontier sweep over a preallocated vector: the queue never holds
+  // a node twice so it is bounded by n.
+  for (std::size_t head = 0; head < queue_scratch.size(); ++head) {
+    const NodeId u = queue_scratch[head];
+    const std::uint32_t next_hop = distances[u] + 1;
+    for (NodeId v : g.neighbors(u)) {
+      if (distances[v] != kUnreachableHops) continue;
+      distances[v] = next_hop;
+      queue_scratch.push_back(v);
+    }
+  }
+}
+
+std::vector<std::uint32_t> bfs_hops(const CsrGraph& g, NodeId source) {
+  std::vector<std::uint32_t> distances;
+  std::vector<NodeId> scratch;
+  bfs_hops(g, source, distances, scratch);
+  return distances;
+}
+
+std::vector<double> dijkstra_costs(const CsrGraph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  MAKALU_EXPECTS(source < n);
+  MAKALU_EXPECTS(g.has_weights());
+  std::vector<double> cost(n, kUnreachableCost);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  cost[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > cost[u]) continue;  // stale entry
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + wts[i];
+      if (nd < cost[nbrs[i]]) {
+        cost[nbrs[i]] = nd;
+        heap.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return cost;
+}
+
+std::vector<NodeId> nodes_within_hops(const CsrGraph& g, NodeId source,
+                                      std::uint32_t radius) {
+  std::vector<std::uint32_t> distances;
+  std::vector<NodeId> order;
+  bfs_hops(g, source, distances, order);
+  // `order` holds nodes in BFS discovery order; truncate at the radius.
+  const auto cut = std::find_if(order.begin(), order.end(), [&](NodeId v) {
+    return distances[v] > radius;
+  });
+  order.erase(cut, order.end());
+  return order;
+}
+
+std::size_t Components::largest_size() const {
+  std::vector<std::size_t> sizes(count, 0);
+  for (const auto c : component_of) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+Components connected_components(const CsrGraph& g) {
+  const std::size_t n = g.node_count();
+  Components result;
+  result.component_of.assign(n, kUnreachableHops);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component_of[start] != kUnreachableHops) continue;
+    const auto id = static_cast<std::uint32_t>(result.count++);
+    stack.push_back(start);
+    result.component_of[start] = id;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (result.component_of[v] != kUnreachableHops) continue;
+        result.component_of[v] = id;
+        stack.push_back(v);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const CsrGraph& g) {
+  if (g.node_count() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+}  // namespace makalu

@@ -1,0 +1,52 @@
+// Fundamental traversals over CsrGraph: BFS hop distances, Dijkstra
+// latency distances, and connected components. All single-threaded kernels;
+// graph/metrics.hpp parallelises across sources.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace makalu {
+
+constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+constexpr double kUnreachableCost = std::numeric_limits<double>::infinity();
+
+/// Hop distances from `source` to every node; kUnreachableHops when
+/// disconnected. `scratch` may be reused across calls to avoid allocation.
+void bfs_hops(const CsrGraph& g, NodeId source,
+              std::vector<std::uint32_t>& distances,
+              std::vector<NodeId>& queue_scratch);
+
+/// Convenience wrapper allocating its own scratch.
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const CsrGraph& g,
+                                                  NodeId source);
+
+/// Weighted shortest-path costs from `source` (graph must carry weights).
+[[nodiscard]] std::vector<double> dijkstra_costs(const CsrGraph& g,
+                                                 NodeId source);
+
+/// Nodes within `radius` hops of `source`, including `source` itself
+/// (hop 0). Used for neighborhood views and the rating function tests.
+[[nodiscard]] std::vector<NodeId> nodes_within_hops(const CsrGraph& g,
+                                                    NodeId source,
+                                                    std::uint32_t radius);
+
+/// Component id per node (0-based, dense) and the number of components.
+struct Components {
+  std::vector<std::uint32_t> component_of;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::size_t largest_size() const;
+};
+
+[[nodiscard]] Components connected_components(const CsrGraph& g);
+
+/// True iff the graph has a single connected component (empty graphs count
+/// as connected).
+[[nodiscard]] bool is_connected(const CsrGraph& g);
+
+}  // namespace makalu

@@ -1,0 +1,104 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  MAKALU_EXPECTS(u < adjacency_.size() && v < adjacency_.size());
+  if (u == v || has_edge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  MAKALU_EXPECTS(u < adjacency_.size() && v < adjacency_.size());
+  auto erase_one = [](std::vector<NodeId>& list, NodeId target) {
+    const auto it = std::find(list.begin(), list.end(), target);
+    if (it == list.end()) return false;
+    *it = list.back();  // order within a neighbor list is not meaningful
+    list.pop_back();
+    return true;
+  };
+  if (!erase_one(adjacency_[u], v)) return false;
+  const bool also = erase_one(adjacency_[v], u);
+  MAKALU_ASSERT(also);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  MAKALU_EXPECTS(u < adjacency_.size() && v < adjacency_.size());
+  // Scan the shorter list.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const NodeId needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(list.begin(), list.end(), needle) != list.end();
+}
+
+void Graph::isolate(NodeId u) {
+  MAKALU_EXPECTS(u < adjacency_.size());
+  // Copy: remove_edge mutates adjacency_[u].
+  const std::vector<NodeId> neighbors_copy = adjacency_[u];
+  for (NodeId v : neighbors_copy) remove_edge(u, v);
+}
+
+Graph Graph::remove_nodes(const std::vector<bool>& failed,
+                          std::vector<NodeId>* old_to_new) const {
+  MAKALU_EXPECTS(failed.size() == adjacency_.size());
+  std::vector<NodeId> mapping(adjacency_.size(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    if (!failed[u]) mapping[u] = next++;
+  }
+  Graph out(next);
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    if (failed[u]) continue;
+    for (NodeId v : adjacency_[u]) {
+      if (v > u || failed[v]) continue;  // each surviving edge once (v < u)
+      out.add_edge(mapping[u], mapping[v]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return out;
+}
+
+std::vector<std::size_t> Graph::degree_sequence() const {
+  std::vector<std::size_t> degrees(adjacency_.size());
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    degrees[u] = adjacency_[u].size();
+  }
+  return degrees;
+}
+
+CsrGraph CsrGraph::from_graph(const Graph& g) {
+  CsrGraph csr;
+  const std::size_t n = g.node_count();
+  csr.offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    csr.offsets_[u + 1] = csr.offsets_[u] + g.degree(u);
+  }
+  csr.targets_.resize(csr.offsets_.back());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    std::copy(nbrs.begin(), nbrs.end(),
+              csr.targets_.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets_[u]));
+    // Sort each row: deterministic iteration order for traversals.
+    std::sort(csr.targets_.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets_[u]),
+              csr.targets_.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets_[u + 1]));
+  }
+  return csr;
+}
+
+}  // namespace makalu

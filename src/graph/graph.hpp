@@ -1,0 +1,130 @@
+// Undirected graph types.
+//
+//  - Graph: mutable adjacency-list graph used while *constructing* overlays
+//    (nodes join, edges are added and pruned). Neighbor lists are small
+//    unsorted vectors — overlay degrees are ~10, so linear scans beat any
+//    set structure.
+//  - CsrGraph: immutable compressed-sparse-row snapshot used by every
+//    *analysis* pass (BFS/Dijkstra/APSP/spectral) at up to 100k nodes.
+//    Optionally carries per-edge weights (latencies).
+//
+// Node identifiers are dense indices [0, n). Failure analysis produces
+// subgraphs via `remove_nodes`, which compacts identifiers and returns the
+// old->new mapping so callers can track survivors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds undirected edge {u, v}. Returns false (and does nothing) if the
+  /// edge already exists or u == v.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes undirected edge {u, v}. Returns false if absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    MAKALU_EXPECTS(u < adjacency_.size());
+    return adjacency_[u];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    MAKALU_EXPECTS(u < adjacency_.size());
+    return adjacency_[u].size();
+  }
+
+  /// Disconnects u from every neighbor (u itself stays, isolated).
+  void isolate(NodeId u);
+
+  /// Returns the subgraph induced by deleting `failed` (given as a
+  /// true-means-dead mask over the current node set), with ids compacted.
+  /// `old_to_new` (if non-null) receives the id mapping; removed nodes map
+  /// to kInvalidNode.
+  [[nodiscard]] Graph remove_nodes(const std::vector<bool>& failed,
+                                   std::vector<NodeId>* old_to_new =
+                                       nullptr) const;
+
+  /// Degree sequence of the whole graph.
+  [[nodiscard]] std::vector<std::size_t> degree_sequence() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Immutable CSR snapshot. Edge weights are optional; `weight(u, i)` is the
+/// weight of u's i-th incident arc (stored symmetrically).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from a mutable graph. If `edge_weight` is provided it is called
+  /// as edge_weight(u, v) for every arc to populate weights.
+  template <typename WeightFn>
+  static CsrGraph from_graph(const Graph& g, WeightFn&& edge_weight) {
+    CsrGraph csr = from_graph(g);
+    csr.weights_.resize(csr.targets_.size());
+    for (NodeId u = 0; u < csr.node_count(); ++u) {
+      for (std::size_t i = csr.offsets_[u]; i < csr.offsets_[u + 1]; ++i) {
+        csr.weights_[i] = edge_weight(u, csr.targets_[i]);
+      }
+    }
+    return csr;
+  }
+
+  static CsrGraph from_graph(const Graph& g);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return targets_.size() / 2;
+  }
+  [[nodiscard]] bool has_weights() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    MAKALU_EXPECTS(u + 1 < offsets_.size());
+    return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  [[nodiscard]] std::span<const double> weights(NodeId u) const {
+    MAKALU_EXPECTS(has_weights());
+    MAKALU_EXPECTS(u + 1 < offsets_.size());
+    return {weights_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    MAKALU_EXPECTS(u + 1 < offsets_.size());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> targets_;       // size 2m
+  std::vector<double> weights_;       // size 2m or empty
+};
+
+}  // namespace makalu

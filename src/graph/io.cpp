@@ -1,0 +1,87 @@
+#include "graph/io.hpp"
+
+#include "support/contracts.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace makalu {
+
+namespace graph_io_detail {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("graph io: " + what);
+}
+
+void write_edges(std::ostream& os, const Graph& graph) {
+  os << graph.node_count() << ' ' << graph.edge_count() << '\n';
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const NodeId v : graph.neighbors(u)) {
+      if (v > u) os << u << ' ' << v << '\n';
+    }
+  }
+}
+
+Graph read_edges(std::istream& is) {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  if (!(is >> nodes >> edges)) fail("missing node/edge counts");
+  Graph graph(nodes);
+  for (std::size_t i = 0; i < edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    if (!(is >> u >> v)) fail("truncated edge list at edge " +
+                              std::to_string(i));
+    if (u >= nodes || v >= nodes) fail("edge endpoint out of range");
+    if (!graph.add_edge(u, v)) fail("duplicate or self edge in file");
+  }
+  return graph;
+}
+
+std::string read_magic(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) fail("empty input");
+  // Tolerate trailing carriage returns from cross-platform files.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace graph_io_detail
+
+namespace {
+using graph_io_detail::fail;
+using graph_io_detail::read_edges;
+using graph_io_detail::read_magic;
+using graph_io_detail::write_edges;
+constexpr const char* kGraphMagic = "makalu-graph v1";
+}  // namespace
+
+void save_graph(std::ostream& os, const Graph& graph) {
+  os << kGraphMagic << '\n';
+  write_edges(os, graph);
+  if (!os) fail("write failure");
+}
+
+Graph load_graph(std::istream& is) {
+  if (read_magic(is) != kGraphMagic) fail("bad magic (expected graph v1)");
+  return read_edges(is);
+}
+
+void save_graph_file(const std::string& path, const Graph& graph) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open for write: " + path);
+  save_graph(os, graph);
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open for read: " + path);
+  return load_graph(is);
+}
+
+}  // namespace makalu

@@ -1,0 +1,45 @@
+// Plain-text (de)serialization of graphs and overlays.
+//
+// Experiments at 100k nodes take seconds to build but minutes to analyse;
+// saving the topology lets analyses re-run (and be shared/diffed) without
+// re-deriving the overlay. The format is a deliberately boring edge list:
+//
+//   makalu-graph v1
+//   <node_count> <edge_count>
+//   <u> <v>            (one line per edge, u < v)
+//
+// Overlays append a capacity block:
+//
+//   makalu-overlay v1
+//   <node_count> <edge_count>
+//   <u> <v> ...
+//   capacities
+//   <c_0> <c_1> ... (node_count integers, whitespace-separated)
+//
+// Loaders validate structure and throw std::runtime_error with a line
+// diagnostic on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace makalu {
+
+void save_graph(std::ostream& os, const Graph& graph);
+[[nodiscard]] Graph load_graph(std::istream& is);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_graph_file(const std::string& path, const Graph& graph);
+[[nodiscard]] Graph load_graph_file(const std::string& path);
+
+// Shared plumbing for core/overlay_io.
+namespace graph_io_detail {
+[[noreturn]] void fail(const std::string& what);
+void write_edges(std::ostream& os, const Graph& graph);
+[[nodiscard]] Graph read_edges(std::istream& is);
+[[nodiscard]] std::string read_magic(std::istream& is);
+}  // namespace graph_io_detail
+
+}  // namespace makalu

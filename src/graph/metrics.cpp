@@ -1,0 +1,138 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace makalu {
+
+PathMetrics compute_path_metrics(const CsrGraph& g,
+                                 const PathMetricsOptions& options) {
+  PathMetrics out;
+  const std::size_t n = g.node_count();
+  if (n == 0) return out;
+
+  // Pick the source set.
+  std::vector<NodeId> sources;
+  if (options.sample_sources == 0 || options.sample_sources >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), NodeId{0});
+  } else {
+    Rng rng(options.seed);
+    sources.reserve(options.sample_sources);
+    // Floyd's sampling: distinct sources without replacement.
+    std::vector<bool> chosen(n, false);
+    for (std::size_t i = n - options.sample_sources; i < n; ++i) {
+      auto candidate = static_cast<NodeId>(rng.uniform_below(i + 1));
+      if (chosen[candidate]) candidate = static_cast<NodeId>(i);
+      chosen[candidate] = true;
+      sources.push_back(candidate);
+    }
+  }
+  out.sources_used = sources.size();
+
+  const bool costs = options.include_costs && g.has_weights();
+
+  std::mutex merge_mutex;
+  OnlineStats hop_stats;
+  OnlineStats cost_stats;
+  std::uint32_t diameter_hops = 0;
+  double diameter_cost = 0.0;
+  std::atomic<bool> disconnected{false};
+
+  ThreadPool::shared().parallel_for_chunked(
+      0, sources.size(), [&](std::size_t lo, std::size_t hi) {
+        OnlineStats local_hops;
+        OnlineStats local_costs;
+        std::uint32_t local_diameter_hops = 0;
+        double local_diameter_cost = 0.0;
+        std::vector<std::uint32_t> hops;
+        std::vector<NodeId> scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId s = sources[i];
+          bfs_hops(g, s, hops, scratch);
+          for (NodeId v = 0; v < n; ++v) {
+            if (v == s) continue;
+            if (hops[v] == kUnreachableHops) {
+              disconnected.store(true, std::memory_order_relaxed);
+              continue;
+            }
+            local_hops.add(static_cast<double>(hops[v]));
+            local_diameter_hops = std::max(local_diameter_hops, hops[v]);
+          }
+          if (costs) {
+            const auto dist = dijkstra_costs(g, s);
+            for (NodeId v = 0; v < n; ++v) {
+              if (v == s || dist[v] == kUnreachableCost) continue;
+              local_costs.add(dist[v]);
+              local_diameter_cost = std::max(local_diameter_cost, dist[v]);
+            }
+          }
+        }
+        std::lock_guard lock(merge_mutex);
+        hop_stats.merge(local_hops);
+        cost_stats.merge(local_costs);
+        diameter_hops = std::max(diameter_hops, local_diameter_hops);
+        diameter_cost = std::max(diameter_cost, local_diameter_cost);
+      });
+
+  out.characteristic_path_hops = hop_stats.mean();
+  out.characteristic_path_cost = cost_stats.mean();
+  out.diameter_hops = diameter_hops;
+  out.diameter_cost = diameter_cost;
+  out.connected = !disconnected.load();
+  return out;
+}
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats out;
+  const std::size_t n = g.node_count();
+  if (n == 0) return out;
+  OnlineStats acc;
+  out.min = g.degree(0);
+  out.max = g.degree(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t d = g.degree(u);
+    acc.add(static_cast<double>(d));
+    out.min = std::min(out.min, d);
+    out.max = std::max(out.max, d);
+  }
+  out.mean = acc.mean();
+  out.stddev = acc.stddev();
+  return out;
+}
+
+std::vector<double> expansion_profile(const CsrGraph& g,
+                                      std::uint32_t max_hops,
+                                      std::size_t samples,
+                                      std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  std::vector<double> profile(max_hops + 1, 0.0);
+  if (n == 0 || samples == 0) return profile;
+  Rng rng(seed);
+  std::vector<std::uint32_t> hops;
+  std::vector<NodeId> scratch;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(n));
+    bfs_hops(g, source, hops, scratch);
+    std::vector<std::size_t> reached(max_hops + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (hops[v] <= max_hops) ++reached[hops[v]];
+    }
+    std::size_t cumulative = 0;
+    for (std::uint32_t h = 0; h <= max_hops; ++h) {
+      cumulative += reached[h];
+      profile[h] += static_cast<double>(cumulative) / static_cast<double>(n);
+    }
+  }
+  for (auto& value : profile) value /= static_cast<double>(samples);
+  return profile;
+}
+
+}  // namespace makalu

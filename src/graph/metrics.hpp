@@ -1,0 +1,59 @@
+// Whole-graph path metrics for §3.2 of the paper: characteristic path
+// length (hops), characteristic path cost (latency), and diameter.
+//
+// The paper computes full APSP and notes it "does not scale well for
+// analyzing networks greater than a few thousand peers" — we parallelise
+// sources across the shared thread pool, which makes exact APSP on 10k
+// nodes routine; `sample_sources` additionally allows unbiased sampled
+// estimates on larger graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct PathMetrics {
+  double characteristic_path_hops = 0.0;  ///< mean shortest path, hops
+  double characteristic_path_cost = 0.0;  ///< mean shortest path, latency
+  std::uint32_t diameter_hops = 0;        ///< max shortest path, hops
+  double diameter_cost = 0.0;             ///< max shortest path, latency
+  std::size_t sources_used = 0;           ///< sources actually swept
+  bool connected = true;                  ///< false if any pair unreachable
+};
+
+struct PathMetricsOptions {
+  /// 0 = exact APSP from every node; otherwise sample this many sources
+  /// uniformly at random (diameter becomes a lower bound / eccentricity
+  /// estimate, means stay unbiased).
+  std::size_t sample_sources = 0;
+  std::uint64_t seed = 1;
+  /// Compute latency costs (requires weights). Hops are always computed.
+  bool include_costs = true;
+};
+
+[[nodiscard]] PathMetrics compute_path_metrics(
+    const CsrGraph& g, const PathMetricsOptions& options = {});
+
+/// Degree summary used in topology validation and the experiment logs.
+struct DegreeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
+
+/// Neighborhood expansion profile: |B(v, h)| averaged over sampled sources
+/// for h = 0..max_hops, normalised by n. High expansion (the paper's
+/// central claim for Makalu) shows as fast early growth.
+[[nodiscard]] std::vector<double> expansion_profile(const CsrGraph& g,
+                                                    std::uint32_t max_hops,
+                                                    std::size_t samples,
+                                                    std::uint64_t seed);
+
+}  // namespace makalu

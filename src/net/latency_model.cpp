@@ -1,0 +1,152 @@
+#include "net/latency_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace makalu {
+
+EuclideanModel::EuclideanModel(std::size_t nodes, std::uint64_t seed,
+                               double extent)
+    : extent_(extent) {
+  MAKALU_EXPECTS(extent > 0.0);
+  Rng rng(seed);
+  xs_.reserve(nodes);
+  ys_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    xs_.push_back(rng.uniform(0.0, extent));
+    ys_.push_back(rng.uniform(0.0, extent));
+  }
+}
+
+double EuclideanModel::latency(NodeId a, NodeId b) const {
+  MAKALU_EXPECTS(a < xs_.size() && b < xs_.size());
+  const double dx = xs_[a] - xs_[b];
+  const double dy = ys_[a] - ys_[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+TransitStubModel::TransitStubModel(std::size_t nodes, std::uint64_t seed,
+                                   const Parameters& params)
+    : params_(params) {
+  MAKALU_EXPECTS(params.transit_domains > 0);
+  MAKALU_EXPECTS(params.routers_per_transit > 0);
+  MAKALU_EXPECTS(params.stubs_per_router > 0);
+  Rng rng(seed);
+
+  const std::size_t routers =
+      params.transit_domains * params.routers_per_transit;
+  const std::size_t stubs = routers * params.stubs_per_router;
+
+  domain_position_.reserve(params.transit_domains);
+  for (std::size_t d = 0; d < params.transit_domains; ++d) {
+    // Backbone coordinates spread domains along a line with jitter so
+    // inter-domain distances vary rather than being one constant.
+    domain_position_.push_back(static_cast<double>(d) +
+                               rng.uniform(-0.25, 0.25));
+  }
+  router_position_.reserve(routers);
+  for (std::size_t r = 0; r < routers; ++r) {
+    router_position_.push_back(rng.uniform(0.0, 1.0));
+  }
+
+  stub_of_.reserve(nodes);
+  router_of_.reserve(nodes);
+  domain_of_.reserve(nodes);
+  node_jitter_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto stub = static_cast<std::uint32_t>(rng.uniform_below(stubs));
+    const auto router = stub / params.stubs_per_router;
+    const auto domain = router / params.routers_per_transit;
+    stub_of_.push_back(stub);
+    router_of_.push_back(static_cast<std::uint32_t>(router));
+    domain_of_.push_back(static_cast<std::uint32_t>(domain));
+    node_jitter_.push_back(
+        1.0 + params.jitter_fraction * (rng.uniform() - 0.5));
+  }
+}
+
+double TransitStubModel::latency(NodeId a, NodeId b) const {
+  MAKALU_EXPECTS(a < stub_of_.size() && b < stub_of_.size());
+  if (a == b) return 0.0;
+  const double jitter = 0.5 * (node_jitter_[a] + node_jitter_[b]);
+  if (stub_of_[a] == stub_of_[b]) {
+    return params_.intra_stub_ms * jitter;
+  }
+  double total = 2.0 * params_.stub_uplink_ms;  // both stub uplinks
+  if (router_of_[a] != router_of_[b]) {
+    const double ring_gap =
+        std::abs(router_position_[router_of_[a]] -
+                 router_position_[router_of_[b]]);
+    total += params_.intra_transit_ms * (0.5 + ring_gap);
+  }
+  if (domain_of_[a] != domain_of_[b]) {
+    const double backbone_gap =
+        std::abs(domain_position_[domain_of_[a]] -
+                 domain_position_[domain_of_[b]]);
+    total += params_.inter_transit_ms * backbone_gap;
+  }
+  return total * jitter;
+}
+
+PlanetLabModel::PlanetLabModel(std::size_t nodes, std::uint64_t seed,
+                               const Parameters& params)
+    : params_(params) {
+  MAKALU_EXPECTS(params.sites > 0);
+  Rng rng(seed);
+
+  site_x_.reserve(params.sites);
+  site_y_.reserve(params.sites);
+  site_noise_.reserve(params.sites);
+  for (std::size_t s = 0; s < params.sites; ++s) {
+    // Sites cluster into a handful of "continents": mixture of Gaussians
+    // on the plane, matching the bimodal/trimodal PlanetLab RTT histogram.
+    const std::size_t continent = rng.uniform_below(4);
+    const double cx = 700.0 * static_cast<double>(continent % 2);
+    const double cy = 500.0 * static_cast<double>(continent / 2);
+    site_x_.push_back(cx + rng.normal(0.0, 120.0));
+    site_y_.push_back(cy + rng.normal(0.0, 120.0));
+    site_noise_.push_back(
+        rng.pareto(params.congestion_tail_scale, params.congestion_tail_shape));
+  }
+
+  ZipfSampler site_popularity(params.sites, params.site_zipf_exponent);
+  site_of_.reserve(nodes);
+  node_jitter_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    site_of_.push_back(static_cast<std::uint32_t>(site_popularity(rng)));
+    node_jitter_.push_back(1.0 + 0.2 * (rng.uniform() - 0.5));
+  }
+}
+
+double PlanetLabModel::latency(NodeId a, NodeId b) const {
+  MAKALU_EXPECTS(a < site_of_.size() && b < site_of_.size());
+  if (a == b) return 0.0;
+  const std::uint32_t sa = site_of_[a];
+  const std::uint32_t sb = site_of_[b];
+  const double jitter = 0.5 * (node_jitter_[a] + node_jitter_[b]);
+  if (sa == sb) return params_.intra_site_ms * jitter;
+  const double dx = site_x_[sa] - site_x_[sb];
+  const double dy = site_y_[sa] - site_y_[sb];
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  const double propagation = params_.ms_per_unit_distance * distance;
+  const double congestion = 0.5 * (site_noise_[sa] + site_noise_[sb]);
+  return (params_.intra_site_ms + propagation + congestion) * jitter;
+}
+
+std::unique_ptr<LatencyModel> make_latency_model(const std::string& name,
+                                                 std::size_t nodes,
+                                                 std::uint64_t seed) {
+  if (name == "euclidean") {
+    return std::make_unique<EuclideanModel>(nodes, seed);
+  }
+  if (name == "transit-stub") {
+    return std::make_unique<TransitStubModel>(nodes, seed);
+  }
+  if (name == "planetlab") {
+    return std::make_unique<PlanetLabModel>(nodes, seed);
+  }
+  throw std::invalid_argument("unknown latency model: " + name);
+}
+
+}  // namespace makalu

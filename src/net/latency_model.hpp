@@ -1,0 +1,142 @@
+// Physical-network latency models (DESIGN.md §2).
+//
+// The Makalu rating function consumes pairwise latencies d(u, v); the paper
+// evaluates on three underlays:
+//   1. a synthetic Euclidean plane,
+//   2. a GT-ITM transit-stub hierarchy (Zegura et al.),
+//   3. an expanded PlanetLab all-pairs-ping data set (Stribling).
+// We implement all three as deterministic functions of per-node attributes
+// drawn from a seed, so no O(n^2) matrix is ever materialised: latency(a,b)
+// is computed on demand and is symmetric by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+/// Abstract pairwise latency oracle. Implementations must be symmetric
+/// (latency(a,b) == latency(b,a)), positive for a != b, and cheap enough to
+/// call in the inner loop of overlay construction.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  [[nodiscard]] virtual double latency(NodeId a, NodeId b) const = 0;
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+};
+
+/// Nodes are uniform points on a [0, extent)^2 plane; latency is Euclidean
+/// distance. This is the model behind the paper's §3.2 path-cost numbers.
+class EuclideanModel final : public LatencyModel {
+ public:
+  EuclideanModel(std::size_t nodes, std::uint64_t seed,
+                 double extent = 1000.0);
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return xs_.size();
+  }
+
+  [[nodiscard]] double extent() const noexcept { return extent_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  double extent_;
+};
+
+/// GT-ITM-style transit-stub hierarchy. Each node lives in a stub domain
+/// that hangs off a transit router inside a transit domain. The latency of
+/// a pair decomposes along the hierarchy:
+///   same stub:            intra-stub hop
+///   same transit domain:  stub uplinks + intra-transit segment
+///   different domains:    + inter-transit backbone segment
+/// Per-node jitter keeps pairs distinguishable. Reproduces the locality
+/// structure the proximity term of the rating function exploits.
+struct TransitStubParameters {
+  std::size_t transit_domains = 4;
+  std::size_t routers_per_transit = 8;
+  std::size_t stubs_per_router = 4;
+  double intra_stub_ms = 4.0;       ///< mean latency within a stub
+  double stub_uplink_ms = 12.0;     ///< stub <-> transit router
+  double intra_transit_ms = 25.0;   ///< between routers, same domain
+  double inter_transit_ms = 80.0;   ///< backbone between domains
+  double jitter_fraction = 0.3;     ///< multiplicative per-node jitter
+};
+
+class TransitStubModel final : public LatencyModel {
+ public:
+  using Parameters = TransitStubParameters;
+
+  TransitStubModel(std::size_t nodes, std::uint64_t seed,
+                   const Parameters& params = Parameters{});
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return stub_of_.size();
+  }
+
+  [[nodiscard]] const Parameters& parameters() const noexcept {
+    return params_;
+  }
+
+ private:
+  Parameters params_;
+  std::vector<std::uint32_t> stub_of_;     // stub id per node
+  std::vector<std::uint32_t> router_of_;   // transit router per node's stub
+  std::vector<std::uint32_t> domain_of_;   // transit domain per node
+  std::vector<double> node_jitter_;        // multiplicative, per node
+  std::vector<double> domain_position_;    // backbone coordinate per domain
+  std::vector<double> router_position_;    // ring coordinate per router
+};
+
+/// Synthetic PlanetLab-like model: K measurement sites placed on a plane
+/// with realistic geographic spread; inter-site latency follows distance
+/// with congestion noise and a heavy tail, intra-site latency is ~1 ms.
+/// Nodes are assigned to sites with a Zipf popularity, mirroring how the
+/// paper "expanded" the ~400-site all-pairs-ping data set to 100k nodes.
+struct PlanetLabParameters {
+  std::size_t sites = 400;
+  double intra_site_ms = 1.0;
+  double ms_per_unit_distance = 0.06;  ///< propagation scaling
+  double congestion_tail_shape = 2.5;  ///< Pareto shape of the tail
+  double congestion_tail_scale = 2.0;  ///< Pareto scale (ms)
+  double site_zipf_exponent = 0.8;     ///< node-per-site popularity
+};
+
+class PlanetLabModel final : public LatencyModel {
+ public:
+  using Parameters = PlanetLabParameters;
+
+  PlanetLabModel(std::size_t nodes, std::uint64_t seed,
+                 const Parameters& params = Parameters{});
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return site_of_.size();
+  }
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return site_x_.size();
+  }
+
+ private:
+  Parameters params_;
+  std::vector<std::uint32_t> site_of_;
+  std::vector<double> site_x_;
+  std::vector<double> site_y_;
+  std::vector<double> site_noise_;  // per-site congestion offset (ms)
+  std::vector<double> node_jitter_;
+};
+
+/// Factory helper used by benches/examples: "euclidean", "transit-stub",
+/// or "planetlab". Throws std::invalid_argument on anything else.
+[[nodiscard]] std::unique_ptr<LatencyModel> make_latency_model(
+    const std::string& name, std::size_t nodes, std::uint64_t seed);
+
+}  // namespace makalu

@@ -1,0 +1,57 @@
+#include "proto/message.hpp"
+
+namespace makalu::proto {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 23;  // Gnutella descriptor header
+
+struct SizeVisitor {
+  std::size_t operator()(const ConnectRequest&) const { return 0; }
+  std::size_t operator()(const ConnectAccept& m) const {
+    return 2 + 6 * m.neighbor_table.size();  // count + ip:port entries
+  }
+  std::size_t operator()(const ConnectReject&) const { return 0; }
+  std::size_t operator()(const Disconnect&) const { return 0; }
+  std::size_t operator()(const TableUpdate& m) const {
+    return 2 + 6 * m.neighbor_table.size();
+  }
+  std::size_t operator()(const WalkProbe&) const { return 8; }
+  std::size_t operator()(const CandidateReply&) const { return 6; }
+  std::size_t operator()(const Query&) const {
+    return 83;  // 106-byte mean trace query minus the header
+  }
+  std::size_t operator()(const QueryHit&) const {
+    return 64;  // hit descriptor + one result record
+  }
+};
+
+struct NameVisitor {
+  const char* operator()(const ConnectRequest&) const { return "connect"; }
+  const char* operator()(const ConnectAccept&) const {
+    return "connect-accept";
+  }
+  const char* operator()(const ConnectReject&) const {
+    return "connect-reject";
+  }
+  const char* operator()(const Disconnect&) const { return "disconnect"; }
+  const char* operator()(const TableUpdate&) const { return "table-update"; }
+  const char* operator()(const WalkProbe&) const { return "walk-probe"; }
+  const char* operator()(const CandidateReply&) const {
+    return "candidate-reply";
+  }
+  const char* operator()(const Query&) const { return "query"; }
+  const char* operator()(const QueryHit&) const { return "query-hit"; }
+};
+
+}  // namespace
+
+std::size_t wire_size(const Message& message) {
+  return kHeaderBytes + std::visit(SizeVisitor{}, message.payload);
+}
+
+const char* payload_name(const Payload& payload) {
+  return std::visit(NameVisitor{}, payload);
+}
+
+}  // namespace makalu::proto

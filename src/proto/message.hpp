@@ -1,0 +1,92 @@
+// Wire messages of the Makalu protocol (message-level simulation layer).
+//
+// The rest of the library studies the overlay as a graph; this layer runs
+// the actual distributed protocol: nodes exchange these messages over the
+// discrete-event queue with physical-network latencies, and the overlay
+// *emerges* from the exchanges. Sizes follow Gnutella-era framing (23-byte
+// descriptor header) so bandwidth accounting is meaningful.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace makalu::proto {
+
+using QueryId = std::uint64_t;
+
+/// Connection request (the joiner's half of the handshake).
+struct ConnectRequest {};
+
+/// Accept + the acceptor's routing table (its neighbor list) — peers
+/// "exchanged routing tables" on connect (§4.6); the table is what the
+/// rating function's R(u,v) computation consumes.
+struct ConnectAccept {
+  std::vector<NodeId> neighbor_table;
+};
+
+/// Connection refused (acceptor saturated and the requester rated worst).
+struct ConnectReject {};
+
+/// Link teardown after a management-phase prune.
+struct Disconnect {};
+
+/// Incremental routing-table push: sent to neighbors when a node's
+/// neighbor set changes so their cached tables stay fresh.
+struct TableUpdate {
+  std::vector<NodeId> neighbor_table;
+};
+
+/// Candidate-gathering walk probe (the join random walk, §2.2). Carries
+/// the joiner's address and remaining steps; the node at step 0 replies
+/// to the joiner with a CandidateReply.
+struct WalkProbe {
+  NodeId joiner = kInvalidNode;
+  std::uint16_t steps_left = 0;
+};
+
+/// Walk endpoint answering "I am a candidate".
+struct CandidateReply {};
+
+/// Flooded query.
+struct Query {
+  QueryId id = 0;
+  std::uint32_t object = 0;
+  std::uint8_t ttl = 0;
+};
+
+/// Query hit, routed back hop-by-hop along the reverse query path
+/// (Gnutella semantics: hits follow the breadcrumbs, not a direct link).
+struct QueryHit {
+  QueryId id = 0;
+  std::uint32_t object = 0;
+  NodeId provider = kInvalidNode;
+};
+
+using Payload = std::variant<ConnectRequest, ConnectAccept, ConnectReject,
+                             Disconnect, TableUpdate, WalkProbe,
+                             CandidateReply, Query, QueryHit>;
+
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Payload payload;
+};
+
+/// On-the-wire size in bytes (23-byte Gnutella-style descriptor header
+/// plus payload) — drives the bandwidth accounting.
+[[nodiscard]] std::size_t wire_size(const Message& message);
+
+/// Human-readable payload-type name (stats keys, logs, tests).
+[[nodiscard]] const char* payload_name(const Payload& payload);
+
+/// Dense payload-type index for per-type counters.
+[[nodiscard]] inline std::size_t payload_index(const Payload& payload) {
+  return payload.index();
+}
+inline constexpr std::size_t kPayloadTypes =
+    std::variant_size_v<Payload>;
+
+}  // namespace makalu::proto

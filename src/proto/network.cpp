@@ -1,0 +1,372 @@
+#include "proto/network.hpp"
+
+#include <algorithm>
+
+namespace makalu::proto {
+
+void TrafficStats::record(const Message& message) {
+  const std::size_t index = payload_index(message.payload);
+  const std::size_t size = wire_size(message);
+  ++count[index];
+  bytes[index] += size;
+  ++total_messages;
+  total_bytes += size;
+}
+
+ProtocolNetwork::ProtocolNetwork(const LatencyModel& latency,
+                                 const ObjectCatalog* catalog,
+                                 const ProtocolOptions& options,
+                                 std::uint64_t seed)
+    : latency_(latency),
+      catalog_(catalog),
+      options_(options),
+      rng_(seed) {
+  const std::size_t n = latency.node_count();
+  MAKALU_EXPECTS(n >= 2);
+  MAKALU_EXPECTS(options.capacity_min >= 2);
+  MAKALU_EXPECTS(options.capacity_max >= options.capacity_min);
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto capacity = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(options.capacity_min),
+        static_cast<std::int64_t>(options.capacity_max)));
+    nodes_.emplace_back(id, capacity, options.weights);
+  }
+  push_pending_.assign(n, false);
+  join_attempts_left_.assign(n, 0);
+  node_out_bytes_.assign(n, 0);
+  node_in_bytes_.assign(n, 0);
+}
+
+void ProtocolNetwork::send(NodeId from, NodeId to, Payload payload) {
+  MAKALU_EXPECTS(from < nodes_.size() && to < nodes_.size());
+  MAKALU_EXPECTS(from != to);
+  Message message{from, to, std::move(payload)};
+  traffic_.record(message);
+  const std::size_t size = wire_size(message);
+  node_out_bytes_[from] += size;
+  node_in_bytes_[to] += size;
+  const double delay = std::max(0.01, latency_.latency(from, to));
+  queue_.schedule_in(delay, [this, m = std::move(message)] { deliver(m); });
+}
+
+void ProtocolNetwork::deliver(const Message& message) {
+  switch (payload_index(message.payload)) {
+    case 0: handle_connect_request(message); break;
+    case 1: handle_connect_accept(message); break;
+    case 2: handle_connect_reject(message); break;
+    case 3: handle_disconnect(message); break;
+    case 4: handle_table_update(message); break;
+    case 5: handle_walk_probe(message); break;
+    case 6: handle_candidate_reply(message); break;
+    case 7: handle_query(message); break;
+    case 8: handle_query_hit(message); break;
+    default: MAKALU_ASSERT(false);
+  }
+}
+
+// --- join / connection management ------------------------------------------
+
+void ProtocolNetwork::start_join(NodeId joiner, NodeId seed_peer) {
+  MAKALU_EXPECTS(joiner < nodes_.size());
+  MAKALU_EXPECTS(seed_peer < nodes_.size() && seed_peer != joiner);
+  join_attempts_left_[joiner] = 2 * options_.walk_count;
+  for (std::size_t walk = 0; walk < options_.walk_count; ++walk) {
+    send(joiner, seed_peer,
+         WalkProbe{joiner, options_.walk_steps});
+  }
+}
+
+void ProtocolNetwork::handle_walk_probe(const Message& message) {
+  const auto& probe = std::get<WalkProbe>(message.payload);
+  ProtocolNode& here = nodes_[message.to];
+  if (probe.steps_left == 0 || here.degree() == 0) {
+    if (message.to != probe.joiner) {
+      send(message.to, probe.joiner, CandidateReply{});
+    } else if (here.degree() > 0) {
+      // Walk ended back at the joiner: use a random neighbor instead.
+      const auto& nbrs = here.neighbors();
+      send(message.to, nbrs[rng_.uniform_below(nbrs.size())].peer,
+           WalkProbe{probe.joiner, 0});
+    }
+    return;
+  }
+  // Metropolis-Hastings step using advertised table sizes as degrees
+  // (local information: tables were exchanged on connect).
+  const auto& nbrs = here.neighbors();
+  const auto& proposal = nbrs[rng_.uniform_below(nbrs.size())];
+  const double here_degree = static_cast<double>(here.degree());
+  const double proposal_degree =
+      static_cast<double>(std::max<std::size_t>(1, proposal.table.size()));
+  NodeId next = message.to;  // stay on rejection
+  if (here_degree >= proposal_degree ||
+      rng_.uniform() < here_degree / proposal_degree) {
+    next = proposal.peer;
+  }
+  if (next == message.to) {
+    // Self-loop step: burn one hop locally.
+    Message forwarded = message;
+    auto& p = std::get<WalkProbe>(forwarded.payload);
+    p.steps_left = static_cast<std::uint16_t>(probe.steps_left - 1);
+    deliver(forwarded);  // no wire cost for staying put
+    return;
+  }
+  send(message.to, next,
+       WalkProbe{probe.joiner,
+                 static_cast<std::uint16_t>(probe.steps_left - 1)});
+}
+
+void ProtocolNetwork::handle_candidate_reply(const Message& message) {
+  const NodeId joiner = message.to;
+  const NodeId candidate = message.from;
+  ProtocolNode& node = nodes_[joiner];
+  if (join_attempts_left_[joiner] == 0) return;
+  if (node.degree() >= node.capacity()) return;  // satisfied
+  if (node.has_neighbor(candidate)) return;
+  --join_attempts_left_[joiner];
+  send(joiner, candidate, ConnectRequest{});
+}
+
+void ProtocolNetwork::handle_connect_request(const Message& message) {
+  const NodeId acceptor_id = message.to;
+  const NodeId requester = message.from;
+  ProtocolNode& acceptor = nodes_[acceptor_id];
+  if (acceptor.has_neighbor(requester)) {
+    // Duplicate handshake (both sides raced): treat as accepted.
+    return;
+  }
+  // Accept-then-manage, per the paper's Manage() loop. The link becomes
+  // live on the acceptor immediately; the requester learns via
+  // ConnectAccept. If management evicts the requester right away the
+  // ensuing Disconnect wins the race by arriving after the accept.
+  acceptor.add_neighbor(requester,
+                        std::max(0.01, latency_.latency(acceptor_id,
+                                                        requester)),
+                        {});  // table arrives with the requester's push
+  send(acceptor_id, requester,
+       ConnectAccept{acceptor.neighbor_table()});
+  schedule_table_push(acceptor_id);
+  manage(acceptor_id);
+}
+
+void ProtocolNetwork::handle_connect_accept(const Message& message) {
+  const NodeId joiner = message.to;
+  const NodeId acceptor = message.from;
+  ProtocolNode& node = nodes_[joiner];
+  if (node.has_neighbor(acceptor)) return;
+  const auto& accept = std::get<ConnectAccept>(message.payload);
+  node.add_neighbor(acceptor,
+                    std::max(0.01, latency_.latency(joiner, acceptor)),
+                    accept.neighbor_table);
+  schedule_table_push(joiner);
+  manage(joiner);
+}
+
+void ProtocolNetwork::handle_connect_reject(const Message& message) {
+  // Requester simply moves on; nothing to clean up (the link was never
+  // added on its side).
+  (void)message;
+}
+
+void ProtocolNetwork::handle_disconnect(const Message& message) {
+  ProtocolNode& node = nodes_[message.to];
+  if (!node.remove_neighbor(message.from)) return;
+  schedule_table_push(message.to);
+  if (node.degree() == 0) {
+    // Orphaned: fully re-join. The pruning peer is a live address (every
+    // deployment keeps exactly this kind of host cache).
+    start_join(message.to, message.from);
+    return;
+  }
+  // Under-provisioned: re-solicit through fresh walks from a surviving
+  // neighbor.
+  if (node.degree() + 2 < node.capacity()) {
+    const auto& nbrs = node.neighbors();
+    const NodeId seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
+    join_attempts_left_[message.to] =
+        std::max(join_attempts_left_[message.to], options_.walk_count);
+    for (std::size_t walk = 0; walk < 4; ++walk) {
+      send(message.to, seed, WalkProbe{message.to, options_.walk_steps});
+    }
+  }
+}
+
+void ProtocolNetwork::handle_table_update(const Message& message) {
+  const auto& update = std::get<TableUpdate>(message.payload);
+  nodes_[message.to].update_table(message.from, update.neighbor_table);
+}
+
+void ProtocolNetwork::manage(NodeId node_id) {
+  ProtocolNode& node = nodes_[node_id];
+  while (node.degree() > node.capacity()) {
+    const NodeId victim = node.worst_neighbor(options_.low_water_mark);
+    MAKALU_ASSERT(victim != kInvalidNode);
+    node.remove_neighbor(victim);
+    send(node_id, victim, Disconnect{});
+    schedule_table_push(node_id);
+  }
+}
+
+void ProtocolNetwork::schedule_table_push(NodeId node_id) {
+  if (push_pending_[node_id]) return;
+  push_pending_[node_id] = true;
+  queue_.schedule_in(options_.table_push_delay_ms, [this, node_id] {
+    push_pending_[node_id] = false;
+    const ProtocolNode& node = nodes_[node_id];
+    const auto table = node.neighbor_table();
+    for (const auto& neighbor : node.neighbors()) {
+      send(node_id, neighbor.peer, TableUpdate{table});
+    }
+  });
+}
+
+double ProtocolNetwork::bootstrap_all() {
+  const std::size_t n = nodes_.size();
+  // Random join order; node order[0] and order[1] bootstrap directly.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.uniform_below(i)]);
+  }
+  // Direct bootstrap link.
+  const NodeId a = order[0];
+  const NodeId b = order[1];
+  nodes_[a].add_neighbor(b, std::max(0.01, latency_.latency(a, b)), {});
+  nodes_[b].add_neighbor(a, std::max(0.01, latency_.latency(a, b)), {});
+
+  double when = options_.join_spacing_ms;
+  for (std::size_t i = 2; i < n; ++i) {
+    const NodeId joiner = order[i];
+    const NodeId seed = order[rng_.uniform_below(i)];
+    queue_.schedule(when, [this, joiner, seed] {
+      // The seed may have gone idle-degree-0 in pathological races; fall
+      // back to any connected node.
+      start_join(joiner, seed);
+    });
+    when += options_.join_spacing_ms;
+  }
+  queue_.run();
+
+  // Maintenance pulses: under-provisioned nodes re-solicit candidates
+  // from the bootstrap cache (a random live host, as a GWebCache would
+  // hand out). This is the message-level analogue of the direct builder's
+  // maintenance rounds, and it is what re-merges geographic clusters
+  // whose long-haul bridges the proximity term pruned during the
+  // concurrent join storm.
+  for (std::size_t round = 0; round < options_.maintenance_pulses; ++round) {
+    for (NodeId v = 0; v < n; ++v) {
+      const ProtocolNode& node = nodes_[v];
+      if (node.degree() >= node.capacity()) continue;
+      NodeId seed = kInvalidNode;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto candidate =
+            static_cast<NodeId>(rng_.uniform_below(n));
+        if (candidate != v && nodes_[candidate].degree() > 0) {
+          seed = candidate;
+          break;
+        }
+      }
+      if (seed == kInvalidNode) continue;
+      const NodeId joiner = v;
+      queue_.schedule_in(rng_.uniform(0.0, 50.0),
+                         [this, joiner, seed] { start_join(joiner, seed); });
+    }
+    queue_.run();
+  }
+  return queue_.now();
+}
+
+Graph ProtocolNetwork::overlay_snapshot() const {
+  Graph g(nodes_.size());
+  for (const auto& node : nodes_) {
+    for (const auto& neighbor : node.neighbors()) {
+      // Add only mutually acknowledged links once.
+      if (node.id() < neighbor.peer &&
+          nodes_[neighbor.peer].has_neighbor(node.id())) {
+        g.add_edge(node.id(), neighbor.peer);
+      }
+    }
+  }
+  return g;
+}
+
+// --- queries -----------------------------------------------------------------
+
+QueryOutcome ProtocolNetwork::run_query(NodeId source, ObjectId object,
+                                        std::uint8_t ttl) {
+  MAKALU_EXPECTS(catalog_ != nullptr);
+  MAKALU_EXPECTS(source < nodes_.size());
+  ActiveQuery query;
+  query.id = next_query_id_++;
+  query.origin = source;
+  query.issued_ms = queue_.now();
+  active_query_ = query;
+
+  ProtocolNode& origin = nodes_[source];
+  origin.remember_query(query.id, kInvalidNode);
+  if (catalog_->node_has_object(source, object)) {
+    active_query_->outcome.success = true;
+    active_query_->outcome.response_ms = 0.0;
+    active_query_->outcome.hits = 1;
+  } else if (ttl > 0) {
+    for (const auto& neighbor : origin.neighbors()) {
+      send(source, neighbor.peer,
+           Query{query.id, object,
+                 static_cast<std::uint8_t>(ttl - 1)});
+      ++active_query_->outcome.query_messages;
+    }
+  }
+  queue_.run();
+  const QueryOutcome outcome = active_query_->outcome;
+  active_query_.reset();
+  return outcome;
+}
+
+void ProtocolNetwork::handle_query(const Message& message) {
+  const auto& query = std::get<Query>(message.payload);
+  ProtocolNode& node = nodes_[message.to];
+  if (!node.remember_query(query.id, message.from)) return;  // duplicate
+
+  if (catalog_ != nullptr &&
+      catalog_->node_has_object(message.to, query.object)) {
+    send(message.to, message.from,
+         QueryHit{query.id, query.object, message.to});
+    if (active_query_ && active_query_->id == query.id) {
+      ++active_query_->outcome.hit_messages;
+    }
+  }
+  if (query.ttl == 0) return;
+  for (const auto& neighbor : node.neighbors()) {
+    if (neighbor.peer == message.from) continue;
+    send(message.to, neighbor.peer,
+         Query{query.id, query.object,
+               static_cast<std::uint8_t>(query.ttl - 1)});
+    if (active_query_ && active_query_->id == query.id) {
+      ++active_query_->outcome.query_messages;
+    }
+  }
+}
+
+void ProtocolNetwork::handle_query_hit(const Message& message) {
+  const auto& hit = std::get<QueryHit>(message.payload);
+  ProtocolNode& node = nodes_[message.to];
+  if (active_query_ && active_query_->id == hit.id &&
+      message.to == active_query_->origin) {
+    auto& outcome = active_query_->outcome;
+    ++outcome.hits;
+    if (!outcome.success) {
+      outcome.success = true;
+      outcome.response_ms = queue_.now() - active_query_->issued_ms;
+    }
+    return;
+  }
+  // Route back along the breadcrumb trail.
+  const auto crumb = node.breadcrumb(hit.id);
+  if (!crumb || *crumb == kInvalidNode) return;  // trail lost
+  send(message.to, *crumb, hit);
+  if (active_query_ && active_query_->id == hit.id) {
+    ++active_query_->outcome.hit_messages;
+  }
+}
+
+}  // namespace makalu::proto

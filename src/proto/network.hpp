@@ -1,0 +1,154 @@
+// The message-level Makalu network: nodes + discrete-event delivery.
+//
+// This is the distributed-systems counterpart of core/overlay_builder:
+// the same protocol, but executed as actual message exchanges over the
+// physical-latency model. Join walks, handshakes, routing-table pushes,
+// management-phase prunes, query floods, and reverse-path query hits are
+// all explicit wire messages with sizes — so the layer answers the
+// questions the graph abstraction cannot: how much *control* bandwidth
+// the overlay costs, how message latency shapes response time, and
+// whether the emergent overlay matches the direct builder's quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/rating.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "proto/node.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu::proto {
+
+struct ProtocolOptions {
+  RatingWeights weights{};
+  std::size_t capacity_min = 6;
+  std::size_t capacity_max = 13;
+  std::size_t walk_count = 16;      ///< candidate walks per join
+  std::uint16_t walk_steps = 12;    ///< steps per walk
+  std::size_t low_water_mark = 3;
+  /// Routing-table pushes are debounced: a change schedules one
+  /// TableUpdate batch after this delay.
+  double table_push_delay_ms = 40.0;
+  /// Gap between staggered joins during bootstrap_all().
+  double join_spacing_ms = 5.0;
+  /// Post-join maintenance pulses in bootstrap_all(): under-provisioned
+  /// nodes re-solicit from the bootstrap cache (random live host). These
+  /// re-merge clusters whose long-haul bridges got pruned mid-bootstrap.
+  std::size_t maintenance_pulses = 3;
+};
+
+/// Per-message-type traffic counters.
+struct TrafficStats {
+  std::array<std::uint64_t, kPayloadTypes> count{};
+  std::array<std::uint64_t, kPayloadTypes> bytes{};
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+
+  void record(const Message& message);
+};
+
+struct QueryOutcome {
+  bool success = false;
+  double response_ms = -1.0;   ///< issue -> first QueryHit at the origin
+  std::uint64_t hits = 0;      ///< QueryHits that reached the origin
+  std::uint64_t query_messages = 0;  ///< Query transmissions
+  std::uint64_t hit_messages = 0;    ///< QueryHit transmissions
+};
+
+class ProtocolNetwork {
+ public:
+  /// `catalog` may be null when only overlay construction is exercised.
+  ProtocolNetwork(const LatencyModel& latency, const ObjectCatalog* catalog,
+                  const ProtocolOptions& options, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Schedules a staggered join of every node and runs the queue until
+  /// the network quiesces. Returns simulated convergence time (ms).
+  double bootstrap_all();
+
+  /// Schedules one node's join (walk probes from `seed_peer`) at the
+  /// current simulation time. The caller runs the queue.
+  void start_join(NodeId joiner, NodeId seed_peer);
+
+  /// Runs pending events until the queue drains.
+  void run_to_quiescence() { queue_.run(); }
+
+  /// Issues a flooded query from `source` and runs the network until it
+  /// drains. Requires a catalog.
+  [[nodiscard]] QueryOutcome run_query(NodeId source, ObjectId object,
+                                       std::uint8_t ttl);
+
+  /// Snapshot of the emergent overlay as a plain Graph (links are
+  /// mutually acknowledged neighbor entries).
+  [[nodiscard]] Graph overlay_snapshot() const;
+
+  [[nodiscard]] const TrafficStats& traffic() const noexcept {
+    return traffic_;
+  }
+  /// Per-node wire bytes sent/received (control + query traffic) — the
+  /// wire-level counterpart of Table 2's per-node bandwidth accounting.
+  [[nodiscard]] std::uint64_t bytes_sent_by(NodeId node) const {
+    return node_out_bytes_[node];
+  }
+  [[nodiscard]] std::uint64_t bytes_received_by(NodeId node) const {
+    return node_in_bytes_[node];
+  }
+  [[nodiscard]] const ProtocolNode& node(NodeId id) const {
+    return nodes_[id];
+  }
+  [[nodiscard]] double now_ms() const noexcept { return queue_.now(); }
+
+ private:
+  void send(NodeId from, NodeId to, Payload payload);
+  void deliver(const Message& message);
+
+  void handle_connect_request(const Message& message);
+  void handle_connect_accept(const Message& message);
+  void handle_connect_reject(const Message& message);
+  void handle_disconnect(const Message& message);
+  void handle_table_update(const Message& message);
+  void handle_walk_probe(const Message& message);
+  void handle_candidate_reply(const Message& message);
+  void handle_query(const Message& message);
+  void handle_query_hit(const Message& message);
+
+  /// Enforce capacity at `node` by pruning (Disconnect) the worst-rated
+  /// neighbors.
+  void manage(NodeId node);
+  /// Debounced routing-table push to all current neighbors of `node`.
+  void schedule_table_push(NodeId node);
+
+  const LatencyModel& latency_;
+  const ObjectCatalog* catalog_;
+  ProtocolOptions options_;
+  Rng rng_;
+  EventQueue queue_;
+  std::vector<ProtocolNode> nodes_;
+  std::vector<std::uint64_t> node_out_bytes_;
+  std::vector<std::uint64_t> node_in_bytes_;
+  std::vector<bool> push_pending_;
+  std::vector<std::size_t> join_attempts_left_;  // per joiner
+  TrafficStats traffic_;
+
+  // Active query bookkeeping (one query at a time through run_query).
+  struct ActiveQuery {
+    QueryId id = 0;
+    NodeId origin = kInvalidNode;
+    double issued_ms = 0.0;
+    QueryOutcome outcome;
+  };
+  std::optional<ActiveQuery> active_query_;
+  QueryId next_query_id_ = 1;
+};
+
+}  // namespace makalu::proto

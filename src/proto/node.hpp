@@ -1,0 +1,83 @@
+// Per-node protocol state machine.
+//
+// A ProtocolNode holds exactly the state a deployed Makalu peer would:
+// its capacity, its current neighbors with their last-pushed routing
+// tables and measured link latencies, a query-ID cache, and the
+// breadcrumbs needed to route QueryHits back. All decisions — accepting,
+// refusing, pruning — are made from this local state alone; the node
+// never touches the global graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/rating.hpp"
+#include "proto/message.hpp"
+
+namespace makalu::proto {
+
+struct NeighborState {
+  NodeId peer = kInvalidNode;
+  double latency_ms = 0.0;              ///< measured at connect (ping)
+  std::vector<NodeId> table;            ///< peer's last-pushed neighbors
+};
+
+class ProtocolNode {
+ public:
+  ProtocolNode() = default;
+  ProtocolNode(NodeId id, std::size_t capacity, RatingWeights weights)
+      : id_(id), capacity_(capacity), weights_(weights) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return neighbors_.size();
+  }
+  [[nodiscard]] const std::vector<NeighborState>& neighbors() const {
+    return neighbors_;
+  }
+  [[nodiscard]] bool has_neighbor(NodeId peer) const;
+
+  /// Current neighbor ids (the routing table this node pushes to peers).
+  [[nodiscard]] std::vector<NodeId> neighbor_table() const;
+
+  void add_neighbor(NodeId peer, double latency_ms,
+                    std::vector<NodeId> table);
+  bool remove_neighbor(NodeId peer);
+  void update_table(NodeId peer, std::vector<NodeId> table);
+
+  /// The Makalu rating, evaluated from cached neighbor tables (the local
+  /// view — may lag the true graph between TableUpdates, exactly as in a
+  /// deployment). `extra` optionally injects a provisional candidate
+  /// (peer id + its advertised table + latency) per the paper's
+  /// "provisionally considers the candidate peer as its neighbor".
+  struct LocalRating {
+    NodeId peer = kInvalidNode;
+    double score = 0.0;
+    bool is_candidate = false;
+  };
+  [[nodiscard]] std::vector<LocalRating> rate_locally(
+      const NeighborState* extra = nullptr) const;
+
+  /// Lowest-rated current neighbor honoring the low-water rule (peers
+  /// whose advertised table is already at/below `low_water` entries are
+  /// protected unless everyone is). kInvalidNode if no neighbors.
+  [[nodiscard]] NodeId worst_neighbor(std::size_t low_water) const;
+
+  // --- query plumbing ------------------------------------------------------
+  /// Returns false if this query id was already seen (duplicate).
+  bool remember_query(QueryId id, NodeId came_from);
+  [[nodiscard]] std::optional<NodeId> breadcrumb(QueryId id) const;
+
+ private:
+  NodeId id_ = kInvalidNode;
+  std::size_t capacity_ = 0;
+  RatingWeights weights_{};
+  std::vector<NeighborState> neighbors_;
+  std::unordered_map<QueryId, NodeId> seen_queries_;  // id -> breadcrumb
+};
+
+}  // namespace makalu::proto

@@ -1,0 +1,228 @@
+#include "search/abf_search.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+AbfRouter::AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
+                     const AbfOptions& options)
+    : graph_(graph),
+      catalog_(catalog),
+      options_(options),
+      visit_epoch_(graph.node_count(), 0) {
+  MAKALU_EXPECTS(options.depth >= 1);
+  const std::size_t n = graph_.node_count();
+  arc_offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    arc_offsets_[u + 1] = arc_offsets_[u] + graph_.degree(u);
+  }
+  adv_in_.reserve(arc_offsets_.back());
+  for (std::size_t a = 0; a < arc_offsets_.back(); ++a) {
+    adv_in_.emplace_back(options_.depth, options_.level_params);
+  }
+  build_tables(catalog);
+}
+
+std::size_t AbfRouter::arc_index(NodeId u,
+                                 std::size_t neighbor_index) const {
+  MAKALU_EXPECTS(u < graph_.node_count());
+  MAKALU_EXPECTS(neighbor_index < graph_.degree(u));
+  return arc_offsets_[u] + neighbor_index;
+}
+
+std::size_t AbfRouter::reverse_arc(NodeId u, std::size_t /*neighbor_index*/,
+                                   NodeId v) const {
+  // CSR rows are sorted, so u's position within v's row is found by
+  // binary search.
+  const auto nbrs = graph_.neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+  MAKALU_ASSERT(it != nbrs.end() && *it == u);
+  return arc_offsets_[v] +
+         static_cast<std::size_t>(it - nbrs.begin());
+}
+
+void AbfRouter::build_tables(const ObjectCatalog& catalog) {
+  const std::size_t n = graph_.node_count();
+  MAKALU_EXPECTS(catalog.node_count() == n);
+
+  // Level 0: ADV(v→u).level[0] = content(v), identical for all u — insert
+  // once per arc from the content of the arc's *origin* v. Arc u→v stores
+  // ADV(v→u), so its level 0 carries v's objects.
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph_.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      auto& adv = adv_in_[arc_index(u, i)];
+      for (const ObjectId obj : catalog.objects_on(v)) {
+        adv.insert_at(0, ObjectCatalog::object_key(obj));
+      }
+    }
+  }
+
+  // Levels 1..D-1, level-synchronous: level L of ADV(v→u) is the union of
+  // level L-1 of the advertisements v received from its other neighbors.
+  // Level L-1 entries are final before any level-L read, so one buffer
+  // suffices.
+  for (std::size_t level = 1; level < options_.depth; ++level) {
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = graph_.neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        auto& adv = adv_in_[arc_index(u, i)];
+        const auto v_nbrs = graph_.neighbors(v);
+        for (std::size_t j = 0; j < v_nbrs.size(); ++j) {
+          const NodeId w = v_nbrs[j];
+          if (w == u) continue;
+          const auto& upstream = adv_in_[arc_index(v, j)];  // ADV(w→v)
+          adv.level(level).merge(upstream.level(level - 1));
+        }
+      }
+    }
+  }
+}
+
+QueryResult AbfRouter::route(NodeId source, ObjectId object,
+                             std::uint32_t ttl, Rng& rng) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  QueryResult result;
+
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+
+  const std::uint64_t key = ObjectCatalog::object_key(object);
+  NodeId current = source;
+  visit_epoch_[current] = stamp_;
+  result.nodes_visited = 1;
+  std::vector<NodeId> path;  // for backtracking
+
+  std::uint32_t budget = ttl;
+  while (true) {
+    if (catalog_.node_has_object(current, object)) {
+      result.success = true;
+      // "Resolved in less than 10 messages (hops)": hop distance here is
+      // the message count spent reaching the replica.
+      result.first_hit_hop = static_cast<std::uint32_t>(result.messages);
+      result.replicas_found = 1;
+      return result;
+    }
+    if (budget == 0) return result;
+
+    const auto nbrs = graph_.neighbors(current);
+
+    // Best-scoring unvisited neighbor.
+    double best_score = 0.0;
+    NodeId best = kInvalidNode;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (visit_epoch_[v] == stamp_) continue;
+      const double score =
+          adv_in_[arc_index(current, i)].match_score(key);
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+
+    // Fallback: random unvisited neighbor (object may be beyond the
+    // filter horizon — keep exploring).
+    if (best == kInvalidNode) {
+      std::size_t unvisited = 0;
+      for (const NodeId v : nbrs) {
+        if (visit_epoch_[v] != stamp_) ++unvisited;
+      }
+      if (unvisited > 0) {
+        std::size_t pick = rng.uniform_below(unvisited);
+        for (const NodeId v : nbrs) {
+          if (visit_epoch_[v] != stamp_ && pick-- == 0) {
+            best = v;
+            break;
+          }
+        }
+      }
+    }
+
+    if (best != kInvalidNode) {
+      path.push_back(current);
+      current = best;
+      visit_epoch_[current] = stamp_;
+      ++result.nodes_visited;
+      ++result.messages;
+      --budget;
+      continue;
+    }
+
+    // Dead end: backtrack one step (a message back up the path).
+    if (path.empty()) return result;
+    current = path.back();
+    path.pop_back();
+    ++result.messages;
+    --budget;
+  }
+}
+
+void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
+  MAKALU_EXPECTS(holder < graph_.node_count());
+  const std::uint64_t key = ObjectCatalog::object_key(object);
+
+  // Wave of arcs that acquired the key at the previous level. Level 0:
+  // every in-arc of the holder (the holder advertises its own content).
+  std::vector<std::pair<NodeId, std::size_t>> wave;  // (arc owner u, arc idx)
+  {
+    const auto nbrs = graph_.neighbors(holder);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      // Arc u→holder: position of holder in u's sorted row.
+      const auto u_row = graph_.neighbors(u);
+      const auto it = std::lower_bound(u_row.begin(), u_row.end(), holder);
+      const auto idx = static_cast<std::size_t>(it - u_row.begin());
+      const std::size_t arc = arc_index(u, idx);
+      adv_in_[arc].insert_at(0, key);
+      wave.emplace_back(u, arc);
+    }
+  }
+
+  // Level L: arc (u→v) gains the key when some arc (v→w), w != u, gained
+  // it at level L-1. Walk the wave outward; duplicates in the next wave
+  // are harmless (filter inserts are idempotent) but pruned for cost.
+  for (std::size_t level = 1; level < options_.depth; ++level) {
+    std::vector<std::pair<NodeId, std::size_t>> next_wave;
+    for (const auto& [v, arc_vw] : wave) {
+      // The previous-level arc is owned by v (arc v→w); recover w.
+      const auto v_row = graph_.neighbors(v);
+      const NodeId w = v_row[arc_vw - arc_offsets_[v]];
+      // Every neighbor u of v except w learns at this level.
+      for (const NodeId u : v_row) {
+        if (u == w) continue;
+        const auto u_row = graph_.neighbors(u);
+        const auto it = std::lower_bound(u_row.begin(), u_row.end(), v);
+        const auto idx = static_cast<std::size_t>(it - u_row.begin());
+        const std::size_t arc_uv = arc_index(u, idx);
+        if (adv_in_[arc_uv].level(level).maybe_contains(key)) continue;
+        adv_in_[arc_uv].insert_at(level, key);
+        next_wave.emplace_back(u, arc_uv);
+      }
+    }
+    wave = std::move(next_wave);
+  }
+}
+
+void AbfRouter::rebuild() {
+  for (auto& adv : adv_in_) adv.clear();
+  build_tables(catalog_);
+}
+
+std::size_t AbfRouter::table_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& adv : adv_in_) total += adv.byte_size();
+  return total;
+}
+
+const AttenuatedBloomFilter& AbfRouter::advertisement(
+    NodeId u, std::size_t neighbor_index) const {
+  return adv_in_[arc_index(u, neighbor_index)];
+}
+
+}  // namespace makalu

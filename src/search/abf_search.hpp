@@ -1,0 +1,92 @@
+// Indexed identifier search over attenuated Bloom filters (paper §4.6).
+//
+// Routing state: for every directed overlay link u→v, node u holds the
+// advertisement ADV(v→u) it received from v — an attenuated Bloom filter
+// whose level i summarises the content stored exactly i hops beyond v
+// (level 0 = v's own store). Advertisements are computed by the standard
+// distance-vector exchange: when peers connect they swap filters, and
+//   ADV(v→u).level[0] = content(v)
+//   ADV(v→u).level[i] = ⋃_{w ∈ N(v)\{u}} ADV(w→v).level[i-1].
+// Because level i depends only on level i-1, `build_tables` fills the
+// whole depth-D hierarchy in D-1 level-synchronous rounds — exactly the
+// fixed point the incremental pairwise exchanges converge to.
+//
+// Query routing: a query for key k at node x
+//   1. succeeds if x stores k;
+//   2. otherwise forwards to the unvisited neighbor v with the highest
+//      level-weighted match score of ADV(v→x) (shallow levels dominate —
+//      their filters aggregate fewer nodes and so have lower false-positive
+//      rates);
+//   3. falls back to a random unvisited neighbor when no filter matches
+//      (the object may simply be farther than D hops);
+//   4. backtracks when boxed in; every forward or backtrack costs one
+//      message and one TTL unit.
+#pragma once
+
+#include <cstdint>
+
+#include "bloom/attenuated_bloom_filter.hpp"
+#include "graph/graph.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct AbfOptions {
+  std::size_t depth = 3;  ///< paper: attenuated Bloom filter of depth 3
+  BloomParameters level_params{/*bits=*/1024, /*hashes=*/4};
+};
+
+class AbfRouter {
+ public:
+  /// Builds the full routing state for `graph` + `catalog`. Cost:
+  /// O(depth^2 * arcs * filter_words) time, O(depth * arcs * filter_bytes)
+  /// memory.
+  AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
+            const AbfOptions& options = {});
+
+  /// Routes a query. `rng` drives the no-match fallback choice.
+  [[nodiscard]] QueryResult route(NodeId source, ObjectId object,
+                                  std::uint32_t ttl, Rng& rng);
+
+  /// Content churn, additive path: propagates a newly published object
+  /// outward exactly as the incremental advertisement exchanges would —
+  /// an arc-level wave, depth-bounded by the filter depth. O(depth *
+  /// affected-arcs * filter-words); far cheaper than a rebuild.
+  void notify_insert(NodeId holder, ObjectId object);
+
+  /// Content churn, subtractive path: Bloom advertisements are monotone,
+  /// so removals require recomputing the tables from the (already
+  /// updated) catalog. Equivalent to reconstructing the router.
+  void rebuild();
+
+  /// Total routing-table memory (what a deployment would ship between
+  /// peers on connect).
+  [[nodiscard]] std::size_t table_bytes() const noexcept;
+
+  /// The advertisement node u holds for its i-th neighbor.
+  [[nodiscard]] const AttenuatedBloomFilter& advertisement(
+      NodeId u, std::size_t neighbor_index) const;
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return options_.depth; }
+
+ private:
+  void build_tables(const ObjectCatalog& catalog);
+  [[nodiscard]] std::size_t arc_index(NodeId u,
+                                      std::size_t neighbor_index) const;
+  /// Index of the reverse arc v→u given arc u→v.
+  [[nodiscard]] std::size_t reverse_arc(NodeId u, std::size_t neighbor_index,
+                                        NodeId v) const;
+
+  const CsrGraph& graph_;
+  const ObjectCatalog& catalog_;
+  AbfOptions options_;
+  std::vector<std::size_t> arc_offsets_;       // prefix degrees, size n+1
+  std::vector<AttenuatedBloomFilter> adv_in_;  // per arc u→v: ADV(v→u)
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace makalu

@@ -1,0 +1,84 @@
+#include "search/flood_search.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+FloodEngine::FloodEngine(const CsrGraph& graph)
+    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+
+FloodResult FloodEngine::run(NodeId source, ObjectId object,
+                             const ObjectCatalog& catalog,
+                             const FloodOptions& options) {
+  return run(
+      source,
+      [&](NodeId node) { return catalog.node_has_object(node, object); },
+      options);
+}
+
+FloodResult FloodEngine::run(NodeId source,
+                             const std::function<bool(NodeId)>& has_object,
+                             const FloodOptions& options) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  FloodResult result;
+
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+
+  auto visit = [&](NodeId node, std::uint32_t hop) {
+    visit_epoch_[node] = stamp_;
+    ++result.nodes_visited;
+    if (has_object(node)) {
+      if (!result.success) {
+        result.success = true;
+        result.first_hit_hop = hop;
+      }
+      ++result.replicas_found;
+    }
+  };
+
+  visit(source, 0);
+
+  frontier_.clear();
+  frontier_.push_back({source, kInvalidNode});
+
+  for (std::uint32_t hop = 1;
+       hop <= options.ttl && !frontier_.empty(); ++hop) {
+    next_frontier_.clear();
+    for (const auto& entry : frontier_) {
+      std::uint64_t sent = 0;
+      for (const NodeId v : graph_.neighbors(entry.node)) {
+        if (v == entry.sender) continue;
+        ++sent;
+        ++result.messages;
+        if (result.messages > options.message_cap) {
+          result.truncated = true;
+          return result;
+        }
+        if (visit_epoch_[v] == stamp_) {
+          ++result.duplicates;
+          if (!options.duplicate_suppression) {
+            // No query-ID cache: the copy is forwarded again anyway.
+            next_frontier_.push_back({v, entry.node});
+          }
+          continue;
+        }
+        visit(v, hop);
+        next_frontier_.push_back({v, entry.node});
+      }
+      if (sent > 0) {
+        ++result.forwarders;
+        if (options.per_node_outgoing != nullptr) {
+          (*options.per_node_outgoing)[entry.node] += sent;
+        }
+      }
+    }
+    std::swap(frontier_, next_frontier_);
+  }
+  return result;
+}
+
+}  // namespace makalu

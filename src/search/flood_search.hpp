@@ -1,0 +1,74 @@
+// TTL-bounded flooding search with query-ID duplicate suppression — the
+// wild-card search mechanism of §4.2.
+//
+// Semantics (Gnutella QUERY semantics):
+//  - the querying node sends the query to every neighbor (TTL consumed: 1),
+//  - a node receiving the query *for the first time* forwards it to every
+//    neighbor except the sender while TTL remains,
+//  - with duplicate suppression on (query-ID caching), re-arrivals are
+//    dropped (counted as duplicate messages); with it off, every arrival
+//    is re-forwarded (the ablation — message counts then grow with the
+//    number of walks, so a safety cap aborts runaway floods).
+//  - the flood runs to TTL exhaustion regardless of hits (real networks
+//    cannot recall in-flight queries); every replica encountered counts.
+//
+// FloodEngine keeps epoch-stamped scratch so thousands of queries on the
+// same topology allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+
+struct FloodOptions {
+  std::uint32_t ttl = 4;
+  bool duplicate_suppression = true;
+  /// Abort threshold for the suppression-off ablation (result is marked
+  /// unsuccessful and truncated=true).
+  std::uint64_t message_cap = 50'000'000;
+  /// Optional exact per-node load accounting: when non-null (size >= node
+  /// count), every transmission is charged to its sender. Used by the
+  /// trace replayer for bandwidth distributions.
+  std::vector<std::uint64_t>* per_node_outgoing = nullptr;
+};
+
+struct FloodResult : QueryResult {
+  bool truncated = false;  ///< message cap hit (only without suppression)
+};
+
+class FloodEngine {
+ public:
+  explicit FloodEngine(const CsrGraph& graph);
+
+  /// Floods for `object` from `source`; replica locations come from the
+  /// catalog.
+  [[nodiscard]] FloodResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog,
+                                const FloodOptions& options);
+
+  /// Generic predicate variant (used by tests and the trace replayer).
+  [[nodiscard]] FloodResult run(NodeId source,
+                                const std::function<bool(NodeId)>& has_object,
+                                const FloodOptions& options);
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+  // Frontier entries: (node, sender arc to avoid echoing back).
+  struct FrontierEntry {
+    NodeId node;
+    NodeId sender;
+  };
+  std::vector<FrontierEntry> frontier_;
+  std::vector<FrontierEntry> next_frontier_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,65 @@
+#include "search/gossip_flood.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+GossipFloodEngine::GossipFloodEngine(const CsrGraph& graph)
+    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+
+QueryResult GossipFloodEngine::run(NodeId source, ObjectId object,
+                                   const ObjectCatalog& catalog, Rng& rng,
+                                   const GossipFloodOptions& options) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  MAKALU_EXPECTS(options.gossip_probability > 0.0 &&
+                 options.gossip_probability <= 1.0);
+  QueryResult result;
+
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+
+  auto visit = [&](NodeId node, std::uint32_t hop) {
+    visit_epoch_[node] = stamp_;
+    ++result.nodes_visited;
+    if (catalog.node_has_object(node, object)) {
+      if (!result.success) {
+        result.success = true;
+        result.first_hit_hop = hop;
+      }
+      ++result.replicas_found;
+    }
+  };
+
+  visit(source, 0);
+  frontier_.clear();
+  frontier_.push_back({source, kInvalidNode});
+
+  for (std::uint32_t hop = 1;
+       hop <= options.ttl && !frontier_.empty(); ++hop) {
+    const bool gossiping = hop > options.boundary_hops;
+    next_frontier_.clear();
+    for (const auto& entry : frontier_) {
+      std::uint64_t sent = 0;
+      for (const NodeId v : graph_.neighbors(entry.node)) {
+        if (v == entry.sender) continue;
+        if (gossiping && !rng.chance(options.gossip_probability)) continue;
+        ++sent;
+        ++result.messages;
+        if (visit_epoch_[v] == stamp_) {
+          ++result.duplicates;
+          continue;
+        }
+        visit(v, hop);
+        next_frontier_.push_back({v, entry.node});
+      }
+      if (sent > 0) ++result.forwarders;
+    }
+    std::swap(frontier_, next_frontier_);
+  }
+  return result;
+}
+
+}  // namespace makalu

@@ -1,0 +1,52 @@
+// Hybrid flood/gossip search — the epidemic extension §4.4 sketches:
+// "Epidemic algorithms might be deployed beyond the Convergence Boundary
+// to reduce the number of such duplicates."
+//
+// The engine floods deterministically for the first `boundary_hops` hops
+// (the expansion phase, where paths are disjoint and duplicates are rare)
+// and then switches to gossip: each further forward goes to each eligible
+// neighbor independently with probability `gossip_probability`. Past the
+// boundary most targets have already seen the query, so probabilistic
+// fan-out prunes exactly the transmissions that would have been
+// duplicates, at a small and tunable cost in coverage.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct GossipFloodOptions {
+  std::uint32_t ttl = 6;
+  /// Hops of deterministic flooding before gossip takes over. The
+  /// convergence boundary sits at roughly half the diameter; 3-4 is right
+  /// for Makalu overlays up to ~100k nodes.
+  std::uint32_t boundary_hops = 4;
+  double gossip_probability = 0.5;
+};
+
+class GossipFloodEngine {
+ public:
+  explicit GossipFloodEngine(const CsrGraph& graph);
+
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog, Rng& rng,
+                                const GossipFloodOptions& options);
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+  struct FrontierEntry {
+    NodeId node;
+    NodeId sender;
+  };
+  std::vector<FrontierEntry> frontier_;
+  std::vector<FrontierEntry> next_frontier_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,76 @@
+#include "search/random_walk_search.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+RandomWalkEngine::RandomWalkEngine(const CsrGraph& graph)
+    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+
+QueryResult RandomWalkEngine::run(NodeId source, ObjectId object,
+                                  const ObjectCatalog& catalog, Rng& rng,
+                                  const RandomWalkOptions& options) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  MAKALU_EXPECTS(options.walkers >= 1);
+  QueryResult result;
+
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+
+  auto check = [&](NodeId node, std::uint32_t step) {
+    const bool fresh = visit_epoch_[node] != stamp_;
+    if (fresh) {
+      visit_epoch_[node] = stamp_;
+      ++result.nodes_visited;
+    } else {
+      ++result.duplicates;
+    }
+    if (fresh && catalog.node_has_object(node, object)) {
+      if (!result.success) {
+        result.success = true;
+        result.first_hit_hop = step;
+      }
+      ++result.replicas_found;
+    }
+  };
+
+  check(source, 0);
+  if (result.success && options.stop_on_first_hit) return result;
+
+  // Walkers run sequentially step-interleaved; in message terms this is
+  // identical to parallel walkers, and stop_on_first_hit then models the
+  // "checking back with the requester" termination of Lv et al.
+  std::vector<NodeId> walker_at(options.walkers, source);
+  for (std::uint32_t step = 1; step <= options.ttl; ++step) {
+    bool any_alive = false;
+    for (auto& position : walker_at) {
+      const auto nbrs = graph_.neighbors(position);
+      if (nbrs.empty()) continue;
+      any_alive = true;
+
+      NodeId next = kInvalidNode;
+      if (options.avoid_revisits) {
+        // Up to 4 tries for an unvisited neighbor, then give up and take
+        // the last draw (pure random) — cheap approximation of
+        // self-avoiding walks.
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          next = nbrs[rng.uniform_below(nbrs.size())];
+          if (visit_epoch_[next] != stamp_) break;
+        }
+      } else {
+        next = nbrs[rng.uniform_below(nbrs.size())];
+      }
+      position = next;
+      ++result.messages;
+      check(position, step);
+      if (result.success && options.stop_on_first_hit) return result;
+    }
+    if (!any_alive) break;
+  }
+  return result;
+}
+
+}  // namespace makalu

@@ -1,0 +1,38 @@
+// Random-walk search (Lv et al., ICS 2002) — the related-work baseline the
+// paper discusses: k parallel walkers, each taking up to `ttl` steps,
+// checking every node they land on. Messages = total steps taken. Lower
+// message cost than flooding, higher response time; success depends on the
+// overlay's mixing properties — exactly what Makalu's expansion provides.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+struct RandomWalkOptions {
+  std::size_t walkers = 16;       ///< k parallel walkers
+  std::uint32_t ttl = 64;         ///< max steps per walker
+  bool avoid_revisits = true;     ///< prefer unvisited neighbors at each step
+  bool stop_on_first_hit = true;  ///< walkers halt once any walker succeeds
+};
+
+class RandomWalkEngine {
+ public:
+  explicit RandomWalkEngine(const CsrGraph& graph);
+
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog, Rng& rng,
+                                const RandomWalkOptions& options);
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace makalu

@@ -1,0 +1,72 @@
+#include "search/timed_flood.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace makalu {
+
+TimedFloodEngine::TimedFloodEngine(const CsrGraph& graph,
+                                   const LatencyModel& latency)
+    : graph_(graph), latency_(latency) {
+  MAKALU_EXPECTS(latency.node_count() >= graph.node_count());
+}
+
+TimedFloodResult TimedFloodEngine::run(NodeId source, ObjectId object,
+                                       const ObjectCatalog& catalog,
+                                       std::uint32_t ttl) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  TimedFloodResult result;
+
+  EventQueue queue;
+  std::vector<bool> seen(graph_.node_count(), false);
+  // Accumulated reverse-path latency from each first-visited node back to
+  // the source (sum of link latencies along the earliest-arrival tree).
+  std::vector<double> path_back_ms(graph_.node_count(), 0.0);
+
+  std::function<void(NodeId, NodeId, std::uint32_t, std::uint32_t)>
+      deliver = [&](NodeId node, NodeId sender, std::uint32_t remaining,
+                    std::uint32_t hop) {
+        result.quiescent_ms = queue.now();
+        if (seen[node]) {
+          ++result.duplicates;
+          return;
+        }
+        seen[node] = true;
+        ++result.nodes_visited;
+        if (sender != kInvalidNode) {
+          path_back_ms[node] =
+              path_back_ms[sender] +
+              std::max(0.01, latency_.latency(sender, node));
+        }
+        if (catalog.node_has_object(node, object)) {
+          ++result.replicas_found;
+          if (!result.success) {
+            result.success = true;
+            result.first_hit_hop = hop;
+            result.first_hit_ms = queue.now();
+            result.response_ms = queue.now() + path_back_ms[node];
+          }
+        }
+        if (remaining == 0) return;
+        bool sent = false;
+        for (const NodeId next : graph_.neighbors(node)) {
+          if (next == sender) continue;
+          sent = true;
+          ++result.messages;
+          const double delay =
+              std::max(0.01, latency_.latency(node, next));
+          queue.schedule_in(delay, [&deliver, next, node, remaining, hop] {
+            deliver(next, node, remaining - 1, hop + 1);
+          });
+        }
+        if (sent) ++result.forwarders;
+      };
+
+  queue.schedule(0.0, [&] { deliver(source, kInvalidNode, ttl, 0); });
+  queue.run();
+  return result;
+}
+
+}  // namespace makalu

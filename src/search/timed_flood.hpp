@@ -1,0 +1,46 @@
+// Latency-aware flooding on the discrete-event engine.
+//
+// The hop-synchronous FloodEngine answers every message/TTL question; this
+// engine answers the *wall-clock* ones: when does the first replica hear
+// the query, and when would the requester hear back? Messages are
+// delivered at physical link latency through the EventQueue; query-ID
+// caching dedups exactly as in the synchronous engine, but arrival ORDER
+// now follows latency, so the first-visit tree is the earliest-arrival
+// tree rather than the fewest-hops tree.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+
+struct TimedFloodResult : QueryResult {
+  /// Simulated ms until the first replica *receives* the query (< 0 on
+  /// miss).
+  double first_hit_ms = -1.0;
+  /// first_hit_ms plus the reverse path back to the requester (hits
+  /// retrace the query path, Gnutella-style): the user-visible response
+  /// time. < 0 on miss.
+  double response_ms = -1.0;
+  /// When the flood's last message was delivered (network quiet again).
+  double quiescent_ms = 0.0;
+};
+
+class TimedFloodEngine {
+ public:
+  TimedFloodEngine(const CsrGraph& graph, const LatencyModel& latency);
+
+  [[nodiscard]] TimedFloodResult run(NodeId source, ObjectId object,
+                                     const ObjectCatalog& catalog,
+                                     std::uint32_t ttl);
+
+ private:
+  const CsrGraph& graph_;
+  const LatencyModel& latency_;
+};
+
+}  // namespace makalu

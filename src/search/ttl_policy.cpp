@@ -1,0 +1,75 @@
+#include "search/ttl_policy.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+ExpandingRingPolicy::ExpandingRingPolicy(std::vector<std::uint32_t> rings)
+    : rings_(std::move(rings)) {
+  MAKALU_EXPECTS(!rings_.empty());
+  MAKALU_EXPECTS(std::is_sorted(rings_.begin(), rings_.end()));
+  MAKALU_EXPECTS(std::adjacent_find(rings_.begin(), rings_.end()) ==
+                 rings_.end());
+}
+
+std::string ExpandingRingPolicy::name() const {
+  std::string out = "expanding-ring(";
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(rings_[i]);
+  }
+  return out + ")";
+}
+
+RandomizedTtlPolicy::RandomizedTtlPolicy(std::vector<std::uint32_t> rings,
+                                         double shallow_bias)
+    : rings_(std::move(rings)), shallow_bias_(shallow_bias) {
+  MAKALU_EXPECTS(!rings_.empty());
+  MAKALU_EXPECTS(std::is_sorted(rings_.begin(), rings_.end()));
+  MAKALU_EXPECTS(shallow_bias > 0.0 && shallow_bias <= 1.0);
+  double weight = 1.0;
+  double total = 0.0;
+  start_cdf_.reserve(rings_.size());
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    total += weight;
+    start_cdf_.push_back(total);
+    weight *= shallow_bias;
+  }
+  for (auto& c : start_cdf_) c /= total;
+}
+
+std::vector<std::uint32_t> RandomizedTtlPolicy::schedule(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(start_cdf_.begin(), start_cdf_.end(), u);
+  const auto start = static_cast<std::size_t>(it - start_cdf_.begin());
+  // Start at the drawn rung, escalate through the remaining ladder.
+  return {rings_.begin() + static_cast<std::ptrdiff_t>(start),
+          rings_.end()};
+}
+
+std::string RandomizedTtlPolicy::name() const {
+  return "randomized(rungs=" + std::to_string(rings_.size()) +
+         ",bias=" + std::to_string(shallow_bias_).substr(0, 4) + ")";
+}
+
+PolicyQueryResult run_with_policy(FloodEngine& engine,
+                                  const TtlPolicy& policy, NodeId source,
+                                  ObjectId object,
+                                  const ObjectCatalog& catalog, Rng& rng) {
+  PolicyQueryResult out;
+  for (const std::uint32_t ttl : policy.schedule(rng)) {
+    FloodOptions options;
+    options.ttl = ttl;
+    const FloodResult r = engine.run(source, object, catalog, options);
+    ++out.attempts;
+    out.total_messages += r.messages;
+    out.final_ttl = ttl;
+    if (r.success) {
+      out.success = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace makalu

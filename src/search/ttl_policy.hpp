@@ -1,0 +1,115 @@
+// TTL selection policies for flooding search.
+//
+// The paper deliberately leaves TTL selection open (§6): "The TTL may be
+// set as a parameter of the system as in the current Gnutella.
+// Alternatively, a dynamic TTL selection mechanism can be used ... Chang
+// and Liu describe a dynamic programming mechanism that selects an
+// appropriate TTL when the probability distribution of the object
+// locations is known in advance. When the distribution was not known,
+// they used a randomized mechanism. This approach can be integrated into
+// a Makalu search." This module does that integration:
+//
+//  - FixedTtlPolicy:        Gnutella-style constant TTL.
+//  - ExpandingRingPolicy:   iterative deepening (try TTL t1, on miss t2,
+//    ...), the classic Lv et al. message saver for popular objects.
+//  - RandomizedTtlPolicy:   Chang & Liu's randomized strategy — draw the
+//    TTL from a distribution over a ladder of rings; optimal against an
+//    unknown object-location distribution up to a constant factor.
+//
+// run_with_policy() executes a policy against a FloodEngine, accounting
+// the *total* messages across attempts (failed rings are paid for, as in
+// a real deployment).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/flood_search.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+/// A TTL policy yields a (possibly adaptive) sequence of TTLs to try for
+/// one query; the search stops at the first success or when the policy is
+/// exhausted.
+class TtlPolicy {
+ public:
+  virtual ~TtlPolicy() = default;
+
+  /// The schedule of TTL attempts for one query. Stateless policies
+  /// return a fixed ladder; the randomized policy consumes `rng`.
+  [[nodiscard]] virtual std::vector<std::uint32_t> schedule(
+      Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class FixedTtlPolicy final : public TtlPolicy {
+ public:
+  explicit FixedTtlPolicy(std::uint32_t ttl) : ttl_(ttl) {}
+
+  [[nodiscard]] std::vector<std::uint32_t> schedule(Rng&) const override {
+    return {ttl_};
+  }
+  [[nodiscard]] std::string name() const override {
+    return "fixed(" + std::to_string(ttl_) + ")";
+  }
+
+ private:
+  std::uint32_t ttl_;
+};
+
+class ExpandingRingPolicy final : public TtlPolicy {
+ public:
+  /// Tries each TTL in `rings` in order (must be strictly increasing).
+  explicit ExpandingRingPolicy(std::vector<std::uint32_t> rings);
+
+  [[nodiscard]] std::vector<std::uint32_t> schedule(Rng&) const override {
+    return rings_;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<std::uint32_t> rings_;
+};
+
+class RandomizedTtlPolicy final : public TtlPolicy {
+ public:
+  /// Chang & Liu-style: pick a random starting rung on the ladder (biased
+  /// toward shallow rings by `shallow_bias` in (0,1]: probability of rung
+  /// i is proportional to shallow_bias^i), then escalate to the ladder's
+  /// remaining rungs on failure. With shallow_bias = 1 all starting rungs
+  /// are equally likely.
+  RandomizedTtlPolicy(std::vector<std::uint32_t> rings, double shallow_bias);
+
+  [[nodiscard]] std::vector<std::uint32_t> schedule(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<std::uint32_t> rings_;
+  std::vector<double> start_cdf_;
+  double shallow_bias_;
+};
+
+/// Outcome of one policy-driven query.
+struct PolicyQueryResult {
+  bool success = false;
+  std::uint64_t total_messages = 0;  ///< across all attempts
+  std::uint32_t attempts = 0;
+  std::uint32_t final_ttl = 0;  ///< TTL of the attempt that ended the query
+};
+
+/// Executes `policy` for a query (source, object): floods at each
+/// scheduled TTL until a hit. Every attempt's messages are charged (real
+/// expanding-ring searches re-flood from scratch; duplicate-suppression
+/// state does not carry across attempts).
+[[nodiscard]] PolicyQueryResult run_with_policy(FloodEngine& engine,
+                                                const TtlPolicy& policy,
+                                                NodeId source,
+                                                ObjectId object,
+                                                const ObjectCatalog& catalog,
+                                                Rng& rng);
+
+}  // namespace makalu

@@ -1,0 +1,96 @@
+#include "search/two_tier_flood.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+TwoTierFloodEngine::TwoTierFloodEngine(const CsrGraph& graph,
+                                       const std::vector<bool>& is_ultrapeer)
+    : graph_(graph),
+      is_ultrapeer_(is_ultrapeer),
+      visit_epoch_(graph.node_count(), 0) {
+  MAKALU_EXPECTS(is_ultrapeer.size() == graph.node_count());
+}
+
+void TwoTierFloodEngine::prepare_qrp(const ObjectCatalog& catalog,
+                                     BloomParameters params) {
+  MAKALU_EXPECTS(catalog.node_count() == graph_.node_count());
+  leaf_digest_.clear();
+  leaf_digest_.reserve(graph_.node_count());
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    BloomFilter digest(params);
+    if (!is_ultrapeer_[v]) {
+      for (const ObjectId obj : catalog.objects_on(v)) {
+        digest.insert(ObjectCatalog::object_key(obj));
+      }
+    }
+    leaf_digest_.push_back(std::move(digest));
+  }
+}
+
+QueryResult TwoTierFloodEngine::run(NodeId source, ObjectId object,
+                                    const ObjectCatalog& catalog,
+                                    const TwoTierFloodOptions& options) {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  QueryResult result;
+
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+
+  auto visit = [&](NodeId node, std::uint32_t hop) {
+    visit_epoch_[node] = stamp_;
+    ++result.nodes_visited;
+    if (catalog.node_has_object(node, object)) {
+      if (!result.success) {
+        result.success = true;
+        result.first_hit_hop = hop;
+      }
+      ++result.replicas_found;
+    }
+  };
+
+  const bool qrp = options.use_qrp;
+  MAKALU_EXPECTS(!qrp || !leaf_digest_.empty());
+  const std::uint64_t key = ObjectCatalog::object_key(object);
+
+  visit(source, 0);
+  frontier_.clear();
+  frontier_.push_back({source, kInvalidNode});
+
+  for (std::uint32_t hop = 1;
+       hop <= options.ttl && !frontier_.empty(); ++hop) {
+    next_frontier_.clear();
+    for (const auto& entry : frontier_) {
+      // Only the source leaf (hop 1) or ultrapeers forward.
+      if (hop > 1 && !is_ultrapeer_[entry.node]) continue;
+      bool sent_any = false;
+      for (const NodeId v : graph_.neighbors(entry.node)) {
+        if (v == entry.sender) continue;
+        // QRP: an ultrapeer consults the leaf's content digest and skips
+        // leaves that cannot match (no transmission at all).
+        if (qrp && is_ultrapeer_[entry.node] && !is_ultrapeer_[v] &&
+            !leaf_digest_[v].maybe_contains(key)) {
+          continue;
+        }
+        sent_any = true;
+        ++result.messages;
+        if (visit_epoch_[v] == stamp_) {
+          ++result.duplicates;
+          continue;
+        }
+        visit(v, hop);
+        // Leaves terminate propagation; ultrapeers continue while TTL
+        // remains (loop bound handles the TTL).
+        next_frontier_.push_back({v, entry.node});
+      }
+      if (sent_any) ++result.forwarders;
+    }
+    std::swap(frontier_, next_frontier_);
+  }
+  return result;
+}
+
+}  // namespace makalu

@@ -1,0 +1,76 @@
+// Gnutella v0.6 two-tier query routing ("modified flooding algorithm that
+// simulates the behavior of current Gnutella query routing", §4.2).
+//
+// Semantics:
+//  - leaves never forward; a querying leaf hands the query to each of its
+//    ultrapeer parents (consuming one TTL),
+//  - an ultrapeer receiving the query for the first time forwards it to
+//    every neighbor except the sender — ultrapeer neighbors continue the
+//    flood (TTL decrements per UP-UP hop), leaf neighbors receive the
+//    query on behalf of the ultrapeer's index (in deployed Gnutella the
+//    QRP table lives at the ultrapeer; the per-leaf transmission models
+//    the downstream query/result traffic that Table 1's measurements
+//    include),
+//  - duplicate arrivals at ultrapeers are dropped via query-ID caching.
+//
+// This is precisely where v0.6's bandwidth problem comes from: the ~38
+// outgoing transmissions per handled query at every ultrapeer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "graph/graph.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+
+struct TwoTierFloodOptions {
+  std::uint32_t ttl = 4;
+  /// Query Routing Protocol: when enabled (and prepare_qrp() was called),
+  /// ultrapeers hold a Bloom digest of each leaf's content and forward a
+  /// query to a leaf only on a digest match — deployed Gnutella's QRP.
+  /// Bloom false positives still cost a message; false negatives cannot
+  /// occur, so success is unchanged. Default off: the paper's Table 1
+  /// message counts include full UP->leaf propagation.
+  bool use_qrp = false;
+};
+
+class TwoTierFloodEngine {
+ public:
+  /// `is_ultrapeer` comes from TwoTierGenerator::Result.
+  TwoTierFloodEngine(const CsrGraph& graph,
+                     const std::vector<bool>& is_ultrapeer);
+
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog,
+                                const TwoTierFloodOptions& options);
+
+  /// Builds the per-leaf QRP digests from `catalog` (leaves push their
+  /// content table to each parent on connect). Must be called before
+  /// running with use_qrp = true; call again if the catalog changes.
+  void prepare_qrp(const ObjectCatalog& catalog,
+                   BloomParameters params = {256, 3});
+  [[nodiscard]] bool qrp_ready() const noexcept {
+    return !leaf_digest_.empty();
+  }
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+
+ private:
+  const CsrGraph& graph_;
+  const std::vector<bool>& is_ultrapeer_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+  std::vector<BloomFilter> leaf_digest_;  // per node; empty until prepared
+  struct FrontierEntry {
+    NodeId node;
+    NodeId sender;
+  };
+  std::vector<FrontierEntry> frontier_;
+  std::vector<FrontierEntry> next_frontier_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace makalu {
+
+void EventQueue::schedule(SimTime when, Handler fn) {
+  MAKALU_EXPECTS(fn != nullptr);
+  MAKALU_EXPECTS(when >= now_);
+  heap_.push_back(Event{when, next_sequence_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Event EventQueue::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+void EventQueue::run() {
+  while (!heap_.empty()) {
+    Event event = pop_next();
+    now_ = event.time;
+    ++processed_;
+    event.handler();
+  }
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!heap_.empty() && heap_.front().time <= horizon) {
+    Event event = pop_next();
+    now_ = event.time;
+    ++processed_;
+    event.handler();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+}  // namespace makalu

@@ -1,0 +1,73 @@
+// Minimal discrete-event simulation engine.
+//
+// The hop-synchronous engines in search/ compute every hop/TTL/message
+// metric the paper reports; this latency-ordered engine adds wall-clock
+// semantics on top for the experiments that care about *when* things
+// happen (trace replay arrival processes, query response latency in the
+// examples). It is a classic calendar queue: schedule(time, fn), run()
+// until drained or until a horizon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+using SimTime = double;  ///< milliseconds
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  void schedule(SimTime when, Handler fn);
+
+  /// Schedules `fn` at now() + delay.
+  void schedule_in(SimTime delay, Handler fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept {
+    return processed_;
+  }
+
+  /// Runs events in timestamp order until the queue drains. Ties are
+  /// broken by insertion order (FIFO), which keeps runs deterministic.
+  void run();
+
+  /// Runs until the queue drains or simulated time exceeds `horizon`;
+  /// events scheduled past the horizon stay queued.
+  void run_until(SimTime horizon);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  // Min-heap ordering ("later" sorts after) over a plain vector: lets us
+  // move the handler out of the popped element, which std::priority_queue
+  // forbids (const top()).
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Event pop_next();
+
+  std::vector<Event> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace makalu

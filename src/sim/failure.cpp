@@ -1,0 +1,55 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace makalu {
+
+std::vector<bool> select_top_degree_failures(const Graph& g,
+                                             double fraction) {
+  MAKALU_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  const std::size_t n = g.node_count();
+  const auto count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(n)));
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(count, n)),
+                    order.end(), [&](NodeId a, NodeId b) {
+                      if (g.degree(a) != g.degree(b)) {
+                        return g.degree(a) > g.degree(b);
+                      }
+                      return a < b;
+                    });
+  std::vector<bool> failed(n, false);
+  for (std::size_t i = 0; i < std::min(count, n); ++i) {
+    failed[order[i]] = true;
+  }
+  return failed;
+}
+
+std::vector<bool> select_random_failures(std::size_t node_count,
+                                         double fraction, Rng& rng) {
+  MAKALU_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  const auto count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(node_count)));
+  std::vector<bool> failed(node_count, false);
+  std::size_t chosen = 0;
+  while (chosen < std::min(count, node_count)) {
+    const auto v = static_cast<NodeId>(rng.uniform_below(node_count));
+    if (!failed[v]) {
+      failed[v] = true;
+      ++chosen;
+    }
+  }
+  return failed;
+}
+
+Graph apply_failures(const Graph& g, const std::vector<bool>& failed,
+                     std::vector<NodeId>* old_to_new) {
+  return g.remove_nodes(failed, old_to_new);
+}
+
+}  // namespace makalu

@@ -1,0 +1,33 @@
+// Failure injection (paper §3.4): instantaneous, non-recoverable removal
+// of a node set, analysed on the immediate post-failure snapshot (no
+// repair). Two adversaries:
+//   - targeted: the most highly connected nodes fail (worst case — these
+//     carry the network in degree-skewed topologies),
+//   - random: uniform node failures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+/// Mask (true = fails) selecting the ceil(fraction * n) highest-degree
+/// nodes; degree ties are broken by node id for determinism.
+[[nodiscard]] std::vector<bool> select_top_degree_failures(const Graph& g,
+                                                           double fraction);
+
+/// Mask selecting ceil(fraction * n) uniform random nodes.
+[[nodiscard]] std::vector<bool> select_random_failures(std::size_t node_count,
+                                                       double fraction,
+                                                       Rng& rng);
+
+/// Post-failure snapshot: the induced subgraph on survivors (ids
+/// compacted; see Graph::remove_nodes).
+[[nodiscard]] Graph apply_failures(const Graph& g,
+                                   const std::vector<bool>& failed,
+                                   std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace makalu

@@ -1,0 +1,88 @@
+// Per-query and aggregate search accounting shared by every search
+// mechanism. The fields mirror exactly what the paper instruments (§4.2):
+// "the number of queries that were successfully resolved, the number of
+// messages sent for each query, the number of unique nodes visited by the
+// flood, the average messages received at each node, and the number of
+// replicas located."
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+
+namespace makalu {
+
+struct QueryResult {
+  bool success = false;
+  std::uint64_t messages = 0;        ///< total transmissions
+  std::uint64_t duplicates = 0;      ///< arrivals at already-visited nodes
+  std::uint64_t nodes_visited = 0;   ///< unique nodes that saw the query
+  std::uint32_t first_hit_hop = 0;   ///< hops to the first replica (if any)
+  std::uint64_t replicas_found = 0;  ///< replicas located by the search
+  std::uint64_t forwarders = 0;      ///< nodes that sent >= 1 transmission
+};
+
+/// Aggregates QueryResults across a run (and across runs via merge of the
+/// underlying accumulators happening naturally — one aggregate per run is
+/// summarised by the experiment drivers).
+class QueryAggregate {
+ public:
+  void add(const QueryResult& r) {
+    ++queries_;
+    if (r.success) {
+      ++successes_;
+      hit_hops_.add(static_cast<double>(r.first_hit_hop));
+    }
+    messages_.add(static_cast<double>(r.messages));
+    duplicates_.add(static_cast<double>(r.duplicates));
+    visited_.add(static_cast<double>(r.nodes_visited));
+    replicas_.add(static_cast<double>(r.replicas_found));
+    forwarders_.add(static_cast<double>(r.forwarders));
+  }
+
+  [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
+  [[nodiscard]] double success_rate() const noexcept {
+    return queries_ ? static_cast<double>(successes_) /
+                          static_cast<double>(queries_)
+                    : 0.0;
+  }
+  [[nodiscard]] double mean_messages() const noexcept {
+    return messages_.mean();
+  }
+  [[nodiscard]] double mean_duplicates() const noexcept {
+    return duplicates_.mean();
+  }
+  /// Duplicate share of all transmissions — the paper's "2.7% duplicates".
+  [[nodiscard]] double duplicate_fraction() const noexcept {
+    const double m = messages_.sum();
+    return m > 0.0 ? duplicates_.sum() / m : 0.0;
+  }
+  [[nodiscard]] double mean_nodes_visited() const noexcept {
+    return visited_.mean();
+  }
+  [[nodiscard]] double mean_replicas_found() const noexcept {
+    return replicas_.mean();
+  }
+  [[nodiscard]] const SampleStats& hit_hops() const noexcept {
+    return hit_hops_;
+  }
+  /// Mean transmissions sent per node that forwarded the query — the
+  /// "outgoing messages per query" a participating peer experiences
+  /// (Table 2's per-node fan-out).
+  [[nodiscard]] double mean_messages_per_forwarder() const noexcept {
+    const double f = forwarders_.sum();
+    return f > 0.0 ? messages_.sum() / f : 0.0;
+  }
+
+ private:
+  std::size_t queries_ = 0;
+  std::size_t successes_ = 0;
+  OnlineStats messages_;
+  OnlineStats duplicates_;
+  OnlineStats visited_;
+  OnlineStats replicas_;
+  OnlineStats forwarders_;
+  SampleStats hit_hops_;
+};
+
+}  // namespace makalu

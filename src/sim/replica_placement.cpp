@@ -1,0 +1,73 @@
+#include "sim/replica_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace makalu {
+
+ObjectCatalog::ObjectCatalog(std::size_t node_count, std::size_t object_count,
+                             double replication_ratio, std::uint64_t seed) {
+  MAKALU_EXPECTS(node_count > 0);
+  MAKALU_EXPECTS(replication_ratio > 0.0 && replication_ratio <= 1.0);
+  Rng rng(seed);
+
+  replicas_per_object_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(replication_ratio *
+                          static_cast<double>(node_count))));
+  replicas_per_object_ = std::min(replicas_per_object_, node_count);
+
+  holders_.resize(object_count);
+  objects_of_node_.resize(node_count);
+
+  std::vector<NodeId> sample;
+  std::vector<bool> taken(node_count, false);
+  for (ObjectId obj = 0; obj < object_count; ++obj) {
+    // Floyd's algorithm: k distinct holders without replacement. The
+    // `taken` mask makes membership checks O(1) even at 1% of 100k nodes.
+    sample.clear();
+    for (std::size_t i = node_count - replicas_per_object_; i < node_count;
+         ++i) {
+      auto candidate = static_cast<NodeId>(rng.uniform_below(i + 1));
+      if (taken[candidate]) candidate = static_cast<NodeId>(i);
+      taken[candidate] = true;
+      sample.push_back(candidate);
+    }
+    for (const NodeId node : sample) taken[node] = false;
+    holders_[obj] = sample;
+    std::sort(holders_[obj].begin(), holders_[obj].end());
+    for (const NodeId node : holders_[obj]) {
+      objects_of_node_[node].push_back(obj);
+    }
+  }
+}
+
+bool ObjectCatalog::node_has_object(NodeId node, ObjectId object) const {
+  MAKALU_EXPECTS(object < holders_.size());
+  const auto& h = holders_[object];
+  return std::binary_search(h.begin(), h.end(), node);
+}
+
+void ObjectCatalog::add_replica(ObjectId object, NodeId node) {
+  MAKALU_EXPECTS(object < holders_.size());
+  MAKALU_EXPECTS(node < objects_of_node_.size());
+  auto& h = holders_[object];
+  const auto it = std::lower_bound(h.begin(), h.end(), node);
+  if (it != h.end() && *it == node) return;
+  h.insert(it, node);
+  objects_of_node_[node].push_back(object);
+}
+
+bool ObjectCatalog::remove_replica(ObjectId object, NodeId node) {
+  MAKALU_EXPECTS(object < holders_.size());
+  MAKALU_EXPECTS(node < objects_of_node_.size());
+  auto& h = holders_[object];
+  const auto it = std::lower_bound(h.begin(), h.end(), node);
+  if (it == h.end() || *it != node) return false;
+  h.erase(it);
+  auto& objs = objects_of_node_[node];
+  objs.erase(std::find(objs.begin(), objs.end(), object));
+  return true;
+}
+
+}  // namespace makalu

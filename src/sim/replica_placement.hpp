@@ -1,0 +1,75 @@
+// Object/replica placement for search experiments (paper §4.1):
+// "replication ratio represents the percentage of nodes that contain a
+// replica for a given object; nodes were chosen uniformly at random."
+//
+// ObjectCatalog maps object ids -> replica holders and node -> stored
+// objects. Object ids are dense [0, object_count); the 64-bit key fed to
+// Bloom filters is a salted mix of the object id so filter bit patterns
+// are seed-stable but uncorrelated across objects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+using ObjectId = std::uint32_t;
+
+class ObjectCatalog {
+ public:
+  ObjectCatalog() = default;
+
+  /// Places `object_count` distinct objects on a network of `node_count`
+  /// nodes. Each object lands on max(1, round(replication_ratio * n))
+  /// distinct nodes chosen uniformly at random.
+  ObjectCatalog(std::size_t node_count, std::size_t object_count,
+                double replication_ratio, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return objects_of_node_.size();
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return holders_.size();
+  }
+  [[nodiscard]] std::size_t replicas_per_object() const noexcept {
+    return replicas_per_object_;
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& holders(ObjectId object) const {
+    MAKALU_EXPECTS(object < holders_.size());
+    return holders_[object];
+  }
+
+  [[nodiscard]] const std::vector<ObjectId>& objects_on(NodeId node) const {
+    MAKALU_EXPECTS(node < objects_of_node_.size());
+    return objects_of_node_[node];
+  }
+
+  [[nodiscard]] bool node_has_object(NodeId node, ObjectId object) const;
+
+  /// Content churn: adds a replica of `object` on `node` (no-op if
+  /// already present). Used by the dynamic-content experiments; the ABF
+  /// router learns of it via AbfRouter::notify_insert.
+  void add_replica(ObjectId object, NodeId node);
+
+  /// Removes the replica of `object` from `node`; returns false if it was
+  /// not there. Routing summaries require a rebuild after removals (see
+  /// AbfRouter::rebuild) — Bloom advertisements are monotone.
+  bool remove_replica(ObjectId object, NodeId node);
+
+  /// Stable 64-bit Bloom key for an object.
+  [[nodiscard]] static std::uint64_t object_key(ObjectId object) noexcept {
+    std::uint64_t s = 0x51ed2701a3c5e897ULL ^ object;
+    return splitmix64(s);
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> holders_;        // object -> nodes
+  std::vector<std::vector<ObjectId>> objects_of_node_;  // node -> objects
+  std::size_t replicas_per_object_ = 0;
+};
+
+}  // namespace makalu

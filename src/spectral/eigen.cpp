@@ -1,0 +1,244 @@
+#include "spectral/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+namespace {
+
+double hypot_stable(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of a real symmetric matrix to tridiagonal form
+// (eigenvalues-only variant of the classic tred2). On return `diag` holds
+// the diagonal and `off` the sub-diagonal (off[0] unused, shifted by the
+// caller).
+void householder_tridiagonalize(SymmetricMatrix& m, std::vector<double>& diag,
+                                std::vector<double>& off) {
+  const std::size_t n = m.size();
+  diag.assign(n, 0.0);
+  off.assign(n, 0.0);
+  if (n == 0) return;
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(m.at(i, k));
+      if (scale == 0.0) {
+        off[i] = m.at(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          m.at(i, k) /= scale;
+          h += m.at(i, k) * m.at(i, k);
+        }
+        double f = m.at(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        off[i] = scale * g;
+        h -= f * g;
+        m.at(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += m.at(j, k) * m.at(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) {
+            g += m.at(k, j) * m.at(i, k);
+          }
+          off[j] = g / h;
+          f += off[j] * m.at(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = m.at(i, j);
+          off[j] = g = off[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) {
+            m.at(j, k) -= f * off[k] + g * m.at(i, k);
+          }
+        }
+      }
+    } else {
+      off[i] = m.at(i, l);
+    }
+    diag[i] = h;
+  }
+  diag[0] = 0.0;
+  off[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m.at(i, i);
+}
+
+// Implicit-shift QL iteration on a symmetric tridiagonal matrix
+// (eigenvalues only). diag/off as produced above; off[0] is a dummy.
+void ql_implicit_shift(std::vector<double>& diag, std::vector<double>& off) {
+  const std::size_t n = diag.size();
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) off[i - 1] = off[i];
+  off[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(off[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iterations == 50) {
+          throw std::runtime_error(
+              "ql_implicit_shift: too many iterations (matrix may not be "
+              "symmetric)");
+        }
+        double g = (diag[l + 1] - diag[l]) / (2.0 * off[l]);
+        double r = hypot_stable(g, 1.0);
+        g = diag[m] - diag[l] +
+            off[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * off[i];
+          const double b = c * off[i];
+          r = hypot_stable(f, g);
+          off[i + 1] = r;
+          if (r == 0.0) {
+            diag[i + 1] -= p;
+            off[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = diag[i + 1] - p;
+          r = (diag[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          diag[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        diag[l] -= p;
+        off[l] = g;
+        off[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+std::vector<double> symmetric_eigenvalues(SymmetricMatrix m) {
+  std::vector<double> diag;
+  std::vector<double> off;
+  householder_tridiagonalize(m, diag, off);
+  ql_implicit_shift(diag, off);
+  std::sort(diag.begin(), diag.end());
+  return diag;
+}
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> off) {
+  MAKALU_EXPECTS(off.size() + 1 == diag.size() || diag.empty());
+  // ql_implicit_shift expects off[] indexed from 1 (off[i] couples i-1,i),
+  // then immediately re-shifts; present it in that layout.
+  std::vector<double> shifted(diag.size(), 0.0);
+  for (std::size_t i = 1; i < diag.size(); ++i) shifted[i] = off[i - 1];
+  ql_implicit_shift(diag, shifted);
+  std::sort(diag.begin(), diag.end());
+  return diag;
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+void orthogonalize_against(std::vector<double>& v,
+                           const std::vector<std::vector<double>>& basis) {
+  // Two passes of classical Gram-Schmidt ("twice is enough").
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& b : basis) {
+      const double proj = dot(v, b);
+      axpy(-proj, b, v);
+    }
+  }
+}
+
+}  // namespace
+
+double lanczos_extreme_eigenvalue(
+    const SymmetricOperator& op, std::size_t n,
+    const std::vector<std::vector<double>>& deflate,
+    const LanczosOptions& options) {
+  MAKALU_EXPECTS(n > 0);
+  for (const auto& d : deflate) MAKALU_EXPECTS(d.size() == n);
+
+  Rng rng(options.seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform() - 0.5;
+  orthogonalize_against(v, deflate);
+  {
+    const double vn = norm(v);
+    MAKALU_EXPECTS(vn > 0.0);
+    for (auto& x : v) x /= vn;
+  }
+
+  std::vector<std::vector<double>> basis;  // full reorthogonalisation
+  basis.push_back(v);
+
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  std::vector<double> w(n);
+  double previous_ritz = 0.0;
+
+  const std::size_t max_iter = std::min(options.max_iterations, n);
+  for (std::size_t j = 0; j < max_iter; ++j) {
+    op(basis[j], w);
+    const double a = dot(w, basis[j]);
+    alpha.push_back(a);
+
+    // w -= a * v_j + beta_{j-1} * v_{j-1}, then reorthogonalise fully.
+    axpy(-a, basis[j], w);
+    if (j > 0) axpy(-beta[j - 1], basis[j - 1], w);
+    orthogonalize_against(w, deflate);
+    orthogonalize_against(w, basis);
+
+    const double b = norm(w);
+
+    // Check convergence of the current Ritz extreme every few steps.
+    if (j >= 2 && (j % 4 == 0 || b < 1e-12 || j + 1 == max_iter)) {
+      auto ritz = tridiagonal_eigenvalues(alpha, beta);
+      const double current = ritz.back();
+      const double scale = std::max(1.0, std::abs(current));
+      if (j > 4 && std::abs(current - previous_ritz) <
+                       options.tolerance * scale) {
+        return current;
+      }
+      previous_ritz = current;
+    }
+
+    if (b < 1e-12) break;  // Krylov space exhausted (exact invariant space)
+    beta.push_back(b);
+    for (auto& x : w) x /= b;
+    basis.push_back(w);
+  }
+
+  if (beta.size() >= alpha.size() && !beta.empty()) {
+    beta.resize(alpha.size() - 1);  // last beta couples to an unused vector
+  }
+  auto ritz = tridiagonal_eigenvalues(alpha, beta);
+  return ritz.empty() ? 0.0 : ritz.back();
+}
+
+}  // namespace makalu

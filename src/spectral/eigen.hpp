@@ -1,0 +1,77 @@
+// Symmetric eigenvalue machinery.
+//
+//  - `symmetric_eigenvalues`: dense full-spectrum solver (Householder
+//    tridiagonalisation followed by implicit-shift QL). O(n^3); used for the
+//    normalized-Laplacian spectrum plots (Figure 1) on graphs up to a few
+//    thousand nodes — exactly the regime the paper analysed.
+//  - `tridiagonal_eigenvalues`: QL on an explicit tridiagonal (also the
+//    Lanczos back end).
+//  - `lanczos_extreme_eigenvalue`: Lanczos with full reorthogonalisation
+//    for the largest eigenvalue of a user-supplied symmetric operator,
+//    with optional deflation vectors. spectral/laplacian.hpp composes this
+//    into an algebraic-connectivity solver that scales to 100k nodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace makalu {
+
+/// Dense symmetric matrix in row-major order (only symmetry is assumed;
+/// the full square is stored for simplicity of the O(n^3) kernels).
+class SymmetricMatrix {
+ public:
+  explicit SymmetricMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * n_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * n_ + c];
+  }
+
+  void set_symmetric(std::size_t r, std::size_t c, double value) {
+    at(r, c) = value;
+    at(c, r) = value;
+  }
+
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// All eigenvalues of a symmetric matrix, ascending. Destroys `m`'s
+/// contents (it is used as workspace).
+[[nodiscard]] std::vector<double> symmetric_eigenvalues(SymmetricMatrix m);
+
+/// All eigenvalues of the symmetric tridiagonal with diagonal `diag`
+/// (length n) and off-diagonal `off` (length n-1), ascending.
+[[nodiscard]] std::vector<double> tridiagonal_eigenvalues(
+    std::vector<double> diag, std::vector<double> off);
+
+/// Symmetric operator: y = A x. `x` and `y` have the same (fixed) length.
+using SymmetricOperator =
+    std::function<void(const std::vector<double>& x, std::vector<double>& y)>;
+
+struct LanczosOptions {
+  std::size_t max_iterations = 300;
+  double tolerance = 1e-9;   ///< relative change in the Ritz value
+  std::uint64_t seed = 12345;
+};
+
+/// Largest eigenvalue of the symmetric operator `op` acting on vectors of
+/// length `n`, with components along each of `deflate` projected out of
+/// every Krylov vector (full reorthogonalisation against both the Krylov
+/// basis and the deflation space keeps the computed Ritz value honest).
+[[nodiscard]] double lanczos_extreme_eigenvalue(
+    const SymmetricOperator& op, std::size_t n,
+    const std::vector<std::vector<double>>& deflate = {},
+    const LanczosOptions& options = {});
+
+}  // namespace makalu

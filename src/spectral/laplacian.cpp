@@ -1,0 +1,107 @@
+#include "spectral/laplacian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+SymmetricMatrix dense_laplacian(const CsrGraph& g) {
+  const std::size_t n = g.node_count();
+  SymmetricMatrix m(n);
+  for (NodeId u = 0; u < n; ++u) {
+    m.at(u, u) = static_cast<double>(g.degree(u));
+    for (NodeId v : g.neighbors(u)) {
+      m.at(u, v) = -1.0;
+    }
+  }
+  return m;
+}
+
+SymmetricMatrix dense_normalized_laplacian(const CsrGraph& g) {
+  const std::size_t n = g.node_count();
+  SymmetricMatrix m(n);
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto d = g.degree(u);
+    if (d > 0) inv_sqrt_degree[u] = 1.0 / std::sqrt(static_cast<double>(d));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.degree(u) > 0) m.at(u, u) = 1.0;
+    for (NodeId v : g.neighbors(u)) {
+      m.at(u, v) = -inv_sqrt_degree[u] * inv_sqrt_degree[v];
+    }
+  }
+  return m;
+}
+
+void laplacian_matvec(const CsrGraph& g, const std::vector<double>& x,
+                      std::vector<double>& y) {
+  const std::size_t n = g.node_count();
+  MAKALU_EXPECTS(x.size() == n);
+  y.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = static_cast<double>(g.degree(u)) * x[u];
+    for (NodeId v : g.neighbors(u)) acc -= x[v];
+    y[u] = acc;
+  }
+}
+
+double algebraic_connectivity(const CsrGraph& g,
+                              const AlgebraicConnectivityOptions& options) {
+  const std::size_t n = g.node_count();
+  MAKALU_EXPECTS(n >= 2);
+
+  // λ_max(L) <= 2 * d_max, so M = cI - L with c = 2 d_max + 1 is PSD with
+  // spectrum c - λ_i. Its largest eigenvalue c (eigenvector: all-ones)
+  // corresponds to λ_0 = 0; deflating the all-ones vector makes the largest
+  // remaining eigenvalue c - λ₁. Lanczos converges fast at that end.
+  std::size_t max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) max_degree = std::max(max_degree, g.degree(u));
+  const double c = 2.0 * static_cast<double>(max_degree) + 1.0;
+
+  const SymmetricOperator op = [&g, c](const std::vector<double>& x,
+                                       std::vector<double>& y) {
+    laplacian_matvec(g, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = c * x[i] - y[i];
+  };
+
+  const double inv_sqrt_n = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<std::vector<double>> deflate{
+      std::vector<double>(n, inv_sqrt_n)};
+
+  LanczosOptions lopts;
+  lopts.max_iterations = options.max_iterations;
+  lopts.tolerance = options.tolerance;
+  lopts.seed = options.seed;
+  const double mu = lanczos_extreme_eigenvalue(op, n, deflate, lopts);
+  // Clamp tiny negatives from round-off: λ₁ >= 0 always.
+  return std::max(0.0, c - mu);
+}
+
+std::vector<double> normalized_laplacian_spectrum(const CsrGraph& g) {
+  return symmetric_eigenvalues(dense_normalized_laplacian(g));
+}
+
+std::vector<std::pair<double, double>> normalized_spectrum_points(
+    const std::vector<double>& spectrum) {
+  std::vector<std::pair<double, double>> points;
+  const std::size_t n = spectrum.size();
+  points.reserve(n);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.emplace_back(static_cast<double>(i) / denom, spectrum[i]);
+  }
+  return points;
+}
+
+std::size_t eigenvalue_multiplicity(const std::vector<double>& spectrum,
+                                    double value, double tolerance) {
+  return static_cast<std::size_t>(
+      std::count_if(spectrum.begin(), spectrum.end(), [&](double ev) {
+        return std::abs(ev - value) <= tolerance;
+      }));
+}
+
+}  // namespace makalu

@@ -1,0 +1,63 @@
+// Graph Laplacians and the spectral quantities the paper reports (§3.3,
+// §3.4 / Figure 1).
+//
+//  - algebraic_connectivity: λ₁, the second-smallest eigenvalue of the
+//    combinatorial Laplacian L = D - A (the Fiedler value). Computed via
+//    Lanczos on the complemented operator cI - L with the all-ones
+//    eigenvector deflated, so it scales to very large sparse graphs.
+//  - normalized_laplacian_spectrum: full eigenvalue spectrum of
+//    N = I - D^{-1/2} A D^{-1/2} (eigenvalues in [0, 2]), dense solve —
+//    use on graphs up to a few thousand nodes, as the paper did.
+//  - spectrum plot helpers: the paper's Figure 1 plots (rank/(n-1), λ_i);
+//    `normalized_spectrum_points` produces exactly those pairs, and the
+//    multiplicity counters quantify "connected components" (λ = 0) and
+//    "weakly-connected edge nodes" (λ = 1).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/eigen.hpp"
+
+namespace makalu {
+
+/// Dense combinatorial Laplacian L = D - A. O(n^2) memory.
+[[nodiscard]] SymmetricMatrix dense_laplacian(const CsrGraph& g);
+
+/// Dense normalized Laplacian N = I - D^{-1/2} A D^{-1/2}. Isolated
+/// vertices contribute a diagonal entry of 0 (Chung's convention).
+[[nodiscard]] SymmetricMatrix dense_normalized_laplacian(const CsrGraph& g);
+
+/// Sparse matvec y = L x for the combinatorial Laplacian.
+void laplacian_matvec(const CsrGraph& g, const std::vector<double>& x,
+                      std::vector<double>& y);
+
+struct AlgebraicConnectivityOptions {
+  std::size_t max_iterations = 400;
+  double tolerance = 1e-8;
+  std::uint64_t seed = 7;
+};
+
+/// λ₁ of the combinatorial Laplacian (0 iff the graph is disconnected).
+/// Sparse Lanczos; works at 100k nodes.
+[[nodiscard]] double algebraic_connectivity(
+    const CsrGraph& g, const AlgebraicConnectivityOptions& options = {});
+
+/// Full ascending spectrum of the normalized Laplacian (dense O(n^3)).
+[[nodiscard]] std::vector<double> normalized_laplacian_spectrum(
+    const CsrGraph& g);
+
+/// Figure-1 data: (normalized rank r_i/(n-1), λ_i) pairs, ascending.
+[[nodiscard]] std::vector<std::pair<double, double>>
+normalized_spectrum_points(const std::vector<double>& spectrum);
+
+/// Number of eigenvalues equal to `value` within `tolerance`. With
+/// value = 0 this counts connected components; with value = 1 it counts
+/// (approximately) the weakly-connected "edge" nodes of §3.4.
+[[nodiscard]] std::size_t eigenvalue_multiplicity(
+    const std::vector<double>& spectrum, double value,
+    double tolerance = 1e-6);
+
+}  // namespace makalu

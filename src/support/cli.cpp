@@ -1,0 +1,86 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace makalu {
+
+namespace {
+
+const std::vector<std::string> kCommonFlags = {
+    "n", "runs", "queries", "seed", "paper", "csv", "threads", "help"};
+
+}  // namespace
+
+CliOptions::CliOptions(int argc, const char* const* argv,
+                       std::vector<std::string> allowed) {
+  allowed.insert(allowed.end(), kCommonFlags.begin(), kCommonFlags.end());
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string name = arg;
+    std::string value = "1";  // bare flags act as booleans
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+bool CliOptions::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> CliOptions::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name,
+                                 std::int64_t fallback) const {
+  const auto v = get(name);
+  return v ? std::stoll(*v) : fallback;
+}
+
+double CliOptions::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  return v ? std::stod(*v) : fallback;
+}
+
+std::size_t CliOptions::sized(const std::string& flag, const char* env,
+                              std::size_t fallback) const {
+  if (const auto v = get(flag)) return static_cast<std::size_t>(std::stoull(*v));
+  if (const char* e = std::getenv(env)) {
+    return static_cast<std::size_t>(std::stoull(e));
+  }
+  return fallback;
+}
+
+std::size_t CliOptions::nodes(std::size_t fallback) const {
+  return sized("n", "MAKALU_N", fallback);
+}
+
+std::size_t CliOptions::runs(std::size_t fallback) const {
+  return sized("runs", "MAKALU_RUNS", fallback);
+}
+
+std::size_t CliOptions::queries(std::size_t fallback) const {
+  return sized("queries", "MAKALU_QUERIES", fallback);
+}
+
+std::uint64_t CliOptions::seed(std::uint64_t fallback) const {
+  if (const auto v = get("seed")) return std::stoull(*v);
+  if (const char* e = std::getenv("MAKALU_SEED")) return std::stoull(e);
+  return fallback;
+}
+
+}  // namespace makalu

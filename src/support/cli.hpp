@@ -1,0 +1,53 @@
+// Minimal command-line/environment option parsing for the bench and example
+// binaries. Every experiment binary accepts the same knobs:
+//
+//   --n=<nodes>       network size            (env MAKALU_N)
+//   --runs=<k>        independent runs        (env MAKALU_RUNS)
+//   --queries=<k>     queries per run         (env MAKALU_QUERIES)
+//   --seed=<u64>      master seed             (env MAKALU_SEED)
+//   --paper           use the paper's full-scale parameters
+//   --csv             also emit CSV after each table
+//
+// plus binary-specific flags registered by the caller. Unknown flags are an
+// error so typos are caught.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace makalu {
+
+class CliOptions {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed or unknown
+  /// flags. `allowed` lists the flag names (without "--") this binary
+  /// accepts in addition to the common set.
+  CliOptions(int argc, const char* const* argv,
+             std::vector<std::string> allowed = {});
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Common knobs with env-var fallback, then the provided default.
+  [[nodiscard]] std::size_t nodes(std::size_t fallback) const;
+  [[nodiscard]] std::size_t runs(std::size_t fallback) const;
+  [[nodiscard]] std::size_t queries(std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t seed(std::uint64_t fallback) const;
+  [[nodiscard]] bool paper_scale() const { return has("paper"); }
+  [[nodiscard]] bool csv() const { return has("csv"); }
+
+ private:
+  [[nodiscard]] std::size_t sized(const std::string& flag, const char* env,
+                                  std::size_t fallback) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,33 @@
+// Lightweight Expects()/Ensures()-style contract macros (C++ Core Guidelines
+// I.6/I.8). Violations indicate programmer error, not recoverable input
+// error, so they abort with a diagnostic rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace makalu::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "makalu: %s violated: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace makalu::detail
+
+#define MAKALU_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::makalu::detail::contract_failure("precondition", #cond,    \
+                                               __FILE__, __LINE__))
+
+#define MAKALU_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::makalu::detail::contract_failure("postcondition", #cond,   \
+                                               __FILE__, __LINE__))
+
+#define MAKALU_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::makalu::detail::contract_failure("invariant", #cond,       \
+                                               __FILE__, __LINE__))

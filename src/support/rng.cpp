@@ -1,0 +1,79 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace makalu {
+
+double Rng::exponential(double rate) noexcept {
+  MAKALU_EXPECTS(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller without the cached second variate: one extra log/sqrt per
+  // call buys exact reproducibility under stream splitting.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::pareto(double scale, double shape) noexcept {
+  MAKALU_EXPECTS(scale > 0.0 && shape > 0.0);
+  return scale / std::pow(1.0 - uniform(), 1.0 / shape);
+}
+
+namespace {
+
+// Helper for the rejection-inversion sampler: (x^(1-s) - 1) / (1-s),
+// continuous at s == 1 where it degenerates to log(x).
+double power_bracket(double x, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+  return std::expm1(one_minus_s * std::log(x)) / one_minus_s;
+}
+
+double power_bracket_inverse(double x, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(x);
+  return std::exp(std::log1p(x * one_minus_s) / one_minus_s);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : n_(n), s_(exponent) {
+  MAKALU_EXPECTS(n >= 1);
+  MAKALU_EXPECTS(exponent > 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  ss_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  return std::exp(-s_ * std::log(x));
+}
+
+double ZipfSampler::h_integral(double x) const noexcept {
+  return power_bracket(x, s_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const noexcept {
+  return power_bracket_inverse(x, s_);
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= ss_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::size_t>(k) - 1;  // ranks are 0-based
+    }
+  }
+}
+
+}  // namespace makalu

@@ -1,0 +1,91 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace makalu {
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleStats::mean() const noexcept {
+  OnlineStats acc;
+  for (double s : samples_) acc.add(s);
+  return acc.mean();
+}
+
+double SampleStats::stddev() const noexcept {
+  OnlineStats acc;
+  for (double s : samples_) acc.add(s);
+  return acc.stddev();
+}
+
+double SampleStats::min() const noexcept {
+  return samples_.empty()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const noexcept {
+  return samples_.empty()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStats::ensure_sorted() const {
+  if (sorted_valid_ && sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleStats::percentile(double p) const {
+  MAKALU_EXPECTS(p >= 0.0 && p <= 100.0);
+  MAKALU_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double SampleStats::fraction_at_most(double threshold) const noexcept {
+  if (samples_.empty()) return 0.0;
+  const auto hits = std::count_if(samples_.begin(), samples_.end(),
+                                  [&](double s) { return s <= threshold; });
+  return static_cast<double>(hits) / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  MAKALU_EXPECTS(hi > lo);
+  MAKALU_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+}  // namespace makalu

@@ -1,0 +1,120 @@
+// Statistics accumulators used throughout the experiment harness.
+//
+//  - OnlineStats: Welford single-pass mean/variance, min/max. O(1) memory;
+//    merge() combines accumulators from parallel runs exactly.
+//  - SampleStats: keeps samples for percentiles/median (used where the
+//    paper reports "most queries within N hops").
+//  - Histogram: fixed-width binning for degree / load distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Exact parallel combination (Chan et al.), so sharded accumulation over
+  /// a thread pool matches sequential accumulation bit-for-bit in count and
+  /// to rounding in the moments.
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class SampleStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Percentile in [0, 100] by linear interpolation between order
+  /// statistics. Sorts lazily (const via mutable cache).
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Fraction of samples <= threshold — e.g. "queries resolved within 4
+  /// hops" is fraction_at_most(4) over per-query hop counts.
+  [[nodiscard]] double fraction_at_most(double threshold) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets; out-of-range samples
+  /// clamp into the first/last bucket.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count_in_bin(std::size_t bin) const {
+    MAKALU_EXPECTS(bin < counts_.size());
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const noexcept {
+    return lo_ + width_ * static_cast<double>(bin);
+  }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace makalu

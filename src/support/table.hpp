@@ -1,0 +1,39 @@
+// Plain-text table / CSV output used by every bench binary to print the
+// paper's tables and figure series as aligned rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace makalu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Cells are preformatted strings; helpers below format
+  /// numbers consistently.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our cells).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  static std::string num(double value, int precision = 2);
+  static std::string integer(long long value);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by the bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace makalu

@@ -1,0 +1,98 @@
+// Fixed-size thread pool with a blocking task queue, plus parallel_for /
+// parallel_for_chunked helpers used by the APSP runner and experiment sweeps.
+//
+// Design notes:
+//  - The pool is a plain fork-join utility, not a scheduler: tasks must not
+//    block on each other. That constraint keeps it deadlock-free.
+//  - parallel_for partitions the index space into contiguous chunks, one
+//    in-flight task per chunk, so per-iteration overhead is amortised and
+//    results are deterministic regardless of the number of worker threads
+//    (work is partitioned by index, never raced over).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (default: hardware concurrency,
+  /// at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task. Tasks must not wait on other tasks of the same pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs body(i) for every i in [begin, end), partitioned into at most
+  /// `chunks_per_thread * thread_count()` contiguous chunks. Blocks until
+  /// complete. Exceptions thrown by `body` terminate (tasks are noexcept
+  /// boundaries by design — experiment kernels must not throw).
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                    std::size_t chunks_per_thread = 4) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t max_chunks = thread_count() * chunks_per_thread;
+    const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, end);
+      submit([lo, hi, &body] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+    }
+    wait_idle();
+  }
+
+  /// Like parallel_for but hands each task a whole [lo, hi) range, letting
+  /// the body hoist per-chunk setup (e.g. scratch buffers, split RNGs).
+  template <typename Body>
+  void parallel_for_chunked(std::size_t begin, std::size_t end,
+                            const Body& body,
+                            std::size_t chunks_per_thread = 4) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t max_chunks = thread_count() * chunks_per_thread;
+    const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, end);
+      submit([lo, hi, &body] { body(lo, hi); });
+    }
+    wait_idle();
+  }
+
+  /// Process-wide shared pool for library internals that want parallelism
+  /// without owning threads. Lazily constructed; safe under C++11 statics.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace makalu

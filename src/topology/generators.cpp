@@ -1,0 +1,262 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace makalu {
+
+std::size_t ensure_connected(Graph& g, Rng& rng) {
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  const Components comps = connected_components(csr);
+  if (comps.count <= 1) return 0;
+
+  // Collect members per component and find the giant one.
+  std::vector<std::vector<NodeId>> members(comps.count);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    members[comps.component_of[u]].push_back(u);
+  }
+  std::size_t giant = 0;
+  for (std::size_t c = 1; c < comps.count; ++c) {
+    if (members[c].size() > members[giant].size()) giant = c;
+  }
+
+  std::size_t added = 0;
+  for (std::size_t c = 0; c < comps.count; ++c) {
+    if (c == giant) continue;
+    const NodeId from =
+        members[c][rng.uniform_below(members[c].size())];
+    const NodeId to =
+        members[giant][rng.uniform_below(members[giant].size())];
+    if (g.add_edge(from, to)) ++added;
+  }
+  return added;
+}
+
+Graph PowerLawGenerator::generate(std::size_t nodes,
+                                  std::uint64_t seed) const {
+  MAKALU_EXPECTS(nodes >= 2);
+  Rng rng(seed);
+  Graph g = params_.use_preferential_attachment ? generate_ba(nodes, rng)
+                                                : generate_plrg(nodes, rng);
+  ensure_connected(g, rng);
+  return g;
+}
+
+Graph PowerLawGenerator::generate_plrg(std::size_t nodes, Rng& rng) const {
+  MAKALU_EXPECTS(params_.exponent > 1.0);
+  MAKALU_EXPECTS(params_.min_degree >= 1);
+  MAKALU_EXPECTS(params_.max_degree >= params_.min_degree);
+
+  // Sample a power-law degree sequence by inverse transform over the
+  // discrete support [min_degree, max_degree].
+  const std::size_t support =
+      params_.max_degree - params_.min_degree + 1;
+  std::vector<double> cdf(support);
+  double total = 0.0;
+  for (std::size_t i = 0; i < support; ++i) {
+    const double d = static_cast<double>(params_.min_degree + i);
+    total += std::pow(d, -params_.exponent);
+    cdf[i] = total;
+  }
+  for (auto& c : cdf) c /= total;
+
+  std::vector<std::size_t> degrees(nodes);
+  std::size_t stub_total = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    degrees[i] = params_.min_degree +
+                 static_cast<std::size_t>(it - cdf.begin());
+    stub_total += degrees[i];
+  }
+  if (stub_total % 2 != 0) {
+    ++degrees[rng.uniform_below(nodes)];
+    ++stub_total;
+  }
+
+  // Configuration model: pair shuffled stubs; self-loops and duplicate
+  // edges are simply dropped (standard PLRG practice — it perturbs the
+  // highest degrees slightly, as real crawls do).
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_total);
+  for (NodeId v = 0; v < nodes; ++v) {
+    stubs.insert(stubs.end(), degrees[v], v);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.uniform_below(i)]);
+  }
+
+  Graph g(nodes);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    g.add_edge(stubs[i], stubs[i + 1]);  // no-op on loop/duplicate
+  }
+  return g;
+}
+
+Graph PowerLawGenerator::generate_ba(std::size_t nodes, Rng& rng) const {
+  const std::size_t m = std::max<std::size_t>(1, params_.ba_edges_per_node);
+  MAKALU_EXPECTS(nodes > m);
+
+  Graph g(nodes);
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v);
+  }
+  // Preferential attachment via the repeated-endpoints trick: sampling a
+  // uniform entry of `endpoints` is sampling proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * m * nodes);
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      (void)v;
+      endpoints.push_back(u);
+    }
+  }
+  for (NodeId u = static_cast<NodeId>(m + 1); u < nodes; ++u) {
+    std::size_t attached = 0;
+    std::size_t attempts = 0;
+    while (attached < m && attempts < 50 * m) {
+      ++attempts;
+      const NodeId target = endpoints[rng.uniform_below(endpoints.size())];
+      if (g.add_edge(u, target)) {
+        endpoints.push_back(u);
+        endpoints.push_back(target);
+        ++attached;
+      }
+    }
+  }
+  return g;
+}
+
+TwoTierGenerator::Result TwoTierGenerator::generate(
+    std::size_t nodes, std::uint64_t seed) const {
+  MAKALU_EXPECTS(nodes >= 4);
+  MAKALU_EXPECTS(params_.ultrapeer_fraction > 0.0 &&
+                 params_.ultrapeer_fraction <= 1.0);
+  MAKALU_EXPECTS(params_.leaf_parents_min >= 1);
+  MAKALU_EXPECTS(params_.leaf_parents_max >= params_.leaf_parents_min);
+  Rng rng(seed);
+
+  Result result;
+  result.graph = Graph(nodes);
+  result.is_ultrapeer.assign(nodes, false);
+
+  auto ultrapeer_count = static_cast<std::size_t>(
+      std::max(2.0, std::round(static_cast<double>(nodes) *
+                               params_.ultrapeer_fraction)));
+  ultrapeer_count = std::min(ultrapeer_count, nodes);
+
+  // Promote a uniform random subset to ultrapeer status.
+  std::vector<NodeId> order(nodes);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (std::size_t i = nodes; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_below(i)]);
+  }
+  std::vector<NodeId> ultrapeers(order.begin(),
+                                 order.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         ultrapeer_count));
+  for (NodeId up : ultrapeers) result.is_ultrapeer[up] = true;
+
+  // UP-UP mesh: each ultrapeer opens connections to random other
+  // ultrapeers until its mesh degree reaches the target. Ultrapeers try to
+  // keep a *fixed* number of connections (Stutzbach et al.) — the result
+  // is sharply concentrated around up_up_degree, not power-law.
+  const std::size_t target =
+      std::min(params_.up_up_degree, ultrapeer_count - 1);
+  for (const NodeId up : ultrapeers) {
+    std::size_t attempts = 0;
+    while (result.graph.degree(up) < target && attempts < 20 * target) {
+      ++attempts;
+      const NodeId other =
+          ultrapeers[rng.uniform_below(ultrapeers.size())];
+      if (other == up) continue;
+      result.graph.add_edge(up, other);
+    }
+  }
+
+  // Leaves attach to [min, max] ultrapeer parents.
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (result.is_ultrapeer[v]) continue;
+    const auto parents = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params_.leaf_parents_min),
+        static_cast<std::int64_t>(params_.leaf_parents_max)));
+    std::size_t attached = 0;
+    std::size_t attempts = 0;
+    while (attached < parents && attempts < 20 * parents) {
+      ++attempts;
+      const NodeId up = ultrapeers[rng.uniform_below(ultrapeers.size())];
+      if (result.graph.add_edge(v, up)) ++attached;
+    }
+  }
+
+  ensure_connected(result.graph, rng);
+  return result;
+}
+
+Graph KRegularGenerator::generate(std::size_t nodes,
+                                  std::uint64_t seed) const {
+  MAKALU_EXPECTS(nodes > k_);
+  if ((nodes * k_) % 2 != 0) {
+    throw std::invalid_argument(
+        "KRegularGenerator: n*k must be even for a k-regular graph");
+  }
+  Rng rng(seed);
+
+  // Pairing model with swap repair: shuffle n*k stubs, pair adjacent, then
+  // fix self-loops / duplicates by edge swaps. For k << n the repair loop
+  // terminates almost immediately and the sample is near-uniform.
+  std::vector<NodeId> stubs;
+  stubs.reserve(nodes * k_);
+  for (NodeId v = 0; v < nodes; ++v) stubs.insert(stubs.end(), k_, v);
+
+  for (std::size_t attempt = 0; attempt < 200; ++attempt) {
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.uniform_below(i)]);
+    }
+    Graph g(nodes);
+    bool clean = true;
+    std::vector<std::pair<NodeId, NodeId>> bad;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (!g.add_edge(stubs[i], stubs[i + 1])) {
+        bad.emplace_back(stubs[i], stubs[i + 1]);
+      }
+    }
+    // Repair: re-wire each failed pair by swapping with a random existing
+    // edge (u1,v1): replace with (u1,a) and (v1,b) when both are addable.
+    std::size_t repair_attempts = 0;
+    while (!bad.empty() && repair_attempts < 1000 * (bad.size() + 1)) {
+      ++repair_attempts;
+      auto [a, b] = bad.back();
+      const auto u = static_cast<NodeId>(rng.uniform_below(nodes));
+      if (g.degree(u) == 0) continue;
+      const auto nbrs = g.neighbors(u);
+      const NodeId v = nbrs[rng.uniform_below(nbrs.size())];
+      // Try replacing edge (u,v) with (u,a) and (v,b).
+      if (u == a || v == b || g.has_edge(u, a) || g.has_edge(v, b)) continue;
+      g.remove_edge(u, v);
+      const bool ok1 = g.add_edge(u, a);
+      const bool ok2 = g.add_edge(v, b);
+      MAKALU_ASSERT(ok1 && ok2);
+      bad.pop_back();
+    }
+    if (!bad.empty()) {
+      clean = false;  // retry with a fresh shuffle
+    }
+    if (clean) {
+      // Regular random graphs with k >= 3 are connected w.h.p.; stitch in
+      // the (vanishingly rare) other case. Note stitching perturbs
+      // regularity by one edge per extra component.
+      ensure_connected(g, rng);
+      return g;
+    }
+  }
+  throw std::runtime_error(
+      "KRegularGenerator: failed to produce a simple graph");
+}
+
+}  // namespace makalu

@@ -1,0 +1,107 @@
+// Reference topology generators the paper compares Makalu against (§3.1):
+//
+//  - PowerLawGenerator: Gnutella v0.4-style power-law random graph (PLRG
+//    configuration model over a sampled power-law degree sequence, with a
+//    Barabási–Albert preferential-attachment alternative). Parameters
+//    follow Saroiu/Ripeanu measurements (exponent ~2.3, small minimum
+//    degree).
+//  - TwoTierGenerator: Gnutella v0.6 ultrapeer architecture. A fraction of
+//    nodes are ultrapeers maintaining a dense UP-UP mesh (~30 connections,
+//    per Stutzbach et al. not power-law); leaves attach to a few parents
+//    and route nothing themselves.
+//  - KRegularGenerator: k-regular random graph via the configuration/
+//    pairing model with swap repair (a practical stand-in for Kim & Vu's
+//    exactly-uniform sampler) — the paper's "theoretical optimal" expander
+//    baseline.
+//
+// All generators return a connected simple Graph (components, if any, are
+// stitched by `ensure_connected`, which the paper's measured topologies
+// are too — crawls only see the giant component).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+/// Adds the minimum number of edges needed to make `g` connected: each
+/// non-giant component gets one random edge into the giant component.
+/// Returns the number of edges added.
+std::size_t ensure_connected(Graph& g, Rng& rng);
+
+struct PowerLawParameters {
+  double exponent = 2.3;        ///< degree distribution P(d) ~ d^-exponent
+  std::size_t min_degree = 1;
+  std::size_t max_degree = 100; ///< crawl-observed cap (hub clients)
+  bool use_preferential_attachment = false;  ///< BA instead of PLRG
+  std::size_t ba_edges_per_node = 2;         ///< BA: m
+};
+
+class PowerLawGenerator {
+ public:
+  using Parameters = PowerLawParameters;
+
+  explicit PowerLawGenerator(Parameters params = Parameters{})
+      : params_(params) {}
+
+  [[nodiscard]] Graph generate(std::size_t nodes, std::uint64_t seed) const;
+
+  [[nodiscard]] const Parameters& parameters() const noexcept {
+    return params_;
+  }
+
+ private:
+  [[nodiscard]] Graph generate_plrg(std::size_t nodes, Rng& rng) const;
+  [[nodiscard]] Graph generate_ba(std::size_t nodes, Rng& rng) const;
+
+  Parameters params_;
+};
+
+struct TwoTierParameters {
+  double ultrapeer_fraction = 0.15;   ///< share of nodes promoted to UP
+  std::size_t up_up_degree = 30;      ///< target UP-UP mesh degree
+  std::size_t leaf_parents_min = 1;   ///< leaf attaches to [min, max] UPs
+  std::size_t leaf_parents_max = 3;
+};
+
+class TwoTierGenerator {
+ public:
+  using Parameters = TwoTierParameters;
+
+  explicit TwoTierGenerator(Parameters params = Parameters{})
+      : params_(params) {}
+
+  struct Result {
+    Graph graph;
+    std::vector<bool> is_ultrapeer;  ///< per node
+  };
+
+  [[nodiscard]] Result generate(std::size_t nodes, std::uint64_t seed) const;
+
+  [[nodiscard]] const Parameters& parameters() const noexcept {
+    return params_;
+  }
+
+ private:
+  Parameters params_;
+};
+
+class KRegularGenerator {
+ public:
+  explicit KRegularGenerator(std::size_t k = 10) : k_(k) {
+    MAKALU_EXPECTS(k >= 2);
+  }
+
+  /// n*k must be even (configuration-model stub pairing); the generator
+  /// throws std::invalid_argument otherwise.
+  [[nodiscard]] Graph generate(std::size_t nodes, std::uint64_t seed) const;
+
+  [[nodiscard]] std::size_t degree() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace makalu

@@ -1,0 +1,52 @@
+#include "trace/gnutella_traffic.hpp"
+
+namespace makalu {
+
+TrafficProfile gnutella_traffic_2003() noexcept {
+  TrafficProfile p;
+  p.year = 2003;
+  // "over 400K query messages in a 2 hour interval, or approximately 60
+  // queries per second" ... "queries were propagated to a mean of 4 peers
+  // in 2003" ... "over 130 kbps in 2003".
+  p.queries_per_second = 60.0;
+  p.mean_query_bytes = 106.0;
+  p.forward_fanout = 4.0;
+  p.measured_outgoing_kbps = 130.4;
+  p.observed_success_rate = 0.035;
+  p.active_neighbors = 10.0;  // v0.4-era flat topology client
+  return p;
+}
+
+TrafficProfile gnutella_traffic_2006() noexcept {
+  TrafficProfile p;
+  p.year = 2006;
+  // "23K queries in a 2 hour interval, or about 3 queries per second"
+  // (Table 2 uses the precise 3.23 q/s), "propagated by ultra-peers to a
+  // mean of 38 peers" (Table 2: 38.439), "outgoing query bandwidth of 103
+  // kbps", success 6.9%, "up to 64 neighbors with 35 to 40 ultra-peer
+  // neighbors active".
+  p.queries_per_second = 3.23;
+  p.mean_query_bytes = 106.0;
+  p.forward_fanout = 38.439;
+  p.measured_outgoing_kbps = 103.4;
+  p.observed_success_rate = 0.069;
+  p.active_neighbors = 38.0;
+  return p;
+}
+
+TrafficProfile makalu_profile_from(const TrafficProfile& incoming,
+                                   double simulated_fanout,
+                                   double simulated_success_rate,
+                                   double mean_degree) noexcept {
+  TrafficProfile p;
+  p.year = incoming.year;
+  p.queries_per_second = incoming.queries_per_second;
+  p.mean_query_bytes = incoming.mean_query_bytes;
+  p.forward_fanout = simulated_fanout;
+  p.observed_success_rate = simulated_success_rate;
+  p.active_neighbors = mean_degree;
+  p.measured_outgoing_kbps = p.outgoing_kbps();  // computed == measured here
+  return p;
+}
+
+}  // namespace makalu

@@ -1,0 +1,184 @@
+// Tests for the analysis drivers: topology factory, flood/ABF experiment
+// runners, spectral experiments, and the Table 2 comparison.
+#include <gtest/gtest.h>
+
+#include "analysis/abf_experiments.hpp"
+#include "analysis/flood_experiments.hpp"
+#include "analysis/spectral_experiments.hpp"
+#include "analysis/topology_factory.hpp"
+#include "analysis/traffic_comparison.hpp"
+#include "graph/algorithms.hpp"
+#include "net/latency_model.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(TopologyFactory, BuildsEveryKind) {
+  const EuclideanModel latency(600, 3);
+  for (const auto kind :
+       {TopologyKind::kMakalu, TopologyKind::kGnutellaV04,
+        TopologyKind::kGnutellaV06, TopologyKind::kKRegular}) {
+    const auto built = build_topology(kind, latency, 7);
+    EXPECT_EQ(built.kind, kind);
+    EXPECT_EQ(built.graph.node_count(), 600u);
+    EXPECT_TRUE(is_connected(CsrGraph::from_graph(built.graph)))
+        << topology_name(kind);
+  }
+}
+
+TEST(TopologyFactory, AuxiliaryDataPresence) {
+  const EuclideanModel latency(400, 5);
+  const auto makalu = build_topology(TopologyKind::kMakalu, latency, 1);
+  EXPECT_EQ(makalu.capacity.size(), 400u);
+  EXPECT_TRUE(makalu.is_ultrapeer.empty());
+  const auto v06 = build_topology(TopologyKind::kGnutellaV06, latency, 1);
+  EXPECT_EQ(v06.is_ultrapeer.size(), 400u);
+  EXPECT_TRUE(v06.capacity.empty());
+}
+
+TEST(TopologyFactory, KRegularDegreeAdjustsForParity) {
+  const EuclideanModel latency(401, 5);  // odd n
+  TopologyFactoryOptions options;
+  options.k_regular_degree = 7;  // 401*7 odd → generator must adapt
+  const auto built =
+      build_topology(TopologyKind::kKRegular, latency, 3, options);
+  EXPECT_EQ(built.graph.node_count(), 401u);
+}
+
+TEST(TopologyFactory, NamesAreDistinct) {
+  EXPECT_STRNE(topology_name(TopologyKind::kMakalu),
+               topology_name(TopologyKind::kKRegular));
+  EXPECT_STRNE(topology_name(TopologyKind::kGnutellaV04),
+               topology_name(TopologyKind::kGnutellaV06));
+}
+
+TEST(FloodExperiments, BatchRunsAndCountsQueries) {
+  const EuclideanModel latency(500, 9);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 2);
+  FloodExperimentOptions options;
+  options.queries = 50;
+  options.runs = 2;
+  options.replication_ratio = 0.02;
+  options.ttl = 4;
+  const auto agg = run_flood_batch(topology, options);
+  EXPECT_EQ(agg.queries(), 100u);
+  EXPECT_GT(agg.success_rate(), 0.5);
+  EXPECT_GT(agg.mean_messages(), 0.0);
+}
+
+TEST(FloodExperiments, SuccessMonotoneInTtl) {
+  const EuclideanModel latency(800, 11);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 4);
+  FloodExperimentOptions options;
+  options.queries = 60;
+  options.runs = 1;
+  options.replication_ratio = 0.01;
+  const auto rates = success_vs_ttl(topology, options, 5);
+  ASSERT_EQ(rates.size(), 6u);
+  for (std::size_t t = 1; t < rates.size(); ++t) {
+    EXPECT_GE(rates[t], rates[t - 1] - 0.05);  // monotone modulo noise
+  }
+  EXPECT_GT(rates[5], rates[0]);
+}
+
+TEST(FloodExperiments, FindMinTtlReachesTarget) {
+  const EuclideanModel latency(600, 13);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 6);
+  FloodExperimentOptions options;
+  options.queries = 40;
+  options.runs = 1;
+  options.replication_ratio = 0.05;
+  const auto result = find_min_ttl(topology, options, 0.9, 8);
+  EXPECT_TRUE(result.reached);
+  EXPECT_GE(result.at_min_ttl.success_rate(), 0.9);
+  EXPECT_LE(result.min_ttl, 4u);
+}
+
+TEST(FloodExperiments, TwoTierDispatch) {
+  const EuclideanModel latency(800, 15);
+  const auto topology =
+      build_topology(TopologyKind::kGnutellaV06, latency, 8);
+  FloodExperimentOptions options;
+  options.queries = 30;
+  options.runs = 1;
+  options.replication_ratio = 0.02;
+  options.ttl = 4;
+  const auto agg = run_flood_batch(topology, options);
+  EXPECT_EQ(agg.queries(), 30u);
+  EXPECT_GT(agg.mean_messages(), 0.0);
+}
+
+TEST(AbfExperiments, BatchAndSweep) {
+  const EuclideanModel latency(400, 17);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 10);
+  AbfExperimentOptions options;
+  options.queries = 40;
+  options.runs = 1;
+  options.objects = 20;
+  options.replication_ratio = 0.02;
+  const auto agg = run_abf_batch(topology, 20, options);
+  EXPECT_EQ(agg.queries(), 40u);
+  EXPECT_GT(agg.success_rate(), 0.5);
+
+  const auto rates = abf_success_vs_ttl(topology, options, 20);
+  ASSERT_EQ(rates.size(), 21u);
+  for (std::size_t t = 1; t < rates.size(); ++t) {
+    EXPECT_GE(rates[t], rates[t - 1]);  // exact monotonicity by design
+  }
+  EXPECT_GT(rates[20], 0.5);
+}
+
+TEST(SpectralExperiments, NoFailureKeepsEveryone) {
+  const EuclideanModel latency(300, 19);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 12);
+  const auto result = spectrum_under_failure(topology.graph, 0.0);
+  EXPECT_EQ(result.surviving_nodes, 300u);
+  EXPECT_EQ(result.multiplicity_zero, 1u);  // connected
+  EXPECT_EQ(result.spectrum.size(), 300u);
+}
+
+TEST(SpectralExperiments, TargetedFailureShrinksGraph) {
+  const EuclideanModel latency(300, 21);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 14);
+  const auto result = spectrum_under_failure(topology.graph, 0.1);
+  EXPECT_EQ(result.surviving_nodes, 270u);
+  EXPECT_DOUBLE_EQ(result.failure_fraction, 0.1);
+  // Makalu's claim: remains one component under 10% targeted failure.
+  EXPECT_EQ(result.multiplicity_zero, 1u);
+}
+
+TEST(SpectralExperiments, RandomAdversaryIsSeeded) {
+  const EuclideanModel latency(200, 23);
+  const auto topology = build_topology(TopologyKind::kMakalu, latency, 16);
+  const auto a = spectrum_under_failure(topology.graph, 0.2, true, 5);
+  const auto b = spectrum_under_failure(topology.graph, 0.2, true, 5);
+  EXPECT_EQ(a.surviving_nodes, b.surviving_nodes);
+  ASSERT_EQ(a.spectrum.size(), b.spectrum.size());
+  EXPECT_EQ(a.spectrum, b.spectrum);
+}
+
+TEST(TrafficComparison, SmallScaleSanity) {
+  TrafficComparisonOptions options;
+  options.nodes = 2000;
+  options.queries = 60;
+  options.runs = 1;
+  const auto result = run_traffic_comparison(options);
+  // Gnutella column is the fixed 2006 profile.
+  EXPECT_NEAR(result.gnutella.forward_fanout, 38.439, 1e-9);
+  // Makalu column: per-forwarder fan-out ≈ mean degree (9.5 config),
+  // far below Gnutella's 38.
+  EXPECT_GT(result.makalu.forward_fanout, 3.0);
+  EXPECT_LT(result.makalu.forward_fanout, 15.0);
+  EXPECT_LT(result.makalu.outgoing_kbps(),
+            result.gnutella.outgoing_kbps());
+  EXPECT_GT(result.makalu_mean_degree, 7.0);
+  EXPECT_LT(result.makalu_mean_degree, 11.0);
+  // At 2000 nodes TTL-5 floods cover far more of the network than at
+  // 100k, so success exceeds Gnutella's 6.9% comfortably.
+  EXPECT_GT(result.makalu.observed_success_rate,
+            result.gnutella.observed_success_rate);
+}
+
+}  // namespace
+}  // namespace makalu

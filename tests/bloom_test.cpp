@@ -1,0 +1,187 @@
+// Tests for Bloom filters and attenuated Bloom filters, including the
+// no-false-negative property sweep and level-weighted scoring.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bloom/attenuated_bloom_filter.hpp"
+#include "bloom/bloom_filter.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(BloomParameters, OptimalSizing) {
+  const auto p = BloomParameters::optimal(1000, 0.01);
+  // Canonical: m ≈ 9.585 n, k ≈ 6.64 → 7.
+  EXPECT_NEAR(static_cast<double>(p.bits), 9585.0, 10.0);
+  EXPECT_EQ(p.hashes, 7u);
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  const BloomFilter f({256, 3});
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_FALSE(f.maybe_contains(k));
+  }
+  EXPECT_EQ(f.set_bit_count(), 0u);
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+}
+
+class BloomNoFalseNegatives
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BloomNoFalseNegatives, EveryInsertedKeyIsFound) {
+  const auto [bits, hashes] = GetParam();
+  BloomFilter f({bits, hashes});
+  Rng rng(42);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng());
+  for (const auto k : keys) f.insert(k);
+  for (const auto k : keys) {
+    EXPECT_TRUE(f.maybe_contains(k)) << "bits=" << bits << " k=" << hashes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BloomNoFalseNegatives,
+    ::testing::Combine(::testing::Values(64, 256, 1024, 4096),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  // n=300 into m=4096, k=4: theory fpr = (1 - e^{-kn/m})^k ≈ 0.0054.
+  BloomFilter f({4096, 4});
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) f.insert(rng());
+  int false_positives = 0;
+  const int probes = 40000;
+  Rng other(999);  // disjoint keys w.h.p.
+  for (int i = 0; i < probes; ++i) {
+    false_positives += f.maybe_contains(other());
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  const double theory =
+      std::pow(1.0 - std::exp(-4.0 * 300.0 / 4096.0), 4.0);
+  EXPECT_NEAR(fpr, theory, 0.004);
+  // Internal estimate agrees with the measurement too.
+  EXPECT_NEAR(f.estimated_fpr(), fpr, 0.004);
+}
+
+TEST(BloomFilter, EstimatedCardinality) {
+  BloomFilter f({8192, 4});
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) f.insert(rng());
+  EXPECT_NEAR(f.estimated_cardinality(), 500.0, 30.0);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a({512, 3});
+  BloomFilter b({512, 3});
+  a.insert(1);
+  a.insert(2);
+  b.insert(3);
+  a.merge(b);
+  EXPECT_TRUE(a.maybe_contains(1));
+  EXPECT_TRUE(a.maybe_contains(2));
+  EXPECT_TRUE(a.maybe_contains(3));
+}
+
+TEST(BloomFilter, ClearEmpties) {
+  BloomFilter f({512, 3});
+  f.insert(42);
+  f.clear();
+  EXPECT_FALSE(f.maybe_contains(42));
+  EXPECT_EQ(f.set_bit_count(), 0u);
+}
+
+TEST(BloomFilter, ParametersMatch) {
+  const BloomFilter a({512, 3});
+  const BloomFilter b({512, 3});
+  const BloomFilter c({512, 4});
+  EXPECT_TRUE(a.parameters_match(b));
+  EXPECT_FALSE(a.parameters_match(c));
+}
+
+TEST(BloomFilter, ByteSize) {
+  const BloomFilter f({1024, 4});
+  EXPECT_EQ(f.byte_size(), 128u);
+  // Bits round up to a multiple of 64.
+  const BloomFilter g({100, 2});
+  EXPECT_EQ(g.bit_count(), 128u);
+}
+
+TEST(Abf, InsertAtLevelIsLevelLocal) {
+  AttenuatedBloomFilter abf(3, {512, 3});
+  abf.insert_at(1, 42);
+  EXPECT_FALSE(abf.level(0).maybe_contains(42));
+  EXPECT_TRUE(abf.level(1).maybe_contains(42));
+  EXPECT_FALSE(abf.level(2).maybe_contains(42));
+}
+
+TEST(Abf, FirstMatchLevel) {
+  AttenuatedBloomFilter abf(4, {512, 3});
+  abf.insert_at(2, 7);
+  abf.insert_at(3, 7);
+  const auto level = abf.first_match_level(7);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 2u);
+  EXPECT_FALSE(abf.first_match_level(8).has_value());
+}
+
+TEST(Abf, MatchScoreWeightsShallowLevels) {
+  AttenuatedBloomFilter shallow(3, {512, 3});
+  AttenuatedBloomFilter deep(3, {512, 3});
+  shallow.insert_at(0, 5);
+  deep.insert_at(2, 5);
+  EXPECT_GT(shallow.match_score(5), deep.match_score(5));
+  EXPECT_DOUBLE_EQ(shallow.match_score(5), 1.0);
+  EXPECT_DOUBLE_EQ(deep.match_score(5), 0.25);
+  EXPECT_DOUBLE_EQ(deep.match_score(6), 0.0);
+}
+
+TEST(Abf, MergeShiftedPushesContentDeeper) {
+  AttenuatedBloomFilter ours(3, {512, 3});
+  AttenuatedBloomFilter theirs(3, {512, 3});
+  theirs.insert_at(0, 11);  // their own content
+  theirs.insert_at(1, 22);  // one hop past them
+  theirs.insert_at(2, 33);  // two hops past them (falls off on shift)
+  ours.merge_shifted_from(theirs);
+  EXPECT_TRUE(ours.level(1).maybe_contains(11));
+  EXPECT_TRUE(ours.level(2).maybe_contains(22));
+  EXPECT_FALSE(ours.level(0).maybe_contains(11));
+  // 33 attenuated away.
+  EXPECT_FALSE(ours.level(0).maybe_contains(33));
+  EXPECT_FALSE(ours.level(1).maybe_contains(33));
+  EXPECT_FALSE(ours.level(2).maybe_contains(33));
+}
+
+TEST(Abf, LevelwiseMerge) {
+  AttenuatedBloomFilter a(2, {512, 3});
+  AttenuatedBloomFilter b(2, {512, 3});
+  a.insert_at(0, 1);
+  b.insert_at(1, 2);
+  a.merge(b);
+  EXPECT_TRUE(a.level(0).maybe_contains(1));
+  EXPECT_TRUE(a.level(1).maybe_contains(2));
+}
+
+TEST(Abf, ClearAndStructure) {
+  AttenuatedBloomFilter a(3, {512, 3});
+  a.insert_at(0, 9);
+  a.clear();
+  EXPECT_FALSE(a.first_match_level(9).has_value());
+  const AttenuatedBloomFilter b(3, {512, 3});
+  const AttenuatedBloomFilter c(2, {512, 3});
+  const AttenuatedBloomFilter d(3, {256, 3});
+  EXPECT_TRUE(a.structure_matches(b));
+  EXPECT_FALSE(a.structure_matches(c));
+  EXPECT_FALSE(a.structure_matches(d));
+}
+
+TEST(Abf, ByteSizeSumsLevels) {
+  const AttenuatedBloomFilter a(3, {1024, 4});
+  EXPECT_EQ(a.byte_size(), 3u * 128u);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,152 @@
+// Tests for the Chord structured-overlay baseline.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dht/chord.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(Chord, ResponsibleNodeIsRingSuccessor) {
+  ChordRing ring(64, 7);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng();
+    const NodeId owner = ring.responsible_node(key);
+    // The owner's ring id is the smallest id >= key (with wrap): no other
+    // node may lie in [key, owner_id).
+    const std::uint64_t owner_id = ring.ring_id(owner);
+    for (NodeId v = 0; v < 64; ++v) {
+      if (v == owner) continue;
+      const std::uint64_t vid = ring.ring_id(v);
+      if (owner_id >= key) {
+        EXPECT_FALSE(vid >= key && vid < owner_id) << key;
+      } else {
+        // Wrapped: owner is the global minimum id.
+        EXPECT_FALSE(vid >= key || vid < owner_id) << key;
+      }
+    }
+  }
+}
+
+TEST(Chord, LookupReachesOwner) {
+  ChordRing ring(500, 11);
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(500));
+    const std::uint64_t key = rng();
+    const auto result = ring.lookup(source, key);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.final_node, ring.responsible_node(key));
+  }
+}
+
+TEST(Chord, LookupFromOwnerIsFree) {
+  ChordRing ring(100, 13);
+  Rng rng(3);
+  const std::uint64_t key = rng();
+  const NodeId owner = ring.responsible_node(key);
+  const auto result = ring.lookup(owner, key);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.hops, 0u);
+}
+
+TEST(Chord, HopsScaleLogarithmically) {
+  const double hops_1k = ChordRing(1'000, 17).mean_lookup_hops(400, 5);
+  const double hops_16k = ChordRing(16'000, 17).mean_lookup_hops(400, 5);
+  // Theory: ~log2(n)/2 → ~5 and ~7.
+  EXPECT_NEAR(hops_1k, std::log2(1000.0) / 2.0, 2.0);
+  EXPECT_NEAR(hops_16k, std::log2(16000.0) / 2.0, 2.5);
+  // 16x the network adds only ~2 hops.
+  EXPECT_LT(hops_16k - hops_1k, 3.5);
+}
+
+TEST(Chord, Deterministic) {
+  ChordRing a(200, 21);
+  ChordRing b(200, 21);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_EQ(a.ring_id(v), b.ring_id(v));
+  }
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(200));
+    const std::uint64_t key = rng();
+    EXPECT_EQ(a.lookup(source, key).hops, b.lookup(source, key).hops);
+  }
+}
+
+TEST(Chord, DeadOwnerFailsLookup) {
+  ChordRing ring(100, 23);
+  Rng rng(5);
+  const std::uint64_t key = rng();
+  const NodeId owner = ring.responsible_node(key);
+  std::vector<bool> failed(100, false);
+  failed[owner] = true;
+  NodeId source = 0;
+  if (source == owner) source = 1;
+  ChordRing::LookupOptions options;
+  options.failed = &failed;
+  EXPECT_FALSE(ring.lookup(source, key, options).success);
+}
+
+TEST(Chord, DeadSourceFailsLookup) {
+  ChordRing ring(100, 29);
+  std::vector<bool> failed(100, false);
+  failed[5] = true;
+  ChordRing::LookupOptions options;
+  options.failed = &failed;
+  Rng rng(6);
+  EXPECT_FALSE(ring.lookup(5, rng(), options).success);
+}
+
+TEST(Chord, SuccessorListImprovesFailureTolerance) {
+  const std::size_t n = 2'000;
+  ChordRing ring(n, 31);
+  Rng fail_rng(7);
+  std::vector<bool> failed(n, false);
+  for (std::size_t i = 0; i < n / 5; ++i) {  // 20% random failures
+    failed[fail_rng.uniform_below(n)] = true;
+  }
+  auto success_rate = [&](std::size_t successor_list) {
+    ChordRing::LookupOptions options;
+    options.failed = &failed;
+    options.successor_list = successor_list;
+    Rng rng(8);
+    std::size_t hits = 0;
+    std::size_t attempts = 0;
+    for (int i = 0; i < 400; ++i) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(n));
+      const std::uint64_t key = rng();
+      if (failed[source] || failed[ring.responsible_node(key)]) continue;
+      ++attempts;
+      hits += ring.lookup(source, key, options).success;
+    }
+    return attempts ? static_cast<double>(hits) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  };
+  const double plain = success_rate(1);
+  const double with_list = success_rate(8);
+  EXPECT_GE(with_list, plain);
+  EXPECT_GT(with_list, 0.95);
+}
+
+TEST(Chord, KeyPlacementBalanced) {
+  // Consistent hashing: object ownership spreads across nodes.
+  const std::size_t n = 200;
+  ChordRing ring(n, 37);
+  std::vector<std::size_t> owned(n, 0);
+  for (ObjectId obj = 0; obj < 4'000; ++obj) {
+    ++owned[ring.responsible_node(ObjectCatalog::object_key(obj))];
+  }
+  std::size_t with_any = 0;
+  for (const auto count : owned) with_any += (count > 0);
+  EXPECT_GT(with_any, n / 2);  // most nodes own something
+  const auto max_owned = *std::max_element(owned.begin(), owned.end());
+  EXPECT_LT(max_owned, 4'000u / 10);  // no node owns a tenth of the keys
+}
+
+}  // namespace
+}  // namespace makalu

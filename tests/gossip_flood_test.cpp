@@ -1,0 +1,127 @@
+// Tests for the hybrid flood/gossip engine (§4.4's epidemic extension).
+#include <gtest/gtest.h>
+
+#include "core/overlay_builder.hpp"
+#include "net/latency_model.hpp"
+#include "search/flood_search.hpp"
+#include "search/gossip_flood.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(GossipFlood, ProbabilityOneEqualsPlainFlood) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_cycle(30));
+  const ObjectCatalog catalog(30, 2, 0.1, 5);
+  GossipFloodEngine gossip(csr);
+  FloodEngine flood(csr);
+  GossipFloodOptions gopts;
+  gopts.ttl = 8;
+  gopts.boundary_hops = 3;
+  gopts.gossip_probability = 1.0;
+  FloodOptions fopts;
+  fopts.ttl = 8;
+  Rng rng(1);
+  for (ObjectId obj = 0; obj < 2; ++obj) {
+    const auto g = gossip.run(0, obj, catalog, rng, gopts);
+    const auto f = flood.run(0, obj, catalog, fopts);
+    EXPECT_EQ(g.messages, f.messages);
+    EXPECT_EQ(g.nodes_visited, f.nodes_visited);
+    EXPECT_EQ(g.success, f.success);
+    EXPECT_EQ(g.duplicates, f.duplicates);
+  }
+}
+
+TEST(GossipFlood, IdenticalToFloodWithinBoundary) {
+  // TTL <= boundary: gossip never engages, regardless of probability.
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_star(10));
+  const ObjectCatalog catalog(11, 1, 0.1, 3);
+  GossipFloodEngine gossip(csr);
+  FloodEngine flood(csr);
+  GossipFloodOptions gopts;
+  gopts.ttl = 2;
+  gopts.boundary_hops = 2;
+  gopts.gossip_probability = 0.1;
+  FloodOptions fopts;
+  fopts.ttl = 2;
+  Rng rng(2);
+  const auto g = gossip.run(1, 0, catalog, rng, gopts);
+  const auto f = flood.run(1, 0, catalog, fopts);
+  EXPECT_EQ(g.messages, f.messages);
+  EXPECT_EQ(g.nodes_visited, f.nodes_visited);
+}
+
+class GossipOnOverlay : public ::testing::Test {
+ protected:
+  static const CsrGraph& graph() {
+    static const CsrGraph csr = [] {
+      const EuclideanModel latency(4000, 17);
+      return CsrGraph::from_graph(
+          OverlayBuilder().build(latency, 3).graph);
+    }();
+    return csr;
+  }
+};
+
+TEST_F(GossipOnOverlay, CutsMessagesPastBoundary) {
+  const ObjectCatalog catalog(4000, 10, 0.001, 7);
+  GossipFloodEngine gossip(graph());
+  FloodEngine flood(graph());
+  Rng rng(3);
+  std::uint64_t gossip_msgs = 0;
+  std::uint64_t flood_msgs = 0;
+  std::size_t gossip_hits = 0;
+  std::size_t flood_hits = 0;
+  GossipFloodOptions gopts;
+  gopts.ttl = 6;
+  gopts.boundary_hops = 3;
+  gopts.gossip_probability = 0.4;
+  FloodOptions fopts;
+  fopts.ttl = 6;
+  for (int q = 0; q < 60; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(4000));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(10));
+    const auto g = gossip.run(source, object, catalog, rng, gopts);
+    const auto f = flood.run(source, object, catalog, fopts);
+    gossip_msgs += g.messages;
+    flood_msgs += f.messages;
+    gossip_hits += g.success;
+    flood_hits += f.success;
+  }
+  // Gossip must cut deep-flood cost substantially...
+  EXPECT_LT(gossip_msgs, flood_msgs * 2 / 3);
+  // ...while keeping most of the coverage-driven success.
+  EXPECT_GE(gossip_hits * 10, flood_hits * 7);
+}
+
+TEST_F(GossipOnOverlay, LowerProbabilityMeansFewerMessages) {
+  const ObjectCatalog catalog(4000, 5, 0.001, 9);
+  GossipFloodEngine engine(graph());
+  auto total_messages = [&](double p, std::uint64_t seed) {
+    Rng rng(seed);
+    GossipFloodOptions opts;
+    opts.ttl = 6;
+    opts.boundary_hops = 3;
+    opts.gossip_probability = p;
+    std::uint64_t total = 0;
+    for (int q = 0; q < 30; ++q) {
+      const auto source = static_cast<NodeId>(rng.uniform_below(4000));
+      total += engine.run(source, 0, catalog, rng, opts).messages;
+    }
+    return total;
+  };
+  EXPECT_LT(total_messages(0.25, 4), total_messages(0.75, 4));
+}
+
+TEST(GossipFlood, RejectsZeroProbability) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_cycle(10));
+  const ObjectCatalog catalog(10, 1, 0.1, 1);
+  GossipFloodEngine engine(csr);
+  GossipFloodOptions opts;
+  opts.gossip_probability = 0.0;
+  Rng rng(5);
+  EXPECT_DEATH((void)engine.run(0, 0, catalog, rng, opts), "precondition");
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,247 @@
+// Tests for the graph structures and traversal algorithms.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+using testing::make_barbell;
+using testing::make_complete;
+using testing::make_cycle;
+using testing::make_path;
+using testing::make_star;
+
+TEST(Graph, AddAndRemoveEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate
+  EXPECT_FALSE(g.add_edge(1, 0));  // reversed duplicate
+  EXPECT_FALSE(g.add_edge(2, 2));  // self loop
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.remove_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g(2);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.add_edge(v, 0));
+  EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Graph, IsolateRemovesAllIncidentEdges) {
+  Graph g = make_star(5);
+  EXPECT_EQ(g.degree(0), 5u);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, RemoveNodesCompactsIds) {
+  Graph g = make_path(5);  // 0-1-2-3-4
+  std::vector<bool> failed{false, false, true, false, false};
+  std::vector<NodeId> mapping;
+  const Graph sub = g.remove_nodes(failed, &mapping);
+  EXPECT_EQ(sub.node_count(), 4u);
+  EXPECT_EQ(sub.edge_count(), 2u);  // 0-1 and 3-4 survive
+  EXPECT_EQ(mapping[2], kInvalidNode);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[4], 3u);
+  EXPECT_TRUE(sub.has_edge(mapping[0], mapping[1]));
+  EXPECT_TRUE(sub.has_edge(mapping[3], mapping[4]));
+  EXPECT_FALSE(sub.has_edge(mapping[1], mapping[3]));
+}
+
+TEST(Graph, DegreeSequence) {
+  const Graph g = make_star(3);
+  const auto degrees = g.degree_sequence();
+  EXPECT_EQ(degrees, (std::vector<std::size_t>{3, 1, 1, 1}));
+}
+
+TEST(CsrGraph, MirrorsAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  EXPECT_EQ(csr.node_count(), 4u);
+  EXPECT_EQ(csr.edge_count(), 3u);
+  const auto n0 = csr.neighbors(0);
+  // Rows are sorted.
+  EXPECT_EQ(std::vector<NodeId>(n0.begin(), n0.end()),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(csr.degree(2), 2u);
+  EXPECT_FALSE(csr.has_weights());
+}
+
+TEST(CsrGraph, CarriesWeights) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const CsrGraph csr = CsrGraph::from_graph(
+      g, [](NodeId a, NodeId b) { return static_cast<double>(a + b); });
+  ASSERT_TRUE(csr.has_weights());
+  const auto nbrs = csr.neighbors(1);
+  const auto wts = csr.weights(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wts[i], static_cast<double>(1 + nbrs[i]));
+  }
+}
+
+TEST(Bfs, PathGraphDistances) {
+  const CsrGraph csr = CsrGraph::from_graph(make_path(6));
+  const auto d = bfs_hops(csr, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DisconnectedMarksUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto d = bfs_hops(CsrGraph::from_graph(g), 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachableHops);
+  EXPECT_EQ(d[3], kUnreachableHops);
+}
+
+TEST(Bfs, CycleDistances) {
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(8));
+  const auto d = bfs_hops(csr, 0);
+  EXPECT_EQ(d[4], 4u);  // antipode
+  EXPECT_EQ(d[7], 1u);
+  EXPECT_EQ(d[5], 3u);
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+  // 0-1-2 with cheap edges, plus expensive direct 0-2.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const CsrGraph csr = CsrGraph::from_graph(g, [](NodeId a, NodeId b) {
+    return (a + b == 2 && a != 1 && b != 1) ? 10.0 : 1.0;
+  });
+  const auto cost = dijkstra_costs(csr, 0);
+  EXPECT_DOUBLE_EQ(cost[2], 2.0);  // via node 1, not the direct edge
+  EXPECT_DOUBLE_EQ(cost[1], 1.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const CsrGraph csr =
+      CsrGraph::from_graph(g, [](NodeId, NodeId) { return 1.0; });
+  const auto cost = dijkstra_costs(csr, 0);
+  EXPECT_EQ(cost[2], kUnreachableCost);
+}
+
+TEST(NodesWithinHops, RadiusLimits) {
+  const CsrGraph csr = CsrGraph::from_graph(make_path(10));
+  const auto ball = nodes_within_hops(csr, 0, 3);
+  EXPECT_EQ(ball.size(), 4u);  // nodes 0..3
+  EXPECT_TRUE(std::find(ball.begin(), ball.end(), 3u) != ball.end());
+  EXPECT_TRUE(std::find(ball.begin(), ball.end(), 4u) == ball.end());
+}
+
+TEST(Components, CountsAndLargest) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // 5, 6 isolated
+  const auto comps = connected_components(CsrGraph::from_graph(g));
+  EXPECT_EQ(comps.count, 4u);
+  EXPECT_EQ(comps.largest_size(), 3u);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+}
+
+TEST(Components, ConnectedGraph) {
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(make_cycle(12))));
+  Graph g(2);
+  EXPECT_FALSE(is_connected(CsrGraph::from_graph(g)));
+  EXPECT_TRUE(is_connected(CsrGraph{}));
+}
+
+TEST(PathMetrics, CycleExact) {
+  const Graph g = make_cycle(8);
+  const CsrGraph csr =
+      CsrGraph::from_graph(g, [](NodeId, NodeId) { return 2.0; });
+  const auto m = compute_path_metrics(csr);
+  // Cycle of 8: distances from any node are 1,1,2,2,3,3,4 → mean 16/7.
+  EXPECT_NEAR(m.characteristic_path_hops, 16.0 / 7.0, 1e-9);
+  EXPECT_EQ(m.diameter_hops, 4u);
+  EXPECT_NEAR(m.characteristic_path_cost, 2.0 * 16.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.diameter_cost, 8.0);
+  EXPECT_TRUE(m.connected);
+  EXPECT_EQ(m.sources_used, 8u);
+}
+
+TEST(PathMetrics, StarExact) {
+  const CsrGraph csr = CsrGraph::from_graph(make_star(9));
+  const auto m = compute_path_metrics(csr);
+  // 10 nodes: hub at distance 1 from all; leaf-leaf = 2.
+  // Mean over ordered pairs: (2*9*1 + 9*8*2) / (10*9) = (18+144)/90 = 1.8
+  EXPECT_NEAR(m.characteristic_path_hops, 1.8, 1e-9);
+  EXPECT_EQ(m.diameter_hops, 2u);
+}
+
+TEST(PathMetrics, DetectsDisconnection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto m = compute_path_metrics(CsrGraph::from_graph(g));
+  EXPECT_FALSE(m.connected);
+}
+
+TEST(PathMetrics, SampledMatchesExactOnVertexTransitiveGraph) {
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(64));
+  PathMetricsOptions opts;
+  opts.sample_sources = 8;
+  const auto sampled = compute_path_metrics(csr, opts);
+  const auto exact = compute_path_metrics(csr);
+  // The cycle is vertex-transitive: any source gives identical means.
+  EXPECT_NEAR(sampled.characteristic_path_hops,
+              exact.characteristic_path_hops, 1e-9);
+  EXPECT_EQ(sampled.sources_used, 8u);
+}
+
+TEST(DegreeStats, Basics) {
+  const CsrGraph csr = CsrGraph::from_graph(make_star(4));
+  const auto s = degree_stats(csr);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_NEAR(s.mean, 8.0 / 5.0, 1e-12);
+}
+
+TEST(ExpansionProfile, CompleteGraphSaturatesAtOneHop) {
+  const CsrGraph csr = CsrGraph::from_graph(make_complete(10));
+  const auto profile = expansion_profile(csr, 2, 5, 42);
+  EXPECT_NEAR(profile[0], 0.1, 1e-9);
+  EXPECT_NEAR(profile[1], 1.0, 1e-9);
+  EXPECT_NEAR(profile[2], 1.0, 1e-9);
+}
+
+TEST(ExpansionProfile, BarbellGrowsSlowly) {
+  const CsrGraph barbell = CsrGraph::from_graph(make_barbell(8));
+  const CsrGraph complete = CsrGraph::from_graph(make_complete(16));
+  const auto slow = expansion_profile(barbell, 1, 16, 1);
+  const auto fast = expansion_profile(complete, 1, 16, 1);
+  EXPECT_LT(slow[1], fast[1]);
+}
+
+}  // namespace
+}  // namespace makalu

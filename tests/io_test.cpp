@@ -1,0 +1,138 @@
+// Tests for graph/overlay serialization and a cross-validation suite
+// tying the protocol layer's local rating to the graph-level engine.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/overlay_io.hpp"
+#include "core/rating.hpp"
+#include "graph/io.hpp"
+#include "net/latency_model.hpp"
+#include "proto/node.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(GraphIo, RoundTripSmallGraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_EQ(loaded.node_count(), 5u);
+  EXPECT_EQ(loaded.edge_count(), 3u);
+  EXPECT_TRUE(loaded.has_edge(0, 1));
+  EXPECT_TRUE(loaded.has_edge(1, 2));
+  EXPECT_TRUE(loaded.has_edge(3, 4));
+  EXPECT_FALSE(loaded.has_edge(0, 4));
+}
+
+TEST(GraphIo, RoundTripBuiltOverlayGraph) {
+  const EuclideanModel latency(400, 3);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 7);
+  std::stringstream buffer;
+  save_graph(buffer, overlay.graph);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_EQ(loaded.node_count(), overlay.graph.node_count());
+  EXPECT_EQ(loaded.edge_count(), overlay.graph.edge_count());
+  EXPECT_EQ(loaded.degree_sequence(), overlay.graph.degree_sequence());
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  std::stringstream buffer("not-a-graph\n3 0\n");
+  EXPECT_THROW((void)load_graph(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncatedEdgeList) {
+  std::stringstream buffer("makalu-graph v1\n4 3\n0 1\n1 2\n");
+  EXPECT_THROW((void)load_graph(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream buffer("makalu-graph v1\n3 1\n0 7\n");
+  EXPECT_THROW((void)load_graph(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsDuplicateEdge) {
+  std::stringstream buffer("makalu-graph v1\n3 2\n0 1\n1 0\n");
+  EXPECT_THROW((void)load_graph(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RoundTripWithCapacities) {
+  const EuclideanModel latency(300, 5);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 11);
+  std::stringstream buffer;
+  save_overlay(buffer, overlay);
+  const MakaluOverlay loaded = load_overlay(buffer);
+  EXPECT_EQ(loaded.graph.degree_sequence(),
+            overlay.graph.degree_sequence());
+  EXPECT_EQ(loaded.capacity, overlay.capacity);
+}
+
+TEST(OverlayIo, GraphMagicIsNotAnOverlay) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, FileRoundTrip) {
+  const EuclideanModel latency(100, 9);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 13);
+  const std::string path = ::testing::TempDir() + "/makalu_overlay.txt";
+  save_overlay_file(path, overlay);
+  const MakaluOverlay loaded = load_overlay_file(path);
+  EXPECT_EQ(loaded.capacity, overlay.capacity);
+  EXPECT_EQ(loaded.graph.edge_count(), overlay.graph.edge_count());
+}
+
+TEST(OverlayIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_overlay_file("/nonexistent/overlay.txt"),
+               std::runtime_error);
+}
+
+// --- cross-validation: protocol-local rating == graph-level engine ---------
+
+TEST(CrossValidation, ProtocolRatingMatchesEngineOnSyncedState) {
+  // Build a small graph + latency world; give a ProtocolNode a fully
+  // synced local view of node u, and compare scores to RatingEngine.
+  const std::size_t n = 60;
+  const EuclideanModel latency(n, 21);
+  Graph g(n);
+  Rng rng(3);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  for (int i = 0; i < 120; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_below(n)),
+               static_cast<NodeId>(rng.uniform_below(n)));
+  }
+
+  RatingEngine engine(g, latency);
+  for (const NodeId u : {NodeId{0}, NodeId{17}, NodeId{42}}) {
+    proto::ProtocolNode node(u, 99, RatingWeights{});
+    for (const NodeId w : g.neighbors(u)) {
+      const auto nbrs = g.neighbors(w);
+      node.add_neighbor(w, latency.latency(u, w),
+                        std::vector<NodeId>(nbrs.begin(), nbrs.end()));
+    }
+    const auto local = node.rate_locally();
+    const auto global = engine.rate_neighbors(u);
+    ASSERT_EQ(local.size(), global.size());
+    for (const auto& lr : local) {
+      const auto it = std::find_if(
+          global.begin(), global.end(),
+          [&](const NeighborRating& r) { return r.neighbor == lr.peer; });
+      ASSERT_NE(it, global.end());
+      EXPECT_NEAR(lr.score, it->score, 1e-9)
+          << "node " << u << " neighbor " << lr.peer;
+    }
+    // And the eviction decision agrees (modulo exact ties).
+    EXPECT_EQ(node.worst_neighbor(0), engine.worst_neighbor(u));
+  }
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,167 @@
+// Tests for Makalu overlay construction: capacity enforcement,
+// connectivity, determinism, expansion quality, and churn entry points.
+#include <gtest/gtest.h>
+
+#include "core/overlay_builder.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/metrics.hpp"
+#include "net/latency_model.hpp"
+#include "spectral/laplacian.hpp"
+#include "support/stats.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(OverlayBuilder, ProducesConnectedOverlay) {
+  const EuclideanModel latency(1000, 3);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 11);
+  EXPECT_EQ(overlay.node_count(), 1000u);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(overlay.graph)));
+}
+
+TEST(OverlayBuilder, RespectsCapacities) {
+  const EuclideanModel latency(800, 5);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 13);
+  for (NodeId v = 0; v < 800; ++v) {
+    // ensure_connected stitching may exceed capacity by at most 1.
+    EXPECT_LE(overlay.graph.degree(v), overlay.capacity[v] + 1) << v;
+  }
+}
+
+TEST(OverlayBuilder, CapacitiesInConfiguredRange) {
+  MakaluParameters params;
+  params.capacity_min = 4;
+  params.capacity_max = 6;
+  const EuclideanModel latency(300, 7);
+  const MakaluOverlay overlay = OverlayBuilder(params).build(latency, 1);
+  for (const auto cap : overlay.capacity) {
+    EXPECT_GE(cap, 4u);
+    EXPECT_LE(cap, 6u);
+  }
+}
+
+TEST(OverlayBuilder, DeterministicForSeed) {
+  const EuclideanModel latency(400, 9);
+  const OverlayBuilder builder;
+  const MakaluOverlay a = builder.build(latency, 77);
+  const MakaluOverlay b = builder.build(latency, 77);
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.graph.degree_sequence(), b.graph.degree_sequence());
+  EXPECT_EQ(a.capacity, b.capacity);
+  const MakaluOverlay c = builder.build(latency, 78);
+  EXPECT_NE(a.graph.degree_sequence(), c.graph.degree_sequence());
+}
+
+TEST(OverlayBuilder, MeanDegreeNearCapacityMean) {
+  const EuclideanModel latency(2000, 15);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 3);
+  const auto stats = degree_stats(CsrGraph::from_graph(overlay.graph));
+  // Default capacities are uniform on [6, 13] (mean 9.5); the realised
+  // mean sits close to but no higher than that.
+  EXPECT_GT(stats.mean, 7.5);
+  EXPECT_LT(stats.mean, 10.5);
+  EXPECT_GE(stats.min, 2u);
+}
+
+TEST(OverlayBuilder, ExpanderLikeConnectivity) {
+  // The paper's core claim (§3.3): algebraic connectivity close to a
+  // k-regular random graph, far above power-law overlays.
+  const EuclideanModel latency(1500, 21);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 5);
+  const double lambda1 =
+      algebraic_connectivity(CsrGraph::from_graph(overlay.graph));
+  EXPECT_GT(lambda1, 1.0);
+}
+
+TEST(OverlayBuilder, LowDiameter) {
+  const EuclideanModel latency(2000, 23);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 7);
+  PathMetricsOptions opts;
+  opts.include_costs = false;
+  const auto metrics =
+      compute_path_metrics(CsrGraph::from_graph(overlay.graph), opts);
+  EXPECT_LE(metrics.diameter_hops, 10u);
+  EXPECT_LT(metrics.characteristic_path_hops, 5.0);
+}
+
+TEST(OverlayBuilder, ProximityAwareness) {
+  // With proximity enabled, mean edge latency must be lower than a
+  // proximity-blind (alpha-only) overlay on the same node layout.
+  const EuclideanModel latency(1200, 31);
+  MakaluParameters with_proximity;  // defaults: alpha = beta = 1
+  MakaluParameters no_proximity;
+  no_proximity.weights.beta = 0.0;
+  auto mean_edge_latency = [&](const MakaluOverlay& overlay) {
+    OnlineStats stats;
+    for (NodeId u = 0; u < overlay.graph.node_count(); ++u) {
+      for (const NodeId v : overlay.graph.neighbors(u)) {
+        if (v > u) stats.add(latency.latency(u, v));
+      }
+    }
+    return stats.mean();
+  };
+  const auto near = OverlayBuilder(with_proximity).build(latency, 41);
+  const auto blind = OverlayBuilder(no_proximity).build(latency, 41);
+  EXPECT_LT(mean_edge_latency(near), mean_edge_latency(blind));
+}
+
+TEST(OverlayBuilder, JoinNodeIntegratesNewPeer) {
+  const EuclideanModel latency(200, 33);
+  const OverlayBuilder builder;
+  MakaluOverlay overlay = builder.build(latency, 1);
+  // Simulate churn: node leaves then re-joins.
+  const NodeId victim = 42;
+  overlay.graph.isolate(victim);
+  EXPECT_EQ(overlay.graph.degree(victim), 0u);
+  Rng rng(5);
+  builder.join_node(overlay, latency, victim, rng);
+  EXPECT_GT(overlay.graph.degree(victim), 0u);
+  EXPECT_LE(overlay.graph.degree(victim), overlay.capacity[victim]);
+}
+
+TEST(OverlayBuilder, MaintenanceRoundKeepsInvariants) {
+  const EuclideanModel latency(500, 35);
+  const OverlayBuilder builder;
+  MakaluOverlay overlay = builder.build(latency, 2);
+  Rng rng(9);
+  builder.maintenance_round(overlay, latency, rng);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(overlay.graph)));
+  for (NodeId v = 0; v < 500; ++v) {
+    EXPECT_LE(overlay.graph.degree(v), overlay.capacity[v]);
+  }
+}
+
+TEST(OverlayBuilder, OracleCandidatesMatchWalkQuality) {
+  // The MH-corrected walk should be statistically close to the uniform
+  // oracle: compare algebraic connectivity (both must be expander-grade).
+  const EuclideanModel latency(1000, 37);
+  MakaluParameters walk_params;
+  MakaluParameters oracle_params;
+  oracle_params.oracle_uniform_candidates = true;
+  const double walk_lambda = algebraic_connectivity(CsrGraph::from_graph(
+      OverlayBuilder(walk_params).build(latency, 3).graph));
+  const double oracle_lambda = algebraic_connectivity(CsrGraph::from_graph(
+      OverlayBuilder(oracle_params).build(latency, 3).graph));
+  EXPECT_GT(walk_lambda, 0.6 * oracle_lambda);
+}
+
+TEST(OverlayBuilder, WorksOnAllLatencyModels) {
+  for (const char* model_name : {"euclidean", "transit-stub", "planetlab"}) {
+    const auto model = make_latency_model(model_name, 600, 4);
+    const MakaluOverlay overlay = OverlayBuilder().build(*model, 8);
+    EXPECT_TRUE(is_connected(CsrGraph::from_graph(overlay.graph)))
+        << model_name;
+    const auto stats = degree_stats(CsrGraph::from_graph(overlay.graph));
+    EXPECT_GT(stats.mean, 6.0) << model_name;
+  }
+}
+
+TEST(OverlayBuilder, TinyNetworkBootstrap) {
+  const EuclideanModel latency(5, 2);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 6);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(overlay.graph)));
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,225 @@
+// Tests for the message-level protocol layer: handshakes, management
+// prunes, the emergent overlay, query flooding with reverse-path hits,
+// and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/metrics.hpp"
+#include "proto/network.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_util.hpp"
+
+namespace makalu::proto {
+namespace {
+
+TEST(ProtoMessage, WireSizesIncludeHeader) {
+  Message connect{0, 1, ConnectRequest{}};
+  EXPECT_EQ(wire_size(connect), 23u);
+  Message accept{1, 0, ConnectAccept{{2, 3, 4}}};
+  EXPECT_EQ(wire_size(accept), 23u + 2u + 18u);
+  Message query{0, 1, Query{7, 1, 4}};
+  EXPECT_EQ(wire_size(query), 23u + 83u);
+  EXPECT_STREQ(payload_name(query.payload), "query");
+  EXPECT_STREQ(payload_name(accept.payload), "connect-accept");
+}
+
+TEST(ProtoNode, NeighborBookkeeping) {
+  ProtocolNode node(0, 5, RatingWeights{});
+  node.add_neighbor(1, 2.0, {0, 3});
+  node.add_neighbor(2, 4.0, {0});
+  EXPECT_EQ(node.degree(), 2u);
+  EXPECT_TRUE(node.has_neighbor(1));
+  EXPECT_FALSE(node.has_neighbor(3));
+  const auto table = node.neighbor_table();
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(node.remove_neighbor(1));
+  EXPECT_FALSE(node.remove_neighbor(1));
+  EXPECT_EQ(node.degree(), 1u);
+}
+
+TEST(ProtoNode, LocalRatingPrefersUniqueConnectivity) {
+  // Node 0 with neighbors 1 (table {0,5,6}: two unique) and 2 (table
+  // {0,1}: nothing unique — 1 is direct). Equal latency isolates the
+  // connectivity term.
+  ProtocolNode node(0, 5, RatingWeights{1.0, 0.0});
+  node.add_neighbor(1, 1.0, {0, 5, 6});
+  node.add_neighbor(2, 1.0, {0, 1});
+  const auto ratings = node.rate_locally();
+  ASSERT_EQ(ratings.size(), 2u);
+  const auto& r1 = ratings[0].peer == 1 ? ratings[0] : ratings[1];
+  const auto& r2 = ratings[0].peer == 2 ? ratings[0] : ratings[1];
+  EXPECT_GT(r1.score, r2.score);
+  EXPECT_EQ(node.worst_neighbor(0), 2u);
+}
+
+TEST(ProtoNode, ProvisionalCandidateIsRated) {
+  ProtocolNode node(0, 5, RatingWeights{});
+  node.add_neighbor(1, 1.0, {0, 5});
+  NeighborState candidate;
+  candidate.peer = 9;
+  candidate.latency_ms = 1.0;
+  candidate.table = {7, 8};
+  const auto ratings = node.rate_locally(&candidate);
+  ASSERT_EQ(ratings.size(), 2u);
+  EXPECT_TRUE(ratings[1].is_candidate);
+  EXPECT_EQ(ratings[1].peer, 9u);
+}
+
+TEST(ProtoNode, QueryCacheAndBreadcrumbs) {
+  ProtocolNode node(3, 5, RatingWeights{});
+  EXPECT_TRUE(node.remember_query(42, 7));
+  EXPECT_FALSE(node.remember_query(42, 8));  // duplicate
+  ASSERT_TRUE(node.breadcrumb(42).has_value());
+  EXPECT_EQ(*node.breadcrumb(42), 7u);
+  EXPECT_FALSE(node.breadcrumb(43).has_value());
+}
+
+class ProtoNetworkTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 600;
+
+  static const testing::ConstantLatency& latency() {
+    static const testing::ConstantLatency model(kNodes, 5.0);
+    return model;
+  }
+};
+
+TEST_F(ProtoNetworkTest, BootstrapProducesConnectedOverlay) {
+  ProtocolNetwork network(latency(), nullptr, ProtocolOptions{}, 7);
+  const double converged_at = network.bootstrap_all();
+  EXPECT_GT(converged_at, 0.0);
+  const Graph overlay = network.overlay_snapshot();
+  const CsrGraph csr = CsrGraph::from_graph(overlay);
+  const auto comps = connected_components(csr);
+  // Message-level convergence is softer than the direct builder: accept a
+  // couple of stragglers but require a dominating giant component.
+  EXPECT_GE(static_cast<double>(comps.largest_size()),
+            0.99 * static_cast<double>(kNodes));
+  const auto degrees = degree_stats(csr);
+  EXPECT_GT(degrees.mean, 6.0);
+  EXPECT_LE(degrees.max, 14u);  // capacity cap (6..13) honored
+}
+
+TEST_F(ProtoNetworkTest, CapacitiesAreEnforced) {
+  ProtocolNetwork network(latency(), nullptr, ProtocolOptions{}, 11);
+  network.bootstrap_all();
+  for (NodeId v = 0; v < kNodes; ++v) {
+    EXPECT_LE(network.node(v).degree(), network.node(v).capacity()) << v;
+  }
+}
+
+TEST_F(ProtoNetworkTest, EmergentOverlayIsExpanderGrade) {
+  // The distributed protocol must reproduce the direct builder's headline
+  // property: algebraic connectivity far above power-law territory.
+  const EuclideanModel euclid(800, 13);
+  ProtocolNetwork network(euclid, nullptr, ProtocolOptions{}, 13);
+  network.bootstrap_all();
+  const Graph overlay = network.overlay_snapshot();
+  const CsrGraph csr = CsrGraph::from_graph(overlay);
+  const auto comps = connected_components(csr);
+  ASSERT_GE(static_cast<double>(comps.largest_size()), 0.99 * 800);
+  // Measure lambda_1 on the giant component.
+  std::vector<bool> drop(overlay.node_count());
+  std::size_t giant_id = 0;
+  {
+    std::vector<std::size_t> sizes(comps.count, 0);
+    for (const auto c : comps.component_of) ++sizes[c];
+    giant_id = static_cast<std::size_t>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  }
+  for (NodeId v = 0; v < overlay.node_count(); ++v) {
+    drop[v] = comps.component_of[v] != giant_id;
+  }
+  const Graph giant = overlay.remove_nodes(drop);
+  EXPECT_GT(algebraic_connectivity(CsrGraph::from_graph(giant)), 1.0);
+}
+
+TEST_F(ProtoNetworkTest, TrafficAccountingIsConsistent) {
+  ProtocolNetwork network(latency(), nullptr, ProtocolOptions{}, 17);
+  network.bootstrap_all();
+  const auto& traffic = network.traffic();
+  std::uint64_t count_sum = 0;
+  std::uint64_t bytes_sum = 0;
+  for (std::size_t t = 0; t < kPayloadTypes; ++t) {
+    count_sum += traffic.count[t];
+    bytes_sum += traffic.bytes[t];
+  }
+  EXPECT_EQ(count_sum, traffic.total_messages);
+  EXPECT_EQ(bytes_sum, traffic.total_bytes);
+  EXPECT_GT(traffic.total_messages, kNodes);  // at least the handshakes
+  // Each message costs at least the header.
+  EXPECT_GE(traffic.total_bytes, 23 * traffic.total_messages);
+}
+
+TEST_F(ProtoNetworkTest, PerNodeBytesSumToTotals) {
+  ProtocolNetwork network(latency(), nullptr, ProtocolOptions{}, 41);
+  network.bootstrap_all();
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    sent += network.bytes_sent_by(v);
+    received += network.bytes_received_by(v);
+  }
+  EXPECT_EQ(sent, network.traffic().total_bytes);
+  EXPECT_EQ(received, network.traffic().total_bytes);
+}
+
+TEST_F(ProtoNetworkTest, QueryFloodsAndHitsRouteBack) {
+  const ObjectCatalog catalog(kNodes, 10, 0.02, 3);
+  ProtocolNetwork network(latency(), &catalog, ProtocolOptions{}, 19);
+  network.bootstrap_all();
+  std::size_t successes = 0;
+  Rng rng(5);
+  for (int q = 0; q < 20; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(kNodes));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(10));
+    const QueryOutcome outcome = network.run_query(source, object, 4);
+    successes += outcome.success;
+    if (outcome.success && outcome.response_ms > 0) {
+      // Response time is at least one round trip at 5 ms per hop.
+      EXPECT_GE(outcome.response_ms, 10.0 - 1e-9);
+      EXPECT_GT(outcome.hits, 0u);
+      EXPECT_GT(outcome.hit_messages, 0u);
+    }
+    EXPECT_GT(outcome.query_messages, 0u);
+  }
+  // 2% replication with TTL-4 floods on a ~600-node overlay: essentially
+  // everything resolves.
+  EXPECT_GE(successes, 18u);
+}
+
+TEST_F(ProtoNetworkTest, SourceHoldingObjectAnswersInstantly) {
+  const ObjectCatalog catalog(kNodes, 1, 0.05, 7);
+  ProtocolNetwork network(latency(), &catalog, ProtocolOptions{}, 23);
+  network.bootstrap_all();
+  const NodeId holder = catalog.holders(0).front();
+  const QueryOutcome outcome = network.run_query(holder, 0, 4);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_DOUBLE_EQ(outcome.response_ms, 0.0);
+}
+
+TEST_F(ProtoNetworkTest, DeterministicForSeed) {
+  auto run = [&](std::uint64_t seed) {
+    ProtocolNetwork network(latency(), nullptr, ProtocolOptions{}, seed);
+    network.bootstrap_all();
+    return std::make_pair(network.traffic().total_messages,
+                          network.overlay_snapshot().edge_count());
+  };
+  EXPECT_EQ(run(29), run(29));
+  EXPECT_NE(run(29), run(31));
+}
+
+TEST_F(ProtoNetworkTest, TtlZeroQueriesDoNotPropagate) {
+  const ObjectCatalog catalog(kNodes, 1, 0.01, 9);
+  ProtocolNetwork network(latency(), &catalog, ProtocolOptions{}, 37);
+  network.bootstrap_all();
+  // A source that does not hold the object fails immediately at TTL 0.
+  NodeId source = 0;
+  while (catalog.node_has_object(source, 0)) ++source;
+  const QueryOutcome outcome = network.run_query(source, 0, 0);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.query_messages, 0u);
+}
+
+}  // namespace
+}  // namespace makalu::proto

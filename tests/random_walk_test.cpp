@@ -1,0 +1,106 @@
+// Tests for the random-walk search baseline.
+#include <gtest/gtest.h>
+
+#include "search/random_walk_search.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+ObjectCatalog catalog_on(std::size_t n, NodeId holder) {
+  for (std::uint64_t seed = 0; seed < 20'000; ++seed) {
+    ObjectCatalog catalog(n, 1, 1.0 / static_cast<double>(n), seed);
+    if (catalog.holders(0).front() == holder) return catalog;
+  }
+  ADD_FAILURE() << "could not place object";
+  return ObjectCatalog(n, 1, 1.0, 0);
+}
+
+TEST(RandomWalk, MessagesBoundedByWalkersTimesTtl) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_cycle(50));
+  RandomWalkEngine engine(csr);
+  const auto catalog = catalog_on(50, 25);
+  Rng rng(1);
+  RandomWalkOptions options;
+  options.walkers = 4;
+  options.ttl = 10;
+  options.stop_on_first_hit = false;
+  const auto r = engine.run(0, 0, catalog, rng, options);
+  EXPECT_LE(r.messages, 40u);
+}
+
+TEST(RandomWalk, FindsAdjacentObjectQuickly) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_complete(10));
+  RandomWalkEngine engine(csr);
+  const auto catalog = catalog_on(10, 5);
+  Rng rng(2);
+  RandomWalkOptions options;
+  options.walkers = 8;
+  options.ttl = 50;
+  const auto r = engine.run(0, 0, catalog, rng, options);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.first_hit_hop, 50u);
+}
+
+TEST(RandomWalk, SourceHoldingObjectIsImmediate) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_cycle(10));
+  RandomWalkEngine engine(csr);
+  const auto catalog = catalog_on(10, 3);
+  Rng rng(3);
+  const auto r = engine.run(3, 0, catalog, rng, RandomWalkOptions{});
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.first_hit_hop, 0u);
+}
+
+TEST(RandomWalk, StopOnFirstHitUsesFewerMessages) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_complete(30));
+  RandomWalkEngine engine(csr);
+  const auto catalog = catalog_on(30, 7);
+  RandomWalkOptions stopping;
+  stopping.stop_on_first_hit = true;
+  stopping.walkers = 8;
+  stopping.ttl = 100;
+  RandomWalkOptions exhaustive = stopping;
+  exhaustive.stop_on_first_hit = false;
+  Rng rng_a(4);
+  Rng rng_b(4);
+  const auto stopped = engine.run(0, 0, catalog, rng_a, stopping);
+  const auto full = engine.run(0, 0, catalog, rng_b, exhaustive);
+  EXPECT_TRUE(stopped.success);
+  EXPECT_LE(stopped.messages, full.messages);
+}
+
+TEST(RandomWalk, EventuallyCoversExpanderGraph) {
+  // On K_20 with many walkers and steps, the walk visits everything.
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_complete(20));
+  RandomWalkEngine engine(csr);
+  const ObjectCatalog catalog(20, 1, 1.0 / 20.0, 9);
+  Rng rng(5);
+  RandomWalkOptions options;
+  options.walkers = 16;
+  options.ttl = 200;
+  options.stop_on_first_hit = false;
+  const auto r = engine.run(0, 0, catalog, rng, options);
+  EXPECT_EQ(r.nodes_visited, 20u);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(RandomWalk, DeterministicGivenRngState) {
+  const CsrGraph csr = CsrGraph::from_graph(testing::make_cycle(40));
+  RandomWalkEngine engine(csr);
+  const ObjectCatalog catalog(40, 1, 0.05, 7);
+  RandomWalkOptions options;
+  options.walkers = 3;
+  options.ttl = 30;
+  Rng a(11);
+  Rng b(11);
+  const auto ra = engine.run(0, 0, catalog, a, options);
+  const auto rb = engine.run(0, 0, catalog, b, options);
+  EXPECT_EQ(ra.messages, rb.messages);
+  EXPECT_EQ(ra.success, rb.success);
+  EXPECT_EQ(ra.nodes_visited, rb.nodes_visited);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,221 @@
+// Tests for the Makalu peer rating function on hand-built graphs where
+// the unique reachable sets and boundaries are known exactly.
+#include <gtest/gtest.h>
+
+#include "core/rating.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+using testing::ConstantLatency;
+using testing::MatrixLatency;
+
+// Fixture graph:
+//        1 --- 3
+//       /       \
+//      0         5     (3 and 4 both reach 5)
+//       \       /
+//        2 --- 4
+//        |
+//        6
+// Node 0's neighbors: 1, 2.
+//   Γ(1) = {0, 3}, Γ(2) = {0, 4, 6}.
+//   Boundary of Γ(0) = {3, 4, 6} (u and direct neighbors excluded).
+//   R(0,1) = {3}; R(0,2) = {4, 6}.
+Graph make_fixture() {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  g.add_edge(3, 5);
+  g.add_edge(4, 5);
+  g.add_edge(2, 6);
+  return g;
+}
+
+TEST(Rating, UniqueReachableSetsExact) {
+  const Graph g = make_fixture();
+  const ConstantLatency latency(7);
+  RatingEngine engine(g, latency);
+  auto ratings = engine.rate_neighbors(0);
+  ASSERT_EQ(ratings.size(), 2u);
+  // Order matches neighbor order: 1 then 2.
+  const auto& r1 = ratings[0].neighbor == 1 ? ratings[0] : ratings[1];
+  const auto& r2 = ratings[0].neighbor == 2 ? ratings[0] : ratings[1];
+  EXPECT_EQ(r1.neighbor, 1u);
+  EXPECT_EQ(r2.neighbor, 2u);
+  EXPECT_EQ(r1.unique_reachable, 1u);  // {3}
+  EXPECT_EQ(r2.unique_reachable, 2u);  // {4, 6}
+  EXPECT_EQ(engine.boundary_size(0), 3u);  // {3, 4, 6}
+}
+
+TEST(Rating, SharedNeighborsAreNotUnique) {
+  // Triangle + pendant: u=0 with neighbors 1, 2; 1-2 edge means each sees
+  // the other, but those are direct neighbors of u (excluded anyway).
+  // Give 1 a pendant 3 seen ONLY via 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  const ConstantLatency latency(4);
+  RatingEngine engine(g, latency);
+  auto ratings = engine.rate_neighbors(0);
+  ASSERT_EQ(ratings.size(), 2u);
+  const auto& r1 = ratings[0].neighbor == 1 ? ratings[0] : ratings[1];
+  const auto& r2 = ratings[0].neighbor == 2 ? ratings[0] : ratings[1];
+  EXPECT_EQ(r1.unique_reachable, 1u);  // {3}
+  EXPECT_EQ(r2.unique_reachable, 0u);  // everything via 2 is direct/shared
+  EXPECT_EQ(engine.boundary_size(0), 1u);
+}
+
+TEST(Rating, NodeSeenByTwoNeighborsIsNotUnique) {
+  // 0 - 1 - 3, 0 - 2 - 3: node 3 reachable via both → unique for neither.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const ConstantLatency latency(4);
+  RatingEngine engine(g, latency);
+  for (const auto& r : engine.rate_neighbors(0)) {
+    EXPECT_EQ(r.unique_reachable, 0u);
+    EXPECT_DOUBLE_EQ(r.connectivity, 0.0);
+  }
+  EXPECT_EQ(engine.boundary_size(0), 1u);  // {3} is still boundary
+}
+
+TEST(Rating, ProximityNormalizedScaling) {
+  // Star center 0 with latencies 1, 2, 4 to leaves 1, 2, 3.
+  std::vector<std::vector<double>> m{{0, 1, 2, 4},
+                                     {1, 0, 9, 9},
+                                     {2, 9, 0, 9},
+                                     {4, 9, 9, 0}};
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const MatrixLatency latency(m);
+  RatingWeights weights;
+  weights.alpha = 0.0;  // isolate the proximity term
+  weights.scaling = ProximityScaling::kNormalized;
+  RatingEngine engine(g, latency, weights);
+  const auto ratings = engine.rate_neighbors(0);
+  ASSERT_EQ(ratings.size(), 3u);
+  // d_min = 1: proximity = 1/d → 1.0, 0.5, 0.25; scores equal proximity.
+  for (const auto& r : ratings) {
+    const double expected = 1.0 / m[0][r.neighbor];
+    EXPECT_DOUBLE_EQ(r.proximity, expected);
+    EXPECT_DOUBLE_EQ(r.score, expected);
+  }
+}
+
+TEST(Rating, ProximityPaperLiteralScaling) {
+  std::vector<std::vector<double>> m{{0, 1, 2, 4},
+                                     {1, 0, 9, 9},
+                                     {2, 9, 0, 9},
+                                     {4, 9, 9, 0}};
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const MatrixLatency latency(m);
+  RatingWeights weights;
+  weights.alpha = 0.0;
+  weights.scaling = ProximityScaling::kPaperLiteral;
+  RatingEngine engine(g, latency, weights);
+  for (const auto& r : engine.rate_neighbors(0)) {
+    // d_max = 4: proximity = 4/d → 4, 2, 1.
+    EXPECT_DOUBLE_EQ(r.proximity, 4.0 / m[0][r.neighbor]);
+  }
+}
+
+TEST(Rating, AlphaBetaWeighting) {
+  const Graph g = make_fixture();
+  const ConstantLatency latency(7);
+  RatingWeights conn_only{1.0, 0.0, ProximityScaling::kNormalized};
+  RatingWeights prox_only{0.0, 1.0, ProximityScaling::kNormalized};
+  RatingEngine conn_engine(g, latency, conn_only);
+  RatingEngine prox_engine(g, latency, prox_only);
+  // With constant latency, proximity-only scores are all exactly 1.
+  for (const auto& r : prox_engine.rate_neighbors(0)) {
+    EXPECT_DOUBLE_EQ(r.score, 1.0);
+  }
+  // Connectivity-only: neighbor 2 (2 unique of its 2 others) outranks
+  // neighbor 1 (1 of 1)? Both are fully unique → both 1.0 under the
+  // degree-neutral normalization; check values instead.
+  const auto ratings = conn_engine.rate_neighbors(0);
+  const auto& r1 = ratings[0].neighbor == 1 ? ratings[0] : ratings[1];
+  const auto& r2 = ratings[0].neighbor == 2 ? ratings[0] : ratings[1];
+  // Γ(1)\{0} = {3}, unique {3} → 1.0. Γ(2)\{0} = {4,6}, unique both → 1.0.
+  EXPECT_DOUBLE_EQ(r1.score, 1.0);
+  EXPECT_DOUBLE_EQ(r2.score, 1.0);
+}
+
+TEST(Rating, PaperLiteralConnectivityUsesBoundary) {
+  const Graph g = make_fixture();
+  const ConstantLatency latency(7);
+  RatingWeights weights{1.0, 0.0, ProximityScaling::kPaperLiteral};
+  RatingEngine engine(g, latency, weights);
+  const auto ratings = engine.rate_neighbors(0);
+  const auto& r1 = ratings[0].neighbor == 1 ? ratings[0] : ratings[1];
+  const auto& r2 = ratings[0].neighbor == 2 ? ratings[0] : ratings[1];
+  EXPECT_DOUBLE_EQ(r1.connectivity, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r2.connectivity, 2.0 / 3.0);
+}
+
+TEST(Rating, WorstNeighborPicksLowestScore) {
+  // 0 connected to 1 (redundant) and 2 (unique pendant chain).
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);  // 1's only other contact is 3, also 0's neighbor
+  g.add_edge(2, 4);  // 2 uniquely provides 4
+  const ConstantLatency latency(5);
+  RatingWeights weights{1.0, 0.0, ProximityScaling::kNormalized};
+  RatingEngine engine(g, latency, weights);
+  EXPECT_EQ(engine.worst_neighbor(0), 1u);
+}
+
+TEST(Rating, WorstNeighborTieBreaksByIdDeterministically) {
+  const Graph g = testing::make_star(3);
+  const ConstantLatency latency(4);
+  RatingEngine engine(g, latency);
+  // All leaves identical → lowest id wins the tie.
+  EXPECT_EQ(engine.worst_neighbor(0), 1u);
+}
+
+TEST(Rating, IsolatedNodeHasNoRatings) {
+  Graph g(3);
+  g.add_edge(1, 2);
+  const ConstantLatency latency(3);
+  RatingEngine engine(g, latency);
+  EXPECT_TRUE(engine.rate_neighbors(0).empty());
+  EXPECT_EQ(engine.worst_neighbor(0), kInvalidNode);
+  EXPECT_EQ(engine.boundary_size(0), 0u);
+}
+
+TEST(Rating, ScoresReflectGraphMutation) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const ConstantLatency latency(4);
+  RatingWeights weights{1.0, 0.0, ProximityScaling::kNormalized};
+  RatingEngine engine(g, latency, weights);
+  auto before = engine.rate_neighbors(0);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before[0].unique_reachable, 1u);  // {2}
+  // Connect 0-2 directly: 2 is now a direct neighbor, no longer unique
+  // through 1.
+  g.add_edge(0, 2);
+  auto after = engine.rate_neighbors(0);
+  ASSERT_EQ(after.size(), 2u);
+  const auto& r1 = after[0].neighbor == 1 ? after[0] : after[1];
+  EXPECT_EQ(r1.unique_reachable, 0u);
+}
+
+}  // namespace
+}  // namespace makalu

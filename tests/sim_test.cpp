@@ -1,0 +1,179 @@
+// Tests for the simulation substrate: replica placement, failure
+// injection, the event queue, and query aggregation.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/failure.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(ObjectCatalog, ReplicaCountsMatchRatio) {
+  const ObjectCatalog catalog(1000, 20, 0.01, 5);
+  EXPECT_EQ(catalog.object_count(), 20u);
+  EXPECT_EQ(catalog.replicas_per_object(), 10u);
+  for (ObjectId obj = 0; obj < 20; ++obj) {
+    EXPECT_EQ(catalog.holders(obj).size(), 10u);
+  }
+}
+
+TEST(ObjectCatalog, AtLeastOneReplica) {
+  const ObjectCatalog catalog(100, 5, 0.0001, 7);
+  EXPECT_EQ(catalog.replicas_per_object(), 1u);
+}
+
+TEST(ObjectCatalog, HoldersAreDistinctAndConsistent) {
+  const ObjectCatalog catalog(500, 30, 0.02, 9);
+  for (ObjectId obj = 0; obj < 30; ++obj) {
+    const auto& holders = catalog.holders(obj);
+    for (std::size_t i = 1; i < holders.size(); ++i) {
+      EXPECT_LT(holders[i - 1], holders[i]);  // sorted and distinct
+    }
+    for (const NodeId node : holders) {
+      EXPECT_TRUE(catalog.node_has_object(node, obj));
+    }
+  }
+  // Reverse index consistent.
+  std::size_t total_from_nodes = 0;
+  for (NodeId node = 0; node < 500; ++node) {
+    for (const ObjectId obj : catalog.objects_on(node)) {
+      EXPECT_TRUE(catalog.node_has_object(node, obj));
+      ++total_from_nodes;
+    }
+  }
+  EXPECT_EQ(total_from_nodes, 30u * catalog.replicas_per_object());
+}
+
+TEST(ObjectCatalog, PlacementRoughlyUniform) {
+  const ObjectCatalog catalog(200, 400, 0.05, 11);  // 10 replicas each
+  std::vector<std::size_t> load(200, 0);
+  for (ObjectId obj = 0; obj < 400; ++obj) {
+    for (const NodeId n : catalog.holders(obj)) ++load[n];
+  }
+  // 4000 replicas over 200 nodes → mean 20; no node should be wildly off.
+  for (const auto l : load) {
+    EXPECT_GT(l, 2u);
+    EXPECT_LT(l, 60u);
+  }
+}
+
+TEST(ObjectCatalog, KeysAreStable) {
+  EXPECT_EQ(ObjectCatalog::object_key(5), ObjectCatalog::object_key(5));
+  EXPECT_NE(ObjectCatalog::object_key(5), ObjectCatalog::object_key(6));
+}
+
+TEST(Failure, TopDegreeSelectsHubs) {
+  const Graph g = testing::make_star(9);  // hub 0 has degree 9
+  const auto failed = select_top_degree_failures(g, 0.1);
+  EXPECT_TRUE(failed[0]);
+  EXPECT_EQ(std::count(failed.begin(), failed.end(), true), 1);
+}
+
+TEST(Failure, TopDegreeTieBreakDeterministic) {
+  const Graph g = testing::make_cycle(10);  // all degree 2
+  const auto a = select_top_degree_failures(g, 0.3);
+  const auto b = select_top_degree_failures(g, 0.3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::count(a.begin(), a.end(), true), 3);
+  EXPECT_TRUE(a[0] && a[1] && a[2]);  // id order on ties
+}
+
+TEST(Failure, RandomSelectionCount) {
+  Rng rng(3);
+  const auto failed = select_random_failures(1000, 0.25, rng);
+  EXPECT_EQ(std::count(failed.begin(), failed.end(), true), 250);
+}
+
+TEST(Failure, ApplyProducesSurvivorSubgraph) {
+  const Graph g = testing::make_path(6);
+  auto failed = select_top_degree_failures(g, 0.0);
+  EXPECT_EQ(std::count(failed.begin(), failed.end(), true), 0);
+  failed[0] = true;
+  std::vector<NodeId> mapping;
+  const Graph survivors = apply_failures(g, failed, &mapping);
+  EXPECT_EQ(survivors.node_count(), 5u);
+  EXPECT_EQ(mapping[0], kInvalidNode);
+}
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, FifoOnEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanSchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilHorizonLeavesFutureEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(QueryAggregate, AggregatesCorrectly) {
+  QueryAggregate agg;
+  QueryResult success;
+  success.success = true;
+  success.messages = 10;
+  success.duplicates = 2;
+  success.nodes_visited = 8;
+  success.first_hit_hop = 3;
+  success.replicas_found = 1;
+  success.forwarders = 5;
+  QueryResult failure;
+  failure.messages = 20;
+  failure.forwarders = 10;
+  agg.add(success);
+  agg.add(failure);
+  EXPECT_EQ(agg.queries(), 2u);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.mean_messages(), 15.0);
+  EXPECT_DOUBLE_EQ(agg.duplicate_fraction(), 2.0 / 30.0);
+  EXPECT_DOUBLE_EQ(agg.mean_messages_per_forwarder(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.hit_hops().median(), 3.0);
+}
+
+TEST(QueryAggregate, EmptyIsSafe) {
+  const QueryAggregate agg;
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.duplicate_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean_messages_per_forwarder(), 0.0);
+}
+
+}  // namespace
+}  // namespace makalu

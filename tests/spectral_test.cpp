@@ -1,0 +1,255 @@
+// Tests for the eigensolvers and Laplacian spectral analysis, validated
+// against closed-form spectra of canonical graphs.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "spectral/eigen.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+using testing::make_barbell;
+using testing::make_complete;
+using testing::make_cycle;
+using testing::make_path;
+using testing::make_star;
+
+TEST(DenseEigen, DiagonalMatrix) {
+  SymmetricMatrix m(3);
+  m.at(0, 0) = 3.0;
+  m.at(1, 1) = 1.0;
+  m.at(2, 2) = 2.0;
+  const auto ev = symmetric_eigenvalues(std::move(m));
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0], 1.0, 1e-10);
+  EXPECT_NEAR(ev[1], 2.0, 1e-10);
+  EXPECT_NEAR(ev[2], 3.0, 1e-10);
+}
+
+TEST(DenseEigen, TwoByTwoClosedForm) {
+  SymmetricMatrix m(2);
+  m.at(0, 0) = 2.0;
+  m.at(1, 1) = 3.0;
+  m.set_symmetric(0, 1, 1.0);
+  const auto ev = symmetric_eigenvalues(std::move(m));
+  const double mid = 2.5;
+  const double disc = std::sqrt(0.25 + 1.0);
+  EXPECT_NEAR(ev[0], mid - disc, 1e-10);
+  EXPECT_NEAR(ev[1], mid + disc, 1e-10);
+}
+
+TEST(DenseEigen, TraceAndFrobeniusPreserved) {
+  // Eigenvalues must reproduce trace and sum of squares (Frobenius^2) of
+  // a random symmetric matrix.
+  Rng rng(5);
+  const std::size_t n = 24;
+  SymmetricMatrix m(n);
+  double trace = 0.0;
+  double frob2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double x = rng.normal();
+      m.set_symmetric(i, j, x);
+      frob2 += (i == j) ? x * x : 2.0 * x * x;
+      if (i == j) trace += x;
+    }
+  }
+  const auto ev = symmetric_eigenvalues(std::move(m));
+  double ev_sum = 0.0;
+  double ev_sq = 0.0;
+  for (const double e : ev) {
+    ev_sum += e;
+    ev_sq += e * e;
+  }
+  EXPECT_NEAR(ev_sum, trace, 1e-8);
+  EXPECT_NEAR(ev_sq, frob2, 1e-7);
+}
+
+TEST(TridiagonalEigen, KnownToeplitz) {
+  // Tridiagonal with diag a, off b has eigenvalues a + 2b cos(k pi/(n+1)).
+  const std::size_t n = 7;
+  std::vector<double> diag(n, 2.0);
+  std::vector<double> off(n - 1, -1.0);
+  const auto ev = tridiagonal_eigenvalues(diag, off);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(std::numbers::pi * static_cast<double>(k) /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(ev[k - 1], expected, 1e-10);
+  }
+}
+
+TEST(Laplacian, PathGraphSpectrum) {
+  // Path P_n Laplacian eigenvalues: 2 - 2 cos(pi k / n), k = 0..n-1.
+  const std::size_t n = 8;
+  const CsrGraph csr = CsrGraph::from_graph(make_path(n));
+  auto ev = symmetric_eigenvalues(dense_laplacian(csr));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(std::numbers::pi * static_cast<double>(k) /
+                             static_cast<double>(n));
+    EXPECT_NEAR(ev[k], expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Laplacian, CompleteGraphSpectrum) {
+  // K_n: eigenvalue 0 once and n with multiplicity n-1.
+  const std::size_t n = 6;
+  const auto ev =
+      symmetric_eigenvalues(dense_laplacian(CsrGraph::from_graph(
+          make_complete(n))));
+  EXPECT_NEAR(ev[0], 0.0, 1e-9);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(ev[k], static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST(Laplacian, MatvecMatchesDense) {
+  const CsrGraph csr = CsrGraph::from_graph(make_star(4));
+  const auto dense = dense_laplacian(csr);
+  Rng rng(3);
+  std::vector<double> x(5);
+  for (auto& v : x) v = rng.normal();
+  std::vector<double> y;
+  laplacian_matvec(csr, x, y);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) expected += dense.at(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-12);
+  }
+}
+
+TEST(NormalizedLaplacian, EigenvaluesInZeroTwo) {
+  const CsrGraph csr = CsrGraph::from_graph(make_barbell(5));
+  const auto ev = normalized_laplacian_spectrum(csr);
+  for (const double e : ev) {
+    EXPECT_GE(e, -1e-9);
+    EXPECT_LE(e, 2.0 + 1e-9);
+  }
+}
+
+TEST(NormalizedLaplacian, CompleteGraph) {
+  // K_n normalized Laplacian: 0 once, n/(n-1) with multiplicity n-1.
+  const std::size_t n = 7;
+  const auto ev =
+      normalized_laplacian_spectrum(CsrGraph::from_graph(make_complete(n)));
+  EXPECT_NEAR(ev[0], 0.0, 1e-9);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(ev[k], static_cast<double>(n) / static_cast<double>(n - 1),
+                1e-9);
+  }
+}
+
+TEST(NormalizedLaplacian, ZeroMultiplicityCountsComponents) {
+  Graph g(9);
+  // Three separate triangles.
+  for (NodeId base : {0u, 3u, 6u}) {
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base, base + 2);
+  }
+  const auto ev = normalized_laplacian_spectrum(CsrGraph::from_graph(g));
+  EXPECT_EQ(eigenvalue_multiplicity(ev, 0.0, 1e-8), 3u);
+}
+
+TEST(NormalizedLaplacian, StarHasEigenvalueOneMultiplicity) {
+  // Star K_{1,n}: normalized spectrum is {0, 1 (n-1 times), 2} — the
+  // eigenvalue-1 mass is exactly the paper's "weakly connected edge
+  // nodes" signal.
+  const auto ev =
+      normalized_laplacian_spectrum(CsrGraph::from_graph(make_star(6)));
+  EXPECT_EQ(eigenvalue_multiplicity(ev, 1.0, 1e-8), 5u);
+  EXPECT_EQ(eigenvalue_multiplicity(ev, 0.0, 1e-8), 1u);
+  EXPECT_EQ(eigenvalue_multiplicity(ev, 2.0, 1e-8), 1u);
+}
+
+TEST(SpectrumPoints, NormalizedRanks) {
+  const std::vector<double> spectrum{0.0, 0.5, 1.0, 1.5, 2.0};
+  const auto points = normalized_spectrum_points(spectrum);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].first, 0.5);
+  EXPECT_DOUBLE_EQ(points[2].second, 1.0);
+}
+
+TEST(Lanczos, LargestEigenvalueOfDiagonalOperator) {
+  const std::size_t n = 50;
+  const SymmetricOperator op = [](const std::vector<double>& x,
+                                  std::vector<double>& y) {
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = static_cast<double>(i + 1) * x[i];
+    }
+  };
+  EXPECT_NEAR(lanczos_extreme_eigenvalue(op, n), 50.0, 1e-6);
+}
+
+TEST(Lanczos, DeflationRemovesTopEigenvector) {
+  const std::size_t n = 40;
+  const SymmetricOperator op = [](const std::vector<double>& x,
+                                  std::vector<double>& y) {
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = static_cast<double>(i + 1) * x[i];
+    }
+  };
+  // Deflate e_{n-1} (the top eigenvector): next eigenvalue is n-1.
+  std::vector<double> top(n, 0.0);
+  top[n - 1] = 1.0;
+  EXPECT_NEAR(lanczos_extreme_eigenvalue(op, n, {top}),
+              static_cast<double>(n - 1), 1e-6);
+}
+
+TEST(AlgebraicConnectivity, CycleClosedForm) {
+  // λ1(C_n) = 2 - 2 cos(2π/n).
+  const std::size_t n = 20;
+  const double expected =
+      2.0 - 2.0 * std::cos(2.0 * std::numbers::pi / static_cast<double>(n));
+  EXPECT_NEAR(algebraic_connectivity(CsrGraph::from_graph(make_cycle(n))),
+              expected, 1e-5);
+}
+
+TEST(AlgebraicConnectivity, CompleteGraphEqualsN) {
+  EXPECT_NEAR(
+      algebraic_connectivity(CsrGraph::from_graph(make_complete(12))),
+      12.0, 1e-5);
+}
+
+TEST(AlgebraicConnectivity, MatchesDenseSolverOnIrregularGraph) {
+  Graph g(12);
+  Rng rng(77);
+  // Random connected-ish graph; stitch with a cycle to guarantee
+  // connectivity.
+  for (NodeId v = 0; v < 12; ++v) g.add_edge(v, (v + 1) % 12);
+  for (int i = 0; i < 14; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_below(12)),
+               static_cast<NodeId>(rng.uniform_below(12)));
+  }
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  const auto dense = symmetric_eigenvalues(dense_laplacian(csr));
+  EXPECT_NEAR(algebraic_connectivity(csr), dense[1], 1e-5);
+}
+
+TEST(AlgebraicConnectivity, BarbellIsNearZero) {
+  // Two K_10 joined by one edge: severe bottleneck → tiny λ1.
+  const double lambda1 =
+      algebraic_connectivity(CsrGraph::from_graph(make_barbell(10)));
+  EXPECT_GT(lambda1, 0.0);
+  EXPECT_LT(lambda1, 0.3);
+}
+
+TEST(AlgebraicConnectivity, ExpanderBeatsBottleneck) {
+  const double barbell =
+      algebraic_connectivity(CsrGraph::from_graph(make_barbell(10)));
+  const double complete =
+      algebraic_connectivity(CsrGraph::from_graph(make_complete(20)));
+  EXPECT_GT(complete, 10.0 * barbell);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,92 @@
+// Shared fixtures/helpers for the Makalu test suite: canonical small
+// graphs with known metrics, and a constant-latency model for tests that
+// need latencies but not geometry.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+
+namespace makalu::testing {
+
+/// Path graph 0-1-2-...-(n-1).
+inline Graph make_path(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+/// Cycle graph.
+inline Graph make_cycle(std::size_t n) {
+  Graph g = make_path(n);
+  if (n >= 3) g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+/// Star: node 0 is the hub.
+inline Graph make_star(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+/// Complete graph K_n.
+inline Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+/// Two cliques of size k joined by a single bridge edge (a classic
+/// low-conductance graph).
+inline Graph make_barbell(std::size_t k) {
+  Graph g(2 * k);
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) g.add_edge(u, v);
+  }
+  for (auto u = static_cast<NodeId>(k); u < 2 * k; ++u) {
+    for (auto v = static_cast<NodeId>(u + 1); v < 2 * k; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  g.add_edge(0, static_cast<NodeId>(k));
+  return g;
+}
+
+/// LatencyModel with a single constant latency for every pair.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(std::size_t nodes, double value = 1.0)
+      : nodes_(nodes), value_(value) {}
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override {
+    return a == b ? 0.0 : value_;
+  }
+  [[nodiscard]] std::size_t node_count() const override { return nodes_; }
+
+ private:
+  std::size_t nodes_;
+  double value_;
+};
+
+/// LatencyModel reading from an explicit symmetric matrix.
+class MatrixLatency final : public LatencyModel {
+ public:
+  explicit MatrixLatency(std::vector<std::vector<double>> matrix)
+      : matrix_(std::move(matrix)) {}
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override {
+    return matrix_[a][b];
+  }
+  [[nodiscard]] std::size_t node_count() const override {
+    return matrix_.size();
+  }
+
+ private:
+  std::vector<std::vector<double>> matrix_;
+};
+
+}  // namespace makalu::testing

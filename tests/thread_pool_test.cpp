@@ -1,0 +1,80 @@
+// Tests for the fork-join thread pool and parallel_for helpers.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(997);
+  pool.parallel_for(0, touched.size(),
+                    [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRangeWithoutOverlap) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for_chunked(100, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(touched[i].load(), 0);
+  for (std::size_t i = 100; i < 1000; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPool, ResultIndependentOfThreadCount) {
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(256, 0.0);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::shared().parallel_for(0, 64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace makalu

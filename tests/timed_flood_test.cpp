@@ -1,0 +1,194 @@
+// Tests for the latency-aware flood engine and the QRP extension of the
+// two-tier engine.
+#include <gtest/gtest.h>
+
+#include "core/overlay_builder.hpp"
+#include "net/latency_model.hpp"
+#include "search/flood_search.hpp"
+#include "search/timed_flood.hpp"
+#include "search/two_tier_flood.hpp"
+#include "test_util.hpp"
+#include "topology/generators.hpp"
+
+namespace makalu {
+namespace {
+
+using testing::ConstantLatency;
+using testing::MatrixLatency;
+using testing::make_path;
+
+ObjectCatalog catalog_on(std::size_t n, NodeId holder) {
+  for (std::uint64_t seed = 0; seed < 40'000; ++seed) {
+    ObjectCatalog catalog(n, 1, 1.0 / static_cast<double>(n), seed);
+    if (catalog.holders(0).front() == holder) return catalog;
+  }
+  ADD_FAILURE() << "could not place object";
+  return ObjectCatalog(n, 1, 1.0, 0);
+}
+
+TEST(TimedFlood, ConstantLatencyMatchesHopSemantics) {
+  const CsrGraph csr = CsrGraph::from_graph(make_path(6));
+  const ConstantLatency latency(6, 10.0);
+  TimedFloodEngine timed(csr, latency);
+  const auto catalog = catalog_on(6, 4);
+  const auto r = timed.run(0, 0, catalog, 5);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.first_hit_hop, 4u);
+  EXPECT_DOUBLE_EQ(r.first_hit_ms, 40.0);       // 4 hops x 10 ms
+  EXPECT_DOUBLE_EQ(r.response_ms, 80.0);        // + reverse path
+  // Message/visit accounting agrees with the synchronous engine.
+  FloodEngine sync(csr);
+  FloodOptions fopts;
+  fopts.ttl = 5;
+  const auto s = sync.run(0, 0, catalog, fopts);
+  EXPECT_EQ(r.messages, s.messages);
+  EXPECT_EQ(r.nodes_visited, s.nodes_visited);
+  EXPECT_EQ(r.duplicates, s.duplicates);
+}
+
+TEST(TimedFlood, FirstHitFollowsLatencyNotHops) {
+  // Triangle-ish: 0 connects to 1 (slow, direct to replica at 1) and to
+  // 2 (fast) which connects to 3 (fast) holding a second replica... use a
+  // single object held at BOTH 1 and 3 cannot be built from catalog_on;
+  // instead: object at node 3 only, slow direct edge 0-3 vs fast 2-hop
+  // path 0-2-3. Earliest arrival must take the fast path.
+  std::vector<std::vector<double>> m{
+      {0, 1, 5, 100},
+      {1, 0, 5, 5},
+      {5, 5, 0, 5},
+      {100, 5, 5, 0},
+  };
+  Graph g(4);
+  g.add_edge(0, 3);  // direct but 100 ms
+  g.add_edge(0, 2);  // 5 ms
+  g.add_edge(2, 3);  // 5 ms
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  const MatrixLatency latency(m);
+  TimedFloodEngine timed(csr, latency);
+  const auto catalog = catalog_on(4, 3);
+  const auto r = timed.run(0, 0, catalog, 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.first_hit_ms, 10.0);   // via 0-2-3
+  EXPECT_DOUBLE_EQ(r.response_ms, 20.0);
+  EXPECT_EQ(r.first_hit_hop, 2u);
+}
+
+TEST(TimedFlood, MissReportsNegativeTimes) {
+  const CsrGraph csr = CsrGraph::from_graph(make_path(8));
+  const ConstantLatency latency(8, 1.0);
+  TimedFloodEngine timed(csr, latency);
+  const auto catalog = catalog_on(8, 7);
+  const auto r = timed.run(0, 0, catalog, 3);  // too shallow
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.first_hit_ms, 0.0);
+  EXPECT_LT(r.response_ms, 0.0);
+  EXPECT_GT(r.quiescent_ms, 0.0);
+}
+
+TEST(TimedFlood, WorksOnRealOverlay) {
+  const EuclideanModel latency(800, 3);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 9);
+  const CsrGraph csr = CsrGraph::from_graph(overlay.graph);
+  const ObjectCatalog catalog(800, 5, 0.02, 7);
+  TimedFloodEngine timed(csr, latency);
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(800));
+    const auto r = timed.run(source, 0, catalog, 4);
+    if (r.success) {
+      EXPECT_GE(r.response_ms, r.first_hit_ms);
+      EXPECT_GE(r.quiescent_ms, r.first_hit_ms);
+    }
+  }
+}
+
+// --- QRP -----------------------------------------------------------------
+
+class QrpTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 3000;
+
+  static const TwoTierGenerator::Result& topo() {
+    static const auto result = TwoTierGenerator().generate(kNodes, 5);
+    return result;
+  }
+};
+
+TEST_F(QrpTest, ReducesMessagesWithoutChangingSuccess) {
+  const CsrGraph csr = CsrGraph::from_graph(topo().graph);
+  const ObjectCatalog catalog(kNodes, 20, 0.01, 9);
+  TwoTierFloodEngine engine(csr, topo().is_ultrapeer);
+  engine.prepare_qrp(catalog);
+  ASSERT_TRUE(engine.qrp_ready());
+
+  Rng rng(11);
+  std::uint64_t plain_msgs = 0;
+  std::uint64_t qrp_msgs = 0;
+  std::size_t plain_hits = 0;
+  std::size_t qrp_hits = 0;
+  for (int q = 0; q < 60; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(kNodes));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(20));
+    TwoTierFloodOptions plain;
+    plain.ttl = 4;
+    TwoTierFloodOptions qrp = plain;
+    qrp.use_qrp = true;
+    const auto a = engine.run(source, object, catalog, plain);
+    const auto b = engine.run(source, object, catalog, qrp);
+    plain_msgs += a.messages;
+    qrp_msgs += b.messages;
+    plain_hits += a.success;
+    qrp_hits += b.success;
+  }
+  // QRP digests have no false negatives: identical success.
+  EXPECT_EQ(plain_hits, qrp_hits);
+  // QRP removes (almost all of) the UP->leaf transmissions — with ~30
+  // UP-links and ~11 leaf children per ultrapeer that is ~25% of the
+  // flood; the UP-UP mesh traffic it cannot touch dominates the rest
+  // (which is the paper's §1/§5 point about where v0.6's bandwidth goes).
+  EXPECT_LT(qrp_msgs, plain_msgs * 85 / 100);
+  EXPECT_GT(qrp_msgs, plain_msgs / 2);
+}
+
+TEST_F(QrpTest, FindsReplicasOnLeaves) {
+  const CsrGraph csr = CsrGraph::from_graph(topo().graph);
+  // Every replica is on a leaf: QRP must still find them.
+  ObjectCatalog catalog(kNodes, 1, 1.0 / kNodes, 13);
+  NodeId leaf_holder = kInvalidNode;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    if (!topo().is_ultrapeer[v]) {
+      leaf_holder = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf_holder, kInvalidNode);
+  catalog.add_replica(0, leaf_holder);
+  TwoTierFloodEngine engine(csr, topo().is_ultrapeer);
+  engine.prepare_qrp(catalog);
+  TwoTierFloodOptions qrp;
+  qrp.ttl = 6;
+  qrp.use_qrp = true;
+  // Query from an ultrapeer far from the leaf.
+  NodeId source = kInvalidNode;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    if (topo().is_ultrapeer[v] && !csr.neighbors(v).empty() &&
+        v != leaf_holder) {
+      source = v;
+      break;
+    }
+  }
+  const auto r = engine.run(source, 0, catalog, qrp);
+  EXPECT_TRUE(r.success);
+}
+
+TEST_F(QrpTest, RequiresPreparation) {
+  const CsrGraph csr = CsrGraph::from_graph(topo().graph);
+  const ObjectCatalog catalog(kNodes, 2, 0.01, 15);
+  TwoTierFloodEngine engine(csr, topo().is_ultrapeer);
+  TwoTierFloodOptions qrp;
+  qrp.use_qrp = true;
+  EXPECT_DEATH((void)engine.run(0, 0, catalog, qrp), "precondition");
+}
+
+}  // namespace
+}  // namespace makalu

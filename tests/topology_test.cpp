@@ -1,0 +1,173 @@
+// Tests for the reference topology generators: degree structure,
+// connectivity, and the distributional properties each family must have.
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/metrics.hpp"
+#include "support/stats.hpp"
+#include "topology/generators.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(EnsureConnected, StitchesComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  Rng rng(1);
+  const std::size_t added = ensure_connected(g, rng);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(g)));
+}
+
+TEST(EnsureConnected, NoOpOnConnectedGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Rng rng(1);
+  EXPECT_EQ(ensure_connected(g, rng), 0u);
+}
+
+TEST(PowerLaw, ConnectedAndDeterministic) {
+  PowerLawGenerator gen;
+  const Graph a = gen.generate(2000, 5);
+  const Graph b = gen.generate(2000, 5);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(a)));
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.degree_sequence(), b.degree_sequence());
+}
+
+TEST(PowerLaw, HeavyTailedDegrees) {
+  PowerLawGenerator gen;
+  const Graph g = gen.generate(5000, 11);
+  const auto degrees = g.degree_sequence();
+  const auto max_degree = *std::max_element(degrees.begin(), degrees.end());
+  const std::size_t ones =
+      std::count(degrees.begin(), degrees.end(), std::size_t{1});
+  // Power-law with exponent 2.3 and min degree 1: most nodes have degree
+  // 1-2, but hubs with degree >= 20 exist.
+  EXPECT_GT(max_degree, 20u);
+  EXPECT_GT(ones, 5000u / 3);
+  const auto stats = degree_stats(CsrGraph::from_graph(g));
+  EXPECT_GT(stats.mean, 1.5);
+  EXPECT_LT(stats.mean, 5.0);
+}
+
+TEST(PowerLaw, ExponentControlsTail) {
+  PowerLawParameters steep;
+  steep.exponent = 3.5;
+  PowerLawParameters shallow;
+  shallow.exponent = 1.8;
+  const auto g_steep = PowerLawGenerator(steep).generate(4000, 3);
+  const auto g_shallow = PowerLawGenerator(shallow).generate(4000, 3);
+  const auto d_steep = g_steep.degree_sequence();
+  const auto d_shallow = g_shallow.degree_sequence();
+  EXPECT_LT(*std::max_element(d_steep.begin(), d_steep.end()),
+            *std::max_element(d_shallow.begin(), d_shallow.end()));
+}
+
+TEST(PowerLaw, BarabasiAlbertVariant) {
+  PowerLawParameters params;
+  params.use_preferential_attachment = true;
+  params.ba_edges_per_node = 3;
+  const Graph g = PowerLawGenerator(params).generate(3000, 9);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(g)));
+  const auto stats = degree_stats(CsrGraph::from_graph(g));
+  // BA with m=3: mean degree ~ 2m = 6.
+  EXPECT_NEAR(stats.mean, 6.0, 0.5);
+  EXPECT_GT(stats.max, 30u);  // hubs
+}
+
+TEST(TwoTier, StructureInvariants) {
+  TwoTierGenerator gen;
+  const auto result = gen.generate(5000, 13);
+  ASSERT_EQ(result.is_ultrapeer.size(), 5000u);
+  const std::size_t ultrapeers =
+      std::count(result.is_ultrapeer.begin(), result.is_ultrapeer.end(),
+                 true);
+  EXPECT_NEAR(static_cast<double>(ultrapeers), 0.15 * 5000.0, 50.0);
+
+  // Leaves connect only to ultrapeers, with 1..3 parents (before the
+  // connectivity stitch, which may add at most a handful of extra edges).
+  std::size_t leaf_leaf_edges = 0;
+  for (NodeId v = 0; v < 5000; ++v) {
+    if (result.is_ultrapeer[v]) continue;
+    for (const NodeId u : result.graph.neighbors(v)) {
+      if (!result.is_ultrapeer[u]) ++leaf_leaf_edges;
+    }
+    EXPECT_GE(result.graph.degree(v), 1u);
+    EXPECT_LE(result.graph.degree(v), 4u);
+  }
+  EXPECT_LE(leaf_leaf_edges, 4u);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(result.graph)));
+}
+
+TEST(TwoTier, UltrapeerMeshDegreeConcentrated) {
+  TwoTierGenerator gen;
+  const auto result = gen.generate(4000, 17);
+  OnlineStats up_degrees;
+  for (NodeId v = 0; v < 4000; ++v) {
+    if (!result.is_ultrapeer[v]) continue;
+    std::size_t up_links = 0;
+    for (const NodeId u : result.graph.neighbors(v)) {
+      up_links += result.is_ultrapeer[u];
+    }
+    up_degrees.add(static_cast<double>(up_links));
+  }
+  // "Ultrapeers try to maintain a fixed number of connections": the mesh
+  // degree concentrates at/above the target (each UP initiates up to 30;
+  // accepted connections push some above it).
+  EXPECT_GE(up_degrees.mean(), 28.0);
+  EXPECT_LT(up_degrees.stddev(), 8.0);
+}
+
+TEST(TwoTier, UltrapeerFractionParameter) {
+  TwoTierParameters params;
+  params.ultrapeer_fraction = 0.3;
+  const auto result = TwoTierGenerator(params).generate(2000, 3);
+  const auto ups = std::count(result.is_ultrapeer.begin(),
+                              result.is_ultrapeer.end(), true);
+  EXPECT_NEAR(static_cast<double>(ups), 600.0, 30.0);
+}
+
+TEST(KRegular, ExactDegrees) {
+  KRegularGenerator gen(6);
+  const Graph g = gen.generate(500, 3);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(g)));
+  // Connectivity stitching (rare) may perturb a couple of nodes; almost
+  // every node must have exactly degree 6.
+  std::size_t exact = 0;
+  for (NodeId v = 0; v < 500; ++v) exact += (g.degree(v) == 6);
+  EXPECT_GE(exact, 498u);
+}
+
+TEST(KRegular, OddProductThrows) {
+  KRegularGenerator gen(3);
+  EXPECT_THROW(gen.generate(501, 1), std::invalid_argument);  // 3*501 odd
+  EXPECT_NO_THROW(gen.generate(500, 1));
+}
+
+TEST(KRegular, Deterministic) {
+  KRegularGenerator gen(8);
+  const Graph a = gen.generate(300, 21);
+  const Graph b = gen.generate(300, 21);
+  EXPECT_EQ(a.degree_sequence(), b.degree_sequence());
+  for (NodeId v = 0; v < 300; ++v) {
+    const auto na = a.neighbors(v);
+    for (const NodeId u : na) EXPECT_TRUE(b.has_edge(v, u));
+  }
+}
+
+TEST(KRegular, LowDiameterExpanderLike) {
+  const Graph g = KRegularGenerator(8).generate(2048, 5);
+  const auto metrics = compute_path_metrics(CsrGraph::from_graph(g));
+  // Random 8-regular on 2048 nodes: diameter about log_7(2048) ~ 4 (+1).
+  EXPECT_LE(metrics.diameter_hops, 6u);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,154 @@
+// Tests for the TTL-selection policies (§6 integration of Chang & Liu).
+#include <gtest/gtest.h>
+
+#include "core/overlay_builder.hpp"
+#include "graph/algorithms.hpp"
+#include "net/latency_model.hpp"
+#include "search/ttl_policy.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(FixedTtl, SingleAttempt) {
+  FixedTtlPolicy policy(4);
+  Rng rng(1);
+  EXPECT_EQ(policy.schedule(rng), (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(policy.name(), "fixed(4)");
+}
+
+TEST(ExpandingRing, LadderInOrder) {
+  ExpandingRingPolicy policy({1, 2, 4, 7});
+  Rng rng(2);
+  EXPECT_EQ(policy.schedule(rng), (std::vector<std::uint32_t>{1, 2, 4, 7}));
+}
+
+TEST(ExpandingRing, RejectsUnsortedLadder) {
+  EXPECT_DEATH(ExpandingRingPolicy({3, 2}), "precondition");
+  EXPECT_DEATH(ExpandingRingPolicy({2, 2}), "precondition");
+}
+
+TEST(RandomizedTtl, SchedulesAreLadderSuffixes) {
+  RandomizedTtlPolicy policy({1, 2, 4, 7}, 0.5);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto schedule = policy.schedule(rng);
+    ASSERT_FALSE(schedule.empty());
+    // Must be a suffix of the ladder ending at 7.
+    EXPECT_EQ(schedule.back(), 7u);
+    for (std::size_t j = 1; j < schedule.size(); ++j) {
+      EXPECT_LT(schedule[j - 1], schedule[j]);
+    }
+  }
+}
+
+TEST(RandomizedTtl, ShallowBiasPrefersShallowStarts) {
+  RandomizedTtlPolicy biased({1, 2, 4, 7}, 0.3);
+  RandomizedTtlPolicy uniform({1, 2, 4, 7}, 1.0);
+  Rng rng_a(4);
+  Rng rng_b(4);
+  int biased_shallow = 0;
+  int uniform_shallow = 0;
+  for (int i = 0; i < 2000; ++i) {
+    biased_shallow += (biased.schedule(rng_a).size() == 4);  // started at 1
+    uniform_shallow += (uniform.schedule(rng_b).size() == 4);
+  }
+  EXPECT_GT(biased_shallow, uniform_shallow + 200);
+  // Uniform: each rung ~1/4 of the time.
+  EXPECT_NEAR(uniform_shallow, 500, 120);
+}
+
+class PolicyExecution : public ::testing::Test {
+ protected:
+  static const CsrGraph& graph() {
+    static const CsrGraph csr = [] {
+      const EuclideanModel latency(1500, 9);
+      return CsrGraph::from_graph(
+          OverlayBuilder().build(latency, 5).graph);
+    }();
+    return csr;
+  }
+};
+
+TEST_F(PolicyExecution, ExpandingRingStopsAtFirstSuccessfulRing) {
+  FloodEngine engine(graph());
+  const ObjectCatalog catalog(1500, 10, 0.02, 3);  // plentiful replicas
+  ExpandingRingPolicy ring({1, 2, 3, 4, 6});
+  Rng rng(5);
+  std::size_t multi_attempt = 0;
+  for (int q = 0; q < 50; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(1500));
+    const auto r = run_with_policy(engine, ring, source, 0, catalog, rng);
+    EXPECT_TRUE(r.success);
+    EXPECT_LE(r.final_ttl, 6u);
+    multi_attempt += (r.attempts > 1);
+  }
+  // At 2% replication many queries need more than TTL 1, but few need the
+  // whole ladder.
+  EXPECT_GT(multi_attempt, 0u);
+}
+
+TEST_F(PolicyExecution, ExpandingRingSavesMessagesOnPopularObjects) {
+  FloodEngine engine(graph());
+  const ObjectCatalog catalog(1500, 10, 0.05, 7);  // popular: 75 replicas
+  FixedTtlPolicy fixed(4);
+  ExpandingRingPolicy ring({1, 2, 4});
+  Rng rng(6);
+  std::uint64_t fixed_msgs = 0;
+  std::uint64_t ring_msgs = 0;
+  for (int q = 0; q < 100; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(1500));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(10));
+    fixed_msgs +=
+        run_with_policy(engine, fixed, source, object, catalog, rng)
+            .total_messages;
+    ring_msgs +=
+        run_with_policy(engine, ring, source, object, catalog, rng)
+            .total_messages;
+  }
+  EXPECT_LT(ring_msgs, fixed_msgs / 2);
+}
+
+TEST_F(PolicyExecution, FailedRingsAreCharged) {
+  FloodEngine engine(graph());
+  // Object nowhere: every ring fails and is paid for.
+  const ObjectCatalog catalog(1500, 1, 1.0 / 1500.0, 11);
+  ExpandingRingPolicy ring({1, 2});
+  Rng rng(7);
+  // Find a source at distance > 2 from the single replica.
+  const NodeId holder = catalog.holders(0).front();
+  const auto hops = bfs_hops(graph(), holder);
+  NodeId far_source = kInvalidNode;
+  for (NodeId v = 0; v < 1500; ++v) {
+    if (hops[v] > 4) {
+      far_source = v;
+      break;
+    }
+  }
+  ASSERT_NE(far_source, kInvalidNode);
+  const auto r =
+      run_with_policy(engine, ring, far_source, 0, catalog, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_GT(r.total_messages, 0u);
+}
+
+TEST_F(PolicyExecution, RandomizedPolicyResolvesLikeFixed) {
+  FloodEngine engine(graph());
+  const ObjectCatalog catalog(1500, 10, 0.01, 13);
+  RandomizedTtlPolicy randomized({2, 3, 4, 6}, 0.5);
+  Rng rng(8);
+  std::size_t successes = 0;
+  for (int q = 0; q < 80; ++q) {
+    const auto source = static_cast<NodeId>(rng.uniform_below(1500));
+    const auto object = static_cast<ObjectId>(rng.uniform_below(10));
+    successes +=
+        run_with_policy(engine, randomized, source, object, catalog, rng)
+            .success;
+  }
+  // The ladder tops out at TTL 6 > diameter: everything resolves.
+  EXPECT_GE(successes, 78u);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,124 @@
+// Tests for the Gnutella v0.6 two-tier flood engine.
+#include <gtest/gtest.h>
+
+#include "search/two_tier_flood.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+// Fixture: ultrapeers 0-1-2 in a chain; leaves 3,4 on UP0, leaf 5 on UP2.
+struct TwoTierFixture {
+  Graph g{6};
+  std::vector<bool> is_up{true, true, true, false, false, false};
+
+  TwoTierFixture() {
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 3);
+    g.add_edge(0, 4);
+    g.add_edge(2, 5);
+  }
+};
+
+ObjectCatalog catalog_with_object_on(std::size_t n, NodeId holder) {
+  for (std::uint64_t seed = 0; seed < 20'000; ++seed) {
+    ObjectCatalog catalog(n, 1, 1.0 / static_cast<double>(n), seed);
+    if (catalog.holders(0).front() == holder) return catalog;
+  }
+  ADD_FAILURE() << "could not place object";
+  return ObjectCatalog(n, 1, 1.0, 0);
+}
+
+TEST(TwoTierFlood, LeavesDoNotForward) {
+  TwoTierFixture fx;
+  const CsrGraph csr = CsrGraph::from_graph(fx.g);
+  TwoTierFloodEngine engine(csr, fx.is_up);
+  const auto catalog = catalog_with_object_on(6, 5);
+  TwoTierFloodOptions options;
+  options.ttl = 10;
+  // Source = leaf 3. Propagation: 3→0 (1), 0→{1,4} (2), 1→2 (1), 2→5 (1).
+  const auto r = engine.run(3, 0, catalog, options);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.messages, 5u);
+  EXPECT_EQ(r.nodes_visited, 6u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.first_hit_hop, 4u);
+  // Leaf 4 received the query but never forwarded: forwarders are 3, 0,
+  // 1, 2.
+  EXPECT_EQ(r.forwarders, 4u);
+}
+
+TEST(TwoTierFlood, LeafReceivedButDoesNotPropagate) {
+  TwoTierFixture fx;
+  const CsrGraph csr = CsrGraph::from_graph(fx.g);
+  TwoTierFloodEngine engine(csr, fx.is_up);
+  // Object on leaf 4; source leaf 5; reachable only via UPs.
+  const auto catalog = catalog_with_object_on(6, 4);
+  TwoTierFloodOptions options;
+  options.ttl = 10;
+  const auto r = engine.run(5, 0, catalog, options);
+  EXPECT_TRUE(r.success);
+  // 5→2, 2→1, 1→0, 0→{3,4}: messages 5.
+  EXPECT_EQ(r.messages, 5u);
+}
+
+TEST(TwoTierFlood, TtlBoundsUltrapeerHops) {
+  TwoTierFixture fx;
+  const CsrGraph csr = CsrGraph::from_graph(fx.g);
+  TwoTierFloodEngine engine(csr, fx.is_up);
+  const auto catalog = catalog_with_object_on(6, 5);
+  TwoTierFloodOptions options;
+  options.ttl = 3;  // 3→0→1→2 consumes it before 2→5
+  const auto r = engine.run(3, 0, catalog, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.nodes_visited, 5u);  // everyone but leaf 5
+}
+
+TEST(TwoTierFlood, UltrapeerSourceFloodsDirectly) {
+  TwoTierFixture fx;
+  const CsrGraph csr = CsrGraph::from_graph(fx.g);
+  TwoTierFloodEngine engine(csr, fx.is_up);
+  const auto catalog = catalog_with_object_on(6, 5);
+  TwoTierFloodOptions options;
+  options.ttl = 2;
+  // Source UP 1: hop1 → {0, 2}; hop2: 0→{3,4}, 2→{5}.
+  const auto r = engine.run(1, 0, catalog, options);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.messages, 5u);
+  EXPECT_EQ(r.nodes_visited, 6u);
+}
+
+TEST(TwoTierFlood, SourceHoldingObjectSucceedsAtHopZero) {
+  TwoTierFixture fx;
+  const CsrGraph csr = CsrGraph::from_graph(fx.g);
+  TwoTierFloodEngine engine(csr, fx.is_up);
+  const auto catalog = catalog_with_object_on(6, 3);
+  TwoTierFloodOptions options;
+  options.ttl = 0;
+  const auto r = engine.run(3, 0, catalog, options);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.first_hit_hop, 0u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(TwoTierFlood, DuplicateSuppressionAcrossUltrapeerMesh) {
+  // Triangle of UPs: duplicates occur when the flood wraps.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const std::vector<bool> ups{true, true, true};
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  TwoTierFloodEngine engine(csr, ups);
+  const ObjectCatalog catalog(3, 1, 1.0 / 3.0, 1);
+  TwoTierFloodOptions options;
+  options.ttl = 3;
+  const auto r = engine.run(0, 0, catalog, options);
+  // hop1: 0→{1,2} (2). hop2: 1→2 dup, 2→1 dup (2).
+  EXPECT_EQ(r.messages, 4u);
+  EXPECT_EQ(r.duplicates, 2u);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,30 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "makalu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace makalu {
+namespace {
+
+TEST(Umbrella, ExposesCoreTypes) {
+  // Touch one symbol from each layer to prove the include set is
+  // complete and consistent.
+  const EuclideanModel latency(16, 1);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 1);
+  const CsrGraph csr = CsrGraph::from_graph(overlay.graph);
+  EXPECT_TRUE(is_connected(csr));
+  const ObjectCatalog catalog(16, 1, 0.25, 1);
+  FloodEngine flood(csr);
+  FloodOptions opts;
+  opts.ttl = 3;
+  const auto r = flood.run(0, 0, catalog, opts);
+  EXPECT_GT(r.nodes_visited, 1u);
+  const ChordRing chord(16, 1);
+  EXPECT_EQ(chord.node_count(), 16u);
+  EXPECT_EQ(paper::kTable1.size(), 4u);
+  proto::Message m{0, 1, proto::ConnectRequest{}};
+  EXPECT_EQ(proto::wire_size(m), 23u);
+}
+
+}  // namespace
+}  // namespace makalu
