@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_churn.dir/bench_ext_churn.cpp.o"
+  "CMakeFiles/bench_ext_churn.dir/bench_ext_churn.cpp.o.d"
+  "bench_ext_churn"
+  "bench_ext_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

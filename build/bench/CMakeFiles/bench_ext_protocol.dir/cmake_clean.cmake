@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_protocol.dir/bench_ext_protocol.cpp.o"
+  "CMakeFiles/bench_ext_protocol.dir/bench_ext_protocol.cpp.o.d"
+  "bench_ext_protocol"
+  "bench_ext_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_success_vs_ttl.dir/bench_fig3_success_vs_ttl.cpp.o"
+  "CMakeFiles/bench_fig3_success_vs_ttl.dir/bench_fig3_success_vs_ttl.cpp.o.d"
+  "bench_fig3_success_vs_ttl"
+  "bench_fig3_success_vs_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_success_vs_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

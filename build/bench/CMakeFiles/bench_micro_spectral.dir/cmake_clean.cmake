@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_spectral.dir/bench_micro_spectral.cpp.o"
+  "CMakeFiles/bench_micro_spectral.dir/bench_micro_spectral.cpp.o.d"
+  "bench_micro_spectral"
+  "bench_micro_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_paths.dir/bench_sec32_paths.cpp.o"
+  "CMakeFiles/bench_sec32_paths.dir/bench_sec32_paths.cpp.o.d"
+  "bench_sec32_paths"
+  "bench_sec32_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_algebraic_connectivity.dir/bench_sec33_algebraic_connectivity.cpp.o"
+  "CMakeFiles/bench_sec33_algebraic_connectivity.dir/bench_sec33_algebraic_connectivity.cpp.o.d"
+  "bench_sec33_algebraic_connectivity"
+  "bench_sec33_algebraic_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_algebraic_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_flood_efficiency.dir/bench_sec43_flood_efficiency.cpp.o"
+  "CMakeFiles/bench_sec43_flood_efficiency.dir/bench_sec43_flood_efficiency.cpp.o.d"
+  "bench_sec43_flood_efficiency"
+  "bench_sec43_flood_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_flood_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

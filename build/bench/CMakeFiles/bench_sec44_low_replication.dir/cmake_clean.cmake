@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec44_low_replication.dir/bench_sec44_low_replication.cpp.o"
+  "CMakeFiles/bench_sec44_low_replication.dir/bench_sec44_low_replication.cpp.o.d"
+  "bench_sec44_low_replication"
+  "bench_sec44_low_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_low_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

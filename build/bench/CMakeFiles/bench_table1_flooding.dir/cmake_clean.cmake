@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_flooding.dir/bench_table1_flooding.cpp.o"
+  "CMakeFiles/bench_table1_flooding.dir/bench_table1_flooding.cpp.o.d"
+  "bench_table1_flooding"
+  "bench_table1_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

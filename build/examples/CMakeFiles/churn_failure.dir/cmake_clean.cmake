@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_failure.dir/churn_failure.cpp.o"
+  "CMakeFiles/churn_failure.dir/churn_failure.cpp.o.d"
+  "churn_failure"
+  "churn_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

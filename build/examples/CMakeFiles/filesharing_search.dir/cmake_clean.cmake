@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesharing_search.dir/filesharing_search.cpp.o"
+  "CMakeFiles/filesharing_search.dir/filesharing_search.cpp.o.d"
+  "filesharing_search"
+  "filesharing_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesharing_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for filesharing_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_session.dir/protocol_session.cpp.o"
+  "CMakeFiles/protocol_session.dir/protocol_session.cpp.o.d"
+  "protocol_session"
+  "protocol_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

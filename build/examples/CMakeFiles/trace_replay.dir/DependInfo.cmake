@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_replay.cpp" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o" "gcc" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/makalu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

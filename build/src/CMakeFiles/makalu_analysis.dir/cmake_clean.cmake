@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_analysis.dir/analysis/abf_experiments.cpp.o"
+  "CMakeFiles/makalu_analysis.dir/analysis/abf_experiments.cpp.o.d"
+  "CMakeFiles/makalu_analysis.dir/analysis/flood_experiments.cpp.o"
+  "CMakeFiles/makalu_analysis.dir/analysis/flood_experiments.cpp.o.d"
+  "CMakeFiles/makalu_analysis.dir/analysis/spectral_experiments.cpp.o"
+  "CMakeFiles/makalu_analysis.dir/analysis/spectral_experiments.cpp.o.d"
+  "CMakeFiles/makalu_analysis.dir/analysis/topology_factory.cpp.o"
+  "CMakeFiles/makalu_analysis.dir/analysis/topology_factory.cpp.o.d"
+  "CMakeFiles/makalu_analysis.dir/analysis/traffic_comparison.cpp.o"
+  "CMakeFiles/makalu_analysis.dir/analysis/traffic_comparison.cpp.o.d"
+  "libmakalu_analysis.a"
+  "libmakalu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_bloom.dir/bloom/attenuated_bloom_filter.cpp.o"
+  "CMakeFiles/makalu_bloom.dir/bloom/attenuated_bloom_filter.cpp.o.d"
+  "CMakeFiles/makalu_bloom.dir/bloom/bloom_filter.cpp.o"
+  "CMakeFiles/makalu_bloom.dir/bloom/bloom_filter.cpp.o.d"
+  "CMakeFiles/makalu_bloom.dir/bloom/counting_bloom_filter.cpp.o"
+  "CMakeFiles/makalu_bloom.dir/bloom/counting_bloom_filter.cpp.o.d"
+  "libmakalu_bloom.a"
+  "libmakalu_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_core.dir/core/overlay_builder.cpp.o"
+  "CMakeFiles/makalu_core.dir/core/overlay_builder.cpp.o.d"
+  "CMakeFiles/makalu_core.dir/core/overlay_io.cpp.o"
+  "CMakeFiles/makalu_core.dir/core/overlay_io.cpp.o.d"
+  "CMakeFiles/makalu_core.dir/core/rating.cpp.o"
+  "CMakeFiles/makalu_core.dir/core/rating.cpp.o.d"
+  "libmakalu_core.a"
+  "libmakalu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_dht.dir/dht/chord.cpp.o"
+  "CMakeFiles/makalu_dht.dir/dht/chord.cpp.o.d"
+  "libmakalu_dht.a"
+  "libmakalu_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/makalu_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/makalu_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/makalu_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/makalu_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/makalu_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/makalu_graph.dir/graph/metrics.cpp.o"
+  "CMakeFiles/makalu_graph.dir/graph/metrics.cpp.o.d"
+  "libmakalu_graph.a"
+  "libmakalu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

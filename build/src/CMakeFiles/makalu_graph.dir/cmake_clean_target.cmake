@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmakalu_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_net.dir/net/latency_model.cpp.o"
+  "CMakeFiles/makalu_net.dir/net/latency_model.cpp.o.d"
+  "libmakalu_net.a"
+  "libmakalu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/message.cpp" "src/CMakeFiles/makalu_proto.dir/proto/message.cpp.o" "gcc" "src/CMakeFiles/makalu_proto.dir/proto/message.cpp.o.d"
+  "/root/repo/src/proto/network.cpp" "src/CMakeFiles/makalu_proto.dir/proto/network.cpp.o" "gcc" "src/CMakeFiles/makalu_proto.dir/proto/network.cpp.o.d"
+  "/root/repo/src/proto/node.cpp" "src/CMakeFiles/makalu_proto.dir/proto/node.cpp.o" "gcc" "src/CMakeFiles/makalu_proto.dir/proto/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/makalu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_proto.dir/proto/message.cpp.o"
+  "CMakeFiles/makalu_proto.dir/proto/message.cpp.o.d"
+  "CMakeFiles/makalu_proto.dir/proto/network.cpp.o"
+  "CMakeFiles/makalu_proto.dir/proto/network.cpp.o.d"
+  "CMakeFiles/makalu_proto.dir/proto/node.cpp.o"
+  "CMakeFiles/makalu_proto.dir/proto/node.cpp.o.d"
+  "libmakalu_proto.a"
+  "libmakalu_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/abf_search.cpp" "src/CMakeFiles/makalu_search.dir/search/abf_search.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/abf_search.cpp.o.d"
+  "/root/repo/src/search/churn.cpp" "src/CMakeFiles/makalu_search.dir/search/churn.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/churn.cpp.o.d"
+  "/root/repo/src/search/flood_search.cpp" "src/CMakeFiles/makalu_search.dir/search/flood_search.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/flood_search.cpp.o.d"
+  "/root/repo/src/search/gossip_flood.cpp" "src/CMakeFiles/makalu_search.dir/search/gossip_flood.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/gossip_flood.cpp.o.d"
+  "/root/repo/src/search/random_walk_search.cpp" "src/CMakeFiles/makalu_search.dir/search/random_walk_search.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/random_walk_search.cpp.o.d"
+  "/root/repo/src/search/timed_flood.cpp" "src/CMakeFiles/makalu_search.dir/search/timed_flood.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/timed_flood.cpp.o.d"
+  "/root/repo/src/search/ttl_policy.cpp" "src/CMakeFiles/makalu_search.dir/search/ttl_policy.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/ttl_policy.cpp.o.d"
+  "/root/repo/src/search/two_tier_flood.cpp" "src/CMakeFiles/makalu_search.dir/search/two_tier_flood.cpp.o" "gcc" "src/CMakeFiles/makalu_search.dir/search/two_tier_flood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/makalu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

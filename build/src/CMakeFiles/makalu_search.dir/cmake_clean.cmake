@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_search.dir/search/abf_search.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/abf_search.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/churn.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/churn.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/flood_search.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/flood_search.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/gossip_flood.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/gossip_flood.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/random_walk_search.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/random_walk_search.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/timed_flood.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/timed_flood.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/ttl_policy.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/ttl_policy.cpp.o.d"
+  "CMakeFiles/makalu_search.dir/search/two_tier_flood.cpp.o"
+  "CMakeFiles/makalu_search.dir/search/two_tier_flood.cpp.o.d"
+  "libmakalu_search.a"
+  "libmakalu_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

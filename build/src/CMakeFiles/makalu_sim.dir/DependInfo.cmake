@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/makalu_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/makalu_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/CMakeFiles/makalu_sim.dir/sim/failure.cpp.o" "gcc" "src/CMakeFiles/makalu_sim.dir/sim/failure.cpp.o.d"
+  "/root/repo/src/sim/replica_placement.cpp" "src/CMakeFiles/makalu_sim.dir/sim/replica_placement.cpp.o" "gcc" "src/CMakeFiles/makalu_sim.dir/sim/replica_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/makalu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/makalu_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/makalu_sim.dir/sim/failure.cpp.o"
+  "CMakeFiles/makalu_sim.dir/sim/failure.cpp.o.d"
+  "CMakeFiles/makalu_sim.dir/sim/replica_placement.cpp.o"
+  "CMakeFiles/makalu_sim.dir/sim/replica_placement.cpp.o.d"
+  "libmakalu_sim.a"
+  "libmakalu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_spectral.dir/spectral/eigen.cpp.o"
+  "CMakeFiles/makalu_spectral.dir/spectral/eigen.cpp.o.d"
+  "CMakeFiles/makalu_spectral.dir/spectral/laplacian.cpp.o"
+  "CMakeFiles/makalu_spectral.dir/spectral/laplacian.cpp.o.d"
+  "libmakalu_spectral.a"
+  "libmakalu_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_support.dir/support/cli.cpp.o"
+  "CMakeFiles/makalu_support.dir/support/cli.cpp.o.d"
+  "CMakeFiles/makalu_support.dir/support/rng.cpp.o"
+  "CMakeFiles/makalu_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/makalu_support.dir/support/stats.cpp.o"
+  "CMakeFiles/makalu_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/makalu_support.dir/support/table.cpp.o"
+  "CMakeFiles/makalu_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/makalu_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/makalu_support.dir/support/thread_pool.cpp.o.d"
+  "libmakalu_support.a"
+  "libmakalu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

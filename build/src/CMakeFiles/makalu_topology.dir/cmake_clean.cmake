@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_topology.dir/topology/generators.cpp.o"
+  "CMakeFiles/makalu_topology.dir/topology/generators.cpp.o.d"
+  "libmakalu_topology.a"
+  "libmakalu_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makalu_trace.dir/trace/gnutella_traffic.cpp.o"
+  "CMakeFiles/makalu_trace.dir/trace/gnutella_traffic.cpp.o.d"
+  "CMakeFiles/makalu_trace.dir/trace/synthetic_trace.cpp.o"
+  "CMakeFiles/makalu_trace.dir/trace/synthetic_trace.cpp.o.d"
+  "libmakalu_trace.a"
+  "libmakalu_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makalu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

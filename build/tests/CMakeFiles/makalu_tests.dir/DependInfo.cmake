@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abf_test.cpp" "tests/CMakeFiles/makalu_tests.dir/abf_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/abf_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/makalu_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/bloom_test.cpp" "tests/CMakeFiles/makalu_tests.dir/bloom_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/bloom_test.cpp.o.d"
+  "/root/repo/tests/chord_test.cpp" "tests/CMakeFiles/makalu_tests.dir/chord_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/chord_test.cpp.o.d"
+  "/root/repo/tests/churn_test.cpp" "tests/CMakeFiles/makalu_tests.dir/churn_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/churn_test.cpp.o.d"
+  "/root/repo/tests/contracts_test.cpp" "tests/CMakeFiles/makalu_tests.dir/contracts_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/contracts_test.cpp.o.d"
+  "/root/repo/tests/counting_bloom_test.cpp" "tests/CMakeFiles/makalu_tests.dir/counting_bloom_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/counting_bloom_test.cpp.o.d"
+  "/root/repo/tests/flood_test.cpp" "tests/CMakeFiles/makalu_tests.dir/flood_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/flood_test.cpp.o.d"
+  "/root/repo/tests/gossip_flood_test.cpp" "tests/CMakeFiles/makalu_tests.dir/gossip_flood_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/gossip_flood_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/makalu_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/makalu_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/makalu_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/makalu_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/overlay_builder_test.cpp" "tests/CMakeFiles/makalu_tests.dir/overlay_builder_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/overlay_builder_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/makalu_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/proto_test.cpp" "tests/CMakeFiles/makalu_tests.dir/proto_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/proto_test.cpp.o.d"
+  "/root/repo/tests/random_walk_test.cpp" "tests/CMakeFiles/makalu_tests.dir/random_walk_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/random_walk_test.cpp.o.d"
+  "/root/repo/tests/rating_test.cpp" "tests/CMakeFiles/makalu_tests.dir/rating_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/rating_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/makalu_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/spectral_test.cpp" "tests/CMakeFiles/makalu_tests.dir/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/spectral_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/makalu_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/makalu_tests.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/timed_flood_test.cpp" "tests/CMakeFiles/makalu_tests.dir/timed_flood_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/timed_flood_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/makalu_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/makalu_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/ttl_policy_test.cpp" "tests/CMakeFiles/makalu_tests.dir/ttl_policy_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/ttl_policy_test.cpp.o.d"
+  "/root/repo/tests/two_tier_test.cpp" "tests/CMakeFiles/makalu_tests.dir/two_tier_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/two_tier_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/makalu_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/makalu_tests.dir/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/makalu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/makalu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
