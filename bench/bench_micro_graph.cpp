@@ -61,14 +61,16 @@ BENCHMARK(BM_Dijkstra)->Arg(2000)->Arg(10000);
 
 void BM_FloodTtl4(benchmark::State& state) {
   auto& w = world(static_cast<std::size_t>(state.range(0)));
-  FloodEngine engine(w.csr);
+  const FloodEngine engine(w.csr);
   FloodOptions options;
   options.ttl = 4;
+  QueryWorkspace workspace;  // reused: steady-state floods allocate nothing
+  const auto never = [](NodeId) { return false; };
   NodeId source = 0;
   std::uint64_t messages = 0;
   for (auto _ : state) {
-    const auto r = engine.run(
-        source, [](NodeId) { return false; }, options);
+    const auto r =
+        engine.run(source, NodePredicate(never), options, workspace);
     messages += r.messages;
     source = (source + 1) % static_cast<NodeId>(w.csr.node_count());
   }

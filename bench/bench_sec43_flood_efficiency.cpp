@@ -8,9 +8,12 @@
 // the same flood without the cache re-forwards every duplicate arrival.
 #include "bench_common.hpp"
 
+#include <thread>
+
 #include "analysis/flood_experiments.hpp"
 #include "analysis/paper_reference.hpp"
 #include "net/latency_model.hpp"
+#include "support/stopwatch.hpp"
 
 int main(int argc, char** argv) try {
   using namespace makalu;
@@ -91,6 +94,44 @@ int main(int argc, char** argv) try {
   std::cout << "\nshape check: duplicates are a small share of TTL-4 "
                "messages (expansion phase); past the convergence boundary "
                "the cache is what keeps deep floods affordable.\n";
+
+  print_banner(std::cout, "parallel query driver: 1 thread vs hardware");
+  // The whole batch above already runs through ParallelQueryDriver; this
+  // section times the same workload serially and sharded to show the
+  // speedup — and that per-query seeding makes the results bit-identical.
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  FloodExperimentOptions wopts;
+  wopts.replication_ratio = 0.01;
+  wopts.ttl = 4;
+  wopts.queries = queries;
+  wopts.runs = runs;
+  wopts.objects = 40;
+  wopts.seed = seed;
+  Table wall({"threads", "wall ms", "speedup", "msgs/query", "success"});
+  double serial_ms = 0.0;
+  QueryAggregate serial_agg;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{hw}}) {
+    wopts.threads = threads;
+    Stopwatch timer;
+    const auto agg = run_flood_batch(topology, wopts);
+    const double ms = timer.millis();
+    if (threads == 1) {
+      serial_ms = ms;
+      serial_agg = agg;
+    }
+    wall.add_row({Table::integer(threads), Table::num(ms, 1),
+                  Table::num(serial_ms > 0.0 ? serial_ms / ms : 1.0, 2) +
+                      "x",
+                  Table::num(agg.mean_messages(), 1),
+                  Table::percent(agg.success_rate())});
+    if (threads != 1 &&
+        (agg.mean_messages() != serial_agg.mean_messages() ||
+         agg.success_rate() != serial_agg.success_rate())) {
+      std::cerr << "error: parallel aggregate diverged from serial run\n";
+      return 1;
+    }
+  }
+  bench::emit(wall, options.csv());
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

@@ -13,6 +13,7 @@
 // popularity band (head/torso/tail of the catalog).
 #include <iostream>
 
+#include "analysis/parallel_query_driver.hpp"
 #include "core/overlay_builder.hpp"
 #include "graph/graph.hpp"
 #include "net/latency_model.hpp"
@@ -100,12 +101,13 @@ int main(int argc, char** argv) try {
   const std::size_t files = 40;
   const PopularityCatalog library(n, files, 0.02, 0.0005, seed ^ 3);
 
-  FloodEngine flood(csr);
-  RandomWalkEngine walker(csr);
-  // Per-file ABF routers share nothing; build one router over a combined
-  // catalog instead: flatten the per-file catalogs into one.
-  // (For the demo we route per file against its own catalog — filters for
-  // a single object are cheap.)
+  FloodOptions fopts;
+  fopts.ttl = 4;
+  const FloodEngine flood(csr, fopts);
+  RandomWalkOptions wopts;
+  wopts.walkers = 16;
+  wopts.ttl = 40;
+  const RandomWalkEngine walker(csr, wopts);
 
   Rng rng(seed ^ 4);
   ZipfSampler popularity(files, 0.9);
@@ -114,31 +116,38 @@ int main(int argc, char** argv) try {
   MechanismStats walk_stats;
   MechanismStats abf_stats;
 
-  // Pre-build one ABF router per popularity band representative to keep
-  // the demo fast: route ABF queries only for a sampled subset.
-  for (std::size_t q = 0; q < queries; ++q) {
-    const std::size_t file = popularity(rng);
-    const auto source = static_cast<NodeId>(rng.uniform_below(n));
+  // Zipf-draw the per-file demand up front, then resolve each file's
+  // queries as one ParallelQueryDriver batch (one workspace per worker;
+  // results identical at any thread count).
+  std::vector<std::size_t> demand(files, 0);
+  for (std::size_t q = 0; q < queries; ++q) ++demand[popularity(rng)];
 
-    FloodOptions fopts;
-    fopts.ttl = 4;
-    flood_stats.band(file, files).add(
-        flood.run(source, 0, library.catalog(file), fopts));
-
-    RandomWalkOptions wopts;
-    wopts.walkers = 16;
-    wopts.ttl = 40;
-    walk_stats.band(file, files).add(
-        walker.run(source, 0, library.catalog(file), rng, wopts));
+  const ParallelQueryDriver driver;
+  std::uint64_t flood_messages = 0;
+  for (std::size_t file = 0; file < files; ++file) {
+    if (demand[file] == 0) continue;
+    BatchQueryOptions batch;
+    batch.queries = demand[file];
+    batch.seed = rng();
+    // Trace sink: per-query observability without touching the engines.
+    batch.trace_sink = [&](const QueryTrace& trace) {
+      flood_messages += trace.result.messages;
+    };
+    driver.run_batch(flood, library.catalog(file), batch,
+                     flood_stats.band(file, files));
+    batch.trace_sink = nullptr;
+    driver.run_batch(walker, library.catalog(file), batch,
+                     walk_stats.band(file, files));
   }
   // ABF pass: route a smaller batch per band (router construction
   // dominates; one router per representative file).
   for (const std::size_t file : {std::size_t{0}, files / 2, files - 1}) {
-    AbfRouter router(csr, library.catalog(file), AbfOptions{});
-    for (std::size_t q = 0; q < queries / 10; ++q) {
-      const auto source = static_cast<NodeId>(rng.uniform_below(n));
-      abf_stats.band(file, files).add(router.route(source, 0, 25, rng));
-    }
+    const AbfRouter router(csr, library.catalog(file), AbfOptions{});
+    BatchQueryOptions batch;
+    batch.queries = queries / 10;
+    batch.seed = rng();
+    driver.run_batch(router, library.catalog(file), batch,
+                     abf_stats.band(file, files));
   }
 
   Table table({"mechanism", "popularity band", "success", "msgs/query",
@@ -155,6 +164,8 @@ int main(int argc, char** argv) try {
   }
   table.print(std::cout);
 
+  std::cout << "\nflooding moved " << flood_messages
+            << " messages in total (counted via the driver's trace sink).\n";
   std::cout << "\nreading the table: flooding buys recall with thousands "
                "of messages; random walks are cheap but miss rare files; "
                "ABF routing gets near-flood recall at random-walk cost "

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sanitizer job: build the library + tests under ASan/UBSan and run the
+# full ctest suite. Used locally and as the CI sanitize step.
+#
+#   scripts/sanitize.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+SANITIZERS=${SANITIZERS:-address,undefined}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DMAKALU_SANITIZE="${SANITIZERS}" \
+  -DMAKALU_BUILD_BENCH=OFF \
+  -DMAKALU_BUILD_EXAMPLES=OFF \
+  "$@"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the job instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

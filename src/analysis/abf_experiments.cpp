@@ -1,5 +1,8 @@
 #include "analysis/abf_experiments.hpp"
 
+#include <algorithm>
+
+#include "analysis/parallel_query_driver.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
 
@@ -10,19 +13,21 @@ QueryAggregate run_abf_batch(const BuiltTopology& topology, std::uint32_t ttl,
   const CsrGraph csr = CsrGraph::from_graph(topology.graph);
   const std::size_t n = csr.node_count();
 
+  AbfOptions abf = options.abf;
+  abf.ttl = ttl;
+
   QueryAggregate aggregate;
+  const ParallelQueryDriver driver(options.threads);
   Rng master(options.seed);
   for (std::size_t run = 0; run < options.runs; ++run) {
-    Rng rng = master.split(run + 1);
+    Rng run_rng = master.split(run + 1);
     const ObjectCatalog catalog(n, options.objects,
-                                options.replication_ratio, rng());
-    AbfRouter router(csr, catalog, options.abf);
-    for (std::size_t q = 0; q < options.queries; ++q) {
-      const auto source = static_cast<NodeId>(rng.uniform_below(n));
-      const auto object =
-          static_cast<ObjectId>(rng.uniform_below(options.objects));
-      aggregate.add(router.route(source, object, ttl, rng));
-    }
+                                options.replication_ratio, run_rng());
+    const AbfRouter router(csr, catalog, abf);
+    BatchQueryOptions batch;
+    batch.queries = options.queries;
+    batch.seed = run_rng();
+    driver.run_batch(router, catalog, batch, aggregate);
   }
   return aggregate;
 }
@@ -33,33 +38,34 @@ std::vector<double> abf_success_vs_ttl(const BuiltTopology& topology,
   const CsrGraph csr = CsrGraph::from_graph(topology.graph);
   const std::size_t n = csr.node_count();
 
+  AbfOptions abf = options.abf;
+  abf.ttl = max_ttl;
+
   std::vector<std::size_t> successes(max_ttl + 1, 0);
   std::size_t total_queries = 0;
 
+  const ParallelQueryDriver driver(options.threads);
   Rng master(options.seed);
   for (std::size_t run = 0; run < options.runs; ++run) {
-    Rng rng = master.split(run + 1);
+    Rng run_rng = master.split(run + 1);
     const ObjectCatalog catalog(n, options.objects,
-                                options.replication_ratio, rng());
-    AbfRouter router(csr, catalog, options.abf);
-    for (std::size_t q = 0; q < options.queries; ++q) {
-      const auto source = static_cast<NodeId>(rng.uniform_below(n));
-      const auto object =
-          static_cast<ObjectId>(rng.uniform_below(options.objects));
+                                options.replication_ratio, run_rng());
+    const AbfRouter router(csr, catalog, abf);
+    BatchQueryOptions batch;
+    batch.queries = options.queries;
+    batch.seed = run_rng();
+    // One route per query at the full budget; a query that succeeded with
+    // k messages would also succeed for every TTL >= k, so bucket by the
+    // message count at success. The sink runs serially post-batch, so the
+    // tallies need no synchronisation.
+    batch.trace_sink = [&](const QueryTrace& trace) {
       ++total_queries;
-      // One route at the full budget; a query that succeeded with k
-      // messages would also succeed for every TTL >= k, so bucket by the
-      // message count at success.
-      Rng query_rng = rng.split(q + 1);
-      const QueryResult r =
-          router.route(source, object, max_ttl, query_rng);
-      if (r.success) {
-        const auto needed =
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                r.messages, max_ttl));
-        for (std::uint32_t t = needed; t <= max_ttl; ++t) ++successes[t];
-      }
-    }
+      if (!trace.result.success) return;
+      const auto needed = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(trace.result.messages, max_ttl));
+      for (std::uint32_t t = needed; t <= max_ttl; ++t) ++successes[t];
+    };
+    driver.run_batch(router, catalog, batch);
   }
 
   std::vector<double> rates(max_ttl + 1, 0.0);

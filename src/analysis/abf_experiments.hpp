@@ -19,6 +19,9 @@ struct AbfExperimentOptions {
   std::size_t runs = 2;
   AbfOptions abf{};  ///< depth 3, per the paper
   std::uint64_t seed = 1;
+  /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
+  /// 1 = serial. Results are identical at any setting.
+  std::size_t threads = 0;
 };
 
 /// Aggregate outcome at one TTL.

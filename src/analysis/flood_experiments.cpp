@@ -1,5 +1,6 @@
 #include "analysis/flood_experiments.hpp"
 
+#include "analysis/parallel_query_driver.hpp"
 #include "search/flood_search.hpp"
 #include "search/two_tier_flood.hpp"
 #include "sim/replica_placement.hpp"
@@ -15,33 +16,31 @@ QueryAggregate run_flood_batch(const BuiltTopology& topology,
   const std::size_t n = csr.node_count();
 
   QueryAggregate aggregate;
+  const ParallelQueryDriver driver(options.threads);
   Rng master(options.seed);
   for (std::size_t run = 0; run < options.runs; ++run) {
-    Rng rng = master.split(run + 1);
+    // One independent placement per run; the catalog seed and the batch's
+    // query seed both derive from the run stream, so results are
+    // reproducible run by run.
+    Rng run_rng = master.split(run + 1);
     const ObjectCatalog catalog(n, options.objects,
-                                options.replication_ratio, rng());
+                                options.replication_ratio, run_rng());
+    BatchQueryOptions batch;
+    batch.queries = options.queries;
+    batch.seed = run_rng();
+    batch.trace_sink = options.trace_sink;
 
     if (topology.kind == TopologyKind::kGnutellaV06) {
-      TwoTierFloodEngine engine(csr, topology.is_ultrapeer);
       TwoTierFloodOptions flood;
       flood.ttl = options.ttl;
-      for (std::size_t q = 0; q < options.queries; ++q) {
-        const auto source = static_cast<NodeId>(rng.uniform_below(n));
-        const auto object =
-            static_cast<ObjectId>(rng.uniform_below(options.objects));
-        aggregate.add(engine.run(source, object, catalog, flood));
-      }
+      const TwoTierFloodEngine engine(csr, topology.is_ultrapeer, flood);
+      driver.run_batch(engine, catalog, batch, aggregate);
     } else {
-      FloodEngine engine(csr);
       FloodOptions flood;
       flood.ttl = options.ttl;
       flood.duplicate_suppression = options.duplicate_suppression;
-      for (std::size_t q = 0; q < options.queries; ++q) {
-        const auto source = static_cast<NodeId>(rng.uniform_below(n));
-        const auto object =
-            static_cast<ObjectId>(rng.uniform_below(options.objects));
-        aggregate.add(engine.run(source, object, catalog, flood));
-      }
+      const FloodEngine engine(csr, flood);
+      driver.run_batch(engine, catalog, batch, aggregate);
     }
   }
   return aggregate;

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "analysis/parallel_query_driver.hpp"
 #include "analysis/topology_factory.hpp"
 #include "sim/query_stats.hpp"
 
@@ -24,6 +26,11 @@ struct FloodExperimentOptions {
   std::size_t runs = 3;            ///< independent placements
   bool duplicate_suppression = true;
   std::uint64_t seed = 1;
+  /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
+  /// 1 = serial. Results are identical at any setting.
+  std::size_t threads = 0;
+  /// Optional per-query observability hook (see BatchQueryOptions).
+  std::function<void(const QueryTrace&)> trace_sink;
 };
 
 /// Runs the batch on `topology` (dispatching to the two-tier engine for

@@ -1,0 +1,66 @@
+#include "analysis/parallel_query_driver.hpp"
+
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace makalu {
+
+QueryAggregate ParallelQueryDriver::run_batch(
+    const SearchEngine& engine, const ObjectCatalog& catalog,
+    const BatchQueryOptions& options) const {
+  QueryAggregate aggregate;
+  run_batch(engine, catalog, options, aggregate);
+  return aggregate;
+}
+
+void ParallelQueryDriver::run_batch(const SearchEngine& engine,
+                                    const ObjectCatalog& catalog,
+                                    const BatchQueryOptions& options,
+                                    QueryAggregate& aggregate) const {
+  const std::size_t n = engine.graph().node_count();
+  MAKALU_EXPECTS(n > 0);
+  MAKALU_EXPECTS(catalog.object_count() > 0);
+  if (options.queries == 0) return;
+
+  std::vector<QueryTrace> traces(options.queries);
+
+  // Each chunk is a contiguous query range served by one worker with one
+  // workspace; per-query seeding makes the partitioning irrelevant to the
+  // results.
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    QueryWorkspace workspace;
+    for (std::size_t q = lo; q < hi; ++q) {
+      workspace.seed_rng(options.seed, q);
+      QueryTrace& trace = traces[q];
+      trace.query_index = q;
+      trace.source =
+          static_cast<NodeId>(workspace.rng().uniform_below(n));
+      trace.object = static_cast<ObjectId>(
+          workspace.rng().uniform_below(catalog.object_count()));
+      trace.result = engine.run(trace.source, trace.object, catalog,
+                                workspace);
+    }
+  };
+
+  if (threads_ == 1) {
+    run_range(0, options.queries);
+  } else if (threads_ == 0) {
+    ThreadPool::shared().parallel_for_chunked(0, options.queries, run_range,
+                                              /*chunks_per_thread=*/1);
+  } else {
+    ThreadPool pool(threads_);
+    pool.parallel_for_chunked(0, options.queries, run_range,
+                              /*chunks_per_thread=*/1);
+  }
+
+  // Serial, in-order aggregation: floating-point accumulation order (and
+  // therefore the aggregate, bit for bit) does not depend on the thread
+  // count.
+  for (const QueryTrace& trace : traces) {
+    aggregate.add(trace.result);
+    if (options.trace_sink) options.trace_sink(trace);
+  }
+}
+
+}  // namespace makalu

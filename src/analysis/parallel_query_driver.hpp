@@ -1,0 +1,71 @@
+// Parallel batch-query driver: the one query loop every experiment
+// shares.
+//
+// The paper's methodology (§4.1-§4.2, Table 1, Fig. 3-4) is always "run N
+// queries from random sources and aggregate QueryStats"; this driver is
+// that loop, sharded across support/thread_pool.hpp. Engines implement
+// SearchEngine and are shared read-only; each worker chunk owns one
+// QueryWorkspace.
+//
+// Determinism: query q's RNG is seeded from (base seed, q) via
+// QueryWorkspace::per_query_seed, the (source, object) pair is drawn from
+// that stream, and per-query results land in a pre-sized vector indexed
+// by q. Aggregation then runs serially in query order — so the aggregate
+// (including its floating-point accumulations) is bit-identical at any
+// thread count, and identical to the serial loop it replaced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "search/search_engine.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+
+/// One query's full record, handed to the trace sink.
+struct QueryTrace {
+  std::size_t query_index = 0;
+  NodeId source = kInvalidNode;
+  ObjectId object = 0;
+  QueryResult result;
+};
+
+struct BatchQueryOptions {
+  std::size_t queries = 0;
+  std::uint64_t seed = 1;
+  /// Observability hook: invoked serially, in query order, after the
+  /// parallel phase (so sinks need no locking and see a deterministic
+  /// stream).
+  std::function<void(const QueryTrace&)> trace_sink;
+};
+
+class ParallelQueryDriver {
+ public:
+  /// `threads` = 0: use the process-wide shared pool (hardware
+  /// concurrency); 1: run inline on the calling thread; N: a dedicated
+  /// N-worker pool for this driver's batches.
+  explicit ParallelQueryDriver(std::size_t threads = 0)
+      : threads_(threads) {}
+
+  /// Runs options.queries queries against `engine`, each from a uniformly
+  /// random source for a uniformly random catalog object, and returns the
+  /// aggregate.
+  [[nodiscard]] QueryAggregate run_batch(
+      const SearchEngine& engine, const ObjectCatalog& catalog,
+      const BatchQueryOptions& options) const;
+
+  /// Same, appending into an existing aggregate (multi-run experiments
+  /// accumulate one aggregate across placements).
+  void run_batch(const SearchEngine& engine, const ObjectCatalog& catalog,
+                 const BatchQueryOptions& options,
+                 QueryAggregate& aggregate) const;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace makalu

@@ -38,6 +38,7 @@ TrafficComparisonResult run_traffic_comparison(
   flood.objects = options.objects;
   flood.runs = options.runs;
   flood.seed = options.seed;
+  flood.threads = options.threads;
   const QueryAggregate aggregate = run_flood_batch(topology, flood);
 
   result.makalu_messages_per_query = aggregate.mean_messages();

@@ -24,6 +24,9 @@ struct TrafficComparisonOptions {
   std::uint32_t ttl = 5;             ///< paper: TTL 5
   std::size_t objects = 50;          ///< each on exactly 1 node (worst case)
   std::uint64_t seed = 1;
+  /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
+  /// 1 = serial. Results are identical at any setting.
+  std::size_t threads = 0;
   MakaluParameters makalu = degree95_parameters();
 
   /// Capacity range giving the paper's mean node degree ≈ 9.5.

@@ -49,7 +49,9 @@
 #include "search/churn.hpp"
 #include "search/flood_search.hpp"
 #include "search/gossip_flood.hpp"
+#include "search/query_workspace.hpp"
 #include "search/random_walk_search.hpp"
+#include "search/search_engine.hpp"
 #include "search/timed_flood.hpp"
 #include "search/ttl_policy.hpp"
 #include "search/two_tier_flood.hpp"
@@ -70,6 +72,7 @@
 #include "analysis/abf_experiments.hpp"
 #include "analysis/flood_experiments.hpp"
 #include "analysis/paper_reference.hpp"
+#include "analysis/parallel_query_driver.hpp"
 #include "analysis/spectral_experiments.hpp"
 #include "analysis/topology_factory.hpp"
 #include "analysis/traffic_comparison.hpp"

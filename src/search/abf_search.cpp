@@ -6,10 +6,7 @@ namespace makalu {
 
 AbfRouter::AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
                      const AbfOptions& options)
-    : graph_(graph),
-      catalog_(catalog),
-      options_(options),
-      visit_epoch_(graph.node_count(), 0) {
+    : graph_(graph), catalog_(catalog), options_(options) {
   MAKALU_EXPECTS(options.depth >= 1);
   const std::size_t n = graph_.node_count();
   arc_offsets_.assign(n + 1, 0);
@@ -28,17 +25,6 @@ std::size_t AbfRouter::arc_index(NodeId u,
   MAKALU_EXPECTS(u < graph_.node_count());
   MAKALU_EXPECTS(neighbor_index < graph_.degree(u));
   return arc_offsets_[u] + neighbor_index;
-}
-
-std::size_t AbfRouter::reverse_arc(NodeId u, std::size_t /*neighbor_index*/,
-                                   NodeId v) const {
-  // CSR rows are sorted, so u's position within v's row is found by
-  // binary search.
-  const auto nbrs = graph_.neighbors(v);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
-  MAKALU_ASSERT(it != nbrs.end() && *it == u);
-  return arc_offsets_[v] +
-         static_cast<std::size_t>(it - nbrs.begin());
 }
 
 void AbfRouter::build_tables(const ObjectCatalog& catalog) {
@@ -81,26 +67,49 @@ void AbfRouter::build_tables(const ObjectCatalog& catalog) {
   }
 }
 
+QueryResult AbfRouter::run(NodeId source, NodePredicate has_object,
+                           QueryWorkspace& workspace) const {
+  return route(source, has_object, options_.ttl, workspace);
+}
+
 QueryResult AbfRouter::route(NodeId source, ObjectId object,
-                             std::uint32_t ttl, Rng& rng) {
+                             std::uint32_t ttl,
+                             QueryWorkspace& workspace) const {
+  const auto has_object = [this, object](NodeId node) {
+    return catalog_.node_has_object(node, object);
+  };
+  return route(source,
+               NodePredicate(has_object, ObjectCatalog::object_key(object)),
+               ttl, workspace);
+}
+
+QueryResult AbfRouter::route(NodeId source, ObjectId object,
+                             std::uint32_t ttl, Rng& rng) const {
+  QueryWorkspace workspace;
+  workspace.rng() = rng;
+  const QueryResult result = route(source, object, ttl, workspace);
+  rng = workspace.rng();
+  return result;
+}
+
+QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
+                             std::uint32_t ttl,
+                             QueryWorkspace& workspace) const {
   MAKALU_EXPECTS(source < graph_.node_count());
   QueryResult result;
+  workspace.begin_query(graph_.node_count());
+  Rng& rng = workspace.rng();
 
-  ++stamp_;
-  if (stamp_ == 0) {
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-    stamp_ = 1;
-  }
-
-  const std::uint64_t key = ObjectCatalog::object_key(object);
+  const std::uint64_t key = has_object.routing_key();
   NodeId current = source;
-  visit_epoch_[current] = stamp_;
+  workspace.mark_visited(current);
   result.nodes_visited = 1;
-  std::vector<NodeId> path;  // for backtracking
+  auto& path = workspace.node_buffer();  // for backtracking
+  path.clear();
 
   std::uint32_t budget = ttl;
   while (true) {
-    if (catalog_.node_has_object(current, object)) {
+    if (has_object(current)) {
       result.success = true;
       // "Resolved in less than 10 messages (hops)": hop distance here is
       // the message count spent reaching the replica.
@@ -117,7 +126,7 @@ QueryResult AbfRouter::route(NodeId source, ObjectId object,
     NodeId best = kInvalidNode;
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const NodeId v = nbrs[i];
-      if (visit_epoch_[v] == stamp_) continue;
+      if (workspace.visited(v)) continue;
       const double score =
           adv_in_[arc_index(current, i)].match_score(key);
       if (score > best_score) {
@@ -131,12 +140,12 @@ QueryResult AbfRouter::route(NodeId source, ObjectId object,
     if (best == kInvalidNode) {
       std::size_t unvisited = 0;
       for (const NodeId v : nbrs) {
-        if (visit_epoch_[v] != stamp_) ++unvisited;
+        if (!workspace.visited(v)) ++unvisited;
       }
       if (unvisited > 0) {
         std::size_t pick = rng.uniform_below(unvisited);
         for (const NodeId v : nbrs) {
-          if (visit_epoch_[v] != stamp_ && pick-- == 0) {
+          if (!workspace.visited(v) && pick-- == 0) {
             best = v;
             break;
           }
@@ -147,7 +156,7 @@ QueryResult AbfRouter::route(NodeId source, ObjectId object,
     if (best != kInvalidNode) {
       path.push_back(current);
       current = best;
-      visit_epoch_[current] = stamp_;
+      workspace.mark_visited(current);
       ++result.nodes_visited;
       ++result.messages;
       --budget;

@@ -21,12 +21,16 @@
 //      (the object may simply be farther than D hops);
 //   4. backtracks when boxed in; every forward or backtrack costs one
 //      message and one TTL unit.
+//
+// Routing is const over the tables: per-query scratch (visited set,
+// backtrack path, fallback RNG) lives in the caller's QueryWorkspace.
 #pragma once
 
 #include <cstdint>
 
 #include "bloom/attenuated_bloom_filter.hpp"
 #include "graph/graph.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
@@ -36,9 +40,12 @@ namespace makalu {
 struct AbfOptions {
   std::size_t depth = 3;  ///< paper: attenuated Bloom filter of depth 3
   BloomParameters level_params{/*bits=*/1024, /*hashes=*/4};
+  /// Message budget for the uniform SearchEngine::run entry point (route()
+  /// takes the TTL explicitly).
+  std::uint32_t ttl = 25;
 };
 
-class AbfRouter {
+class AbfRouter final : public SearchEngine {
  public:
   /// Builds the full routing state for `graph` + `catalog`. Cost:
   /// O(depth^2 * arcs * filter_words) time, O(depth * arcs * filter_bytes)
@@ -46,9 +53,33 @@ class AbfRouter {
   AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
             const AbfOptions& options = {});
 
-  /// Routes a query. `rng` drives the no-match fallback choice.
+  using SearchEngine::run;
+
+  /// Uniform interface: routes with options.ttl as the budget. The
+  /// predicate's routing key selects the filter bits; the predicate itself
+  /// confirms hits, so it must be consistent with the key.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "abf-routing";
+  }
+
+  /// Routes a query with an explicit budget; the workspace RNG drives the
+  /// no-match fallback choice.
+  [[nodiscard]] QueryResult route(NodeId source, NodePredicate has_object,
+                                  std::uint32_t ttl,
+                                  QueryWorkspace& workspace) const;
   [[nodiscard]] QueryResult route(NodeId source, ObjectId object,
-                                  std::uint32_t ttl, Rng& rng);
+                                  std::uint32_t ttl,
+                                  QueryWorkspace& workspace) const;
+
+  /// One-shot convenience with a caller-owned RNG stream (the stream
+  /// advances exactly as if routing consumed it directly).
+  [[nodiscard]] QueryResult route(NodeId source, ObjectId object,
+                                  std::uint32_t ttl, Rng& rng) const;
 
   /// Content churn, additive path: propagates a newly published object
   /// outward exactly as the incremental advertisement exchanges would —
@@ -69,24 +100,18 @@ class AbfRouter {
   [[nodiscard]] const AttenuatedBloomFilter& advertisement(
       NodeId u, std::size_t neighbor_index) const;
 
-  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] std::size_t depth() const noexcept { return options_.depth; }
 
  private:
   void build_tables(const ObjectCatalog& catalog);
   [[nodiscard]] std::size_t arc_index(NodeId u,
                                       std::size_t neighbor_index) const;
-  /// Index of the reverse arc v→u given arc u→v.
-  [[nodiscard]] std::size_t reverse_arc(NodeId u, std::size_t neighbor_index,
-                                        NodeId v) const;
 
   const CsrGraph& graph_;
   const ObjectCatalog& catalog_;
   AbfOptions options_;
   std::vector<std::size_t> arc_offsets_;       // prefix degrees, size n+1
   std::vector<AttenuatedBloomFilter> adv_in_;  // per arc u→v: ADV(v→u)
-  std::vector<std::uint32_t> visit_epoch_;
-  std::uint32_t stamp_ = 0;
 };
 
 }  // namespace makalu

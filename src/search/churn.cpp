@@ -84,21 +84,21 @@ ChurnSample sample_metrics(ChurnState& state, const ChurnOptions& options,
         new_to_old[old_to_new[old_id]] = old_id;
       }
     }
-    FloodEngine engine(csr);
+    const FloodEngine engine(csr);
     FloodOptions fopts;
     fopts.ttl = options.query_ttl;
+    QueryWorkspace workspace;
     std::size_t hits = 0;
     for (std::size_t q = 0; q < options.queries_per_sample; ++q) {
       const auto source =
           static_cast<NodeId>(state.rng.uniform_below(live.node_count()));
       const auto object = static_cast<ObjectId>(
           state.rng.uniform_below(options.catalog->object_count()));
-      const auto r = engine.run(
-          source,
-          [&](NodeId v) {
-            return options.catalog->node_has_object(new_to_old[v], object);
-          },
-          fopts);
+      const auto has_object = [&](NodeId v) {
+        return options.catalog->node_has_object(new_to_old[v], object);
+      };
+      const auto r =
+          engine.run(source, NodePredicate(has_object), fopts, workspace);
       hits += r.success;
     }
     s.search_success = static_cast<double>(hits) /

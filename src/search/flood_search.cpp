@@ -1,35 +1,49 @@
 #include "search/flood_search.hpp"
 
-#include <algorithm>
-
 namespace makalu {
 
-FloodEngine::FloodEngine(const CsrGraph& graph)
-    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+FloodEngine::FloodEngine(const CsrGraph& graph, FloodOptions options)
+    : graph_(graph), options_(options) {}
 
-FloodResult FloodEngine::run(NodeId source, ObjectId object,
-                             const ObjectCatalog& catalog,
-                             const FloodOptions& options) {
-  return run(
-      source,
-      [&](NodeId node) { return catalog.node_has_object(node, object); },
-      options);
+QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,
+                             QueryWorkspace& workspace) const {
+  return run(source, has_object, options_, workspace);
 }
 
-FloodResult FloodEngine::run(NodeId source,
-                             const std::function<bool(NodeId)>& has_object,
-                             const FloodOptions& options) {
-  MAKALU_EXPECTS(source < graph_.node_count());
-  FloodResult result;
+QueryResult FloodEngine::run(NodeId source, ObjectId object,
+                             const ObjectCatalog& catalog,
+                             const FloodOptions& options,
+                             QueryWorkspace& workspace) const {
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  return run(source,
+             NodePredicate(has_object, ObjectCatalog::object_key(object)),
+             options, workspace);
+}
 
-  ++stamp_;
-  if (stamp_ == 0) {
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-    stamp_ = 1;
-  }
+QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,
+                             const FloodOptions& options) const {
+  QueryWorkspace workspace;
+  return run(source, has_object, options, workspace);
+}
+
+QueryResult FloodEngine::run(NodeId source, ObjectId object,
+                             const ObjectCatalog& catalog,
+                             const FloodOptions& options) const {
+  QueryWorkspace workspace;
+  return run(source, object, catalog, options, workspace);
+}
+
+QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,
+                             const FloodOptions& options,
+                             QueryWorkspace& workspace) const {
+  MAKALU_EXPECTS(source < graph_.node_count());
+  QueryResult result;
+  workspace.begin_query(graph_.node_count());
 
   auto visit = [&](NodeId node, std::uint32_t hop) {
-    visit_epoch_[node] = stamp_;
+    workspace.mark_visited(node);
     ++result.nodes_visited;
     if (has_object(node)) {
       if (!result.success) {
@@ -42,41 +56,41 @@ FloodResult FloodEngine::run(NodeId source,
 
   visit(source, 0);
 
-  frontier_.clear();
-  frontier_.push_back({source, kInvalidNode});
+  auto& frontier = workspace.frontier();
+  auto& next_frontier = workspace.next_frontier();
+  frontier.push_back({source, kInvalidNode});
 
-  for (std::uint32_t hop = 1;
-       hop <= options.ttl && !frontier_.empty(); ++hop) {
-    next_frontier_.clear();
-    for (const auto& entry : frontier_) {
+  for (std::uint32_t hop = 1; hop <= options.ttl && !frontier.empty();
+       ++hop) {
+    next_frontier.clear();
+    for (const auto& entry : frontier) {
       std::uint64_t sent = 0;
       for (const NodeId v : graph_.neighbors(entry.node)) {
         if (v == entry.sender) continue;
         ++sent;
         ++result.messages;
         if (result.messages > options.message_cap) {
+          workspace.charge_outgoing(entry.node, sent);
           result.truncated = true;
           return result;
         }
-        if (visit_epoch_[v] == stamp_) {
+        if (workspace.visited(v)) {
           ++result.duplicates;
           if (!options.duplicate_suppression) {
             // No query-ID cache: the copy is forwarded again anyway.
-            next_frontier_.push_back({v, entry.node});
+            next_frontier.push_back({v, entry.node});
           }
           continue;
         }
         visit(v, hop);
-        next_frontier_.push_back({v, entry.node});
+        next_frontier.push_back({v, entry.node});
       }
       if (sent > 0) {
         ++result.forwarders;
-        if (options.per_node_outgoing != nullptr) {
-          (*options.per_node_outgoing)[entry.node] += sent;
-        }
+        workspace.charge_outgoing(entry.node, sent);
       }
     }
-    std::swap(frontier_, next_frontier_);
+    workspace.swap_frontiers();
   }
   return result;
 }

@@ -12,14 +12,15 @@
 //  - the flood runs to TTL exhaustion regardless of hits (real networks
 //    cannot recall in-flight queries); every replica encountered counts.
 //
-// FloodEngine keeps epoch-stamped scratch so thousands of queries on the
-// same topology allocate nothing.
+// The engine is stateless over the graph: all per-query scratch lives in
+// the caller's QueryWorkspace, so thousands of queries on the same
+// topology allocate nothing and one engine can serve many threads.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "graph/graph.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 
@@ -31,44 +32,49 @@ struct FloodOptions {
   /// Abort threshold for the suppression-off ablation (result is marked
   /// unsuccessful and truncated=true).
   std::uint64_t message_cap = 50'000'000;
-  /// Optional exact per-node load accounting: when non-null (size >= node
-  /// count), every transmission is charged to its sender. Used by the
-  /// trace replayer for bandwidth distributions.
-  std::vector<std::uint64_t>* per_node_outgoing = nullptr;
+  // Per-node load accounting moved to
+  // QueryWorkspace::enable_outgoing_accounting (the raw-pointer out-param
+  // that used to live here let callers dangle the buffer).
 };
 
-struct FloodResult : QueryResult {
-  bool truncated = false;  ///< message cap hit (only without suppression)
-};
+using FloodResult = QueryResult;
 
-class FloodEngine {
+class FloodEngine final : public SearchEngine {
  public:
-  explicit FloodEngine(const CsrGraph& graph);
+  explicit FloodEngine(const CsrGraph& graph, FloodOptions options = {});
 
-  /// Floods for `object` from `source`; replica locations come from the
-  /// catalog.
-  [[nodiscard]] FloodResult run(NodeId source, ObjectId object,
+  using SearchEngine::run;
+
+  /// Uniform interface: floods with the construction-time options.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flood";
+  }
+
+  /// Per-call-options variants.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                const FloodOptions& options,
+                                QueryWorkspace& workspace) const;
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
                                 const ObjectCatalog& catalog,
-                                const FloodOptions& options);
+                                const FloodOptions& options,
+                                QueryWorkspace& workspace) const;
 
-  /// Generic predicate variant (used by tests and the trace replayer).
-  [[nodiscard]] FloodResult run(NodeId source,
-                                const std::function<bool(NodeId)>& has_object,
-                                const FloodOptions& options);
-
-  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+  /// One-shot conveniences: allocate a transient workspace per call. Fine
+  /// for tests and examples; batch loops should reuse a workspace.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                const FloodOptions& options) const;
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog,
+                                const FloodOptions& options) const;
 
  private:
   const CsrGraph& graph_;
-  std::vector<std::uint32_t> visit_epoch_;
-  std::uint32_t stamp_ = 0;
-  // Frontier entries: (node, sender arc to avoid echoing back).
-  struct FrontierEntry {
-    NodeId node;
-    NodeId sender;
-  };
-  std::vector<FrontierEntry> frontier_;
-  std::vector<FrontierEntry> next_frontier_;
+  FloodOptions options_;
 };
 
 }  // namespace makalu

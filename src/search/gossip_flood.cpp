@@ -1,30 +1,46 @@
 #include "search/gossip_flood.hpp"
 
-#include <algorithm>
-
 namespace makalu {
 
-GossipFloodEngine::GossipFloodEngine(const CsrGraph& graph)
-    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+GossipFloodEngine::GossipFloodEngine(const CsrGraph& graph,
+                                     GossipFloodOptions options)
+    : graph_(graph), options_(options) {}
+
+QueryResult GossipFloodEngine::run(NodeId source, NodePredicate has_object,
+                                   QueryWorkspace& workspace) const {
+  return run(source, has_object, options_, workspace);
+}
 
 QueryResult GossipFloodEngine::run(NodeId source, ObjectId object,
                                    const ObjectCatalog& catalog, Rng& rng,
-                                   const GossipFloodOptions& options) {
+                                   const GossipFloodOptions& options) const {
+  QueryWorkspace workspace;
+  workspace.rng() = rng;
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  const QueryResult result =
+      run(source,
+          NodePredicate(has_object, ObjectCatalog::object_key(object)),
+          options, workspace);
+  rng = workspace.rng();
+  return result;
+}
+
+QueryResult GossipFloodEngine::run(NodeId source, NodePredicate has_object,
+                                   const GossipFloodOptions& options,
+                                   QueryWorkspace& workspace) const {
   MAKALU_EXPECTS(source < graph_.node_count());
   MAKALU_EXPECTS(options.gossip_probability > 0.0 &&
                  options.gossip_probability <= 1.0);
   QueryResult result;
-
-  ++stamp_;
-  if (stamp_ == 0) {
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-    stamp_ = 1;
-  }
+  workspace.begin_query(graph_.node_count());
+  Rng& rng = workspace.rng();
 
   auto visit = [&](NodeId node, std::uint32_t hop) {
-    visit_epoch_[node] = stamp_;
+    workspace.mark_visited(node);
     ++result.nodes_visited;
-    if (catalog.node_has_object(node, object)) {
+    if (has_object(node)) {
       if (!result.success) {
         result.success = true;
         result.first_hit_hop = hop;
@@ -34,30 +50,34 @@ QueryResult GossipFloodEngine::run(NodeId source, ObjectId object,
   };
 
   visit(source, 0);
-  frontier_.clear();
-  frontier_.push_back({source, kInvalidNode});
+  auto& frontier = workspace.frontier();
+  auto& next_frontier = workspace.next_frontier();
+  frontier.push_back({source, kInvalidNode});
 
-  for (std::uint32_t hop = 1;
-       hop <= options.ttl && !frontier_.empty(); ++hop) {
+  for (std::uint32_t hop = 1; hop <= options.ttl && !frontier.empty();
+       ++hop) {
     const bool gossiping = hop > options.boundary_hops;
-    next_frontier_.clear();
-    for (const auto& entry : frontier_) {
+    next_frontier.clear();
+    for (const auto& entry : frontier) {
       std::uint64_t sent = 0;
       for (const NodeId v : graph_.neighbors(entry.node)) {
         if (v == entry.sender) continue;
         if (gossiping && !rng.chance(options.gossip_probability)) continue;
         ++sent;
         ++result.messages;
-        if (visit_epoch_[v] == stamp_) {
+        if (workspace.visited(v)) {
           ++result.duplicates;
           continue;
         }
         visit(v, hop);
-        next_frontier_.push_back({v, entry.node});
+        next_frontier.push_back({v, entry.node});
       }
-      if (sent > 0) ++result.forwarders;
+      if (sent > 0) {
+        ++result.forwarders;
+        workspace.charge_outgoing(entry.node, sent);
+      }
     }
-    std::swap(frontier_, next_frontier_);
+    workspace.swap_frontiers();
   }
   return result;
 }

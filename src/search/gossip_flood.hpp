@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
@@ -29,24 +30,36 @@ struct GossipFloodOptions {
   double gossip_probability = 0.5;
 };
 
-class GossipFloodEngine {
+class GossipFloodEngine final : public SearchEngine {
  public:
-  explicit GossipFloodEngine(const CsrGraph& graph);
+  explicit GossipFloodEngine(const CsrGraph& graph,
+                             GossipFloodOptions options = {});
 
+  using SearchEngine::run;
+
+  /// Uniform interface: gossip draws come from the workspace RNG.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "gossip-flood";
+  }
+
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                const GossipFloodOptions& options,
+                                QueryWorkspace& workspace) const;
+
+  /// One-shot convenience with a caller-owned RNG stream (the stream
+  /// advances exactly as if the engine consumed it directly).
   [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
                                 const ObjectCatalog& catalog, Rng& rng,
-                                const GossipFloodOptions& options);
+                                const GossipFloodOptions& options) const;
 
  private:
   const CsrGraph& graph_;
-  std::vector<std::uint32_t> visit_epoch_;
-  std::uint32_t stamp_ = 0;
-  struct FrontierEntry {
-    NodeId node;
-    NodeId sender;
-  };
-  std::vector<FrontierEntry> frontier_;
-  std::vector<FrontierEntry> next_frontier_;
+  GossipFloodOptions options_;
 };
 
 }  // namespace makalu

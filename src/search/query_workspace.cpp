@@ -1,0 +1,27 @@
+#include "search/query_workspace.hpp"
+
+#include <algorithm>
+
+namespace makalu {
+
+void QueryWorkspace::begin_query(std::size_t node_count) {
+  if (visit_epoch_.size() != node_count) {
+    visit_epoch_.assign(node_count, 0);
+    stamp_ = 0;
+  }
+  ++stamp_;
+  if (stamp_ == 0) {
+    // 2^32 - 1 queries since the last refill: stale epochs from the
+    // previous wrap would collide with a reused stamp, so refill once and
+    // restart the cycle.
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    stamp_ = 1;
+  }
+  frontier_.clear();
+  next_frontier_.clear();
+  if (account_outgoing_ && outgoing_.size() < node_count) {
+    outgoing_.resize(node_count, 0);
+  }
+}
+
+}  // namespace makalu

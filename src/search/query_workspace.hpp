@@ -1,0 +1,117 @@
+// Per-query scratch state shared by every search engine.
+//
+// Each flood-family engine used to carry its own epoch-stamped visited
+// array and frontier buffers; QueryWorkspace extracts that state so the
+// engines themselves are stateless over `const CsrGraph&` and can be
+// shared across threads — each worker brings its own workspace. A
+// workspace amortises allocations across thousands of queries on the
+// same topology (buffers are sized once, the visited array is reset in
+// O(1) by bumping the epoch stamp).
+//
+// The workspace also owns the per-query RNG. ParallelQueryDriver seeds it
+// deterministically per query index (see per_query_seed), which is what
+// makes batch results independent of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+class QueryWorkspace {
+ public:
+  /// Frontier entries: (node, sender arc to avoid echoing back).
+  struct FrontierEntry {
+    NodeId node;
+    NodeId sender;
+  };
+
+  QueryWorkspace() = default;
+  explicit QueryWorkspace(std::size_t node_count) { begin_query(node_count); }
+
+  /// Prepares the workspace for one query on an `node_count`-node graph:
+  /// resizes the visited array on topology change, advances the epoch
+  /// stamp (O(1) reset), and clears the frontier buffers. Engines call
+  /// this at the top of run(); callers never need to.
+  void begin_query(std::size_t node_count);
+
+  [[nodiscard]] bool visited(NodeId v) const noexcept {
+    return visit_epoch_[v] == stamp_;
+  }
+  void mark_visited(NodeId v) noexcept { visit_epoch_[v] = stamp_; }
+
+  [[nodiscard]] std::vector<FrontierEntry>& frontier() noexcept {
+    return frontier_;
+  }
+  [[nodiscard]] std::vector<FrontierEntry>& next_frontier() noexcept {
+    return next_frontier_;
+  }
+  void swap_frontiers() noexcept { frontier_.swap(next_frontier_); }
+
+  /// Generic NodeId scratch (random-walk walker positions, ABF backtrack
+  /// path). Engines clear it before use.
+  [[nodiscard]] std::vector<NodeId>& node_buffer() noexcept {
+    return node_buffer_;
+  }
+  /// Generic double scratch (timed flood's reverse-path latencies).
+  [[nodiscard]] std::vector<double>& value_buffer() noexcept {
+    return value_buffer_;
+  }
+
+  /// The query's RNG stream. Engines draw from this instead of taking an
+  /// Rng parameter; the driver reseeds it per query.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Deterministic per-query seed: splitmix64 of the base seed offset by
+  /// the query index. Identical for a given (base, index) at any thread
+  /// count or batch partitioning.
+  [[nodiscard]] static std::uint64_t per_query_seed(
+      std::uint64_t base_seed, std::uint64_t query_index) noexcept {
+    std::uint64_t s = base_seed + 0x9e3779b97f4a7c15ULL * (query_index + 1);
+    return splitmix64(s);
+  }
+  void seed_rng(std::uint64_t base_seed, std::uint64_t query_index) noexcept {
+    rng_ = Rng(per_query_seed(base_seed, query_index));
+  }
+
+  /// Optional exact per-node load accounting: when enabled, engines charge
+  /// every transmission to its sender. Replaces the old raw-pointer
+  /// FloodOptions::per_node_outgoing out-param (which callers could
+  /// dangle). Counts accumulate across queries until reset.
+  void enable_outgoing_accounting(std::size_t node_count) {
+    outgoing_.assign(node_count, 0);
+    account_outgoing_ = true;
+  }
+  void disable_outgoing_accounting() noexcept { account_outgoing_ = false; }
+  [[nodiscard]] bool accounts_outgoing() const noexcept {
+    return account_outgoing_;
+  }
+  void charge_outgoing(NodeId sender, std::uint64_t transmissions) noexcept {
+    if (account_outgoing_) outgoing_[sender] += transmissions;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> outgoing() const noexcept {
+    return outgoing_;
+  }
+
+  [[nodiscard]] std::uint32_t stamp() const noexcept { return stamp_; }
+  /// Test seam for the epoch-wraparound path: forces the stamp so the next
+  /// begin_query() overflows and takes the refill branch.
+  void set_stamp_for_testing(std::uint32_t stamp) noexcept { stamp_ = stamp; }
+
+ private:
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t stamp_ = 0;
+  std::vector<FrontierEntry> frontier_;
+  std::vector<FrontierEntry> next_frontier_;
+  std::vector<NodeId> node_buffer_;
+  std::vector<double> value_buffer_;
+  std::vector<std::uint64_t> outgoing_;
+  bool account_outgoing_ = false;
+  Rng rng_{0};
+};
+
+}  // namespace makalu

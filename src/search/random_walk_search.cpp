@@ -1,34 +1,50 @@
 #include "search/random_walk_search.hpp"
 
-#include <algorithm>
-
 namespace makalu {
 
-RandomWalkEngine::RandomWalkEngine(const CsrGraph& graph)
-    : graph_(graph), visit_epoch_(graph.node_count(), 0) {}
+RandomWalkEngine::RandomWalkEngine(const CsrGraph& graph,
+                                   RandomWalkOptions options)
+    : graph_(graph), options_(options) {}
+
+QueryResult RandomWalkEngine::run(NodeId source, NodePredicate has_object,
+                                  QueryWorkspace& workspace) const {
+  return run(source, has_object, options_, workspace);
+}
 
 QueryResult RandomWalkEngine::run(NodeId source, ObjectId object,
                                   const ObjectCatalog& catalog, Rng& rng,
-                                  const RandomWalkOptions& options) {
+                                  const RandomWalkOptions& options) const {
+  QueryWorkspace workspace;
+  workspace.rng() = rng;
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  const QueryResult result =
+      run(source,
+          NodePredicate(has_object, ObjectCatalog::object_key(object)),
+          options, workspace);
+  rng = workspace.rng();
+  return result;
+}
+
+QueryResult RandomWalkEngine::run(NodeId source, NodePredicate has_object,
+                                  const RandomWalkOptions& options,
+                                  QueryWorkspace& workspace) const {
   MAKALU_EXPECTS(source < graph_.node_count());
   MAKALU_EXPECTS(options.walkers >= 1);
   QueryResult result;
-
-  ++stamp_;
-  if (stamp_ == 0) {
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-    stamp_ = 1;
-  }
+  workspace.begin_query(graph_.node_count());
+  Rng& rng = workspace.rng();
 
   auto check = [&](NodeId node, std::uint32_t step) {
-    const bool fresh = visit_epoch_[node] != stamp_;
+    const bool fresh = !workspace.visited(node);
     if (fresh) {
-      visit_epoch_[node] = stamp_;
+      workspace.mark_visited(node);
       ++result.nodes_visited;
     } else {
       ++result.duplicates;
     }
-    if (fresh && catalog.node_has_object(node, object)) {
+    if (fresh && has_object(node)) {
       if (!result.success) {
         result.success = true;
         result.first_hit_hop = step;
@@ -43,7 +59,8 @@ QueryResult RandomWalkEngine::run(NodeId source, ObjectId object,
   // Walkers run sequentially step-interleaved; in message terms this is
   // identical to parallel walkers, and stop_on_first_hit then models the
   // "checking back with the requester" termination of Lv et al.
-  std::vector<NodeId> walker_at(options.walkers, source);
+  auto& walker_at = workspace.node_buffer();
+  walker_at.assign(options.walkers, source);
   for (std::uint32_t step = 1; step <= options.ttl; ++step) {
     bool any_alive = false;
     for (auto& position : walker_at) {
@@ -58,7 +75,7 @@ QueryResult RandomWalkEngine::run(NodeId source, ObjectId object,
         // self-avoiding walks.
         for (int attempt = 0; attempt < 4; ++attempt) {
           next = nbrs[rng.uniform_below(nbrs.size())];
-          if (visit_epoch_[next] != stamp_) break;
+          if (!workspace.visited(next)) break;
         }
       } else {
         next = nbrs[rng.uniform_below(nbrs.size())];

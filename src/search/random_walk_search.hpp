@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
@@ -21,18 +22,36 @@ struct RandomWalkOptions {
   bool stop_on_first_hit = true;  ///< walkers halt once any walker succeeds
 };
 
-class RandomWalkEngine {
+class RandomWalkEngine final : public SearchEngine {
  public:
-  explicit RandomWalkEngine(const CsrGraph& graph);
+  explicit RandomWalkEngine(const CsrGraph& graph,
+                            RandomWalkOptions options = {});
 
+  using SearchEngine::run;
+
+  /// Uniform interface: walker steps draw from the workspace RNG.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random-walk";
+  }
+
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                const RandomWalkOptions& options,
+                                QueryWorkspace& workspace) const;
+
+  /// One-shot convenience with a caller-owned RNG stream (the stream
+  /// advances exactly as if the engine consumed it directly).
   [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
                                 const ObjectCatalog& catalog, Rng& rng,
-                                const RandomWalkOptions& options);
+                                const RandomWalkOptions& options) const;
 
  private:
   const CsrGraph& graph_;
-  std::vector<std::uint32_t> visit_epoch_;
-  std::uint32_t stamp_ = 0;
+  RandomWalkOptions options_;
 };
 
 }  // namespace makalu

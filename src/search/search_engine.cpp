@@ -1,0 +1,16 @@
+#include "search/search_engine.hpp"
+
+namespace makalu {
+
+QueryResult SearchEngine::run(NodeId source, ObjectId object,
+                              const ObjectCatalog& catalog,
+                              QueryWorkspace& workspace) const {
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  return run(source,
+             NodePredicate(has_object, ObjectCatalog::object_key(object)),
+             workspace);
+}
+
+}  // namespace makalu

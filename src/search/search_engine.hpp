@@ -1,0 +1,93 @@
+// The common interface every search mechanism implements, and the
+// non-allocating predicate it consumes.
+//
+// All six engines (FloodEngine, GossipFloodEngine, TimedFloodEngine,
+// TwoTierFloodEngine, RandomWalkEngine, AbfRouter) expose the uniform
+//   run(source, predicate, workspace) -> QueryResult
+// entry point: engines are stateless over `const CsrGraph&` plus
+// construction-time options, per-query scratch lives in the caller's
+// QueryWorkspace, and any randomness comes from the workspace RNG. That
+// is exactly the seam ParallelQueryDriver shards over: one shared engine,
+// one workspace per worker.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+#include "graph/graph.hpp"
+#include "search/query_workspace.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu {
+
+/// Non-owning, non-allocating `bool(NodeId)` callable — a function_ref.
+/// Replaces std::function in the engines' hot loops (no type-erasure
+/// allocation, trivially copyable, one indirect call per check).
+///
+/// A predicate optionally carries the object's 64-bit routing key:
+/// content-addressed mechanisms (ABF filter matching, two-tier QRP
+/// digests) need the key, which a plain membership callable cannot
+/// supply. Predicates built from an ObjectCatalog always carry it.
+///
+/// Lifetime: the predicate borrows the callable. Keep the callable alive
+/// for the duration of the run() call (passing a lambda inline is fine —
+/// temporaries outlive the full call expression); do not store a
+/// NodePredicate.
+class NodePredicate {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, NodePredicate> &&
+                std::is_invocable_r_v<bool, const F&, NodeId>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so
+  // call sites can pass lambdas directly.
+  NodePredicate(const F& fn, std::uint64_t routing_key = 0) noexcept
+      : object_(&fn),
+        call_([](const void* object, NodeId node) {
+          return static_cast<bool>((*static_cast<const F*>(object))(node));
+        }),
+        routing_key_(routing_key) {}
+
+  bool operator()(NodeId node) const { return call_(object_, node); }
+
+  /// ObjectCatalog::object_key of the target, or 0 when the query is a
+  /// pure wild-card (no key-indexed mechanism can use it then).
+  [[nodiscard]] std::uint64_t routing_key() const noexcept {
+    return routing_key_;
+  }
+
+ private:
+  const void* object_;
+  bool (*call_)(const void*, NodeId);
+  std::uint64_t routing_key_;
+};
+
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  /// Runs one query from `source` with the engine's construction-time
+  /// options. Thread-safe to call concurrently on a shared engine as long
+  /// as each caller brings its own workspace.
+  [[nodiscard]] virtual QueryResult run(NodeId source,
+                                        NodePredicate has_object,
+                                        QueryWorkspace& workspace) const = 0;
+
+  [[nodiscard]] virtual const CsrGraph& graph() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Catalog convenience: builds the membership predicate (carrying the
+  /// object's routing key) and dispatches to the virtual run.
+  [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
+                                const ObjectCatalog& catalog,
+                                QueryWorkspace& workspace) const;
+
+ protected:
+  SearchEngine() = default;
+  SearchEngine(const SearchEngine&) = default;
+  SearchEngine& operator=(const SearchEngine&) = default;
+};
+
+}  // namespace makalu

@@ -8,39 +8,58 @@
 namespace makalu {
 
 TimedFloodEngine::TimedFloodEngine(const CsrGraph& graph,
-                                   const LatencyModel& latency)
-    : graph_(graph), latency_(latency) {
+                                   const LatencyModel& latency,
+                                   TimedFloodOptions options)
+    : graph_(graph), latency_(latency), options_(options) {
   MAKALU_EXPECTS(latency.node_count() >= graph.node_count());
+}
+
+QueryResult TimedFloodEngine::run(NodeId source, NodePredicate has_object,
+                                  QueryWorkspace& workspace) const {
+  return run_timed(source, has_object, options_.ttl, workspace);
 }
 
 TimedFloodResult TimedFloodEngine::run(NodeId source, ObjectId object,
                                        const ObjectCatalog& catalog,
-                                       std::uint32_t ttl) {
+                                       std::uint32_t ttl) const {
+  QueryWorkspace workspace;
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  return run_timed(
+      source, NodePredicate(has_object, ObjectCatalog::object_key(object)),
+      ttl, workspace);
+}
+
+TimedFloodResult TimedFloodEngine::run_timed(
+    NodeId source, NodePredicate has_object, std::uint32_t ttl,
+    QueryWorkspace& workspace) const {
   MAKALU_EXPECTS(source < graph_.node_count());
   TimedFloodResult result;
+  workspace.begin_query(graph_.node_count());
 
   EventQueue queue;
-  std::vector<bool> seen(graph_.node_count(), false);
   // Accumulated reverse-path latency from each first-visited node back to
   // the source (sum of link latencies along the earliest-arrival tree).
-  std::vector<double> path_back_ms(graph_.node_count(), 0.0);
+  auto& path_back_ms = workspace.value_buffer();
+  path_back_ms.assign(graph_.node_count(), 0.0);
 
   std::function<void(NodeId, NodeId, std::uint32_t, std::uint32_t)>
       deliver = [&](NodeId node, NodeId sender, std::uint32_t remaining,
                     std::uint32_t hop) {
         result.quiescent_ms = queue.now();
-        if (seen[node]) {
+        if (workspace.visited(node)) {
           ++result.duplicates;
           return;
         }
-        seen[node] = true;
+        workspace.mark_visited(node);
         ++result.nodes_visited;
         if (sender != kInvalidNode) {
           path_back_ms[node] =
               path_back_ms[sender] +
               std::max(0.01, latency_.latency(sender, node));
         }
-        if (catalog.node_has_object(node, object)) {
+        if (has_object(node)) {
           ++result.replicas_found;
           if (!result.success) {
             result.success = true;
@@ -50,10 +69,10 @@ TimedFloodResult TimedFloodEngine::run(NodeId source, ObjectId object,
           }
         }
         if (remaining == 0) return;
-        bool sent = false;
+        std::uint64_t sent = 0;
         for (const NodeId next : graph_.neighbors(node)) {
           if (next == sender) continue;
-          sent = true;
+          ++sent;
           ++result.messages;
           const double delay =
               std::max(0.01, latency_.latency(node, next));
@@ -61,7 +80,10 @@ TimedFloodResult TimedFloodEngine::run(NodeId source, ObjectId object,
             deliver(next, node, remaining - 1, hop + 1);
           });
         }
-        if (sent) ++result.forwarders;
+        if (sent > 0) {
+          ++result.forwarders;
+          workspace.charge_outgoing(node, sent);
+        }
       };
 
   queue.schedule(0.0, [&] { deliver(source, kInvalidNode, ttl, 0); });

@@ -13,10 +13,15 @@
 
 #include "graph/graph.hpp"
 #include "net/latency_model.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 
 namespace makalu {
+
+struct TimedFloodOptions {
+  std::uint32_t ttl = 4;
+};
 
 struct TimedFloodResult : QueryResult {
   /// Simulated ms until the first replica *receives* the query (< 0 on
@@ -30,17 +35,39 @@ struct TimedFloodResult : QueryResult {
   double quiescent_ms = 0.0;
 };
 
-class TimedFloodEngine {
+class TimedFloodEngine final : public SearchEngine {
  public:
-  TimedFloodEngine(const CsrGraph& graph, const LatencyModel& latency);
+  TimedFloodEngine(const CsrGraph& graph, const LatencyModel& latency,
+                   TimedFloodOptions options = {});
 
+  using SearchEngine::run;
+
+  /// Uniform interface: returns the message/hop half of the result; use
+  /// run_timed for the wall-clock fields.
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "timed-flood";
+  }
+
+  /// Full result including the latency fields.
+  [[nodiscard]] TimedFloodResult run_timed(NodeId source,
+                                           NodePredicate has_object,
+                                           std::uint32_t ttl,
+                                           QueryWorkspace& workspace) const;
+
+  /// One-shot convenience (transient workspace).
   [[nodiscard]] TimedFloodResult run(NodeId source, ObjectId object,
                                      const ObjectCatalog& catalog,
-                                     std::uint32_t ttl);
+                                     std::uint32_t ttl) const;
 
  private:
   const CsrGraph& graph_;
   const LatencyModel& latency_;
+  TimedFloodOptions options_;
 };
 
 }  // namespace makalu

@@ -52,15 +52,26 @@ std::string RandomizedTtlPolicy::name() const {
          ",bias=" + std::to_string(shallow_bias_).substr(0, 4) + ")";
 }
 
-PolicyQueryResult run_with_policy(FloodEngine& engine,
+PolicyQueryResult run_with_policy(const FloodEngine& engine,
                                   const TtlPolicy& policy, NodeId source,
                                   ObjectId object,
                                   const ObjectCatalog& catalog, Rng& rng) {
+  QueryWorkspace workspace;
+  return run_with_policy(engine, policy, source, object, catalog, rng,
+                         workspace);
+}
+
+PolicyQueryResult run_with_policy(const FloodEngine& engine,
+                                  const TtlPolicy& policy, NodeId source,
+                                  ObjectId object,
+                                  const ObjectCatalog& catalog, Rng& rng,
+                                  QueryWorkspace& workspace) {
   PolicyQueryResult out;
   for (const std::uint32_t ttl : policy.schedule(rng)) {
     FloodOptions options;
     options.ttl = ttl;
-    const FloodResult r = engine.run(source, object, catalog, options);
+    const FloodResult r =
+        engine.run(source, object, catalog, options, workspace);
     ++out.attempts;
     out.total_messages += r.messages;
     out.final_ttl = ttl;

@@ -105,11 +105,21 @@ struct PolicyQueryResult {
 /// scheduled TTL until a hit. Every attempt's messages are charged (real
 /// expanding-ring searches re-flood from scratch; duplicate-suppression
 /// state does not carry across attempts).
-[[nodiscard]] PolicyQueryResult run_with_policy(FloodEngine& engine,
+[[nodiscard]] PolicyQueryResult run_with_policy(const FloodEngine& engine,
                                                 const TtlPolicy& policy,
                                                 NodeId source,
                                                 ObjectId object,
                                                 const ObjectCatalog& catalog,
                                                 Rng& rng);
+
+/// Workspace-reusing variant for batch callers: attempts share `workspace`
+/// (each attempt still restarts its visited set via begin_query).
+[[nodiscard]] PolicyQueryResult run_with_policy(const FloodEngine& engine,
+                                                const TtlPolicy& policy,
+                                                NodeId source,
+                                                ObjectId object,
+                                                const ObjectCatalog& catalog,
+                                                Rng& rng,
+                                                QueryWorkspace& workspace);
 
 }  // namespace makalu

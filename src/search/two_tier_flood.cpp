@@ -1,14 +1,11 @@
 #include "search/two_tier_flood.hpp"
 
-#include <algorithm>
-
 namespace makalu {
 
 TwoTierFloodEngine::TwoTierFloodEngine(const CsrGraph& graph,
-                                       const std::vector<bool>& is_ultrapeer)
-    : graph_(graph),
-      is_ultrapeer_(is_ultrapeer),
-      visit_epoch_(graph.node_count(), 0) {
+                                       const std::vector<bool>& is_ultrapeer,
+                                       TwoTierFloodOptions options)
+    : graph_(graph), is_ultrapeer_(is_ultrapeer), options_(options) {
   MAKALU_EXPECTS(is_ultrapeer.size() == graph.node_count());
 }
 
@@ -28,22 +25,34 @@ void TwoTierFloodEngine::prepare_qrp(const ObjectCatalog& catalog,
   }
 }
 
+QueryResult TwoTierFloodEngine::run(NodeId source, NodePredicate has_object,
+                                    QueryWorkspace& workspace) const {
+  return run(source, has_object, options_, workspace);
+}
+
 QueryResult TwoTierFloodEngine::run(NodeId source, ObjectId object,
                                     const ObjectCatalog& catalog,
-                                    const TwoTierFloodOptions& options) {
+                                    const TwoTierFloodOptions& options) const {
+  QueryWorkspace workspace;
+  const auto has_object = [&catalog, object](NodeId node) {
+    return catalog.node_has_object(node, object);
+  };
+  return run(source,
+             NodePredicate(has_object, ObjectCatalog::object_key(object)),
+             options, workspace);
+}
+
+QueryResult TwoTierFloodEngine::run(NodeId source, NodePredicate has_object,
+                                    const TwoTierFloodOptions& options,
+                                    QueryWorkspace& workspace) const {
   MAKALU_EXPECTS(source < graph_.node_count());
   QueryResult result;
-
-  ++stamp_;
-  if (stamp_ == 0) {
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-    stamp_ = 1;
-  }
+  workspace.begin_query(graph_.node_count());
 
   auto visit = [&](NodeId node, std::uint32_t hop) {
-    visit_epoch_[node] = stamp_;
+    workspace.mark_visited(node);
     ++result.nodes_visited;
-    if (catalog.node_has_object(node, object)) {
+    if (has_object(node)) {
       if (!result.success) {
         result.success = true;
         result.first_hit_hop = hop;
@@ -54,19 +63,20 @@ QueryResult TwoTierFloodEngine::run(NodeId source, ObjectId object,
 
   const bool qrp = options.use_qrp;
   MAKALU_EXPECTS(!qrp || !leaf_digest_.empty());
-  const std::uint64_t key = ObjectCatalog::object_key(object);
+  const std::uint64_t key = has_object.routing_key();
 
   visit(source, 0);
-  frontier_.clear();
-  frontier_.push_back({source, kInvalidNode});
+  auto& frontier = workspace.frontier();
+  auto& next_frontier = workspace.next_frontier();
+  frontier.push_back({source, kInvalidNode});
 
-  for (std::uint32_t hop = 1;
-       hop <= options.ttl && !frontier_.empty(); ++hop) {
-    next_frontier_.clear();
-    for (const auto& entry : frontier_) {
+  for (std::uint32_t hop = 1; hop <= options.ttl && !frontier.empty();
+       ++hop) {
+    next_frontier.clear();
+    for (const auto& entry : frontier) {
       // Only the source leaf (hop 1) or ultrapeers forward.
       if (hop > 1 && !is_ultrapeer_[entry.node]) continue;
-      bool sent_any = false;
+      std::uint64_t sent = 0;
       for (const NodeId v : graph_.neighbors(entry.node)) {
         if (v == entry.sender) continue;
         // QRP: an ultrapeer consults the leaf's content digest and skips
@@ -75,20 +85,23 @@ QueryResult TwoTierFloodEngine::run(NodeId source, ObjectId object,
             !leaf_digest_[v].maybe_contains(key)) {
           continue;
         }
-        sent_any = true;
+        ++sent;
         ++result.messages;
-        if (visit_epoch_[v] == stamp_) {
+        if (workspace.visited(v)) {
           ++result.duplicates;
           continue;
         }
         visit(v, hop);
         // Leaves terminate propagation; ultrapeers continue while TTL
         // remains (loop bound handles the TTL).
-        next_frontier_.push_back({v, entry.node});
+        next_frontier.push_back({v, entry.node});
       }
-      if (sent_any) ++result.forwarders;
+      if (sent > 0) {
+        ++result.forwarders;
+        workspace.charge_outgoing(entry.node, sent);
+      }
     }
-    std::swap(frontier_, next_frontier_);
+    workspace.swap_frontiers();
   }
   return result;
 }

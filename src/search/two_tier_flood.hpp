@@ -22,6 +22,7 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "graph/graph.hpp"
+#include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
 
@@ -34,19 +35,37 @@ struct TwoTierFloodOptions {
   /// query to a leaf only on a digest match — deployed Gnutella's QRP.
   /// Bloom false positives still cost a message; false negatives cannot
   /// occur, so success is unchanged. Default off: the paper's Table 1
-  /// message counts include full UP->leaf propagation.
+  /// message counts include full UP->leaf propagation. QRP consults the
+  /// predicate's routing key, so it requires catalog-built predicates.
   bool use_qrp = false;
 };
 
-class TwoTierFloodEngine {
+class TwoTierFloodEngine final : public SearchEngine {
  public:
   /// `is_ultrapeer` comes from TwoTierGenerator::Result.
   TwoTierFloodEngine(const CsrGraph& graph,
-                     const std::vector<bool>& is_ultrapeer);
+                     const std::vector<bool>& is_ultrapeer,
+                     TwoTierFloodOptions options = {});
 
+  using SearchEngine::run;
+
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                QueryWorkspace& workspace) const override;
+  [[nodiscard]] const CsrGraph& graph() const noexcept override {
+    return graph_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "two-tier-flood";
+  }
+
+  [[nodiscard]] QueryResult run(NodeId source, NodePredicate has_object,
+                                const TwoTierFloodOptions& options,
+                                QueryWorkspace& workspace) const;
+
+  /// One-shot convenience (transient workspace).
   [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
                                 const ObjectCatalog& catalog,
-                                const TwoTierFloodOptions& options);
+                                const TwoTierFloodOptions& options) const;
 
   /// Builds the per-leaf QRP digests from `catalog` (leaves push their
   /// content table to each parent on connect). Must be called before
@@ -57,20 +76,11 @@ class TwoTierFloodEngine {
     return !leaf_digest_.empty();
   }
 
-  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
-
  private:
   const CsrGraph& graph_;
   const std::vector<bool>& is_ultrapeer_;
-  std::vector<std::uint32_t> visit_epoch_;
-  std::uint32_t stamp_ = 0;
+  TwoTierFloodOptions options_;
   std::vector<BloomFilter> leaf_digest_;  // per node; empty until prepared
-  struct FrontierEntry {
-    NodeId node;
-    NodeId sender;
-  };
-  std::vector<FrontierEntry> frontier_;
-  std::vector<FrontierEntry> next_frontier_;
 };
 
 }  // namespace makalu

@@ -20,6 +20,9 @@ struct QueryResult {
   std::uint32_t first_hit_hop = 0;   ///< hops to the first replica (if any)
   std::uint64_t replicas_found = 0;  ///< replicas located by the search
   std::uint64_t forwarders = 0;      ///< nodes that sent >= 1 transmission
+  /// Search aborted at its message cap (flooding's suppression-off
+  /// ablation is the only path that sets this).
+  bool truncated = false;
 };
 
 /// Aggregates QueryResults across a run (and across runs via merge of the

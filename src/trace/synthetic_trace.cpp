@@ -45,23 +45,25 @@ ReplayReport replay_flood_trace(const CsrGraph& graph,
   ReplayReport report;
   if (trace.empty()) return report;
 
-  FloodEngine engine(graph);
-  std::vector<std::uint64_t> per_node_outgoing(graph.node_count(), 0);
+  const FloodEngine engine(graph);
 
   FloodOptions options;
   options.ttl = ttl;
-  options.per_node_outgoing = &per_node_outgoing;
+
+  QueryWorkspace workspace;
+  workspace.enable_outgoing_accounting(graph.node_count());
 
   OnlineStats bytes;
   for (const auto& q : trace) {
-    const FloodResult r = engine.run(q.source, q.object, catalog, options);
+    const FloodResult r =
+        engine.run(q.source, q.object, catalog, options, workspace);
     report.aggregate.add(r);
     bytes.add(static_cast<double>(q.size_bytes));
   }
 
   report.duration_seconds = trace.back().time_ms / 1000.0;
   report.mean_query_bytes = bytes.mean();
-  for (const auto load : per_node_outgoing) {
+  for (const auto load : workspace.outgoing()) {
     report.per_node_outgoing.add(static_cast<double>(load));
   }
   return report;

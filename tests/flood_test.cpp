@@ -168,17 +168,23 @@ TEST(Flood, MessageCapTruncates) {
 
 TEST(Flood, PerNodeAccountingSumsToMessages) {
   const CsrGraph csr = CsrGraph::from_graph(make_cycle(9));
-  FloodEngine engine(csr);
-  std::vector<std::uint64_t> per_node(9, 0);
+  const FloodEngine engine(csr);
   FloodOptions options;
   options.ttl = 3;
-  options.per_node_outgoing = &per_node;
-  const auto r = engine.run(
-      2, [](NodeId) { return false; }, options);
+  QueryWorkspace workspace;
+  workspace.enable_outgoing_accounting(9);
+  const auto never = [](NodeId) { return false; };
+  const auto r = engine.run(2, NodePredicate(never), options, workspace);
   std::uint64_t total = 0;
-  for (const auto x : per_node) total += x;
+  for (const auto x : workspace.outgoing()) total += x;
   EXPECT_EQ(total, r.messages);
-  EXPECT_GT(per_node[2], 0u);  // source sends
+  EXPECT_GT(workspace.outgoing()[2], 0u);  // source sends
+
+  // Accounting accumulates across queries on the same workspace.
+  const auto again = engine.run(2, NodePredicate(never), options, workspace);
+  std::uint64_t total2 = 0;
+  for (const auto x : workspace.outgoing()) total2 += x;
+  EXPECT_EQ(total2, r.messages + again.messages);
 }
 
 TEST(Flood, CatalogOverloadAgrees) {

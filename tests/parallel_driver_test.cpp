@@ -1,0 +1,145 @@
+// Tests for ParallelQueryDriver: bit-identical aggregates at any thread
+// count (the driver's core guarantee), trace-sink ordering, and engine
+// polymorphism through the SearchEngine interface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/parallel_query_driver.hpp"
+#include "search/flood_search.hpp"
+#include "search/random_walk_search.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+using testing::make_cycle;
+
+// Exact double comparisons are intentional throughout: the driver promises
+// results that are bit-identical across thread counts, not merely close.
+void expect_identical(const QueryAggregate& a, const QueryAggregate& b) {
+  EXPECT_EQ(a.queries(), b.queries());
+  EXPECT_EQ(a.success_rate(), b.success_rate());
+  EXPECT_EQ(a.mean_messages(), b.mean_messages());
+  EXPECT_EQ(a.mean_duplicates(), b.mean_duplicates());
+  EXPECT_EQ(a.duplicate_fraction(), b.duplicate_fraction());
+  EXPECT_EQ(a.mean_nodes_visited(), b.mean_nodes_visited());
+  EXPECT_EQ(a.mean_replicas_found(), b.mean_replicas_found());
+  EXPECT_EQ(a.mean_messages_per_forwarder(), b.mean_messages_per_forwarder());
+  ASSERT_EQ(a.hit_hops().count(), b.hit_hops().count());
+  if (!a.hit_hops().empty()) {
+    EXPECT_EQ(a.hit_hops().median(), b.hit_hops().median());
+    EXPECT_EQ(a.hit_hops().percentile(95.0), b.hit_hops().percentile(95.0));
+    EXPECT_EQ(a.hit_hops().mean(), b.hit_hops().mean());
+  }
+}
+
+TEST(ParallelQueryDriver, FloodAggregateIdenticalAcrossThreadCounts) {
+  const std::size_t n = 300;
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(n));
+  const ObjectCatalog catalog(n, 12, 0.03, 7);
+  FloodOptions fopts;
+  fopts.ttl = 8;
+  const FloodEngine engine(csr, fopts);
+
+  BatchQueryOptions batch;
+  batch.queries = 160;
+  batch.seed = 99;
+
+  const QueryAggregate serial =
+      ParallelQueryDriver(1).run_batch(engine, catalog, batch);
+  EXPECT_EQ(serial.queries(), batch.queries);
+  EXPECT_GT(serial.success_rate(), 0.0);  // non-degenerate workload
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const QueryAggregate parallel =
+        ParallelQueryDriver(threads).run_batch(engine, catalog, batch);
+    expect_identical(serial, parallel);
+  }
+  // threads = 0 (shared pool) must agree too.
+  expect_identical(serial,
+                   ParallelQueryDriver(0).run_batch(engine, catalog, batch));
+}
+
+TEST(ParallelQueryDriver, RandomWalkAggregateIdenticalAcrossThreadCounts) {
+  // Random walks consume the per-query RNG heavily — the stronger check
+  // that per-query seeding, not luck, provides the determinism.
+  const std::size_t n = 200;
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(n));
+  const ObjectCatalog catalog(n, 8, 0.05, 3);
+  RandomWalkOptions wopts;
+  wopts.walkers = 8;
+  wopts.ttl = 30;
+  const RandomWalkEngine engine(csr, wopts);
+
+  BatchQueryOptions batch;
+  batch.queries = 120;
+  batch.seed = 2024;
+
+  const QueryAggregate serial =
+      ParallelQueryDriver(1).run_batch(engine, catalog, batch);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    expect_identical(serial, ParallelQueryDriver(threads).run_batch(
+                                 engine, catalog, batch));
+  }
+}
+
+TEST(ParallelQueryDriver, TraceSinkSeesEveryQueryInOrder) {
+  const std::size_t n = 100;
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(n));
+  const ObjectCatalog catalog(n, 5, 0.1, 1);
+  const FloodEngine engine(csr);
+
+  BatchQueryOptions batch;
+  batch.queries = 64;
+  batch.seed = 5;
+  std::vector<QueryTrace> seen;
+  batch.trace_sink = [&](const QueryTrace& trace) { seen.push_back(trace); };
+
+  const QueryAggregate agg =
+      ParallelQueryDriver(4).run_batch(engine, catalog, batch);
+  ASSERT_EQ(seen.size(), batch.queries);
+  EXPECT_EQ(agg.queries(), batch.queries);
+  std::uint64_t messages = 0;
+  for (std::size_t q = 0; q < seen.size(); ++q) {
+    EXPECT_EQ(seen[q].query_index, q);
+    EXPECT_LT(seen[q].source, n);
+    EXPECT_LT(seen[q].object, catalog.object_count());
+    messages += seen[q].result.messages;
+  }
+  // The sink's stream reconciles with the aggregate (NEAR: the aggregate
+  // uses Welford accumulation, not a plain sum).
+  EXPECT_NEAR(static_cast<double>(messages) /
+                  static_cast<double>(batch.queries),
+              agg.mean_messages(), 1e-9);
+}
+
+TEST(ParallelQueryDriver, AppendVariantAccumulatesAcrossBatches) {
+  const std::size_t n = 80;
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(n));
+  const ObjectCatalog catalog(n, 4, 0.1, 2);
+  const FloodEngine engine(csr);
+
+  BatchQueryOptions batch;
+  batch.queries = 30;
+  batch.seed = 8;
+
+  const ParallelQueryDriver driver(2);
+  QueryAggregate total;
+  driver.run_batch(engine, catalog, batch, total);
+  driver.run_batch(engine, catalog, batch, total);
+  EXPECT_EQ(total.queries(), 2 * batch.queries);
+}
+
+TEST(ParallelQueryDriver, EmptyBatchIsANoOp) {
+  const CsrGraph csr = CsrGraph::from_graph(make_cycle(10));
+  const ObjectCatalog catalog(10, 2, 0.5, 1);
+  const FloodEngine engine(csr);
+  BatchQueryOptions batch;  // queries = 0
+  const QueryAggregate agg =
+      ParallelQueryDriver(1).run_batch(engine, catalog, batch);
+  EXPECT_EQ(agg.queries(), 0u);
+}
+
+}  // namespace
+}  // namespace makalu

@@ -1,0 +1,110 @@
+// Tests for QueryWorkspace: epoch-stamp reset semantics (including the
+// 2^32 wraparound refill), topology-resize behaviour, per-node outgoing
+// accounting, and deterministic per-query seeding.
+#include <gtest/gtest.h>
+
+#include "search/query_workspace.hpp"
+
+namespace makalu {
+namespace {
+
+TEST(QueryWorkspace, BeginQueryResetsVisitedInConstantTime) {
+  QueryWorkspace ws;
+  ws.begin_query(8);
+  EXPECT_FALSE(ws.visited(3));
+  ws.mark_visited(3);
+  ws.mark_visited(7);
+  EXPECT_TRUE(ws.visited(3));
+  EXPECT_TRUE(ws.visited(7));
+
+  ws.begin_query(8);  // epoch bump, no refill
+  EXPECT_FALSE(ws.visited(3));
+  EXPECT_FALSE(ws.visited(7));
+}
+
+TEST(QueryWorkspace, StampWraparoundRefills) {
+  QueryWorkspace ws;
+  ws.begin_query(16);
+  ws.mark_visited(5);  // stamped with the pre-wrap epoch
+
+  // Force the next begin_query to overflow the 32-bit stamp: the refill
+  // branch must clear stale epochs so a reused stamp value cannot collide
+  // with marks from the previous cycle.
+  ws.set_stamp_for_testing(0xFFFFFFFFu);
+  ws.begin_query(16);
+  EXPECT_EQ(ws.stamp(), 1u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_FALSE(ws.visited(v));
+
+  // And the refreshed cycle works normally.
+  ws.mark_visited(2);
+  EXPECT_TRUE(ws.visited(2));
+  ws.begin_query(16);
+  EXPECT_EQ(ws.stamp(), 2u);
+  EXPECT_FALSE(ws.visited(2));
+}
+
+TEST(QueryWorkspace, ResizeForNewTopologyResetsEverything) {
+  QueryWorkspace ws;
+  ws.begin_query(4);
+  ws.mark_visited(1);
+  const std::uint32_t old_stamp = ws.stamp();
+
+  ws.begin_query(10);  // different node count → fresh visited array
+  EXPECT_EQ(ws.stamp(), 1u);
+  EXPECT_LE(ws.stamp(), old_stamp + 1);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_FALSE(ws.visited(v));
+}
+
+TEST(QueryWorkspace, FrontiersClearedAndSwappable) {
+  QueryWorkspace ws;
+  ws.begin_query(4);
+  ws.next_frontier().push_back({1, 0});
+  ws.swap_frontiers();
+  EXPECT_EQ(ws.frontier().size(), 1u);
+  EXPECT_TRUE(ws.next_frontier().empty());
+
+  ws.begin_query(4);
+  EXPECT_TRUE(ws.frontier().empty());
+  EXPECT_TRUE(ws.next_frontier().empty());
+}
+
+TEST(QueryWorkspace, OutgoingAccountingAccumulatesUntilReenabled) {
+  QueryWorkspace ws;
+  EXPECT_FALSE(ws.accounts_outgoing());
+  ws.charge_outgoing(0, 99);  // no-op while disabled
+  ws.enable_outgoing_accounting(3);
+  EXPECT_TRUE(ws.accounts_outgoing());
+
+  ws.begin_query(3);
+  ws.charge_outgoing(0, 2);
+  ws.charge_outgoing(2, 5);
+  ws.begin_query(3);  // accounting persists across queries
+  ws.charge_outgoing(2, 1);
+
+  ASSERT_EQ(ws.outgoing().size(), 3u);
+  EXPECT_EQ(ws.outgoing()[0], 2u);
+  EXPECT_EQ(ws.outgoing()[1], 0u);
+  EXPECT_EQ(ws.outgoing()[2], 6u);
+
+  ws.enable_outgoing_accounting(3);  // re-enable == reset
+  EXPECT_EQ(ws.outgoing()[2], 0u);
+}
+
+TEST(QueryWorkspace, PerQuerySeedIsDeterministicAndSpread) {
+  const std::uint64_t base = 42;
+  EXPECT_EQ(QueryWorkspace::per_query_seed(base, 7),
+            QueryWorkspace::per_query_seed(base, 7));
+  EXPECT_NE(QueryWorkspace::per_query_seed(base, 0),
+            QueryWorkspace::per_query_seed(base, 1));
+  EXPECT_NE(QueryWorkspace::per_query_seed(base, 0),
+            QueryWorkspace::per_query_seed(base + 1, 0));
+
+  QueryWorkspace a;
+  QueryWorkspace b;
+  a.seed_rng(base, 3);
+  b.seed_rng(base, 3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+}  // namespace
+}  // namespace makalu
