@@ -7,8 +7,38 @@
 // churn intensities and reports the overlay-health time series summary.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <utility>
+
 #include "net/latency_model.hpp"
 #include "search/churn.hpp"
+
+namespace {
+
+// Exact-equality comparison for the deterministic-maintenance invariant:
+// runs that only differ in worker count must agree on every sampled bit.
+bool reports_identical(const makalu::ChurnReport& a,
+                       const makalu::ChurnReport& b) {
+  if (a.departures != b.departures || a.arrivals != b.arrivals ||
+      a.samples.size() != b.samples.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& x = a.samples[i];
+    const auto& y = b.samples[i];
+    if (x.time_ms != y.time_ms || x.online != y.online ||
+        x.online_components != y.online_components ||
+        x.giant_fraction != y.giant_fraction ||
+        x.mean_degree != y.mean_degree ||
+        x.isolated_online != y.isolated_online ||
+        x.search_success != y.search_success) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace makalu;
@@ -68,6 +98,55 @@ int main(int argc, char** argv) try {
          Table::percent(report.mean_search_success())});
   }
   bench::emit(table, options.csv());
+
+  // Maintenance-path comparison: the legacy serial sweep (ratings
+  // recomputed from scratch every time) against the cached deterministic
+  // sweep, inline and on a worker pool. The deterministic runs must be
+  // bit-identical across worker counts — that invariant is checked here
+  // and any divergence fails the bench outright.
+  {
+    ChurnOptions copts;
+    copts.mean_session_ms = 60'000.0;
+    copts.mean_downtime_ms = 20'000.0;
+    copts.duration_ms = paper ? 240'000.0 : 120'000.0;
+    copts.seed = seed;
+    const auto timed_run = [&](std::size_t maintenance_threads) {
+      copts.maintenance_threads = maintenance_threads;
+      const auto start = std::chrono::steady_clock::now();
+      ChurnReport report = simulate_churn(builder, latency, copts);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      return std::make_pair(std::move(report), wall_ms);
+    };
+    const auto legacy = timed_run(0);
+    const auto inline_run = timed_run(1);
+    const auto pooled = timed_run(4);
+    if (!reports_identical(inline_run.first, pooled.first)) {
+      std::cerr << "FATAL: deterministic maintenance diverged between 1 "
+                   "and 4 worker threads — the sweep must be "
+                   "thread-count-invariant\n";
+      return 1;
+    }
+    Table mtable({"maintenance path", "wall ms", "departures",
+                  "connected samples", "worst giant"});
+    const auto add = [&](const char* label,
+                         const std::pair<ChurnReport, double>& run) {
+      mtable.add_row(
+          {label, Table::num(run.second, 0),
+           Table::integer(static_cast<long long>(run.first.departures)),
+           Table::percent(run.first.connected_fraction()),
+           Table::percent(run.first.worst_giant_fraction())});
+    };
+    add("legacy serial", legacy);
+    add("deterministic inline", inline_run);
+    add("deterministic x4 pool", pooled);
+    bench::emit(mtable, options.csv());
+    std::cout << "\n(sweep check passed: deterministic runs at 1 and 4 "
+                 "workers produced identical reports)\n";
+  }
+
   std::cout << "\nshape check: the giant component holds >97% of online "
                "nodes at every sample even under harsh churn — the local "
                "join/manage rules continuously repair what departures "

@@ -1,14 +1,37 @@
 #!/usr/bin/env bash
-# Sanitizer job: build the library + tests under ASan/UBSan and run the
-# full ctest suite. Used locally and as the CI sanitize step.
+# Sanitizer job: build the library + tests under a sanitizer configuration
+# and run ctest. Used locally and as the CI sanitize step.
 #
-#   scripts/sanitize.sh [extra cmake args...]
+#   scripts/sanitize.sh [asan|tsan] [extra cmake args...]
+#
+# asan (default): ASan+UBSan over the full suite — memory errors, UB,
+#                 leaks.
+# tsan:           ThreadSanitizer over the concurrency-heavy tests
+#                 (thread pool, deterministic parallel sweeps, cache
+#                 scratch engines) — data races in the parallel
+#                 maintenance path. TSan and ASan cannot be combined in
+#                 one binary, hence the separate mode and build tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-sanitize}
-SANITIZERS=${SANITIZERS:-address,undefined}
+MODE=asan
+if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  MODE=$1
+  shift
+fi
+
+if [[ "${MODE}" == "tsan" ]]; then
+  BUILD_DIR=${BUILD_DIR:-build-tsan}
+  SANITIZERS=${SANITIZERS:-thread}
+  # The races TSan can find live in the threaded code paths; default to
+  # the tests that exercise them so the job stays fast. Override with
+  # TSAN_TEST_FILTER='.*' for a full-suite run.
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn'}
+else
+  BUILD_DIR=${BUILD_DIR:-build-sanitize}
+  SANITIZERS=${SANITIZERS:-address,undefined}
+fi
 
 cmake -B "${BUILD_DIR}" -S . \
   -DMAKALU_SANITIZE="${SANITIZERS}" \
@@ -17,7 +40,14 @@ cmake -B "${BUILD_DIR}" -S . \
   "$@"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-# halt_on_error makes UBSan findings fail the job instead of just logging.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="detect_leaks=1"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+# halt_on_error makes sanitizer findings fail the job instead of just
+# logging.
+if [[ "${MODE}" == "tsan" ]]; then
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+    -R "${TSAN_TEST_FILTER}"
+else
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export ASAN_OPTIONS="detect_leaks=1"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+fi

@@ -1,8 +1,11 @@
 #include "core/overlay_builder.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
+#include "graph/algorithms.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/generators.hpp"
 
 namespace makalu {
@@ -76,32 +79,52 @@ std::vector<NodeId> OverlayBuilder::gather_candidates(const Graph& g,
   return candidates;
 }
 
+NodeId OverlayBuilder::pick_victim(
+    const Graph& g, const std::vector<NeighborRating>& ratings) const {
+  // Lowest-rated neighbor, skipping peers at or below the low-water
+  // mark (dropping them would orphan them); fall back to the absolute
+  // worst when every neighbor is protected.
+  MAKALU_ASSERT(!ratings.empty());
+  const NeighborRating* worst = nullptr;
+  const NeighborRating* worst_unprotected = nullptr;
+  auto better = [](const NeighborRating& a, const NeighborRating* b) {
+    if (b == nullptr) return true;
+    if (a.score != b->score) return a.score < b->score;
+    return a.neighbor < b->neighbor;
+  };
+  for (const auto& r : ratings) {
+    if (better(r, worst)) worst = &r;
+    if (g.degree(r.neighbor) > params_.low_water_mark &&
+        better(r, worst_unprotected)) {
+      worst_unprotected = &r;
+    }
+  }
+  return worst_unprotected != nullptr ? worst_unprotected->neighbor
+                                      : worst->neighbor;
+}
+
 std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
                                    RatingEngine& engine, NodeId u) const {
   std::size_t removed = 0;
   while (overlay.graph.degree(u) > overlay.capacity[u]) {
-    // Lowest-rated neighbor, skipping peers at or below the low-water
-    // mark (dropping them would orphan them); fall back to the absolute
-    // worst when every neighbor is protected.
     const auto ratings = engine.rate_neighbors(u);
-    MAKALU_ASSERT(!ratings.empty());
-    const NeighborRating* worst = nullptr;
-    const NeighborRating* worst_unprotected = nullptr;
-    auto better = [](const NeighborRating& a, const NeighborRating* b) {
-      if (b == nullptr) return true;
-      if (a.score != b->score) return a.score < b->score;
-      return a.neighbor < b->neighbor;
-    };
-    for (const auto& r : ratings) {
-      if (better(r, worst)) worst = &r;
-      if (overlay.graph.degree(r.neighbor) > params_.low_water_mark &&
-          better(r, worst_unprotected)) {
-        worst_unprotected = &r;
-      }
-    }
-    const NodeId victim = worst_unprotected != nullptr
-                              ? worst_unprotected->neighbor
-                              : worst->neighbor;
+    overlay.graph.remove_edge(u, pick_victim(overlay.graph, ratings));
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
+                                   CachedRatingEngine& cache,
+                                   RatingEngine* scratch, NodeId u) const {
+  MAKALU_ASSERT(cache.observes(overlay.graph));
+  std::size_t removed = 0;
+  while (overlay.graph.degree(u) > overlay.capacity[u]) {
+    // Re-fetched every iteration: the removal below dirties u's entry.
+    const std::vector<NeighborRating>& ratings =
+        scratch != nullptr ? cache.ratings_for(u, *scratch).ratings
+                           : cache.rate_neighbors(u);
+    const NodeId victim = pick_victim(overlay.graph, ratings);
     overlay.graph.remove_edge(u, victim);
     ++removed;
   }
@@ -151,6 +174,44 @@ void OverlayBuilder::join_node(MakaluOverlay& overlay, RatingEngine& engine,
   // Management phase: every party enforces its capacity.
   manage(overlay, engine, joiner);
   for (const NodeId c : accepted) manage(overlay, engine, c);
+}
+
+void OverlayBuilder::join_node(MakaluOverlay& overlay,
+                               CachedRatingEngine& cache, NodeId joiner,
+                               Rng& rng) const {
+  MAKALU_EXPECTS(cache.observes(overlay.graph));
+  const Graph& g = overlay.graph;
+  NodeId seed_peer = kInvalidNode;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto candidate =
+        static_cast<NodeId>(rng.uniform_below(g.node_count()));
+    if (candidate != joiner && g.degree(candidate) > 0) {
+      seed_peer = candidate;
+      break;
+    }
+  }
+  if (seed_peer == kInvalidNode) return;  // nothing to join yet
+  join_node(overlay, cache, joiner, seed_peer, rng);
+}
+
+void OverlayBuilder::join_node(MakaluOverlay& overlay,
+                               CachedRatingEngine& cache, NodeId joiner,
+                               NodeId seed_peer, Rng& rng) const {
+  // The RatingEngine overload, re-expressed over the cache: identical RNG
+  // consumption and identical decisions (cached ratings are bitwise equal
+  // to fresh ones), so a cache-driven run matches an engine-driven one.
+  Graph& g = overlay.graph;
+  MAKALU_EXPECTS(joiner < g.node_count());
+  MAKALU_EXPECTS(seed_peer < g.node_count() && seed_peer != joiner);
+  const auto candidates = gather_candidates(
+      g, seed_peer, joiner, params_.candidate_set_size, rng);
+  std::vector<NodeId> accepted;
+  for (const NodeId c : candidates) {
+    if (g.degree(joiner) >= overlay.capacity[joiner]) break;
+    if (g.add_edge(joiner, c)) accepted.push_back(c);
+  }
+  manage(overlay, cache, nullptr, joiner);
+  for (const NodeId c : accepted) manage(overlay, cache, nullptr, c);
 }
 
 std::size_t OverlayBuilder::maintenance_round(
@@ -206,6 +267,129 @@ std::size_t OverlayBuilder::maintenance_round(
   return changes;
 }
 
+std::size_t OverlayBuilder::deterministic_sweep(
+    MakaluOverlay& overlay, CachedRatingEngine& cache,
+    const SweepOptions& options) const {
+  Graph& g = overlay.graph;
+  const std::size_t n = g.node_count();
+  const std::vector<bool>* active = options.active;
+  MAKALU_EXPECTS(cache.observes(g));
+  MAKALU_EXPECTS(active == nullptr || active->size() == n);
+
+  // Phase 1 — plan candidate walks against the frozen pre-sweep graph.
+  // Every under-capacity node draws from its own RNG stream (seed mixed
+  // with its id), so the plan set is a pure function of (graph, seed) and
+  // the walks can run concurrently: they only read the graph.
+  std::vector<NodeId> solicitors;
+  for (NodeId u = 0; u < n; ++u) {
+    if (active != nullptr && !(*active)[u]) continue;
+    if (g.degree(u) < overlay.capacity[u]) solicitors.push_back(u);
+  }
+  std::vector<std::vector<NodeId>> plans(solicitors.size());
+  const auto plan_one = [&](std::size_t i) {
+    const NodeId u = solicitors[i];
+    Rng stream(options.seed ^
+               (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(u) + 1)));
+    // Walk start mirrors maintenance_round: a random neighbor, or a random
+    // connected (active) node when u is isolated.
+    NodeId start;
+    const auto nbrs = g.neighbors(u);
+    if (!nbrs.empty()) {
+      start = nbrs[stream.uniform_below(nbrs.size())];
+    } else {
+      start = static_cast<NodeId>(stream.uniform_below(n));
+      if (start == u) return;
+      if (active != nullptr && !(*active)[start]) return;
+      if (g.degree(start) == 0) return;  // don't seed from a loner
+    }
+    // Deficit-proportional solicitation: walk for exactly the missing
+    // edges instead of a full candidate set. Legacy sweeps always gather
+    // candidate_set_size candidates and then throw most of them away once
+    // the deficit is covered; since most nodes are one or two edges short,
+    // those surplus walks dominate maintenance cost. A duplicate endpoint
+    // or already-connected pick occasionally leaves a node short — the
+    // residual deficit simply rolls into the next periodic sweep, which is
+    // how steady-state maintenance absorbs any shortfall.
+    const std::size_t deficit = overlay.capacity[u] - g.degree(u);
+    const std::size_t want =
+        std::min(params_.candidate_set_size, deficit);
+    plans[i] = gather_candidates(g, start, u, want, stream);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, solicitors.size(), plan_one);
+  } else {
+    for (std::size_t i = 0; i < solicitors.size(); ++i) plan_one(i);
+  }
+
+  // Phase 2 — apply the planned connections serially, in a seeded
+  // permutation of the solicitors (the legacy sweep's random visiting
+  // order, without threading one RNG stream through every phase).
+  std::vector<std::size_t> order(solicitors.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng perm_rng(options.seed ^ 0xd1b54a32d192ed03ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[perm_rng.uniform_below(i)]);
+  }
+  std::size_t changes = 0;
+  std::vector<char> touched(n, 0);  // endpoints of edges added this sweep
+  for (const std::size_t i : order) {
+    const NodeId u = solicitors[i];
+    for (const NodeId c : plans[i]) {
+      if (g.degree(u) >= overlay.capacity[u]) break;
+      if (g.add_edge(u, c)) {
+        touched[u] = 1;
+        touched[c] = 1;
+        ++changes;
+      }
+    }
+  }
+
+  // Phase 3 — capacity enforcement. Pruning only removes edges, so the
+  // over-capacity set is fixed now (it can only shrink); legacy manages
+  // every visited node plus every acceptor, hence the workset below.
+  // Same-color nodes are pairwise at distance >= 3 in the current graph
+  // (and removals only grow distances), so their rating read sets and
+  // incident-edge write sets are disjoint: within a class, outcomes are
+  // independent of execution order — the schedule is thread-count-free.
+  std::vector<NodeId> workset;
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.degree(u) <= overlay.capacity[u]) continue;
+    if (touched[u] != 0 || active == nullptr || (*active)[u]) {
+      workset.push_back(u);
+    }
+  }
+  const auto classes = two_hop_color_classes(g, workset);
+  if (options.pool != nullptr) {
+    ThreadPool& pool = *options.pool;
+    std::vector<RatingEngine> scratch;
+    scratch.reserve(pool.max_slots());
+    for (std::size_t s = 0; s < pool.max_slots(); ++s) {
+      scratch.push_back(cache.make_scratch());
+    }
+    std::atomic<std::size_t> removed{0};
+    for (const auto& cls : classes) {
+      pool.parallel_for_slotted(
+          0, cls.size(),
+          [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+            std::size_t local = 0;
+            for (std::size_t k = lo; k < hi; ++k) {
+              local += manage(overlay, cache, &scratch[slot], cls[k]);
+            }
+            removed.fetch_add(local, std::memory_order_relaxed);
+          });
+    }
+    changes += removed.load(std::memory_order_relaxed);
+  } else {
+    RatingEngine scratch = cache.make_scratch();
+    for (const auto& cls : classes) {
+      for (const NodeId u : cls) {
+        changes += manage(overlay, cache, &scratch, u);
+      }
+    }
+  }
+  return changes;
+}
+
 MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
                                     std::uint64_t seed) const {
   const std::size_t n = latency.node_count();
@@ -245,6 +429,50 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
   // Safety net: the decentralised protocol produces a connected overlay in
   // practice; stitch stragglers (isolated latecomers whose candidates all
   // pruned them) exactly as a real deployment's re-join would.
+  ensure_connected(overlay.graph, rng);
+  return overlay;
+}
+
+MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
+                                    std::uint64_t seed,
+                                    ThreadPool* pool) const {
+  const std::size_t n = latency.node_count();
+  MAKALU_EXPECTS(n >= 2);
+  Rng rng(seed);
+
+  MakaluOverlay overlay;
+  overlay.graph = Graph(n);
+  overlay.capacity.resize(n);
+  for (auto& cap : overlay.capacity) {
+    cap = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params_.capacity_min),
+        static_cast<std::int64_t>(params_.capacity_max)));
+  }
+
+  std::vector<NodeId> join_order(n);
+  std::iota(join_order.begin(), join_order.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(join_order[i - 1], join_order[rng.uniform_below(i)]);
+  }
+  overlay.graph.add_edge(join_order[0], join_order[1]);
+  {
+    // The cache rides along from the first join: the join sequence is the
+    // same serial protocol as build(latency, seed) — same RNG consumption —
+    // but acceptors re-managed join after join hit warm entries. Scoped so
+    // it detaches before the overlay leaves the function.
+    CachedRatingEngine cache(overlay.graph, latency, params_.weights);
+    for (std::size_t i = 2; i < n; ++i) {
+      const NodeId seed_peer = join_order[rng.uniform_below(i)];
+      join_node(overlay, cache, join_order[i], seed_peer, rng);
+    }
+    for (std::size_t round = 0; round < params_.maintenance_rounds;
+         ++round) {
+      SweepOptions sweep;
+      sweep.seed = rng();
+      sweep.pool = pool;
+      deterministic_sweep(overlay, cache, sweep);
+    }
+  }
   ensure_connected(overlay.graph, rng);
   return overlay;
 }

@@ -29,11 +29,14 @@
 #include <vector>
 
 #include "core/rating.hpp"
+#include "core/rating_cache.hpp"
 #include "graph/graph.hpp"
 #include "net/latency_model.hpp"
 #include "support/rng.hpp"
 
 namespace makalu {
+
+class ThreadPool;
 
 struct MakaluParameters {
   RatingWeights weights{};          ///< alpha/beta (paper: both 1)
@@ -69,6 +72,19 @@ struct MakaluOverlay {
   }
 };
 
+/// Knobs for the deterministic (optionally parallel) maintenance sweep.
+struct SweepOptions {
+  /// Per-node RNG streams are derived from this; the sweep is a pure
+  /// function of (overlay, latency, seed, active) — never of the thread
+  /// count.
+  std::uint64_t seed = 0;
+  /// Online mask, same semantics as maintenance_round's `active`.
+  const std::vector<bool>* active = nullptr;
+  /// Worker pool for the parallel phases; nullptr runs the identical
+  /// schedule inline on the calling thread.
+  ThreadPool* pool = nullptr;
+};
+
 class OverlayBuilder {
  public:
   explicit OverlayBuilder(MakaluParameters params = MakaluParameters{});
@@ -78,9 +94,24 @@ class OverlayBuilder {
   [[nodiscard]] MakaluOverlay build(const LatencyModel& latency,
                                     std::uint64_t seed) const;
 
+  /// Like build(), but runs the post-join maintenance rounds through the
+  /// deterministic sweep (cached ratings, parallel phases on `pool`).
+  /// Deterministic in `seed` alone: any pool size — including nullptr —
+  /// produces the identical overlay. Note the sweep schedule differs from
+  /// the legacy serial one, so results differ from build(latency, seed)
+  /// (both are valid runs of the same protocol).
+  [[nodiscard]] MakaluOverlay build(const LatencyModel& latency,
+                                    std::uint64_t seed,
+                                    ThreadPool* pool) const;
+
   /// Join a single new node into an existing overlay (used by churn /
   /// repair experiments). `joiner` must currently be isolated.
   void join_node(MakaluOverlay& overlay, const LatencyModel& latency,
+                 NodeId joiner, Rng& rng) const;
+
+  /// Cache-reusing variant: rating state persists in `cache` across joins
+  /// and sweeps (the cache must be attached to overlay.graph).
+  void join_node(MakaluOverlay& overlay, CachedRatingEngine& cache,
                  NodeId joiner, Rng& rng) const;
 
   /// One management sweep: every node (in random order) re-solicits
@@ -92,6 +123,27 @@ class OverlayBuilder {
                                 const LatencyModel& latency, Rng& rng,
                                 const std::vector<bool>* active =
                                     nullptr) const;
+
+  /// The deterministic sweep: the same protocol as maintenance_round
+  /// (under-provisioned nodes solicit, everyone enforces capacity)
+  /// re-scheduled for incremental rating reuse and conflict-free
+  /// parallelism:
+  ///   1. candidate walks for all under-capacity nodes are planned against
+  ///      the frozen pre-sweep graph, one independent RNG stream per node
+  ///      (parallel, read-only);
+  ///   2. the planned connections are applied serially in a seeded
+  ///      permutation order;
+  ///   3. over-capacity nodes are pruned in 2-hop-independent color
+  ///      classes (two_hop_color_classes), colors in fixed order, nodes of
+  ///      one color concurrently — their rating footprints and incident
+  ///      edges are disjoint, so the outcome is order-free.
+  /// Also proportions solicitation to the actual deficit instead of always
+  /// walking for a full candidate set, which is where most of the serial
+  /// speedup comes from. Bit-identical for any `pool` (including nullptr).
+  /// Returns edges changed.
+  std::size_t deterministic_sweep(MakaluOverlay& overlay,
+                                  CachedRatingEngine& cache,
+                                  const SweepOptions& options) const;
 
   [[nodiscard]] const MakaluParameters& parameters() const noexcept {
     return params_;
@@ -106,16 +158,28 @@ class OverlayBuilder {
                                                       std::size_t want,
                                                       Rng& rng) const;
 
+  /// Lowest-rated neighbor respecting the low-water mark (nullptr never —
+  /// ratings is non-empty by contract).
+  [[nodiscard]] NodeId pick_victim(
+      const Graph& g, const std::vector<NeighborRating>& ratings) const;
+
   /// Enforce the capacity constraint at u by pruning lowest-rated
   /// neighbors. Returns edges removed.
   std::size_t manage(MakaluOverlay& overlay, RatingEngine& engine,
                      NodeId u) const;
+  /// Cache-backed variant; recomputations run on `scratch` (nullptr: the
+  /// cache's own serial engine), which makes it safe under the
+  /// deterministic sweep's color schedule when each worker passes its own.
+  std::size_t manage(MakaluOverlay& overlay, CachedRatingEngine& cache,
+                     RatingEngine* scratch, NodeId u) const;
 
   // Engine-reusing worker variants: build() allocates one RatingEngine
   // (its scratch is O(n)) and threads it through every join/maintenance
   // step instead of re-allocating per node.
   void join_node(MakaluOverlay& overlay, RatingEngine& engine, NodeId joiner,
                  NodeId seed_peer, Rng& rng) const;
+  void join_node(MakaluOverlay& overlay, CachedRatingEngine& cache,
+                 NodeId joiner, NodeId seed_peer, Rng& rng) const;
   std::size_t maintenance_round(MakaluOverlay& overlay, RatingEngine& engine,
                                 Rng& rng,
                                 const std::vector<bool>* active) const;

@@ -42,10 +42,19 @@ void RatingEngine::prepare_marks(NodeId u) {
 }
 
 std::vector<NeighborRating> RatingEngine::rate_neighbors(NodeId u) {
+  NodeRatings full;
+  rate_node(u, full);
+  return std::move(full.ratings);
+}
+
+void RatingEngine::rate_node(NodeId u, NodeRatings& out) {
   MAKALU_EXPECTS(u < graph_.node_count());
-  std::vector<NeighborRating> ratings;
+  out.ratings.clear();
+  out.boundary = 0;
+  out.worst = kInvalidNode;
+  std::vector<NeighborRating>& ratings = out.ratings;
   const auto neighbors = graph_.neighbors(u);
-  if (neighbors.empty()) return ratings;
+  if (neighbors.empty()) return;
 
   prepare_marks(u);
   // Pass 1: accumulate seen_count over boundary candidates. A boundary
@@ -115,19 +124,24 @@ std::vector<NeighborRating> RatingEngine::rate_neighbors(NodeId u) {
     r.score = weights_.alpha * r.connectivity + weights_.beta * r.proximity;
     ratings.push_back(r);
   }
-  return ratings;
+  out.boundary = boundary;
+  // Lowest score, ties broken by smaller id: the same element
+  // std::min_element would pick (strictly-better updates keep the first of
+  // any tie, and ratings follow adjacency order).
+  const NeighborRating* worst = &ratings.front();
+  for (const auto& r : ratings) {
+    if (r.score < worst->score ||
+        (r.score == worst->score && r.neighbor < worst->neighbor)) {
+      worst = &r;
+    }
+  }
+  out.worst = worst->neighbor;
 }
 
 NodeId RatingEngine::worst_neighbor(NodeId u) {
-  const auto ratings = rate_neighbors(u);
-  if (ratings.empty()) return kInvalidNode;
-  const auto it = std::min_element(
-      ratings.begin(), ratings.end(),
-      [](const NeighborRating& a, const NeighborRating& b) {
-        if (a.score != b.score) return a.score < b.score;
-        return a.neighbor < b.neighbor;
-      });
-  return it->neighbor;
+  NodeRatings full;
+  rate_node(u, full);
+  return full.worst;
 }
 
 std::size_t RatingEngine::boundary_size(NodeId u) {

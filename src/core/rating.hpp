@@ -60,6 +60,16 @@ struct NeighborRating {
   std::size_t unique_reachable = 0;  ///< |R(u,v)|
 };
 
+/// Everything one node's management step needs, produced in a single pass:
+/// the per-neighbor ratings (in adjacency order), the boundary size, and
+/// the eviction candidate. This is also the unit the CachedRatingEngine
+/// memoizes per node.
+struct NodeRatings {
+  std::vector<NeighborRating> ratings;
+  std::size_t boundary = 0;       ///< |∂Γ(u)|
+  NodeId worst = kInvalidNode;    ///< lowest score, ties to smaller id
+};
+
 class RatingEngine {
  public:
   /// The engine holds references; graph and model must outlive it. The
@@ -71,6 +81,13 @@ class RatingEngine {
   /// Ratings for every current neighbor of u, unsorted. Empty if u has no
   /// neighbors.
   [[nodiscard]] std::vector<NeighborRating> rate_neighbors(NodeId u);
+
+  /// Single-pass combined evaluation: fills `out` with ratings, boundary
+  /// size, and the worst neighbor, reusing `out`'s capacity. Exactly the
+  /// same arithmetic as rate_neighbors/boundary_size/worst_neighbor (the
+  /// convenience accessors are implemented on top of it), so results are
+  /// bitwise identical.
+  void rate_node(NodeId u, NodeRatings& out);
 
   /// Convenience: the current lowest-rated neighbor of u (ties broken by
   /// smaller id for determinism); kInvalidNode if u is isolated.

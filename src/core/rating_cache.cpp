@@ -1,0 +1,70 @@
+#include "core/rating_cache.hpp"
+
+namespace makalu {
+
+CachedRatingEngine::CachedRatingEngine(Graph& graph,
+                                       const LatencyModel& latency,
+                                       RatingWeights weights)
+    : graph_(graph),
+      latency_(latency),
+      weights_(weights),
+      serial_engine_(graph, latency, weights),
+      entries_(graph.node_count()),
+      valid_(std::make_unique<std::atomic<bool>[]>(graph.node_count())) {
+  graph_.set_observer(this);
+}
+
+CachedRatingEngine::~CachedRatingEngine() {
+  if (graph_.observer() == this) graph_.set_observer(nullptr);
+}
+
+const NodeRatings& CachedRatingEngine::ratings_for(NodeId u) {
+  return ratings_for(u, serial_engine_);
+}
+
+const NodeRatings& CachedRatingEngine::ratings_for(NodeId u,
+                                                   RatingEngine& scratch) {
+  MAKALU_EXPECTS(u < entries_.size());
+  if (valid_[u].load(std::memory_order_relaxed)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entries_[u];
+  }
+  scratch.rate_node(u, entries_[u]);
+  valid_[u].store(true, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return entries_[u];
+}
+
+void CachedRatingEngine::invalidate_footprint(NodeId a, NodeId b) {
+  // Post-mutation neighborhoods plus both endpoints cover every node whose
+  // rating reads the edge {a, b}, for additions and removals alike (see
+  // the header derivation).
+  mark_dirty(a);
+  mark_dirty(b);
+  for (const NodeId w : graph_.neighbors(a)) mark_dirty(w);
+  for (const NodeId w : graph_.neighbors(b)) mark_dirty(w);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CachedRatingEngine::on_edge_added(NodeId u, NodeId v) {
+  invalidate_footprint(u, v);
+}
+
+void CachedRatingEngine::on_edge_removed(NodeId u, NodeId v) {
+  invalidate_footprint(u, v);
+}
+
+void CachedRatingEngine::on_node_added(NodeId id) {
+  // Serial-only by the threading contract; grow both tables.
+  const std::size_t n = graph_.node_count();
+  MAKALU_EXPECTS(id + 1 == n);
+  entries_.resize(n);
+  auto grown = std::make_unique<std::atomic<bool>[]>(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    grown[i].store(valid_[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  valid_ = std::move(grown);
+}
+
+}  // namespace makalu

@@ -1,0 +1,121 @@
+// Incremental rating layer: a memoizing front-end for the Makalu rating
+// function F(u,v).
+//
+// RatingEngine recomputes a node's ratings from scratch on every call —
+// fine for one-shot queries, wasteful for overlay construction and
+// maintenance, where the same nodes are re-evaluated sweep after sweep
+// while most of the graph has not changed. CachedRatingEngine memoizes the
+// full per-node evaluation (NodeRatings: neighbor ratings + boundary size
+// + eviction candidate) and invalidates exactly the entries a mutation can
+// affect.
+//
+// Invalidation rule (the 2-hop dependency footprint): node u's ratings
+// read only Γ(u) (adjacency + latencies) and Γ(w) for each w ∈ Γ(u).
+// An edge {a, b} therefore only appears in the computation of nodes
+//   {a, b} ∪ Γ(a) ∪ Γ(b),
+// and that set — evaluated against the post-mutation graph, where it also
+// covers the pre-mutation neighborhoods, since a removed b is still listed
+// explicitly — is exactly what a mutation dirties. This locality is the
+// paper's "only local information" property turned into a cache contract.
+//
+// The engine learns about mutations through the Graph's observer hook: the
+// constructor attaches it to the graph, the destructor detaches. Construct
+// it *after* the graph it serves so destruction order keeps the graph
+// alive while the cache detaches.
+//
+// Threading contract: `ratings_for(u, scratch)` may be called concurrently
+// for nodes whose 2-hop footprints are disjoint (as arranged by
+// two_hop_color_classes), each caller passing its own scratch engine.
+// Validity flags are relaxed atomics — concurrent invalidations of
+// overlapping footprints are benign (all store false) — and entry payloads
+// are only ever written by the node's unique owner within a color class.
+// Cross-phase visibility is established by the thread pool's join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rating.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+
+namespace makalu {
+
+class CachedRatingEngine final : public GraphObserver {
+ public:
+  CachedRatingEngine(Graph& graph, const LatencyModel& latency,
+                     RatingWeights weights = {});
+  ~CachedRatingEngine() override;
+
+  CachedRatingEngine(const CachedRatingEngine&) = delete;
+  CachedRatingEngine& operator=(const CachedRatingEngine&) = delete;
+
+  /// The memoized full evaluation of u (recomputed lazily if dirty).
+  /// The reference stays valid until the next call for the same node;
+  /// mutations only flip the validity flag.
+  const NodeRatings& ratings_for(NodeId u);
+
+  /// Parallel-safe variant: recomputation (if needed) runs on the caller's
+  /// scratch engine. See the threading contract above.
+  const NodeRatings& ratings_for(NodeId u, RatingEngine& scratch);
+
+  /// Drop-in equivalents of the RatingEngine accessors.
+  const std::vector<NeighborRating>& rate_neighbors(NodeId u) {
+    return ratings_for(u).ratings;
+  }
+  NodeId worst_neighbor(NodeId u) { return ratings_for(u).worst; }
+  std::size_t boundary_size(NodeId u) { return ratings_for(u).boundary; }
+
+  /// A fresh scratch engine over the same graph/latency/weights, for use
+  /// with the parallel ratings_for overload (one per worker slot).
+  [[nodiscard]] RatingEngine make_scratch() const {
+    return RatingEngine(graph_, latency_, weights_);
+  }
+
+  [[nodiscard]] const RatingWeights& weights() const noexcept {
+    return weights_;
+  }
+
+  /// True iff this cache serves (and observes) `g` — precondition checks.
+  [[nodiscard]] bool observes(const Graph& g) const noexcept {
+    return &graph_ == &g;
+  }
+
+  // Effectiveness counters (relaxed; exact only at quiescent points).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t invalidations() const noexcept {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+  // GraphObserver: dirty the 2-hop footprint of the mutated edge.
+  void on_edge_added(NodeId u, NodeId v) override;
+  void on_edge_removed(NodeId u, NodeId v) override;
+  void on_node_added(NodeId id) override;
+
+ private:
+  void invalidate_footprint(NodeId a, NodeId b);
+  void mark_dirty(NodeId u) {
+    valid_[u].store(false, std::memory_order_relaxed);
+  }
+
+  Graph& graph_;
+  const LatencyModel& latency_;
+  RatingWeights weights_;
+  RatingEngine serial_engine_;  ///< scratch for the serial accessors
+  std::vector<NodeRatings> entries_;
+  // One flag per node. unique_ptr<atomic[]> because vector<atomic> cannot
+  // be resized; growth only happens via on_node_added (serial contexts).
+  std::unique_ptr<std::atomic<bool>[]> valid_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace makalu

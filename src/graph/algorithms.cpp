@@ -107,4 +107,42 @@ bool is_connected(const CsrGraph& g) {
   return connected_components(g).count == 1;
 }
 
+std::vector<std::vector<NodeId>> two_hop_color_classes(
+    const Graph& g, const std::vector<NodeId>& nodes) {
+  constexpr std::uint32_t kUncolored = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> color_of(g.node_count(), kUncolored);
+  std::vector<std::vector<NodeId>> classes;
+  // Work in ascending id order regardless of the order `nodes` arrives in,
+  // so the partition depends only on the (graph, node set) pair.
+  std::vector<NodeId> sorted(nodes);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // Epoch-stamped forbidden set: forbidden[c] == stamp of the node whose
+  // 2-hop ball most recently saw color c. No per-node sort or allocation.
+  std::vector<std::uint32_t> forbidden;
+  std::uint32_t stamp = 0;
+  for (const NodeId u : sorted) {
+    MAKALU_EXPECTS(u < g.node_count());
+    ++stamp;
+    auto note = [&](NodeId x) {
+      if (color_of[x] != kUncolored) forbidden[color_of[x]] = stamp;
+    };
+    for (const NodeId w : g.neighbors(u)) {
+      note(w);
+      for (const NodeId x : g.neighbors(w)) {
+        if (x != u) note(x);
+      }
+    }
+    std::uint32_t color = 0;
+    while (color < forbidden.size() && forbidden[color] == stamp) ++color;
+    color_of[u] = color;
+    if (color >= classes.size()) {
+      classes.resize(color + 1);
+      forbidden.resize(color + 1, 0);  // stamp 0 is never current
+    }
+    classes[color].push_back(u);  // ascending: u iterates in id order
+  }
+  return classes;
+}
+
 }  // namespace makalu

@@ -49,4 +49,15 @@ struct Components {
 /// as connected).
 [[nodiscard]] bool is_connected(const CsrGraph& g);
 
+/// Partitions `nodes` into color classes such that any two nodes in the
+/// same class are at graph distance >= 3 (no shared neighbor, not
+/// adjacent). Greedy smallest-free-color over ascending node ids, so the
+/// result is deterministic and classes come out sorted. Used by the
+/// parallel maintenance sweep: nodes of one class have disjoint 2-hop
+/// rating footprints and pairwise-disjoint incident-edge sets, so they can
+/// be pruned concurrently without races and with an order-independent
+/// outcome. Works on the mutable Graph because it runs mid-construction.
+[[nodiscard]] std::vector<std::vector<NodeId>> two_hop_color_classes(
+    const Graph& g, const std::vector<NodeId>& nodes);
+
 }  // namespace makalu

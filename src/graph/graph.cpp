@@ -6,7 +6,9 @@ namespace makalu {
 
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
-  return static_cast<NodeId>(adjacency_.size() - 1);
+  const auto id = static_cast<NodeId>(adjacency_.size() - 1);
+  if (observer_ != nullptr) observer_->on_node_added(id);
+  return id;
 }
 
 bool Graph::add_edge(NodeId u, NodeId v) {
@@ -14,7 +16,8 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   if (u == v || has_edge(u, v)) return false;
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
-  ++edge_count_;
+  edge_count_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) observer_->on_edge_added(u, v);
   return true;
 }
 
@@ -30,7 +33,8 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   if (!erase_one(adjacency_[u], v)) return false;
   const bool also = erase_one(adjacency_[v], u);
   MAKALU_ASSERT(also);
-  --edge_count_;
+  edge_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) observer_->on_edge_removed(u, v);
   return true;
 }
 

@@ -13,6 +13,7 @@
 // old->new mapping so callers can track survivors.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -24,15 +25,66 @@ namespace makalu {
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+/// Mutation observer: incremental structures (rating caches, routing
+/// indexes) register one of these to be told about every topology change
+/// the instant it lands. Callbacks run synchronously inside the mutator,
+/// *after* the adjacency lists reflect the change, so an observer sees the
+/// post-mutation graph. Callbacks must not mutate the graph re-entrantly.
+class GraphObserver {
+ public:
+  virtual ~GraphObserver() = default;
+  virtual void on_edge_added(NodeId u, NodeId v) = 0;
+  virtual void on_edge_removed(NodeId u, NodeId v) = 0;
+  virtual void on_node_added(NodeId id) = 0;
+};
+
 class Graph {
  public:
   Graph() = default;
   explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
 
+  // Observers are bound to one Graph instance: copies/moves deliberately do
+  // NOT carry the registration (the observer holds a reference to the
+  // original object). Assigning over a graph that still has an observer
+  // attached is a bug — the observer would silently miss the wholesale
+  // topology swap — and is rejected by contract.
+  Graph(const Graph& other)
+      : adjacency_(other.adjacency_), edge_count_(other.edge_count()) {}
+  Graph(Graph&& other) noexcept
+      : adjacency_(std::move(other.adjacency_)),
+        edge_count_(other.edge_count()) {
+    other.adjacency_.clear();
+    other.edge_count_.store(0, std::memory_order_relaxed);
+  }
+  Graph& operator=(const Graph& other) {
+    MAKALU_EXPECTS(observer_ == nullptr);
+    adjacency_ = other.adjacency_;
+    edge_count_.store(other.edge_count(), std::memory_order_relaxed);
+    return *this;
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    MAKALU_EXPECTS(observer_ == nullptr);
+    adjacency_ = std::move(other.adjacency_);
+    edge_count_.store(other.edge_count(), std::memory_order_relaxed);
+    other.adjacency_.clear();
+    other.edge_count_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return adjacency_.size();
   }
-  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edge_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers (or, with nullptr, clears) the mutation observer. At most
+  /// one observer may be attached at a time.
+  void set_observer(GraphObserver* observer) {
+    MAKALU_EXPECTS(observer == nullptr || observer_ == nullptr);
+    observer_ = observer;
+  }
+  [[nodiscard]] GraphObserver* observer() const noexcept { return observer_; }
 
   /// Appends a new isolated node and returns its id.
   NodeId add_node();
@@ -72,7 +124,13 @@ class Graph {
 
  private:
   std::vector<std::vector<NodeId>> adjacency_;
-  std::size_t edge_count_ = 0;
+  // Atomic so the deterministic parallel maintenance sweep may remove
+  // edges of 2-hop-independent nodes concurrently (their adjacency lists
+  // are disjoint; only this counter is shared). Relaxed ordering suffices:
+  // the count is an order-independent integer sum and every reader
+  // synchronises with the writers through the thread pool's join.
+  std::atomic<std::size_t> edge_count_{0};
+  GraphObserver* observer_ = nullptr;
 };
 
 /// Immutable CSR snapshot. Edge weights are optional; `weight(u, i)` is the

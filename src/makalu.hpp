@@ -37,6 +37,7 @@
 #include "core/overlay_builder.hpp"
 #include "core/overlay_io.hpp"
 #include "core/rating.hpp"
+#include "core/rating_cache.hpp"
 
 // Simulation substrate.
 #include "sim/event_queue.hpp"

@@ -1,9 +1,12 @@
 #include "search/churn.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "graph/algorithms.hpp"
 #include "search/flood_search.hpp"
+#include "support/thread_pool.hpp"
 
 namespace makalu {
 
@@ -122,6 +125,21 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
   const std::size_t n = state.overlay.graph.node_count();
   state.online.assign(n, true);
 
+  // Deterministic-maintenance mode: one rating cache observes the overlay
+  // for the whole run (joins, departures, and sweeps all flow through it),
+  // and sweeps run through the thread-count-invariant schedule. Constructed
+  // after the overlay so destruction detaches before the graph dies.
+  const bool deterministic_maintenance = options.maintenance_threads > 0;
+  std::optional<CachedRatingEngine> cache;
+  std::unique_ptr<ThreadPool> pool;
+  if (deterministic_maintenance) {
+    cache.emplace(state.overlay.graph, latency,
+                  builder.parameters().weights);
+    if (options.maintenance_threads > 1) {
+      pool = std::make_unique<ThreadPool>(options.maintenance_threads);
+    }
+  }
+
   ChurnReport report;
   EventQueue queue;
 
@@ -154,7 +172,13 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
     ++report.arrivals;
     // Re-join through the normal protocol. join_node walks from a random
     // live seed; offline nodes are isolated so walks cannot land on them.
-    builder.join_node(state.overlay, latency, v, state.rng);
+    // Both variants make identical decisions and RNG draws; the cached one
+    // just reuses warm ratings.
+    if (deterministic_maintenance) {
+      builder.join_node(state.overlay, *cache, v, state.rng);
+    } else {
+      builder.join_node(state.overlay, latency, v, state.rng);
+    }
     queue.schedule_in(state.rng.exponential(session_rate),
                       [&, v] { depart(v); });
   };
@@ -172,9 +196,19 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
 
   // Maintenance sweeps: under-provisioned survivors re-solicit peers.
   std::function<void()> maintain = [&] {
+    // One split per sweep in either mode, so state.rng's trajectory — and
+    // with it the rest of the simulation — is mode- and thread-agnostic.
     Rng sweep_rng = state.rng.split(static_cast<std::uint64_t>(queue.now()));
-    builder.maintenance_round(state.overlay, latency, sweep_rng,
-                              &state.online);
+    if (deterministic_maintenance) {
+      SweepOptions sweep;
+      sweep.seed = sweep_rng();
+      sweep.active = &state.online;
+      sweep.pool = pool.get();
+      builder.deterministic_sweep(state.overlay, *cache, sweep);
+    } else {
+      builder.maintenance_round(state.overlay, latency, sweep_rng,
+                                &state.online);
+    }
     if (queue.now() + options.maintenance_interval_ms <=
         options.duration_ms) {
       queue.schedule_in(options.maintenance_interval_ms, maintain);

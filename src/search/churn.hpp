@@ -38,6 +38,14 @@ struct ChurnOptions {
   const ObjectCatalog* catalog = nullptr;
   std::size_t queries_per_sample = 0;
   std::uint32_t query_ttl = 4;
+  /// Maintenance scheduling. 0 keeps the legacy serial sweep
+  /// (maintenance_round, recomputing ratings from scratch). >= 1 switches
+  /// to OverlayBuilder::deterministic_sweep with a rating cache that
+  /// persists across the whole run: 1 runs it inline, k > 1 runs the
+  /// parallel phases on a k-thread pool. Every value >= 1 produces the
+  /// identical simulation — the sweep is thread-count-invariant — so
+  /// reports are comparable across machines and worker counts.
+  std::size_t maintenance_threads = 0;
 };
 
 struct ChurnSample {

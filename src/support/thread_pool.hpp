@@ -62,6 +62,36 @@ class ThreadPool {
     wait_idle();
   }
 
+  /// Upper bound on the number of chunks parallel_for_chunked /
+  /// parallel_for_slotted will create; callers size per-slot scratch
+  /// arrays with it.
+  [[nodiscard]] std::size_t max_slots(
+      std::size_t chunks_per_thread = 4) const noexcept {
+    return thread_count() * chunks_per_thread;
+  }
+
+  /// Like parallel_for_chunked, but also hands each task its dense chunk
+  /// ordinal (`slot` < max_slots(chunks_per_thread)). At most one in-flight
+  /// task per slot, so bodies can index pre-allocated per-slot scratch
+  /// (rating engines, RNGs, buffers) without locks. Chunking — and hence
+  /// the slot assignment — depends only on the range and the pool size,
+  /// never on execution order.
+  template <typename Body>
+  void parallel_for_slotted(std::size_t begin, std::size_t end,
+                            const Body& body,
+                            std::size_t chunks_per_thread = 4) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t max_chunks = max_slots(chunks_per_thread);
+    const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+    std::size_t slot = 0;
+    for (std::size_t lo = begin; lo < end; lo += chunk, ++slot) {
+      const std::size_t hi = std::min(lo + chunk, end);
+      submit([slot, lo, hi, &body] { body(slot, lo, hi); });
+    }
+    wait_idle();
+  }
+
   /// Like parallel_for but hands each task a whole [lo, hi) range, letting
   /// the body hoist per-chunk setup (e.g. scratch buffers, split RNGs).
   template <typename Body>

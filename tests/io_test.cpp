@@ -95,6 +95,74 @@ TEST(OverlayIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+// --- overlay_io error paths (hand-built payloads around a valid one) -------
+
+namespace overlay_payload {
+// A well-formed v1 overlay: 3 nodes, 1 edge, 3 capacities.
+constexpr const char* kValid = "makalu-overlay v1\n3 1\n0 1\ncapacities\n4 4 4\n";
+}  // namespace overlay_payload
+
+TEST(OverlayIo, ValidHandWrittenPayloadLoads) {
+  std::stringstream buffer(overlay_payload::kValid);
+  const MakaluOverlay overlay = load_overlay(buffer);
+  EXPECT_EQ(overlay.graph.node_count(), 3u);
+  EXPECT_TRUE(overlay.graph.has_edge(0, 1));
+  EXPECT_EQ(overlay.capacity, (std::vector<std::size_t>{4, 4, 4}));
+}
+
+TEST(OverlayIo, RejectsCorruptHeader) {
+  std::stringstream buffer(
+      "makalu-overlay v9\n3 1\n0 1\ncapacities\n4 4 4\n");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsEmptyInput) {
+  std::stringstream buffer("");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsEdgeEndpointOutOfRange) {
+  std::stringstream buffer(
+      "makalu-overlay v1\n3 1\n0 7\ncapacities\n4 4 4\n");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsTruncatedEdgeList) {
+  std::stringstream buffer("makalu-overlay v1\n3 2\n0 1\n");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsMissingCapacitiesMarker) {
+  std::stringstream buffer("makalu-overlay v1\n3 1\n0 1\n4 4 4\n");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsTruncatedCapacitiesBlock) {
+  std::stringstream buffer("makalu-overlay v1\n3 1\n0 1\ncapacities\n4 4\n");
+  EXPECT_THROW((void)load_overlay(buffer), std::runtime_error);
+}
+
+TEST(OverlayIo, RejectsFileTruncatedAtEveryPrefix) {
+  // Chop a real serialized overlay at every prefix length up through the
+  // capacities marker: all such prefixes are structurally incomplete and
+  // must throw. (Cuts inside the numeric capacities block are excluded —
+  // in a text format, truncating "12" to "1" yields a different but
+  // well-formed number, which dedicated tests above cover via counts.)
+  const EuclideanModel latency(12, 3);
+  const MakaluOverlay overlay = OverlayBuilder().build(latency, 5);
+  std::stringstream buffer;
+  save_overlay(buffer, overlay);
+  const std::string full = buffer.str();
+  const std::size_t marker_end =
+      full.find("capacities") + std::string("capacities").size();
+  ASSERT_NE(full.find("capacities"), std::string::npos);
+  for (std::size_t len = 0; len <= marker_end; ++len) {
+    std::stringstream cut(full.substr(0, len));
+    EXPECT_THROW((void)load_overlay(cut), std::runtime_error)
+        << "prefix length " << len;
+  }
+}
+
 // --- cross-validation: protocol-local rating == graph-level engine ---------
 
 TEST(CrossValidation, ProtocolRatingMatchesEngineOnSyncedState) {

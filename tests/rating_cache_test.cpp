@@ -1,0 +1,213 @@
+// Differential property tests for the incremental rating cache.
+//
+// The CachedRatingEngine's whole contract is "bitwise indistinguishable
+// from recomputing from scratch". These tests drive random mutation
+// sequences (edge adds, edge removals, node arrivals) over mixed
+// topologies and, after EVERY step, compare the cache's answer for EVERY
+// node against a fresh RatingEngine: per-neighbor scores and components,
+// boundary sizes, and eviction candidates, with exact double equality, in
+// both ProximityScaling modes. Across the suite the sequences total 10k
+// mutations.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/rating.hpp"
+#include "core/rating_cache.hpp"
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+// Every observable of the cache must match a from-scratch evaluation,
+// exactly: the cache memoizes, it must never approximate.
+void expect_cache_matches_fresh(CachedRatingEngine& cache, const Graph& g,
+                                const LatencyModel& latency,
+                                const RatingWeights& weights,
+                                std::size_t step) {
+  RatingEngine fresh(g, latency, weights);
+  NodeRatings expected;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    fresh.rate_node(u, expected);
+    const NodeRatings& got = cache.ratings_for(u);
+    ASSERT_EQ(got.ratings.size(), expected.ratings.size())
+        << "step " << step << " node " << u;
+    for (std::size_t i = 0; i < expected.ratings.size(); ++i) {
+      const NeighborRating& e = expected.ratings[i];
+      const NeighborRating& a = got.ratings[i];
+      ASSERT_EQ(a.neighbor, e.neighbor) << "step " << step << " node " << u;
+      ASSERT_EQ(a.score, e.score)
+          << "step " << step << " node " << u << " neighbor " << e.neighbor;
+      ASSERT_EQ(a.connectivity, e.connectivity)
+          << "step " << step << " node " << u << " neighbor " << e.neighbor;
+      ASSERT_EQ(a.proximity, e.proximity)
+          << "step " << step << " node " << u << " neighbor " << e.neighbor;
+      ASSERT_EQ(a.unique_reachable, e.unique_reachable)
+          << "step " << step << " node " << u << " neighbor " << e.neighbor;
+    }
+    ASSERT_EQ(got.boundary, expected.boundary)
+        << "step " << step << " node " << u;
+    ASSERT_EQ(got.worst, expected.worst) << "step " << step << " node " << u;
+    // Cross-check the independent boundary-only path too.
+    ASSERT_EQ(cache.boundary_size(u), fresh.boundary_size(u))
+        << "step " << step << " node " << u;
+  }
+}
+
+// Runs `steps` random mutations over `g`, validating after every one.
+// When `grow` is set, a few steps add brand-new nodes (exercising the
+// cache's growth path) until the latency model's capacity is reached.
+void run_differential(Graph g, const LatencyModel& latency,
+                      const RatingWeights& weights, std::size_t steps,
+                      std::uint64_t seed, bool grow = false) {
+  CachedRatingEngine cache(g, latency, weights);
+  Rng rng(seed);
+  expect_cache_matches_fresh(cache, g, latency, weights, 0);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const bool can_grow = grow && g.node_count() < latency.node_count();
+    if (can_grow && rng.chance(0.05)) {
+      const NodeId fresh_id = g.add_node();
+      const auto peer =
+          static_cast<NodeId>(rng.uniform_below(g.node_count()));
+      if (peer != fresh_id) g.add_edge(fresh_id, peer);
+    } else if (g.edge_count() > 0 && rng.chance(0.4)) {
+      // Remove a random incident edge of a random connected node.
+      NodeId u;
+      do {
+        u = static_cast<NodeId>(rng.uniform_below(g.node_count()));
+      } while (g.degree(u) == 0);
+      const auto nbrs = g.neighbors(u);
+      g.remove_edge(u, nbrs[rng.uniform_below(nbrs.size())]);
+    } else {
+      // Random add; self/duplicate picks are no-op mutations and still a
+      // valid (if trivial) differential step.
+      const auto u = static_cast<NodeId>(rng.uniform_below(g.node_count()));
+      const auto v = static_cast<NodeId>(rng.uniform_below(g.node_count()));
+      if (u != v) g.add_edge(u, v);
+    }
+    expect_cache_matches_fresh(cache, g, latency, weights, step);
+  }
+  // A cache that recomputes everything on every query would also pass the
+  // comparisons; make sure memoization actually happened.
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+Graph random_graph(std::size_t n, std::size_t extra_edges,
+                   std::uint64_t seed) {
+  Graph g = testing::make_cycle(n);  // connected backbone
+  Rng rng(seed);
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_below(n));
+    const auto v = static_cast<NodeId>(rng.uniform_below(n));
+    if (u != v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+RatingWeights weights_for(ProximityScaling scaling) {
+  RatingWeights w;
+  w.scaling = scaling;
+  return w;
+}
+
+class RatingCacheDifferential
+    : public ::testing::TestWithParam<ProximityScaling> {};
+
+TEST_P(RatingCacheDifferential, RandomGraphMutations) {
+  const EuclideanModel latency(48, 101);
+  run_differential(random_graph(48, 100, 7), latency,
+                   weights_for(GetParam()), 2000, 11);
+}
+
+TEST_P(RatingCacheDifferential, SparseCycleWithChords) {
+  const EuclideanModel latency(40, 103);
+  run_differential(random_graph(40, 12, 9), latency,
+                   weights_for(GetParam()), 1500, 13);
+}
+
+TEST_P(RatingCacheDifferential, BarbellCommunities) {
+  const EuclideanModel latency(24, 107);
+  run_differential(testing::make_barbell(12), latency,
+                   weights_for(GetParam()), 1000, 17);
+}
+
+TEST_P(RatingCacheDifferential, GrowingNetwork) {
+  // Start well below the latency model's capacity and let ~5% of steps
+  // add nodes: exercises on_node_added table growth mid-sequence.
+  const EuclideanModel latency(64, 109);
+  run_differential(random_graph(24, 30, 19), latency,
+                   weights_for(GetParam()), 500, 23,
+                   /*grow=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothScalings, RatingCacheDifferential,
+    ::testing::Values(ProximityScaling::kNormalized,
+                      ProximityScaling::kPaperLiteral),
+    [](const ::testing::TestParamInfo<ProximityScaling>& param_info) {
+      return param_info.param == ProximityScaling::kNormalized
+                 ? "Normalized"
+                 : "PaperLiteral";
+    });
+
+// The cache must not invalidate the world on every mutation: a single
+// edge flip in a large sparse graph leaves distant entries warm.
+TEST(RatingCache, InvalidationIsLocal) {
+  const std::size_t n = 200;
+  const EuclideanModel latency(n, 113);
+  Graph g = testing::make_cycle(n);
+  CachedRatingEngine cache(g, latency, RatingWeights{});
+  for (NodeId u = 0; u < n; ++u) (void)cache.ratings_for(u);  // warm all
+  const std::uint64_t warm_misses = cache.misses();
+  g.remove_edge(0, 1);
+  g.add_edge(0, 1);
+  for (NodeId u = 0; u < n; ++u) (void)cache.ratings_for(u);
+  // Two mutations at {0,1}: each dirties the endpoints plus their cycle
+  // neighbors — entries outside that ball must still be warm.
+  EXPECT_LE(cache.misses() - warm_misses, 8u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+// Scratch-engine recomputation (the parallel path) produces the same
+// bits as the serial accessor path.
+TEST(RatingCache, ScratchRecomputeMatchesSerial) {
+  const std::size_t n = 60;
+  const EuclideanModel latency(n, 127);
+  Graph g = random_graph(n, 150, 29);
+  Graph g2 = g;  // independent copy for the serial twin
+  CachedRatingEngine scratch_cache(g, latency, RatingWeights{});
+  CachedRatingEngine serial_cache(g2, latency, RatingWeights{});
+  RatingEngine scratch = scratch_cache.make_scratch();
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeRatings& a = scratch_cache.ratings_for(u, scratch);
+    const NodeRatings& b = serial_cache.ratings_for(u);
+    ASSERT_EQ(a.ratings.size(), b.ratings.size());
+    for (std::size_t i = 0; i < a.ratings.size(); ++i) {
+      ASSERT_EQ(a.ratings[i].score, b.ratings[i].score);
+    }
+    ASSERT_EQ(a.boundary, b.boundary);
+    ASSERT_EQ(a.worst, b.worst);
+  }
+}
+
+// The observer hook detaches cleanly: once the cache dies, mutating the
+// graph is safe, and a successor cache can attach.
+TEST(RatingCache, DetachesOnDestruction) {
+  const EuclideanModel latency(10, 131);
+  Graph g = testing::make_cycle(10);
+  {
+    CachedRatingEngine cache(g, latency, RatingWeights{});
+    EXPECT_EQ(g.observer(), &cache);
+  }
+  EXPECT_EQ(g.observer(), nullptr);
+  g.add_edge(0, 5);  // no dangling observer
+  CachedRatingEngine next(g, latency, RatingWeights{});
+  EXPECT_EQ(next.ratings_for(0).ratings.size(), g.degree(0));
+}
+
+}  // namespace
+}  // namespace makalu

@@ -98,6 +98,78 @@ TEST(Failure, ApplyProducesSurvivorSubgraph) {
   EXPECT_EQ(mapping[0], kInvalidNode);
 }
 
+TEST(Failure, IdCompactionRoundTripsSurvivorEdges) {
+  // The old->new mapping must be dense and order-preserving over
+  // survivors, and translating every compacted edge back through its
+  // inverse must recover exactly the survivor-survivor edges of the
+  // original graph — no edges invented, none dropped.
+  Graph g = testing::make_cycle(40);
+  Rng edge_rng(51);
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<NodeId>(edge_rng.uniform_below(40));
+    const auto v = static_cast<NodeId>(edge_rng.uniform_below(40));
+    if (u != v) g.add_edge(u, v);
+  }
+  Rng fail_rng(52);
+  const auto failed = select_random_failures(g.node_count(), 0.3, fail_rng);
+
+  std::vector<NodeId> old_to_new;
+  const Graph compact = apply_failures(g, failed, &old_to_new);
+
+  // Mapping shape: failed -> kInvalidNode; survivors -> 0..k-1 in id order.
+  std::vector<NodeId> new_to_old;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (failed[u]) {
+      EXPECT_EQ(old_to_new[u], kInvalidNode);
+      continue;
+    }
+    ASSERT_EQ(old_to_new[u], static_cast<NodeId>(new_to_old.size()));
+    new_to_old.push_back(u);
+  }
+  ASSERT_EQ(compact.node_count(), new_to_old.size());
+
+  // Every compacted edge is a survivor edge of the original...
+  for (NodeId a = 0; a < compact.node_count(); ++a) {
+    for (const NodeId b : compact.neighbors(a)) {
+      EXPECT_TRUE(g.has_edge(new_to_old[a], new_to_old[b]))
+          << a << "-" << b;
+    }
+  }
+  // ...and the counts match the brute-force survivor edge census, so
+  // nothing was dropped either.
+  std::size_t survivor_edges = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (failed[u]) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (v > u && !failed[v]) ++survivor_edges;
+    }
+  }
+  EXPECT_EQ(compact.edge_count(), survivor_edges);
+}
+
+TEST(Failure, CompactionWithNoFailuresIsIdentity) {
+  const Graph g = testing::make_barbell(5);
+  const std::vector<bool> failed(g.node_count(), false);
+  std::vector<NodeId> mapping;
+  const Graph same = apply_failures(g, failed, &mapping);
+  ASSERT_EQ(same.node_count(), g.node_count());
+  EXPECT_EQ(same.edge_count(), g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(mapping[u], u);
+    for (const NodeId v : g.neighbors(u)) EXPECT_TRUE(same.has_edge(u, v));
+  }
+}
+
+TEST(Failure, CompactionWithAllFailedIsEmpty) {
+  const Graph g = testing::make_complete(4);
+  const std::vector<bool> failed(g.node_count(), true);
+  std::vector<NodeId> mapping;
+  const Graph none = apply_failures(g, failed, &mapping);
+  EXPECT_EQ(none.node_count(), 0u);
+  EXPECT_EQ(none.edge_count(), 0u);
+  for (const NodeId m : mapping) EXPECT_EQ(m, kInvalidNode);
+}
+
 TEST(EventQueue, RunsInTimestampOrder) {
   EventQueue q;
   std::vector<int> order;

@@ -1,6 +1,8 @@
 // Tests for the fork-join thread pool and parallel_for helpers.
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -63,6 +65,66 @@ TEST(ThreadPool, ResultIndependentOfThreadCount) {
     return out;
   };
   EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, SlottedCoversRangeWithBoundedDistinctSlots) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(777);
+  std::vector<std::atomic<int>> slot_uses(pool.max_slots());
+  pool.parallel_for_slotted(
+      0, touched.size(),
+      [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        ASSERT_LT(slot, pool.max_slots());
+        ++slot_uses[slot];
+        for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+      });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+  // One in-flight task per slot is the whole point: each slot ordinal is
+  // used at most once per call.
+  for (std::size_t s = 0; s < slot_uses.size(); ++s) {
+    EXPECT_LE(slot_uses[s].load(), 1) << "slot " << s;
+  }
+}
+
+TEST(ThreadPool, SlottedEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_slotted(
+      9, 9, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SlottedScratchAccumulationIsExact) {
+  // The intended usage pattern: lock-free per-slot scratch, merged after
+  // the join. The merged result must be exact regardless of scheduling.
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> scratch(pool.max_slots(), 0);
+  const std::size_t n = 10'000;
+  pool.parallel_for_slotted(
+      1, n + 1, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) scratch[slot] += i;
+      });
+  const std::uint64_t total =
+      std::accumulate(scratch.begin(), scratch.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n + 1) / 2);
+}
+
+TEST(ThreadPool, SlottedChunkingIndependentOfExecutionOrder) {
+  // Slot -> [lo, hi) assignment is a pure function of (range, pool size):
+  // two runs over the same range must observe identical assignments.
+  auto capture = [](ThreadPool& pool) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(
+        pool.max_slots(), {0, 0});
+    pool.parallel_for_slotted(
+        0, 613, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+          ranges[slot] = {lo, hi};  // distinct slots: no lock needed
+        });
+    return ranges;
+  };
+  ThreadPool pool(5);
+  EXPECT_EQ(capture(pool), capture(pool));
 }
 
 TEST(ThreadPool, SharedPoolIsUsable) {
