@@ -87,6 +87,9 @@ int main(int argc, char** argv) try {
       min_degree = std::min(min_degree, s.mean_degree);
       online_total += static_cast<double>(s.online);
     }
+    // mean_search_success() returns the -1.0 "not sampled" sentinel when
+    // no sample ran queries; never feed that into percent().
+    const double success = report.mean_search_success();
     table.add_row(
         {intensity.label,
          Table::integer(static_cast<long long>(report.departures)),
@@ -95,7 +98,7 @@ int main(int argc, char** argv) try {
          Table::num(min_degree, 1),
          Table::num(online_total /
                         static_cast<double>(report.samples.size()), 0),
-         Table::percent(report.mean_search_success())});
+         success >= 0.0 ? Table::percent(success) : "n/a"});
   }
   bench::emit(table, options.csv());
 

@@ -5,7 +5,7 @@
 // all within 8; at 0.1%, >75% within 10 hops and >95% within 15.
 //
 // --ablate sweeps the filter depth (1..4) at 0.5% replication to show why
-// the paper chose depth 3 (DESIGN.md §9.2).
+// the paper chose depth 3 (DESIGN.md §10.2).
 #include "bench_common.hpp"
 
 #include "analysis/abf_experiments.hpp"

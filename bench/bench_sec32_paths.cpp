@@ -8,7 +8,7 @@
 // v0.4 2915.1 | v0.6 1370.8; diameter 5 | 6 | 16 | 6.
 //
 // --ablate additionally sweeps the rating weights (alpha/beta) to show
-// what each term of F buys (DESIGN.md §8.1).
+// what each term of F buys (DESIGN.md §9.1).
 #include "bench_common.hpp"
 
 #include "support/stats.hpp"

@@ -6,6 +6,7 @@
 // finally runs a query over the wire, timing the reverse-path hit.
 //
 //   $ ./protocol_session [--n=400] [--seed=3]
+#include <algorithm>
 #include <iostream>
 
 #include "graph/algorithms.hpp"
@@ -77,7 +78,40 @@ int main(int argc, char** argv) try {
             << "after " << Table::num(outcome.response_ms, 1)
             << " latency units\n"
             << "  " << outcome.query_messages << " query transmissions, "
-            << outcome.hit_messages << " hit transmissions\n";
+            << outcome.hit_messages << " hit transmissions\n\n";
+
+  // The same session on a broken wire: 5% message loss plus a handful of
+  // crash-stop failures mid-bootstrap, survived by the robustness layer
+  // (handshake/walk retries + Ping/Pong keepalive with dead-peer
+  // teardown and half-open reconciliation).
+  std::cout << "== the same bootstrap on a faulty wire =========\n";
+  ProtocolOptions robust;
+  robust.robustness.enabled = true;
+  ProtocolNetwork faulty(latency, &catalog, robust, seed);
+  LinkFaultOptions link;
+  link.loss = 0.05;
+  link.jitter_ms = 2.0;
+  FaultPlan plan(link, seed ^ 0xbad);
+  plan.schedule_random_crashes(n, 0.05, 0.0,
+                               static_cast<double>(n) * 5.0);
+  faulty.attach_fault_plan(std::move(plan));
+  faulty.bootstrap_all();
+
+  const auto crashed = faulty.crashed_mask();
+  const Graph survivors =
+      faulty.overlay_snapshot().remove_nodes(crashed, nullptr);
+  const CsrGraph live_csr = CsrGraph::from_graph(survivors);
+  const auto& t = faulty.traffic();
+  std::cout << "crashed " << std::count(crashed.begin(), crashed.end(), true)
+            << " nodes and dropped " << t.dropped_messages
+            << " messages; survivor overlay: "
+            << (is_connected(live_csr) ? "connected" : "NOT connected")
+            << ", mean degree "
+            << Table::num(degree_stats(live_csr).mean, 1) << "\n"
+            << "recovery bill: " << t.retransmissions
+            << " retransmissions, " << t.dead_peers_detected
+            << " dead peers detected, " << t.half_open_repairs
+            << " half-open links repaired\n";
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

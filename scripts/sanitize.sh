@@ -25,9 +25,12 @@ if [[ "${MODE}" == "tsan" ]]; then
   BUILD_DIR=${BUILD_DIR:-build-tsan}
   SANITIZERS=${SANITIZERS:-thread}
   # The races TSan can find live in the threaded code paths; default to
-  # the tests that exercise them so the job stays fast. Override with
-  # TSAN_TEST_FILTER='.*' for a full-suite run.
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn'}
+  # the tests that exercise them so the job stays fast. Fault and proto
+  # tests ride along: the fault-injected churn runs drive the parallel
+  # maintenance sweeps, and the timer/retry/keepalive machinery must stay
+  # clean under the threaded build. Override with TSAN_TEST_FILTER='.*'
+  # for a full-suite run.
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

@@ -24,6 +24,8 @@ struct SizeVisitor {
   std::size_t operator()(const QueryHit&) const {
     return 64;  // hit descriptor + one result record
   }
+  std::size_t operator()(const Ping&) const { return 0; }
+  std::size_t operator()(const Pong&) const { return 0; }
 };
 
 struct NameVisitor {
@@ -42,6 +44,8 @@ struct NameVisitor {
   }
   const char* operator()(const Query&) const { return "query"; }
   const char* operator()(const QueryHit&) const { return "query-hit"; }
+  const char* operator()(const Ping&) const { return "ping"; }
+  const char* operator()(const Pong&) const { return "pong"; }
 };
 
 }  // namespace

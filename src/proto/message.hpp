@@ -65,9 +65,21 @@ struct QueryHit {
   NodeId provider = kInvalidNode;
 };
 
+/// Keepalive probe (robustness layer). A peer that receives a Ping from a
+/// node it does not consider a neighbor answers Disconnect instead of
+/// Pong — that reply is what reconciles half-open links.
+struct Ping {};
+
+/// Keepalive answer; proof of life that resets the sender's miss counter.
+struct Pong {};
+
+// Ping/Pong are appended after the legacy payloads so every pre-existing
+// payload keeps its variant index: per-type traffic counters stay
+// comparable across versions, and the zero-fault bit-identity guarantee
+// (see proto/network.hpp) extends to the per-type breakdown.
 using Payload = std::variant<ConnectRequest, ConnectAccept, ConnectReject,
                              Disconnect, TableUpdate, WalkProbe,
-                             CandidateReply, Query, QueryHit>;
+                             CandidateReply, Query, QueryHit, Ping, Pong>;
 
 struct Message {
   NodeId from = kInvalidNode;

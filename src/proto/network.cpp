@@ -30,27 +30,63 @@ ProtocolNetwork::ProtocolNetwork(const LatencyModel& latency,
     const auto capacity = static_cast<std::size_t>(rng_.uniform_int(
         static_cast<std::int64_t>(options.capacity_min),
         static_cast<std::int64_t>(options.capacity_max)));
-    nodes_.emplace_back(id, capacity, options.weights);
+    nodes_.emplace_back(id, capacity, options.weights,
+                        options.seen_query_capacity);
   }
   push_pending_.assign(n, false);
   join_attempts_left_.assign(n, 0);
   node_out_bytes_.assign(n, 0);
   node_in_bytes_.assign(n, 0);
+  pending_connects_.resize(n);
+  walk_epoch_.assign(n, 0);
+  last_join_seed_.assign(n, kInvalidNode);
+}
+
+void ProtocolNetwork::attach_fault_plan(FaultPlan plan) {
+  MAKALU_EXPECTS(traffic_.total_messages == 0);
+  faults_ = std::move(plan);
+}
+
+std::vector<bool> ProtocolNetwork::crashed_mask() const {
+  std::vector<bool> mask(nodes_.size(), false);
+  for (NodeId v = 0; v < nodes_.size(); ++v) mask[v] = is_crashed(v);
+  return mask;
 }
 
 void ProtocolNetwork::send(NodeId from, NodeId to, Payload payload) {
   MAKALU_EXPECTS(from < nodes_.size() && to < nodes_.size());
   MAKALU_EXPECTS(from != to);
+  // Crash-stop: a dead host transmits nothing (timers armed before the
+  // crash may still fire on its behalf — they are silenced here).
+  if (faults_.active() && faults_.crashed(from, queue_.now())) return;
   Message message{from, to, std::move(payload)};
   traffic_.record(message);
   const std::size_t size = wire_size(message);
   node_out_bytes_[from] += size;
   node_in_bytes_[to] += size;
-  const double delay = std::max(0.01, latency_.latency(from, to));
+  double delay = std::max(0.01, latency_.latency(from, to));
+  if (faults_.has_link_faults()) {
+    const auto verdict = faults_.transmit(from, to);
+    if (verdict.dropped) {
+      ++traffic_.dropped_messages;
+      traffic_.dropped_bytes += size;
+      return;  // eaten by the wire
+    }
+    delay += verdict.extra_delay_ms;
+  }
   queue_.schedule_in(delay, [this, m = std::move(message)] { deliver(m); });
 }
 
 void ProtocolNetwork::deliver(const Message& message) {
+  // Crash-stop: messages addressed to a dead host vanish at its NIC.
+  if (faults_.active() && faults_.crashed(message.to, queue_.now())) {
+    ++traffic_.crash_drops;
+    return;
+  }
+  if (options_.robustness.enabled) {
+    // Any delivered traffic is proof of life for the failure detector.
+    nodes_[message.to].note_alive(message.from);
+  }
   switch (payload_index(message.payload)) {
     case 0: handle_connect_request(message); break;
     case 1: handle_connect_accept(message); break;
@@ -61,6 +97,8 @@ void ProtocolNetwork::deliver(const Message& message) {
     case 6: handle_candidate_reply(message); break;
     case 7: handle_query(message); break;
     case 8: handle_query_hit(message); break;
+    case 9: handle_ping(message); break;
+    case 10: handle_pong(message); break;
     default: MAKALU_ASSERT(false);
   }
 }
@@ -71,10 +109,53 @@ void ProtocolNetwork::start_join(NodeId joiner, NodeId seed_peer) {
   MAKALU_EXPECTS(joiner < nodes_.size());
   MAKALU_EXPECTS(seed_peer < nodes_.size() && seed_peer != joiner);
   join_attempts_left_[joiner] = 2 * options_.walk_count;
+  last_join_seed_[joiner] = seed_peer;
   for (std::size_t walk = 0; walk < options_.walk_count; ++walk) {
     send(joiner, seed_peer,
          WalkProbe{joiner, options_.walk_steps});
   }
+  if (options_.robustness.enabled) {
+    const std::uint64_t epoch = ++walk_epoch_[joiner];
+    schedule_walk_retry(joiner, options_.robustness.walk_retries, epoch);
+  }
+}
+
+void ProtocolNetwork::schedule_walk_retry(NodeId joiner,
+                                          std::size_t retries_left,
+                                          std::uint64_t epoch) {
+  queue_.schedule_in(
+      options_.robustness.walk_retry_timeout_ms,
+      [this, joiner, retries_left, epoch] {
+        if (walk_epoch_[joiner] != epoch) return;  // superseded join
+        if (faults_.active() && faults_.crashed(joiner, queue_.now())) return;
+        ProtocolNode& node = nodes_[joiner];
+        if (node.degree() >= node.capacity()) return;  // satisfied
+        if (retries_left == 0) {
+          ++traffic_.handshake_timeouts;
+          return;
+        }
+        // Re-launch half the walk budget. Prefer a live neighbor as the
+        // seed; otherwise fall back to the recorded join seed, replacing
+        // it if it crashed (what a real host cache would do).
+        NodeId seed = last_join_seed_[joiner];
+        if (node.degree() > 0) {
+          const auto& nbrs = node.neighbors();
+          seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
+        } else if (faults_.active() &&
+                   faults_.crashed(seed, queue_.now())) {
+          seed = random_live_node(joiner);
+          if (seed == kInvalidNode) return;
+        }
+        join_attempts_left_[joiner] =
+            std::max(join_attempts_left_[joiner], options_.walk_count);
+        const std::size_t walks =
+            std::max<std::size_t>(1, options_.walk_count / 2);
+        for (std::size_t walk = 0; walk < walks; ++walk) {
+          ++traffic_.retransmissions;
+          send(joiner, seed, WalkProbe{joiner, options_.walk_steps});
+        }
+        schedule_walk_retry(joiner, retries_left - 1, epoch);
+      });
 }
 
 void ProtocolNetwork::handle_walk_probe(const Message& message) {
@@ -125,6 +206,46 @@ void ProtocolNetwork::handle_candidate_reply(const Message& message) {
   if (node.has_neighbor(candidate)) return;
   --join_attempts_left_[joiner];
   send(joiner, candidate, ConnectRequest{});
+  if (options_.robustness.enabled) begin_handshake(joiner, candidate);
+}
+
+void ProtocolNetwork::begin_handshake(NodeId requester, NodeId target) {
+  auto& pending = pending_connects_[requester];
+  if (pending.count(target) != 0) return;  // a retry loop is already armed
+  const std::uint64_t epoch = next_epoch_++;
+  PendingHandshake state;
+  state.rto_ms = options_.robustness.handshake_timeout_ms;
+  state.retries_left = options_.robustness.max_retries;
+  state.epoch = epoch;
+  pending.emplace(target, state);
+  queue_.schedule_in(state.rto_ms, [this, requester, target, epoch] {
+    connect_timer_fired(requester, target, epoch);
+  });
+}
+
+void ProtocolNetwork::connect_timer_fired(NodeId requester, NodeId target,
+                                          std::uint64_t epoch) {
+  auto& pending = pending_connects_[requester];
+  const auto it = pending.find(target);
+  if (it == pending.end() || it->second.epoch != epoch) return;  // resolved
+  ProtocolNode& node = nodes_[requester];
+  if ((faults_.active() && faults_.crashed(requester, queue_.now())) ||
+      node.has_neighbor(target) || node.degree() >= node.capacity()) {
+    pending.erase(it);
+    return;
+  }
+  if (it->second.retries_left == 0) {
+    pending.erase(it);
+    ++traffic_.handshake_timeouts;
+    return;
+  }
+  --it->second.retries_left;
+  it->second.rto_ms *= options_.robustness.backoff;
+  ++traffic_.retransmissions;
+  send(requester, target, ConnectRequest{});
+  queue_.schedule_in(it->second.rto_ms, [this, requester, target, epoch] {
+    connect_timer_fired(requester, target, epoch);
+  });
 }
 
 void ProtocolNetwork::handle_connect_request(const Message& message) {
@@ -132,7 +253,14 @@ void ProtocolNetwork::handle_connect_request(const Message& message) {
   const NodeId requester = message.from;
   ProtocolNode& acceptor = nodes_[acceptor_id];
   if (acceptor.has_neighbor(requester)) {
-    // Duplicate handshake (both sides raced): treat as accepted.
+    // Duplicate handshake. On a perfect wire both sides raced and the
+    // request can be ignored; under the robustness layer the duplicate is
+    // more likely a retransmission whose ConnectAccept was lost, so the
+    // ack is re-sent (idempotent on the requester).
+    if (options_.robustness.enabled) {
+      send(acceptor_id, requester,
+           ConnectAccept{acceptor.neighbor_table()});
+    }
     return;
   }
   // Accept-then-manage, per the paper's Manage() loop. The link becomes
@@ -152,6 +280,9 @@ void ProtocolNetwork::handle_connect_request(const Message& message) {
 void ProtocolNetwork::handle_connect_accept(const Message& message) {
   const NodeId joiner = message.to;
   const NodeId acceptor = message.from;
+  if (options_.robustness.enabled) {
+    pending_connects_[joiner].erase(acceptor);  // acked
+  }
   ProtocolNode& node = nodes_[joiner];
   if (node.has_neighbor(acceptor)) return;
   const auto& accept = std::get<ConnectAccept>(message.payload);
@@ -165,7 +296,9 @@ void ProtocolNetwork::handle_connect_accept(const Message& message) {
 void ProtocolNetwork::handle_connect_reject(const Message& message) {
   // Requester simply moves on; nothing to clean up (the link was never
   // added on its side).
-  (void)message;
+  if (options_.robustness.enabled) {
+    pending_connects_[message.to].erase(message.from);  // negative ack
+  }
 }
 
 void ProtocolNetwork::handle_disconnect(const Message& message) {
@@ -174,8 +307,14 @@ void ProtocolNetwork::handle_disconnect(const Message& message) {
   schedule_table_push(message.to);
   if (node.degree() == 0) {
     // Orphaned: fully re-join. The pruning peer is a live address (every
-    // deployment keeps exactly this kind of host cache).
-    start_join(message.to, message.from);
+    // deployment keeps exactly this kind of host cache) — unless it has
+    // crash-stopped, in which case fall back to any live host.
+    NodeId seed = message.from;
+    if (faults_.active() && faults_.crashed(seed, queue_.now())) {
+      seed = random_live_node(message.to);
+      if (seed == kInvalidNode) return;
+    }
+    start_join(message.to, seed);
     return;
   }
   // Under-provisioned: re-solicit through fresh walks from a surviving
@@ -196,6 +335,93 @@ void ProtocolNetwork::handle_table_update(const Message& message) {
   nodes_[message.to].update_table(message.from, update.neighbor_table);
 }
 
+// --- keepalive / failure detection ------------------------------------------
+
+void ProtocolNetwork::run_keepalive_rounds(std::size_t rounds) {
+  MAKALU_EXPECTS(options_.robustness.enabled);
+  const double interval = options_.robustness.keepalive_interval_ms;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const double when = interval * static_cast<double>(round + 1);
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      queue_.schedule_in(when, [this, v] { keepalive_tick(v); });
+    }
+  }
+  queue_.run();
+}
+
+void ProtocolNetwork::keepalive_tick(NodeId node_id) {
+  if (faults_.active() && faults_.crashed(node_id, queue_.now())) return;
+  ProtocolNode& node = nodes_[node_id];
+  if (node.degree() == 0) return;
+  const auto dead =
+      node.keepalive_tick(options_.robustness.keepalive_max_misses);
+  for (const NodeId peer : dead) {
+    ++traffic_.dead_peers_detected;
+    teardown_dead_peer(node_id, peer);
+  }
+  // Ping the survivors (teardown may have re-ordered the neighbor list,
+  // so iterate the post-teardown state).
+  for (const auto& neighbor : nodes_[node_id].neighbors()) {
+    send(node_id, neighbor.peer, Ping{});
+  }
+}
+
+void ProtocolNetwork::teardown_dead_peer(NodeId node_id, NodeId peer) {
+  ProtocolNode& node = nodes_[node_id];
+  if (!node.remove_neighbor(peer)) return;
+  schedule_table_push(node_id);
+  resolicit(node_id);
+}
+
+void ProtocolNetwork::resolicit(NodeId node_id) {
+  ProtocolNode& node = nodes_[node_id];
+  if (node.degree() == 0) {
+    const NodeId seed = random_live_node(node_id);
+    if (seed != kInvalidNode) start_join(node_id, seed);
+    return;
+  }
+  if (node.degree() + 2 < node.capacity()) {
+    const auto& nbrs = node.neighbors();
+    const NodeId seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
+    join_attempts_left_[node_id] =
+        std::max(join_attempts_left_[node_id], options_.walk_count);
+    for (std::size_t walk = 0; walk < 4; ++walk) {
+      send(node_id, seed, WalkProbe{node_id, options_.walk_steps});
+    }
+  }
+}
+
+NodeId ProtocolNetwork::random_live_node(NodeId exclude) {
+  const std::size_t n = nodes_.size();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto candidate = static_cast<NodeId>(rng_.uniform_below(n));
+    if (candidate == exclude) continue;
+    if (faults_.active() && faults_.crashed(candidate, queue_.now())) {
+      continue;
+    }
+    if (nodes_[candidate].degree() > 0) return candidate;
+  }
+  return kInvalidNode;
+}
+
+void ProtocolNetwork::handle_ping(const Message& message) {
+  ProtocolNode& node = nodes_[message.to];
+  if (!node.has_neighbor(message.from)) {
+    // Half-open link: the pinger carries a one-sided neighbor entry for
+    // us (its ConnectAccept-side state survived a lost teardown or a lost
+    // handshake leg). Answer Disconnect so the entry dies.
+    ++traffic_.half_open_repairs;
+    send(message.to, message.from, Disconnect{});
+    return;
+  }
+  send(message.to, message.from, Pong{});
+}
+
+void ProtocolNetwork::handle_pong(const Message& message) {
+  // Proof of life was already recorded by deliver(); nothing else to do.
+  (void)message;
+}
+
 void ProtocolNetwork::manage(NodeId node_id) {
   ProtocolNode& node = nodes_[node_id];
   while (node.degree() > node.capacity()) {
@@ -212,6 +438,7 @@ void ProtocolNetwork::schedule_table_push(NodeId node_id) {
   push_pending_[node_id] = true;
   queue_.schedule_in(options_.table_push_delay_ms, [this, node_id] {
     push_pending_[node_id] = false;
+    if (faults_.active() && faults_.crashed(node_id, queue_.now())) return;
     const ProtocolNode& node = nodes_[node_id];
     const auto table = node.neighbor_table();
     for (const auto& neighbor : node.neighbors()) {
@@ -222,6 +449,7 @@ void ProtocolNetwork::schedule_table_push(NodeId node_id) {
 
 double ProtocolNetwork::bootstrap_all() {
   const std::size_t n = nodes_.size();
+  const bool robust = options_.robustness.enabled;
   // Random join order; node order[0] and order[1] bootstrap directly.
   std::vector<NodeId> order(n);
   for (NodeId v = 0; v < n; ++v) order[v] = v;
@@ -246,6 +474,10 @@ double ProtocolNetwork::bootstrap_all() {
     when += options_.join_spacing_ms;
   }
   queue_.run();
+  // A reconciliation round between phases keeps dead links from stalling
+  // the maintenance pulses (miss counters persist across rounds, so each
+  // interleaved round advances detection).
+  if (robust) run_keepalive_rounds(1);
 
   // Maintenance pulses: under-provisioned nodes re-solicit candidates
   // from the bootstrap cache (a random live host, as a GWebCache would
@@ -255,12 +487,17 @@ double ProtocolNetwork::bootstrap_all() {
   // concurrent join storm.
   for (std::size_t round = 0; round < options_.maintenance_pulses; ++round) {
     for (NodeId v = 0; v < n; ++v) {
+      if (faults_.active() && faults_.crashed(v, queue_.now())) continue;
       const ProtocolNode& node = nodes_[v];
       if (node.degree() >= node.capacity()) continue;
       NodeId seed = kInvalidNode;
       for (int attempt = 0; attempt < 64; ++attempt) {
         const auto candidate =
             static_cast<NodeId>(rng_.uniform_below(n));
+        if (faults_.active() &&
+            faults_.crashed(candidate, queue_.now())) {
+          continue;
+        }
         if (candidate != v && nodes_[candidate].degree() > 0) {
           seed = candidate;
           break;
@@ -272,6 +509,13 @@ double ProtocolNetwork::bootstrap_all() {
                          [this, joiner, seed] { start_join(joiner, seed); });
     }
     queue_.run();
+    if (robust) run_keepalive_rounds(1);
+  }
+  // Final reconciliation: enough rounds for the dead-peer detector to
+  // trip on every remaining silent link, plus slack for the repairs'
+  // own handshakes (and their half-open fallout) to settle.
+  if (robust) {
+    run_keepalive_rounds(options_.robustness.keepalive_max_misses + 2);
   }
   return queue_.now();
 }

@@ -8,12 +8,26 @@
 // questions the graph abstraction cannot: how much *control* bandwidth
 // the overlay costs, how message latency shapes response time, and
 // whether the emergent overlay matches the direct builder's quality.
+//
+// Fault tolerance: attach_fault_plan() subjects every transmission to a
+// FaultPlan (message loss, latency jitter/spikes, scheduled crash-stop
+// failures), and ProtocolOptions::robustness enables the protocol-side
+// survival machinery — ack-based handshake timeouts with capped
+// exponential-backoff retries, walk-probe retries, a Ping/Pong keepalive
+// with dead-peer detection that tears down links to crashed neighbors and
+// re-solicits replacements, and half-open link reconciliation (a Ping
+// from a non-neighbor is answered with Disconnect). Both layers are
+// strictly opt-in: with no plan attached and robustness disabled (the
+// defaults), the network's traffic is bit-identical to the pre-fault
+// implementation — the fault layer is provably zero-cost by default
+// (pinned by the golden-trace test in tests/fault_test.cpp).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/rating.hpp"
@@ -21,10 +35,30 @@
 #include "net/latency_model.hpp"
 #include "proto/node.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
 
 namespace makalu::proto {
+
+/// Timer/retry/keepalive state machine knobs. Disabled by default so the
+/// perfect-wire behavior (and its traffic trace) is untouched; enable
+/// when running under a FaultPlan.
+struct RobustnessOptions {
+  bool enabled = false;
+  /// Initial ConnectRequest ack timeout; doubles per retry (`backoff`).
+  double handshake_timeout_ms = 120.0;
+  double backoff = 2.0;
+  std::size_t max_retries = 3;
+  /// A joiner whose walks went quiet re-launches half its walk budget
+  /// after this long, up to `walk_retries` times.
+  double walk_retry_timeout_ms = 600.0;
+  std::size_t walk_retries = 2;
+  /// Keepalive cadence for run_keepalive_rounds(); a neighbor silent for
+  /// more than `keepalive_max_misses` consecutive rounds is declared dead.
+  double keepalive_interval_ms = 400.0;
+  std::uint32_t keepalive_max_misses = 2;
+};
 
 struct ProtocolOptions {
   RatingWeights weights{};
@@ -42,14 +76,33 @@ struct ProtocolOptions {
   /// nodes re-solicit from the bootstrap cache (random live host). These
   /// re-merge clusters whose long-haul bridges got pruned mid-bootstrap.
   std::size_t maintenance_pulses = 3;
+  /// Per-generation bound on each node's duplicate-suppression cache
+  /// (memory is capped at 2x this many entries per node).
+  std::size_t seen_query_capacity = ProtocolNode::kDefaultSeenQueryCapacity;
+  RobustnessOptions robustness{};
 };
 
-/// Per-message-type traffic counters.
+/// Per-message-type traffic counters, plus the reliability counters the
+/// fault layer feeds. Accounting convention: count/bytes (and the
+/// per-node sent/received tallies) are recorded at *send* time for every
+/// transmission, so they match the pre-fault traces bit-for-bit and the
+/// sent/received sums always agree; messages the FaultPlan eats are
+/// additionally tallied under dropped_*, and messages that arrive at a
+/// crashed host under crash_drops.
 struct TrafficStats {
   std::array<std::uint64_t, kPayloadTypes> count{};
   std::array<std::uint64_t, kPayloadTypes> bytes{};
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
+
+  // --- reliability counters (all zero on a perfect wire) -------------------
+  std::uint64_t dropped_messages = 0;   ///< lost on the wire (FaultPlan)
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t crash_drops = 0;        ///< arrived at a crashed node
+  std::uint64_t retransmissions = 0;    ///< handshake + walk re-sends
+  std::uint64_t handshake_timeouts = 0; ///< retry budgets exhausted
+  std::uint64_t dead_peers_detected = 0;///< keepalive teardowns
+  std::uint64_t half_open_repairs = 0;  ///< Ping from non-neighbor healed
 
   void record(const Message& message);
 };
@@ -72,8 +125,27 @@ class ProtocolNetwork {
     return nodes_.size();
   }
 
+  /// Subjects all subsequent traffic to `plan`. Call before any traffic
+  /// flows (crash times are absolute simulation times, and bootstrap
+  /// starts the clock at zero). The plan is copied; its RNG advances
+  /// inside the network.
+  void attach_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
+    return faults_;
+  }
+  /// True if `node` has crash-stopped by the current simulation time.
+  [[nodiscard]] bool is_crashed(NodeId node) const {
+    return faults_.crashed(node, queue_.now());
+  }
+  /// Mask of nodes crashed by now (true = crashed); for restricting
+  /// overlay metrics to survivors.
+  [[nodiscard]] std::vector<bool> crashed_mask() const;
+
   /// Schedules a staggered join of every node and runs the queue until
   /// the network quiesces. Returns simulated convergence time (ms).
+  /// With robustness enabled, keepalive/reconciliation rounds are
+  /// interleaved with the maintenance pulses so dead peers and half-open
+  /// links left by faults are repaired before the call returns.
   double bootstrap_all();
 
   /// Schedules one node's join (walk probes from `seed_peer`) at the
@@ -82,6 +154,13 @@ class ProtocolNetwork {
 
   /// Runs pending events until the queue drains.
   void run_to_quiescence() { queue_.run(); }
+
+  /// Runs `rounds` network-wide keepalive rounds (robustness must be
+  /// enabled): every live node pings its neighbors once per round at
+  /// keepalive_interval_ms cadence, tears down peers that exceeded the
+  /// miss budget, re-solicits replacements, and answers half-open Pings
+  /// with Disconnect. Returns once the queue drains.
+  void run_keepalive_rounds(std::size_t rounds);
 
   /// Issues a flooded query from `source` and runs the network until it
   /// drains. Requires a catalog.
@@ -121,6 +200,8 @@ class ProtocolNetwork {
   void handle_candidate_reply(const Message& message);
   void handle_query(const Message& message);
   void handle_query_hit(const Message& message);
+  void handle_ping(const Message& message);
+  void handle_pong(const Message& message);
 
   /// Enforce capacity at `node` by pruning (Disconnect) the worst-rated
   /// neighbors.
@@ -128,17 +209,50 @@ class ProtocolNetwork {
   /// Debounced routing-table push to all current neighbors of `node`.
   void schedule_table_push(NodeId node);
 
+  // --- robustness machinery (only reached when robustness.enabled) ---------
+  /// Arms the ack timeout for a ConnectRequest from requester to target.
+  void begin_handshake(NodeId requester, NodeId target);
+  void connect_timer_fired(NodeId requester, NodeId target,
+                           std::uint64_t epoch);
+  /// Arms the walk-retry timer for a join in progress.
+  void schedule_walk_retry(NodeId joiner, std::size_t retries_left,
+                           std::uint64_t epoch);
+  /// One keepalive round at `node`: bump miss counters, tear down dead
+  /// peers, ping the survivors.
+  void keepalive_tick(NodeId node);
+  /// Removes a keepalive-declared-dead neighbor and re-solicits.
+  void teardown_dead_peer(NodeId node, NodeId peer);
+  /// Refill links after losing a neighbor (walks from a live seed).
+  void resolicit(NodeId node);
+  /// Uniformly random non-crashed node with degree > 0 (bootstrap-cache
+  /// stand-in); kInvalidNode if none found.
+  NodeId random_live_node(NodeId exclude);
+
   const LatencyModel& latency_;
   const ObjectCatalog* catalog_;
   ProtocolOptions options_;
   Rng rng_;
   EventQueue queue_;
+  FaultPlan faults_;
   std::vector<ProtocolNode> nodes_;
   std::vector<std::uint64_t> node_out_bytes_;
   std::vector<std::uint64_t> node_in_bytes_;
   std::vector<bool> push_pending_;
   std::vector<std::size_t> join_attempts_left_;  // per joiner
   TrafficStats traffic_;
+
+  // Handshake/walk retry state (robustness layer). Epochs invalidate
+  // timers whose handshake resolved or whose join was superseded.
+  struct PendingHandshake {
+    double rto_ms = 0.0;
+    std::size_t retries_left = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::vector<std::unordered_map<NodeId, PendingHandshake>>
+      pending_connects_;                      // per requester
+  std::vector<std::uint64_t> walk_epoch_;     // per joiner
+  std::vector<NodeId> last_join_seed_;        // per joiner
+  std::uint64_t next_epoch_ = 1;
 
   // Active query bookkeeping (one query at a time through run_query).
   struct ActiveQuery {

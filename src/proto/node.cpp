@@ -139,14 +139,44 @@ NodeId ProtocolNode::worst_neighbor(std::size_t low_water) const {
                                       : worst->peer;
 }
 
+std::vector<NodeId> ProtocolNode::keepalive_tick(std::uint32_t max_misses) {
+  std::vector<NodeId> dead;
+  for (auto& n : neighbors_) {
+    if (++n.missed_pings > max_misses) dead.push_back(n.peer);
+  }
+  return dead;
+}
+
+void ProtocolNode::note_alive(NodeId peer) {
+  for (auto& n : neighbors_) {
+    if (n.peer == peer) {
+      n.missed_pings = 0;
+      return;
+    }
+  }
+}
+
 bool ProtocolNode::remember_query(QueryId id, NodeId came_from) {
-  return seen_queries_.emplace(id, came_from).second;
+  if (seen_previous_.count(id) != 0) return false;
+  const auto [it, inserted] = seen_current_.emplace(id, came_from);
+  (void)it;
+  if (!inserted) return false;
+  if (seen_current_.size() >= seen_query_capacity_) {
+    // Rotate generations: the previous generation (the oldest ids) is
+    // evicted wholesale. Deterministic — depends only on insertion
+    // counts, never on hash iteration order.
+    seen_previous_ = std::move(seen_current_);
+    seen_current_.clear();
+  }
+  return true;
 }
 
 std::optional<NodeId> ProtocolNode::breadcrumb(QueryId id) const {
-  const auto it = seen_queries_.find(id);
-  if (it == seen_queries_.end()) return std::nullopt;
-  return it->second;
+  auto it = seen_current_.find(id);
+  if (it != seen_current_.end()) return it->second;
+  it = seen_previous_.find(id);
+  if (it != seen_previous_.end()) return it->second;
+  return std::nullopt;
 }
 
 }  // namespace makalu::proto

@@ -16,6 +16,7 @@
 
 #include "core/rating.hpp"
 #include "proto/message.hpp"
+#include "support/contracts.hpp"
 
 namespace makalu::proto {
 
@@ -23,13 +24,28 @@ struct NeighborState {
   NodeId peer = kInvalidNode;
   double latency_ms = 0.0;              ///< measured at connect (ping)
   std::vector<NodeId> table;            ///< peer's last-pushed neighbors
+  /// Keepalive misses since the last proof of life (robustness layer);
+  /// stays 0 when keepalives are disabled.
+  std::uint32_t missed_pings = 0;
 };
 
 class ProtocolNode {
  public:
+  /// Default bound on the duplicate-suppression cache: one generation
+  /// holds at most this many query ids, and at most two generations are
+  /// alive at once, so memory stays flat across arbitrarily long query
+  /// histories.
+  static constexpr std::size_t kDefaultSeenQueryCapacity = 4096;
+
   ProtocolNode() = default;
-  ProtocolNode(NodeId id, std::size_t capacity, RatingWeights weights)
-      : id_(id), capacity_(capacity), weights_(weights) {}
+  ProtocolNode(NodeId id, std::size_t capacity, RatingWeights weights,
+               std::size_t seen_query_capacity = kDefaultSeenQueryCapacity)
+      : id_(id),
+        capacity_(capacity),
+        weights_(weights),
+        seen_query_capacity_(seen_query_capacity) {
+    MAKALU_EXPECTS(seen_query_capacity > 0);
+  }
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -67,17 +83,38 @@ class ProtocolNode {
   /// protected unless everyone is). kInvalidNode if no neighbors.
   [[nodiscard]] NodeId worst_neighbor(std::size_t low_water) const;
 
+  // --- keepalive / failure detection ---------------------------------------
+  /// One keepalive round: increments every neighbor's miss counter and
+  /// returns the peers whose count now exceeds `max_misses` — the dead-peer
+  /// suspects the caller should tear down (and then ping the survivors).
+  [[nodiscard]] std::vector<NodeId> keepalive_tick(std::uint32_t max_misses);
+  /// Proof of life from `peer` (Pong or any delivered message): resets its
+  /// miss counter.
+  void note_alive(NodeId peer);
+
   // --- query plumbing ------------------------------------------------------
-  /// Returns false if this query id was already seen (duplicate).
+  /// Returns false if this query id was already seen (duplicate). The
+  /// cache is generation-bounded: once the current generation fills,
+  /// it becomes the previous generation and the oldest ids are evicted —
+  /// memory is capped at 2 * seen_query_capacity entries while duplicate
+  /// suppression still covers at least the `seen_query_capacity` most
+  /// recent distinct queries (far beyond any in-flight flood).
   bool remember_query(QueryId id, NodeId came_from);
   [[nodiscard]] std::optional<NodeId> breadcrumb(QueryId id) const;
+  /// Entries currently cached across both generations (bounded; tests).
+  [[nodiscard]] std::size_t seen_query_count() const noexcept {
+    return seen_current_.size() + seen_previous_.size();
+  }
 
  private:
   NodeId id_ = kInvalidNode;
   std::size_t capacity_ = 0;
   RatingWeights weights_{};
+  std::size_t seen_query_capacity_ = kDefaultSeenQueryCapacity;
   std::vector<NeighborState> neighbors_;
-  std::unordered_map<QueryId, NodeId> seen_queries_;  // id -> breadcrumb
+  // Generational duplicate-suppression cache (id -> breadcrumb).
+  std::unordered_map<QueryId, NodeId> seen_current_;
+  std::unordered_map<QueryId, NodeId> seen_previous_;
 };
 
 }  // namespace makalu::proto

@@ -43,6 +43,7 @@ struct ChurnState {
   MakaluOverlay overlay;
   std::vector<bool> online;
   Rng rng{0};
+  FaultPlan faults;  ///< local copy; its private Rng advances here
 };
 
 ChurnSample sample_metrics(ChurnState& state, const ChurnOptions& options,
@@ -102,7 +103,14 @@ ChurnSample sample_metrics(ChurnState& state, const ChurnOptions& options,
       };
       const auto r =
           engine.run(source, NodePredicate(has_object), fopts, workspace);
-      hits += r.success;
+      bool delivered = r.success;
+      if (delivered && state.faults.has_link_faults()) {
+        // The query walked first_hit_hop hops out and the hit walks the
+        // same trail back; losing any leg loses the result.
+        delivered = !state.faults.any_lost(
+            2 * static_cast<std::size_t>(r.first_hit_hop));
+      }
+      hits += delivered;
     }
     s.search_success = static_cast<double>(hits) /
                        static_cast<double>(options.queries_per_sample);
@@ -121,9 +129,11 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
 
   ChurnState state;
   state.rng = Rng(options.seed);
+  state.faults = options.faults;
   state.overlay = builder.build(latency, options.seed ^ 0xc4a21);
   const std::size_t n = state.overlay.graph.node_count();
   state.online.assign(n, true);
+  std::vector<bool> crashed(n, false);
 
   // Deterministic-maintenance mode: one rating cache observes the overlay
   // for the whole run (joins, departures, and sweeps all flow through it),
@@ -158,6 +168,27 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
   // Node lifecycle events reschedule themselves.
   std::function<void(NodeId)> depart;
   std::function<void(NodeId)> arrive;
+  // Re-join through the normal protocol. join_node walks from a random
+  // live seed; offline nodes are isolated so walks cannot land on them.
+  // Both maintenance variants make identical decisions and RNG draws; the
+  // cached one just reuses warm ratings. Under link faults the handshake
+  // (4 wire messages: probe, reply, request, accept) can be lost, leaving
+  // the node online-but-isolated until the retry lands.
+  std::function<void(NodeId)> try_join;
+  try_join = [&](NodeId v) {
+    if (!state.online[v] || crashed[v]) return;
+    if (state.overlay.graph.degree(v) > 0) return;  // already linked
+    if (state.faults.has_link_faults() && state.faults.any_lost(4)) {
+      ++report.failed_joins;
+      queue.schedule_in(options.join_retry_ms, [&, v] { try_join(v); });
+      return;
+    }
+    if (deterministic_maintenance) {
+      builder.join_node(state.overlay, *cache, v, state.rng);
+    } else {
+      builder.join_node(state.overlay, latency, v, state.rng);
+    }
+  };
   depart = [&](NodeId v) {
     if (!state.online[v]) return;
     state.online[v] = false;
@@ -167,21 +198,29 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
                       [&, v] { arrive(v); });
   };
   arrive = [&](NodeId v) {
-    if (state.online[v]) return;
+    if (state.online[v] || crashed[v]) return;
     state.online[v] = true;
     ++report.arrivals;
-    // Re-join through the normal protocol. join_node walks from a random
-    // live seed; offline nodes are isolated so walks cannot land on them.
-    // Both variants make identical decisions and RNG draws; the cached one
-    // just reuses warm ratings.
-    if (deterministic_maintenance) {
-      builder.join_node(state.overlay, *cache, v, state.rng);
-    } else {
-      builder.join_node(state.overlay, latency, v, state.rng);
-    }
+    try_join(v);
     queue.schedule_in(state.rng.exponential(session_rate),
                       [&, v] { depart(v); });
   };
+
+  // Crash-stop schedule: a crash is a permanent ungraceful departure —
+  // the node's links vanish and arrive() refuses it forever after.
+  for (const CrashEvent& ev : state.faults.crashes()) {
+    if (ev.node >= n) continue;
+    queue.schedule(std::max(0.0, ev.time_ms), [&, v = ev.node] {
+      if (crashed[v]) return;
+      crashed[v] = true;
+      ++report.crashes;
+      if (state.online[v]) {
+        state.online[v] = false;
+        state.overlay.graph.isolate(v);
+        ++report.departures;
+      }
+    });
+  }
 
   // Seed the lifecycle: every node gets its first transition.
   for (NodeId v = 0; v < n; ++v) {

@@ -18,6 +18,7 @@
 #include "core/overlay_builder.hpp"
 #include "net/latency_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/replica_placement.hpp"
 
 namespace makalu {
@@ -46,6 +47,14 @@ struct ChurnOptions {
   /// identical simulation — the sweep is thread-count-invariant — so
   /// reports are comparable across machines and worker counts.
   std::size_t maintenance_threads = 0;
+  /// Fault injection on top of churn. Scheduled crashes become permanent
+  /// ungraceful departures (the node never returns — crash-stop), link
+  /// loss makes re-join handshakes fail and retry after
+  /// `join_retry_ms`, and sampled floods lose queries/hits in transit.
+  /// The default (inert) plan draws no randomness and leaves the
+  /// simulation bit-identical to a run without it.
+  FaultPlan faults{};
+  double join_retry_ms = 500.0;
 };
 
 struct ChurnSample {
@@ -64,6 +73,8 @@ struct ChurnReport {
   std::vector<ChurnSample> samples;
   std::uint64_t departures = 0;
   std::uint64_t arrivals = 0;
+  std::uint64_t crashes = 0;       ///< crash-stop departures (FaultPlan)
+  std::uint64_t failed_joins = 0;  ///< re-joins lost to link faults
 
   /// Fraction of samples whose online subgraph was fully connected.
   [[nodiscard]] double connected_fraction() const;

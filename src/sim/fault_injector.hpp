@@ -1,0 +1,127 @@
+// Deterministic fault injection for message-level simulations.
+//
+// The discrete-event layers (proto/network, search/churn) assume a
+// perfect wire by default. A FaultPlan breaks that assumption on purpose:
+// per-link message loss, latency jitter and spikes, and scheduled
+// crash-stop node failures — all driven by the plan's own seeded Rng so
+// every faulty run is bit-reproducible and, crucially, so an *inert*
+// plan (the default) consumes no randomness and perturbs nothing: with
+// all knobs at zero the simulation is bit-identical to one with no plan
+// attached at all.
+//
+// Crash-stop semantics: a crashed node stops sending, receiving, and
+// processing at its crash time and never recovers (the paper's §3.4
+// adversary, lifted from instantaneous snapshots into simulated time so
+// crashes land mid-handshake and mid-query).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace makalu {
+
+/// Wire-level fault knobs, applied per transmission.
+struct LinkFaultOptions {
+  /// Probability a transmission is silently lost.
+  double loss = 0.0;
+  /// Uniform extra delivery delay in [0, jitter_ms).
+  double jitter_ms = 0.0;
+  /// Probability a surviving transmission takes a latency spike.
+  double spike_probability = 0.0;
+  /// Extra delay added by a spike (congestion burst, retransmit at a
+  /// lower layer, ...).
+  double spike_ms = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss > 0.0 || jitter_ms > 0.0 ||
+           (spike_probability > 0.0 && spike_ms > 0.0);
+  }
+};
+
+/// One scheduled crash-stop failure.
+struct CrashEvent {
+  NodeId node = kInvalidNode;
+  double time_ms = 0.0;
+};
+
+class FaultPlan {
+ public:
+  /// Inert plan: perfect wire, no crashes, no RNG draws.
+  FaultPlan() = default;
+
+  FaultPlan(const LinkFaultOptions& link, std::uint64_t seed)
+      : link_(link), rng_(splitmix_seed(seed)) {}
+
+  /// True when any fault knob is set (the simulation layers use this to
+  /// keep the zero-fault path untouched).
+  [[nodiscard]] bool active() const noexcept {
+    return link_.any() || !crashes_.empty();
+  }
+  [[nodiscard]] bool has_link_faults() const noexcept { return link_.any(); }
+  [[nodiscard]] const LinkFaultOptions& link() const noexcept {
+    return link_;
+  }
+
+  // --- crash schedule -------------------------------------------------------
+
+  /// Schedules `node` to crash-stop at `time_ms`. The earliest scheduled
+  /// time wins if a node is scheduled twice.
+  void schedule_crash(NodeId node, double time_ms);
+
+  /// Schedules ceil(fraction * node_count) distinct nodes to crash at
+  /// times drawn uniformly from [window_begin_ms, window_end_ms).
+  /// Node choice and times come from the plan's Rng (deterministic).
+  void schedule_random_crashes(std::size_t node_count, double fraction,
+                               double window_begin_ms, double window_end_ms);
+
+  [[nodiscard]] bool crashed(NodeId node, double now_ms) const {
+    const auto it = crash_time_.find(node);
+    return it != crash_time_.end() && now_ms >= it->second;
+  }
+  /// Scheduled crash time, or +infinity if the node never crashes.
+  [[nodiscard]] double crash_time(NodeId node) const {
+    const auto it = crash_time_.find(node);
+    return it != crash_time_.end()
+               ? it->second
+               : std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] const std::vector<CrashEvent>& crashes() const noexcept {
+    return crashes_;
+  }
+
+  // --- wire verdicts --------------------------------------------------------
+
+  struct Verdict {
+    bool dropped = false;
+    double extra_delay_ms = 0.0;
+  };
+
+  /// Wire verdict for one transmission from -> to. Draws from the plan's
+  /// private Rng only for the knobs that are actually set, so runs are
+  /// reproducible per seed and an inert plan never touches randomness.
+  [[nodiscard]] Verdict transmit(NodeId from, NodeId to);
+
+  /// Convenience for coarse-grained models (e.g. the churn simulator's
+  /// join handshakes): true if any of `transmissions` back-to-back sends
+  /// would be lost, i.e. with probability 1 - (1 - loss)^transmissions.
+  /// One draw; no draw when loss is zero.
+  [[nodiscard]] bool any_lost(std::size_t transmissions);
+
+ private:
+  static std::uint64_t splitmix_seed(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    return splitmix64(s);
+  }
+
+  LinkFaultOptions link_{};
+  Rng rng_{0xfa017u};
+  std::vector<CrashEvent> crashes_;
+  std::unordered_map<NodeId, double> crash_time_;
+};
+
+}  // namespace makalu

@@ -21,6 +21,38 @@ TEST(ProtoMessage, WireSizesIncludeHeader) {
   EXPECT_EQ(wire_size(query), 23u + 83u);
   EXPECT_STREQ(payload_name(query.payload), "query");
   EXPECT_STREQ(payload_name(accept.payload), "connect-accept");
+  // Keepalives are header-only descriptors, like the original Gnutella
+  // Ping/Pong minimum.
+  Message ping{0, 1, Ping{}};
+  Message pong{1, 0, Pong{}};
+  EXPECT_EQ(wire_size(ping), 23u);
+  EXPECT_EQ(wire_size(pong), 23u);
+}
+
+TEST(ProtoMessage, EveryPayloadTypeHasANameAndStableIndex) {
+  // One sample per variant alternative, in variant order. A new payload
+  // type must be appended (never inserted) so per-type counters stay
+  // comparable across versions — this array is the regression guard.
+  const Payload samples[] = {ConnectRequest{}, ConnectAccept{},
+                             ConnectReject{},  Disconnect{},
+                             TableUpdate{},    WalkProbe{},
+                             CandidateReply{}, Query{},
+                             QueryHit{},       Ping{},
+                             Pong{}};
+  static_assert(kPayloadTypes == 11);
+  ASSERT_EQ(std::size(samples), kPayloadTypes);
+  const char* expected[] = {"connect",        "connect-accept",
+                            "connect-reject", "disconnect",
+                            "table-update",   "walk-probe",
+                            "candidate-reply", "query",
+                            "query-hit",      "ping",
+                            "pong"};
+  for (std::size_t i = 0; i < kPayloadTypes; ++i) {
+    EXPECT_EQ(payload_index(samples[i]), i);
+    EXPECT_STREQ(payload_name(samples[i]), expected[i]);
+    // Every payload costs at least the descriptor header.
+    EXPECT_GE(wire_size(Message{0, 1, samples[i]}), 23u);
+  }
 }
 
 TEST(ProtoNode, NeighborBookkeeping) {
