@@ -6,8 +6,12 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "analysis/topology_factory.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -45,5 +49,77 @@ inline void emit(const Table& table, bool csv) {
   }
   std::cout.flush();
 }
+
+/// One bench run's observability bundle: a metrics registry, a
+/// BenchReport (run metadata + phase spans), and the --json output path.
+/// metrics() is null unless --json was given, so experiment code stays on
+/// its zero-overhead path — adding a BenchRun to a bench changes nothing
+/// until the flag is used. Phases are always timed (one stopwatch each);
+/// finish() writes BENCH_<name>.json last thing before exit.
+class BenchRun {
+ public:
+  BenchRun(std::string name, const CliOptions& cli, std::size_t n,
+           std::size_t runs, std::size_t queries, std::uint64_t seed)
+      : path_(cli.json_path()), report_(make_info(std::move(name), cli, n,
+                                                  runs, queries, seed)) {}
+
+  /// Registry to thread into experiment options; null when --json is
+  /// absent (the universal "disabled" path).
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return enabled() ? &registry_ : nullptr;
+  }
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// RAII phase span recorded into the report.
+  [[nodiscard]] obs::BenchReport::Phase phase(std::string name) {
+    return report_.phase(std::move(name));
+  }
+
+  /// Records a headline result value (no-ops when disabled). These are
+  /// what scripts/bench_compare.py diffs across runs, so record the
+  /// numbers a regression should trip on.
+  void gauge(const std::string& name, double value) {
+    if (!enabled()) return;
+    registry_.shard(0).gauge_set(registry_.gauge(name), value);
+  }
+  void count(const std::string& name, std::uint64_t delta) {
+    if (!enabled()) return;
+    registry_.shard(0).add(registry_.counter(name), delta);
+  }
+  [[nodiscard]] obs::BenchReport& report() { return report_; }
+
+  /// Writes the JSON document when --json was given. Returns false only
+  /// on a write failure (missing directory, unwritable path).
+  bool finish() {
+    if (!enabled()) return true;
+    if (!report_.write_file(path_, registry_.snapshot())) {
+      std::cerr << "error: cannot write " << path_ << "\n";
+      return false;
+    }
+    std::cout << "\njson report: " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  static obs::BenchRunInfo make_info(std::string name, const CliOptions& cli,
+                                     std::size_t n, std::size_t runs,
+                                     std::size_t queries,
+                                     std::uint64_t seed) {
+    obs::BenchRunInfo info;
+    info.bench = std::move(name);
+    info.n = n;
+    info.runs = runs;
+    info.queries = queries;
+    info.seed = seed;
+    info.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    if (info.threads == 0) info.threads = std::thread::hardware_concurrency();
+    info.paper = cli.paper_scale();
+    return info;
+  }
+
+  std::string path_;
+  obs::MetricsRegistry registry_;
+  obs::BenchReport report_;
+};
 
 }  // namespace makalu::bench

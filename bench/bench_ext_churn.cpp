@@ -48,6 +48,7 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("extension: overlay health under continuous churn", n,
                       1, 0, seed, paper);
+  bench::BenchRun bench_run("ext_churn", options, n, 1, 0, seed);
 
   const EuclideanModel latency(n, seed ^ 0xc0ffee);
   const OverlayBuilder builder;
@@ -71,6 +72,7 @@ int main(int argc, char** argv) try {
 
   Table table({"churn", "departures", "connected samples", "worst giant",
                "min mean degree", "mean online", "search success"});
+  auto intensity_phase = bench_run.phase("churn-intensities");
   for (const auto& intensity : intensities) {
     ChurnOptions copts;
     copts.mean_session_ms = intensity.session_ms;
@@ -99,7 +101,10 @@ int main(int argc, char** argv) try {
          Table::num(online_total /
                         static_cast<double>(report.samples.size()), 0),
          success >= 0.0 ? Table::percent(success) : "n/a"});
+    bench_run.gauge(std::string("churn.worst_giant.") + intensity.label,
+                    report.worst_giant_fraction());
   }
+  intensity_phase.stop();
   bench::emit(table, options.csv());
 
   // Maintenance-path comparison: the legacy serial sweep (ratings
@@ -108,11 +113,15 @@ int main(int argc, char** argv) try {
   // bit-identical across worker counts — that invariant is checked here
   // and any divergence fails the bench outright.
   {
+    auto maintenance_phase = bench_run.phase("maintenance-comparison");
     ChurnOptions copts;
     copts.mean_session_ms = 60'000.0;
     copts.mean_downtime_ms = 20'000.0;
     copts.duration_ms = paper ? 240'000.0 : 120'000.0;
     copts.seed = seed;
+    // Sweep metrics (phase timings, cache hit/miss) from the deterministic
+    // runs land in the registry alongside the per-run gauges.
+    copts.metrics = bench_run.metrics();
     const auto timed_run = [&](std::size_t maintenance_threads) {
       copts.maintenance_threads = maintenance_threads;
       const auto start = std::chrono::steady_clock::now();
@@ -145,6 +154,9 @@ int main(int argc, char** argv) try {
     add("legacy serial", legacy);
     add("deterministic inline", inline_run);
     add("deterministic x4 pool", pooled);
+    bench_run.gauge("churn.legacy_wall_ms", legacy.second);
+    bench_run.gauge("churn.deterministic_wall_ms", inline_run.second);
+    maintenance_phase.stop();
     bench::emit(mtable, options.csv());
     std::cout << "\n(sweep check passed: deterministic runs at 1 and 4 "
                  "workers produced identical reports)\n";
@@ -159,7 +171,7 @@ int main(int argc, char** argv) try {
                "replica objects sits at its availability ceiling — the "
                "holder's online probability — i.e. routing never adds "
                "failures on top of data churn.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -49,12 +49,17 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("extension: dynamic TTL, gossip, random walks", n, 1,
                       queries, seed, paper);
+  bench::BenchRun bench_run("ext_dynamic_search", options, n, 1, queries,
+                            seed);
 
+  auto build_phase = bench_run.phase("build-overlay");
   const EuclideanModel latency(n, seed ^ 0xd15c);
   const MakaluOverlay overlay = OverlayBuilder().build(latency, seed);
   const CsrGraph csr = CsrGraph::from_graph(overlay.graph);
+  build_phase.stop();
 
   // --- 1. TTL policies -----------------------------------------------------
+  auto ttl_phase = bench_run.phase("ttl-policies");
   print_banner(std::cout, "TTL policies (messages include failed rings)");
   Table ttl_table({"replication", "policy", "success", "msgs/query",
                    "attempts/query"});
@@ -81,8 +86,12 @@ int main(int argc, char** argv) try {
                          Table::percent(acc.success()),
                          Table::num(acc.messages.mean(), 1),
                          Table::num(attempts.mean(), 2)});
+      bench_run.gauge("ttl_policy." + std::string(policy->name()) + "." +
+                          Table::num(percent, 2) + "pct.msgs",
+                      acc.messages.mean());
     }
   }
+  ttl_phase.stop();
   bench::emit(ttl_table, options.csv());
   std::cout << "\nexpanding ring wins big on popular objects (most queries "
                "stop at ring 1-2) and costs ~2x on rare ones (failed rings "
@@ -90,6 +99,7 @@ int main(int argc, char** argv) try {
                "two, as Chang & Liu predict.\n";
 
   // --- 2. Flood/gossip hybrid ----------------------------------------------
+  auto gossip_phase = bench_run.phase("gossip-hybrid");
   print_banner(std::cout,
                "flood/gossip hybrid past the convergence boundary");
   Table gossip_table({"mechanism", "success", "msgs/query", "dup fraction"});
@@ -128,12 +138,14 @@ int main(int argc, char** argv) try {
            Table::percent(agg.duplicate_fraction())});
     }
   }
+  gossip_phase.stop();
   bench::emit(gossip_table, options.csv());
   std::cout << "\ngossip prunes exactly the post-boundary transmissions "
                "that would have been duplicates: large message savings for "
                "a small, tunable success cost.\n";
 
   // --- 3. Random-walk baseline ----------------------------------------------
+  auto walk_phase = bench_run.phase("random-walks");
   print_banner(std::cout, "k-walker random walk (related-work baseline)");
   Table walk_table({"mechanism", "replication", "success", "msgs/query"});
   RandomWalkEngine walker(csr);
@@ -162,13 +174,16 @@ int main(int argc, char** argv) try {
     walk_table.add_row({"flood TTL 4", Table::num(percent, 1) + "%",
                         Table::percent(flood_acc.success()),
                         Table::num(flood_acc.messages.mean(), 1)});
+    bench_run.gauge("walk.success." + Table::num(percent, 1) + "pct",
+                    walk_acc.success());
   }
+  walk_phase.stop();
   bench::emit(walk_table, options.csv());
   std::cout << "\nwalks trade messages for recall and latency — they shine "
                "on popular objects and fall behind floods on rare ones, "
                "which is why the paper keeps flooding as the wild-card "
                "mechanism and adds ABF routing for identifiers.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

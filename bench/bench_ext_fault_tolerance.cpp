@@ -39,7 +39,8 @@ struct CellResult {
 
 CellResult run_cell(const LatencyModel& latency, const ObjectCatalog& catalog,
                     std::size_t n, std::size_t queries, std::uint64_t seed,
-                    double loss, double crash_fraction) {
+                    double loss, double crash_fraction,
+                    obs::MetricsRegistry* metrics) {
   ProtocolOptions popts;
   const bool faulty = loss > 0.0 || crash_fraction > 0.0;
   popts.robustness.enabled = faulty;
@@ -90,6 +91,12 @@ CellResult run_cell(const LatencyModel& latency, const ObjectCatalog& catalog,
   }
   cell.query_success =
       static_cast<double>(hits) / static_cast<double>(queries);
+  // export_traffic_metrics is cumulative-add, so calling it once per
+  // finished cell aggregates the whole grid's wire traffic (including the
+  // PR-4 reliability counters) into the JSON report.
+  if (metrics != nullptr) {
+    export_traffic_metrics(network.traffic(), *metrics);
+  }
   return cell;
 }
 
@@ -104,6 +111,8 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("extension: fault tolerance under loss and crashes",
                       n, 1, queries, seed, paper);
+  bench::BenchRun bench_run("ext_fault_tolerance", options, n, 1, queries,
+                            seed);
 
   const EuclideanModel latency(n, seed ^ 0x9047);
   const ObjectCatalog catalog(n, 20, 0.01, seed ^ 5);
@@ -112,8 +121,9 @@ int main(int argc, char** argv) try {
   const double crash_fractions[] = {0.0, 0.05, 0.10};
 
   // Fault-free baseline first; every cell is judged against it.
-  const CellResult baseline =
-      run_cell(latency, catalog, n, queries, seed, 0.0, 0.0);
+  auto grid_phase = bench_run.phase("fault-grid");
+  const CellResult baseline = run_cell(latency, catalog, n, queries, seed,
+                                       0.0, 0.0, bench_run.metrics());
 
   Table table({"loss", "crashes", "survivors conn.", "giant", "success",
                "vs baseline", "retrans", "dead peers", "half-open",
@@ -124,7 +134,8 @@ int main(int argc, char** argv) try {
       const CellResult cell =
           (loss == 0.0 && crash == 0.0)
               ? baseline
-              : run_cell(latency, catalog, n, queries, seed, loss, crash);
+              : run_cell(latency, catalog, n, queries, seed, loss, crash,
+                         bench_run.metrics());
       const double relative =
           baseline.query_success > 0.0
               ? cell.query_success / baseline.query_success
@@ -145,9 +156,13 @@ int main(int argc, char** argv) try {
       if (loss == 0.05 && crash == 0.05) {
         acceptance_cell_ok =
             cell.giant_fraction >= 0.99 && relative >= 0.8;
+        bench_run.gauge("fault.acceptance_giant", cell.giant_fraction);
+        bench_run.gauge("fault.acceptance_success_vs_baseline", relative);
       }
     }
   }
+  grid_phase.stop();
+  bench_run.gauge("fault.baseline_success", baseline.query_success);
   bench::emit(table, options.csv());
   std::cout << "\nretries and keepalive teardowns repair what the faults "
                "break: the survivor overlay stays (near-)connected and "
@@ -162,6 +177,7 @@ int main(int argc, char** argv) try {
 
   // --- churn with a FaultPlan ------------------------------------------------
   print_banner(std::cout, "churn with crash-stop failures and lossy joins");
+  auto churn_phase = bench_run.phase("churn-with-faults");
   const OverlayBuilder builder;
   Table churn_table({"faults", "crashes", "failed joins", "departures",
                      "worst giant", "search success"});
@@ -198,13 +214,14 @@ int main(int argc, char** argv) try {
          Table::percent(report.worst_giant_fraction()),
          success >= 0.0 ? Table::percent(success) : "n/a"});
   }
+  churn_phase.stop();
   bench::emit(churn_table, options.csv());
   std::cout << "\ncrash-stop nodes never return, so the availability "
                "ceiling drops with every crash; lossy joins show up as "
                "failed-join retries, not as lost connectivity, because "
                "the retry keeps the node isolated-but-queued rather than "
                "half-joined.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -26,15 +26,19 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("extension: message-level protocol simulation", n, 1,
                       queries, seed, paper);
+  bench::BenchRun bench_run("ext_protocol", options, n, 1, queries, seed);
 
   const EuclideanModel latency(n, seed ^ 0x9047);
   const ObjectCatalog catalog(n, 20, 0.01, seed ^ 5);
 
   // --- 1. emergent vs direct overlay ---------------------------------------
+  auto bootstrap_phase = bench_run.phase("bootstrap");
   ProtocolNetwork network(latency, &catalog, ProtocolOptions{}, seed);
   Stopwatch wall;
   const double converged_ms = network.bootstrap_all();
   const double build_wall_s = wall.seconds();
+  bootstrap_phase.stop();
+  bench_run.gauge("proto.converged_ms", converged_ms);
 
   const Graph emergent = network.overlay_snapshot();
   const MakaluOverlay direct = OverlayBuilder().build(latency, seed);
@@ -64,6 +68,12 @@ int main(int argc, char** argv) try {
   // --- 2. control-traffic bill ----------------------------------------------
   print_banner(std::cout, "overlay-construction control traffic");
   const auto& traffic = network.traffic();
+  // The per-type message/byte counts and the PR-4 reliability counters
+  // flow into the JSON report through the same registry the tables below
+  // print from — bench_compare can then gate on the control-traffic bill.
+  if (bench_run.enabled()) {
+    export_traffic_metrics(traffic, *bench_run.metrics());
+  }
   Table bill({"message type", "count", "bytes", "bytes/node"});
   const Payload samples[] = {ConnectRequest{}, ConnectAccept{},
                              ConnectReject{},  Disconnect{},
@@ -124,6 +134,7 @@ int main(int argc, char** argv) try {
 
   // --- 3. query response latency --------------------------------------------
   print_banner(std::cout, "query response latency (reverse-path hits)");
+  auto query_phase = bench_run.phase("query-latency");
   Rng rng(seed ^ 77);
   OnlineStats response;
   SampleStats responses;
@@ -142,6 +153,10 @@ int main(int argc, char** argv) try {
       }
     }
   }
+  query_phase.stop();
+  bench_run.gauge("proto.query_success", static_cast<double>(hits) /
+                                             static_cast<double>(queries));
+  bench_run.gauge("proto.query_msgs_mean", query_msgs.mean());
   Table latency_table({"metric", "value"});
   latency_table.add_row({"success rate",
                          Table::percent(static_cast<double>(hits) /
@@ -156,7 +171,7 @@ int main(int argc, char** argv) try {
   std::cout << "\nresponse time = forward flood to the replica plus the "
                "reverse-path hit — a handful of physical RTTs, because "
                "Makalu keeps replicas within ~4 hops.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

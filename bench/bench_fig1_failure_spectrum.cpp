@@ -55,6 +55,9 @@ int main(int argc, char** argv) try {
                  "the default)\n\n";
   }
 
+  bench::BenchRun bench_run("fig1_failure_spectrum", options, n, 1, 0, seed);
+
+  auto build_phase = bench_run.phase("build-topologies");
   const EuclideanModel latency(n, seed ^ 0xf00d);
   TopologyFactoryOptions topo;
   topo.makalu = bench::analysis_makalu_parameters();
@@ -62,7 +65,9 @@ int main(int argc, char** argv) try {
       build_topology(TopologyKind::kMakalu, latency, seed, topo);
   const auto kreg_topology =
       build_topology(TopologyKind::kKRegular, latency, seed, topo);
+  build_phase.stop();
 
+  auto spectrum_phase = bench_run.phase("eigensolve");
   Table table({"snapshot", "mult(0)", "mult(1)", "λ@5%", "λ@25%", "λ@50%",
                "λ@75%", "λ@95%"});
   for (const double fraction : {0.0, 0.1, 0.2, 0.3}) {
@@ -79,6 +84,7 @@ int main(int argc, char** argv) try {
     print_spectrum_row(table, "k-regular ideal, 0% failed", ideal.spectrum,
                        ideal.multiplicity_zero, ideal.multiplicity_one);
   }
+  spectrum_phase.stop();
   bench::emit(table, options.csv());
   std::cout << "\nshape check (paper): mult(0) stays 1 — the overlay "
                "remains one component even at 30% targeted failures; "
@@ -91,6 +97,7 @@ int main(int argc, char** argv) try {
   // snapshot (no recovery; content re-placed on survivors to isolate
   // routing from data loss).
   print_banner(std::cout, "search performance on the failed snapshot");
+  auto search_phase = bench_run.phase("failed-snapshot-search");
   Table search_table({"failed", "success (TTL 4)", "msgs/query",
                       "dup fraction"});
   for (const double fraction : {0.0, 0.1, 0.2, 0.3}) {
@@ -109,12 +116,14 @@ int main(int argc, char** argv) try {
     fopts.runs = 1;
     fopts.objects = 20;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(damaged, fopts);
     search_table.add_row({Table::percent(fraction, 0),
                           Table::percent(agg.success_rate()),
                           Table::num(agg.mean_messages(), 1),
                           Table::percent(agg.duplicate_fraction())});
   }
+  search_phase.stop();
   bench::emit(search_table, options.csv());
   std::cout << "\nsearch survives: success holds at ~100% through 30% "
                "targeted failure. (At this spectral-bench size a TTL-4 "
@@ -122,7 +131,7 @@ int main(int argc, char** argv) try {
                "shrinking survivor set and duplicate share is boundary-"
                "dominated; bench_table1 --n covers the pre-saturation "
                "regime.)\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -23,9 +23,17 @@ int main(int argc, char** argv) try {
   std::vector<std::size_t> sizes{100, 200, 500, 1'000, 2'000,
                                  5'000, 10'000, 20'000};
   if (paper) sizes.push_back(100'000);
+  // --n caps the sweep (smoke runs): keep sizes <= n. At least two points
+  // survive so the log-log slope below stays well-defined.
+  if (options.has("n")) {
+    const std::size_t cap = options.nodes(sizes.back());
+    while (sizes.size() > 2 && sizes.back() > cap) sizes.pop_back();
+  }
   bench::print_config("fig 2: messages/query vs network size (1% repl, "
                       "TTL 4, log-log)",
                       sizes.back(), runs, queries, seed, paper);
+  bench::BenchRun bench_run("fig2_messages_vs_size", options, sizes.back(),
+                            runs, queries, seed);
 
   Table table({"n", "msgs/query", "success", "msgs growth vs prev",
                "n growth vs prev"});
@@ -33,6 +41,7 @@ int main(int argc, char** argv) try {
   double prev_msgs = 0.0;
   std::size_t prev_n = 0;
   for (const std::size_t n : sizes) {
+    auto size_phase = bench_run.phase("n=" + std::to_string(n));
     const EuclideanModel latency(n, seed ^ (0xf16 + n));
     TopologyFactoryOptions topo;
     topo.makalu = bench::search_makalu_parameters();
@@ -45,6 +54,7 @@ int main(int argc, char** argv) try {
     fopts.runs = runs;
     fopts.objects = 30;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(topology, fopts);
     const double msgs = agg.mean_messages();
     loglog.emplace_back(std::log10(static_cast<double>(n)),
@@ -75,7 +85,7 @@ int main(int argc, char** argv) try {
             << "  (sub-linear scaling requires < 1; paper: x100 nodes => "
                "x" << paper::kMessageGrowth100x
             << " messages, i.e. exponent ~0.2)\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

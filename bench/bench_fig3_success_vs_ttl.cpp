@@ -23,12 +23,20 @@ int main(int argc, char** argv) try {
   if (paper) {
     sizes = {100, 200, 500, 1'000, 2'000, 5'000, 10'000, 100'000};
   }
+  // --n caps the sweep (smoke runs): keep sizes <= n, always >= 1 point.
+  if (options.has("n")) {
+    const std::size_t cap = options.nodes(sizes.back());
+    while (sizes.size() > 1 && sizes.back() > cap) sizes.pop_back();
+  }
   bench::print_config(
       "fig 3: success rate vs TTL across network sizes (1% repl)",
       sizes.back(), runs, queries, seed, paper);
+  bench::BenchRun bench_run("fig3_success_vs_ttl", options, sizes.back(),
+                            runs, queries, seed);
 
   Table table({"n", "TTL0", "TTL1", "TTL2", "TTL3", "TTL4"});
   for (const std::size_t n : sizes) {
+    auto size_phase = bench_run.phase("n=" + std::to_string(n));
     const EuclideanModel latency(n, seed ^ (0xf13 + n));
     TopologyFactoryOptions topo;
     topo.makalu = bench::search_makalu_parameters();
@@ -40,6 +48,7 @@ int main(int argc, char** argv) try {
     fopts.runs = runs;
     fopts.objects = 30;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto rates = success_vs_ttl(topology, fopts, kMaxTtl);
     std::vector<std::string> row{Table::integer(static_cast<long long>(n))};
     for (const double r : rates) row.push_back(Table::percent(r));
@@ -50,7 +59,7 @@ int main(int argc, char** argv) try {
                "is size-independent, and every size saturates by TTL 4 "
                "(tiny networks saturate earlier because 1% replication "
                "still means >=1 replica).\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

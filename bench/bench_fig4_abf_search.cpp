@@ -25,12 +25,17 @@ int main(int argc, char** argv) try {
   constexpr std::uint32_t kMaxTtl = 25;
   bench::print_config("fig 4: ABF identifier search, success vs TTL", n,
                       runs, queries, seed, paper);
+  bench::BenchRun bench_run("fig4_abf_search", options, n, runs, queries,
+                            seed);
 
+  auto build_phase = bench_run.phase("build-overlay");
   const EuclideanModel latency(n, seed ^ 0xabf);
   TopologyFactoryOptions topo;
   topo.makalu = bench::search_makalu_parameters();
   const auto topology =
       build_topology(TopologyKind::kMakalu, latency, seed, topo);
+  build_phase.stop();
+  auto ttl_phase = bench_run.phase("success-vs-ttl");
 
   Table table({"replication", "TTL5", "TTL8", "TTL10", "TTL15", "TTL20",
                "TTL25", "paper reference"});
@@ -50,6 +55,7 @@ int main(int argc, char** argv) try {
     aopts.runs = runs;
     aopts.objects = 40;
     aopts.seed = seed;
+    aopts.metrics = bench_run.metrics();
     const auto rates = abf_success_vs_ttl(topology, aopts, kMaxTtl);
     table.add_row({Table::num(row.percent, 1) + "%",
                    Table::percent(rates[5]), Table::percent(rates[8]),
@@ -57,6 +63,7 @@ int main(int argc, char** argv) try {
                    Table::percent(rates[20]), Table::percent(rates[25]),
                    row.reference});
   }
+  ttl_phase.stop();
   bench::emit(table, options.csv());
   std::cout << "\nshape check: higher replication saturates in fewer hops; "
                "0.1% needs the deep tail. Most queries resolve in <10 "
@@ -69,6 +76,7 @@ int main(int argc, char** argv) try {
   // finger/successor chain is dead; ABF-on-Makalu fails only if the
   // damaged overlay no longer reaches a replica within the TTL.
   {
+    auto chord_phase = bench_run.phase("chord-baseline");
     print_banner(std::cout, "structured baseline: Chord (64-bit ring)");
     const ChordRing chord(n, seed ^ 0xc0de);
     Table base({"system", "healthy cost", "success @10% fail",
@@ -151,6 +159,7 @@ int main(int argc, char** argv) try {
                  "Makalu+ABF rides on the expander's redundancy. Chord "
                  "needs successor lists (state + maintenance) to match "
                  "what Makalu gets structurally.\n";
+    chord_phase.stop();
   }
 
   if (options.has("ablate")) {
@@ -176,7 +185,7 @@ int main(int argc, char** argv) try {
                  "of the network; depth 4 pays memory/exchange cost for "
                  "marginal gain (deep levels are noisy).\n";
   }
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -45,6 +45,7 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("sec 3.2: graph diameter and characteristic paths", n,
                       1, 0, seed, paper);
+  bench::BenchRun bench_run("sec32_paths", options, n, 1, 0, seed);
 
   const EuclideanModel latency(n, seed ^ 0x9e3779b9);
   TopologyFactoryOptions topo;
@@ -56,8 +57,14 @@ int main(int argc, char** argv) try {
       TopologyKind::kMakalu, TopologyKind::kKRegular,
       TopologyKind::kGnutellaV04, TopologyKind::kGnutellaV06};
   for (const auto kind : kinds) {
+    auto kind_phase = bench_run.phase(std::string(topology_name(kind)));
     const auto built = build_topology(kind, latency, seed, topo);
     const auto m = metrics_for(built, latency, sources);
+    const std::string key = topology_name(kind);
+    bench_run.gauge("paths.cost." + key, m.characteristic_path_cost);
+    bench_run.gauge("paths.diameter." + key,
+                    static_cast<double>(m.diameter_hops));
+    bench_run.gauge("paths.hops." + key, m.characteristic_path_hops);
     const auto degrees = degree_stats(CsrGraph::from_graph(built.graph));
     const paper::PathReference* ref = nullptr;
     for (const auto& r : paper::kPathTable) {
@@ -97,7 +104,7 @@ int main(int argc, char** argv) try {
     std::cout << "\nalpha-only ignores latency (high cost); beta-only "
                  "clusters geographically; alpha=beta=1 balances both.\n";
   }
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -22,6 +22,8 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("sec 3.3: algebraic connectivity (lambda_1)", n, runs,
                       0, seed, paper);
+  bench::BenchRun bench_run("sec33_algebraic_connectivity", options, n, runs,
+                            0, seed);
 
   const EuclideanModel latency(n, seed ^ 0x51ed2701);
   TopologyFactoryOptions topo;
@@ -33,11 +35,13 @@ int main(int argc, char** argv) try {
       TopologyKind::kGnutellaV04, TopologyKind::kGnutellaV06};
   auto measure = [&](TopologyKind kind, const TopologyFactoryOptions& t,
                      const std::string& label) {
+    auto label_phase = bench_run.phase(label);
     OnlineStats stats;
     for (std::size_t run = 0; run < runs; ++run) {
       const auto built = build_topology(kind, latency, seed + run, t);
       stats.add(topology_algebraic_connectivity(built.graph));
     }
+    bench_run.gauge("lambda1." + label, stats.mean());
     const paper::ConnectivityReference* ref = nullptr;
     for (const auto& r : paper::kAlgebraicConnectivity) {
       if (std::string(topology_name(kind)).rfind(r.topology, 0) == 0) {
@@ -67,22 +71,28 @@ int main(int argc, char** argv) try {
   // Supporting evidence for the expansion claim (§2/§3): fraction of the
   // network inside the h-hop ball, averaged over sampled sources.
   print_banner(std::cout, "neighborhood expansion profile |B(v,h)| / n");
+  auto expansion_phase = bench_run.phase("expansion-profile");
   Table expansion({"topology", "h=1", "h=2", "h=3", "h=4"});
   for (const auto kind : kinds) {
     const auto built = build_topology(kind, latency, seed, topo);
     const auto profile = expansion_profile(
         CsrGraph::from_graph(built.graph), 4, 64, seed ^ 0xe8);
+    bench_run.gauge(std::string("expansion.h2.") + topology_name(kind),
+                    profile[2]);
+    bench_run.gauge(std::string("expansion.h3.") + topology_name(kind),
+                    profile[3]);
     expansion.add_row({topology_name(kind), Table::percent(profile[1]),
                        Table::percent(profile[2]),
                        Table::percent(profile[3]),
                        Table::percent(profile[4])});
   }
+  expansion_phase.stop();
   bench::emit(expansion, options.csv());
   std::cout << "\nMakalu's h-hop balls grow like the k-regular ideal's "
                "(geometric until saturation); the power-law overlay "
                "expands an order of magnitude slower from typical "
                "(low-degree) sources.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

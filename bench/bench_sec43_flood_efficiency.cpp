@@ -28,12 +28,16 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("sec 4.3: Makalu flooding efficiency (duplicates)", n,
                       runs, queries, seed, paper);
+  bench::BenchRun bench_run("sec43_flood_efficiency", options, n, runs,
+                            queries, seed);
 
+  auto build_phase = bench_run.phase("build-overlay");
   const EuclideanModel latency(n, seed ^ 0x600d);
   TopologyFactoryOptions topo;
   topo.makalu = bench::search_makalu_parameters();
   const auto topology =
       build_topology(TopologyKind::kMakalu, latency, seed, topo);
+  build_phase.stop();
 
   struct Case {
     double replication_percent;
@@ -49,6 +53,7 @@ int main(int argc, char** argv) try {
 
   Table table({"replication", "TTL", "msgs/query", "dup fraction",
                "success", "visited", "note"});
+  auto flood_phase = bench_run.phase("flood-cases");
   for (const auto& c : cases) {
     FloodExperimentOptions fopts;
     fopts.replication_ratio = c.replication_percent / 100.0;
@@ -57,6 +62,7 @@ int main(int argc, char** argv) try {
     fopts.runs = runs;
     fopts.objects = 40;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(topology, fopts);
     table.add_row({Table::num(c.replication_percent, 2) + "%",
                    Table::integer(c.ttl),
@@ -65,6 +71,7 @@ int main(int argc, char** argv) try {
                    Table::percent(agg.success_rate()),
                    Table::num(agg.mean_nodes_visited(), 0), c.note});
   }
+  flood_phase.stop();
   bench::emit(table, options.csv());
 
   print_banner(std::cout, "ablation: query-ID duplicate suppression");
@@ -72,6 +79,7 @@ int main(int argc, char** argv) try {
   // past the convergence boundary (TTL 6) dropping it lets duplicate
   // copies re-forward and message cost explodes.
   Table ab({"TTL", "suppression", "msgs/query", "dup fraction", "success"});
+  auto ablation_phase = bench_run.phase("suppression-ablation");
   for (const std::uint32_t ablation_ttl : {4u, 6u}) {
     for (const bool suppression : {true, false}) {
       FloodExperimentOptions fopts;
@@ -90,6 +98,7 @@ int main(int argc, char** argv) try {
                   Table::percent(agg.success_rate())});
     }
   }
+  ablation_phase.stop();
   bench::emit(ab, options.csv());
   std::cout << "\nshape check: duplicates are a small share of TTL-4 "
                "messages (expansion phase); past the convergence boundary "
@@ -107,6 +116,8 @@ int main(int argc, char** argv) try {
   wopts.runs = runs;
   wopts.objects = 40;
   wopts.seed = seed;
+  wopts.metrics = bench_run.metrics();
+  auto scaling_phase = bench_run.phase("thread-scaling");
   Table wall({"threads", "wall ms", "speedup", "msgs/query", "success"});
   double serial_ms = 0.0;
   QueryAggregate serial_agg;
@@ -131,8 +142,9 @@ int main(int argc, char** argv) try {
       return 1;
     }
   }
+  scaling_phase.stop();
   bench::emit(wall, options.csv());
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

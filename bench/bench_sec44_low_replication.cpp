@@ -23,12 +23,17 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("sec 4.4: flooding under very low replication", n,
                       runs, queries, seed, paper);
+  bench::BenchRun bench_run("sec44_low_replication", options, n, runs,
+                            queries, seed);
 
+  auto build_phase = bench_run.phase("build-overlay");
   const EuclideanModel latency(n, seed ^ 0x10c4);
   TopologyFactoryOptions topo;
   topo.makalu = bench::search_makalu_parameters();
   const auto topology =
       build_topology(TopologyKind::kMakalu, latency, seed, topo);
+  build_phase.stop();
+  auto flood_phase = bench_run.phase("low-replication-floods");
 
   // Scale the paper's "10 replicas out of 100k" to the configured n.
   const double ratio_001 = 0.0001;  // 0.01%
@@ -41,6 +46,7 @@ int main(int argc, char** argv) try {
     fopts.runs = runs;
     fopts.objects = 40;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(topology, fopts);
     table.add_row({"0.01%", "4", Table::percent(agg.success_rate()),
                    Table::percent(paper::kSuccessAt001PercentTtl4),
@@ -54,14 +60,17 @@ int main(int argc, char** argv) try {
     fopts.runs = runs;
     fopts.objects = 40;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(topology, fopts);
     table.add_row({"0.05%", "4", Table::percent(agg.success_rate()),
                    Table::percent(paper::kSuccessAt005PercentTtl4),
                    Table::num(agg.mean_messages(), 1)});
   }
+  flood_phase.stop();
   bench::emit(table, options.csv());
 
   print_banner(std::cout, "convergence boundary: duplicates vs TTL");
+  auto boundary_phase = bench_run.phase("convergence-boundary");
   Table boundary({"TTL", "msgs/query", "dup fraction", "visited",
                   "visited/n"});
   for (std::uint32_t ttl = 1; ttl <= 6; ++ttl) {
@@ -72,6 +81,7 @@ int main(int argc, char** argv) try {
     fopts.runs = 1;
     fopts.objects = 20;
     fopts.seed = seed;
+    fopts.metrics = bench_run.metrics();
     const auto agg = run_flood_batch(topology, fopts);
     boundary.add_row(
         {Table::integer(ttl), Table::num(agg.mean_messages(), 1),
@@ -79,11 +89,12 @@ int main(int argc, char** argv) try {
          Table::num(agg.mean_nodes_visited(), 0),
          Table::percent(agg.mean_nodes_visited() / static_cast<double>(n))});
   }
+  boundary_phase.stop();
   bench::emit(boundary, options.csv());
   std::cout << "\nshape check: duplicate share stays low while coverage "
                "<~50% of nodes, then surges past the convergence boundary "
                "— the two-phase flood behaviour of §4.4.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

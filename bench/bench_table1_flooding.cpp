@@ -29,7 +29,10 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = options.seed(42);
   bench::print_config("table 1: flooding messages/query and min TTL", n,
                       runs, queries, seed, paper);
+  bench::BenchRun bench_run("table1_flooding", options, n, runs, queries,
+                            seed);
 
+  auto build_phase = bench_run.phase("build-topologies");
   const EuclideanModel latency(n, seed ^ 0x7ab1e1);
   TopologyFactoryOptions topo;
   topo.makalu = bench::search_makalu_parameters();
@@ -41,7 +44,9 @@ int main(int argc, char** argv) try {
   for (const auto kind : kinds) {
     topologies.push_back(build_topology(kind, latency, seed, topo));
   }
+  build_phase.stop();
 
+  auto ttl_phase = bench_run.phase("min-ttl-search");
   Table table({"replication", "topology", "msgs/query", "paper msgs",
                "min TTL", "paper TTL", "success"});
   for (const auto& row : paper::kTable1) {
@@ -52,6 +57,7 @@ int main(int argc, char** argv) try {
       fopts.runs = runs;
       fopts.objects = 40;
       fopts.seed = seed;
+      fopts.metrics = bench_run.metrics();
       const auto result = find_min_ttl(topologies[t], fopts, 0.95, 10);
       double paper_msgs = 0.0;
       std::uint32_t paper_ttl = 0;
@@ -79,6 +85,7 @@ int main(int argc, char** argv) try {
            Table::percent(result.at_min_ttl.success_rate())});
     }
   }
+  ttl_phase.stop();
   bench::emit(table, options.csv());
   std::cout << "\nshape check: Makalu needs the fewest messages at every "
                "replication level (factor >=4 vs v0.4, >=7 vs v0.6 at low "
@@ -123,7 +130,7 @@ int main(int argc, char** argv) try {
                "leaves success untouched — it cannot fix the ultrapeer "
                "mesh, which still outspends Makalu several-fold.\n";
   }
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

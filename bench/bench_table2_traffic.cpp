@@ -28,8 +28,13 @@ int main(int argc, char** argv) try {
   bench::print_config("table 2: Makalu vs Gnutella search traffic",
                       topts.nodes, topts.runs, topts.queries, topts.seed,
                       paper);
+  bench::BenchRun bench_run("table2_traffic", options, topts.nodes,
+                            topts.runs, topts.queries, topts.seed);
 
+  auto compare_phase = bench_run.phase("traffic-comparison");
+  topts.metrics = bench_run.metrics();
   const auto result = run_traffic_comparison(topts);
+  compare_phase.stop();
   const auto& g = result.gnutella;
   const auto& m = result.makalu;
 
@@ -65,7 +70,7 @@ int main(int argc, char** argv) try {
                "bandwidth and ~75% fewer neighbors per node. Success rate "
                "is sensitive to n (coverage/n); --paper reproduces the "
                "100k-node setting where the paper measured 36%.\n";
-  return 0;
+  return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

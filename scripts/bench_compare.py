@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Both files must be makalu.bench.v1 documents produced by running a bench
+with --json (see EXPERIMENTS.md). The tool diffs the metrics sections and
+exits non-zero when any metric moved by more than the threshold, which
+makes it usable as a CI gate:
+
+    build/bench/bench_sec43_flood_efficiency --json new.json
+    scripts/bench_compare.py baseline.json new.json --threshold 0.05
+
+What is compared
+  * counters and gauges: relative change |new - old| / max(|old|, eps).
+  * histograms: relative change of `count` and of the mean (sum/count);
+    per-bucket counts are reported in --verbose mode but never gate.
+  * wall_ms and per-phase timings: reported, but only gate with
+    --include-timings (wall clock is noisy across machines; the
+    deterministic metrics are the reliable signal).
+
+A metric present on one side only is a structural change and always
+fails (unless --allow-missing). Comparing reports from different benches
+is almost certainly a mistake and fails immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "makalu.bench.v1"
+EPS = 1e-12
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"error: {path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    return doc
+
+
+def rel_change(old: float, new: float) -> float:
+    if math.isclose(old, new, rel_tol=1e-9, abs_tol=EPS):
+        return 0.0
+    return abs(new - old) / max(abs(old), EPS)
+
+
+def scalar_value(metric: dict) -> float | None:
+    if metric.get("kind") in ("counter", "gauge"):
+        return float(metric["value"])
+    return None
+
+
+def compare_metrics(base: dict, cand: dict, args) -> list[str]:
+    """Returns the list of human-readable regression lines."""
+    regressions: list[str] = []
+    names = sorted(set(base) | set(cand))
+    for name in names:
+        if name not in base or name not in cand:
+            side = "baseline" if name not in cand else "candidate"
+            line = f"metric {name!r} missing from {side}"
+            if args.allow_missing:
+                if args.verbose:
+                    print(f"  note: {line}")
+            else:
+                regressions.append(line)
+            continue
+        b, c = base[name], cand[name]
+        if b.get("kind") != c.get("kind"):
+            regressions.append(
+                f"metric {name!r} changed kind: "
+                f"{b.get('kind')} -> {c.get('kind')}"
+            )
+            continue
+        if b.get("kind") == "histogram":
+            pairs = [("count", b["count"], c["count"])]
+            b_mean = b["sum"] / b["count"] if b["count"] else 0.0
+            c_mean = c["sum"] / c["count"] if c["count"] else 0.0
+            pairs.append(("mean", b_mean, c_mean))
+            for label, old, new in pairs:
+                change = rel_change(old, new)
+                if args.verbose or change > args.threshold:
+                    print(
+                        f"  {name}.{label}: {old:g} -> {new:g} "
+                        f"({change * 100.0:+.1f}%)"
+                    )
+                if change > args.threshold:
+                    regressions.append(
+                        f"{name}.{label}: {old:g} -> {new:g} "
+                        f"exceeds {args.threshold * 100.0:.1f}%"
+                    )
+        else:
+            old, new = scalar_value(b), scalar_value(c)
+            if old is None or new is None:
+                regressions.append(f"metric {name!r} has unknown kind")
+                continue
+            change = rel_change(old, new)
+            if args.verbose or change > args.threshold:
+                print(f"  {name}: {old:g} -> {new:g} ({change * 100.0:+.1f}%)")
+            if change > args.threshold:
+                regressions.append(
+                    f"{name}: {old:g} -> {new:g} "
+                    f"exceeds {args.threshold * 100.0:.1f}%"
+                )
+    return regressions
+
+
+def compare_timings(base: dict, cand: dict, args) -> list[str]:
+    regressions: list[str] = []
+    entries = [("wall_ms", base.get("wall_ms", 0.0), cand.get("wall_ms", 0.0))]
+    base_phases = {p["name"]: p["ms"] for p in base.get("phases", [])}
+    cand_phases = {p["name"]: p["ms"] for p in cand.get("phases", [])}
+    for name in sorted(set(base_phases) | set(cand_phases)):
+        entries.append(
+            (f"phase[{name}]", base_phases.get(name, 0.0),
+             cand_phases.get(name, 0.0))
+        )
+    for label, old, new in entries:
+        change = rel_change(old, new)
+        if args.verbose:
+            print(f"  {label}: {old:.1f}ms -> {new:.1f}ms "
+                  f"({change * 100.0:+.1f}%)")
+        if args.include_timings and change > args.threshold:
+            regressions.append(
+                f"{label}: {old:.1f}ms -> {new:.1f}ms "
+                f"exceeds {args.threshold * 100.0:.1f}%"
+            )
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="max allowed relative change per metric (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--include-timings", action="store_true",
+        help="also gate on wall_ms and phase timings (noisy across machines)",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="metrics present on only one side warn instead of failing",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print every compared value, not just regressions",
+    )
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    if base.get("bench") != cand.get("bench"):
+        sys.exit(
+            f"error: comparing different benches: "
+            f"{base.get('bench')!r} vs {cand.get('bench')!r}"
+        )
+    for key in ("n", "runs", "queries", "seed"):
+        if base.get("config", {}).get(key) != cand.get("config", {}).get(key):
+            print(
+                f"warning: config.{key} differs "
+                f"({base.get('config', {}).get(key)} vs "
+                f"{cand.get('config', {}).get(key)}) — "
+                "metric deltas reflect the config change, not a regression"
+            )
+
+    print(f"bench: {base['bench']}  threshold: {args.threshold * 100.0:.1f}%")
+    regressions = compare_metrics(
+        base.get("metrics", {}), cand.get("metrics", {}), args
+    )
+    regressions += compare_timings(base, cand, args)
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print("OK: no metric moved beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

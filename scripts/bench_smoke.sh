@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke-run one experiment bench with --json and validate the emitted
+# report. Invoked by the `bench_smoke`-labelled ctest entries (see
+# bench/CMakeLists.txt):
+#
+#   scripts/bench_smoke.sh <bench-binary> <out.json> [bench args...]
+#
+# The bench's table output is discarded — the test's contract is "the
+# binary exits 0 at a tiny scale and its --json document satisfies
+# makalu.bench.v1" (scripts/check_bench_json.py), not any particular
+# measured value.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <bench-binary> <out.json> [bench args...]" >&2
+  exit 2
+fi
+
+BIN=$1
+OUT=$2
+shift 2
+
+"${BIN}" "$@" --json "${OUT}" > /dev/null
+exec python3 "$(dirname "$0")/check_bench_json.py" "${OUT}"

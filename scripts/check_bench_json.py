@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json report against the makalu.bench.v1 schema.
+
+Usage:
+    scripts/check_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+
+Used by the bench_smoke ctest label: every bench runs at a tiny --n with
+--json, then this script asserts the emitted document carries the full
+run-metadata contract. Exits non-zero (with one line per problem) on the
+first malformed file. Intentionally dependency-free — stdlib json only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "makalu.bench.v1"
+REQUIRED_TOP = ("schema", "bench", "git", "config", "wall_ms", "phases",
+                "metrics")
+REQUIRED_CONFIG = ("n", "runs", "queries", "seed", "threads", "paper")
+
+
+def check_file(path: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse: {exc}"]
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+
+    if doc["schema"] != SCHEMA:
+        problems.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        problems.append("bench must be a non-empty string")
+    if not isinstance(doc["git"], str) or not doc["git"]:
+        problems.append("git must be a non-empty string")
+
+    config = doc["config"]
+    for key in REQUIRED_CONFIG:
+        if key not in config:
+            problems.append(f"missing config.{key}")
+    if isinstance(config.get("n"), int) and config["n"] <= 0:
+        problems.append("config.n must be positive")
+
+    if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] < 0:
+        problems.append("wall_ms must be a non-negative number")
+
+    if not isinstance(doc["phases"], list):
+        problems.append("phases must be a list")
+    else:
+        for i, phase in enumerate(doc["phases"]):
+            if not isinstance(phase, dict) or "name" not in phase \
+                    or "ms" not in phase:
+                problems.append(f"phases[{i}] must have 'name' and 'ms'")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+        return problems
+    for name, metric in metrics.items():
+        kind = metric.get("kind")
+        if kind in ("counter", "gauge"):
+            if "value" not in metric:
+                problems.append(f"metrics[{name!r}] missing 'value'")
+        elif kind == "histogram":
+            for key in ("count", "sum", "buckets"):
+                if key not in metric:
+                    problems.append(f"metrics[{name!r}] missing {key!r}")
+            bucket_total = sum(
+                b.get("count", 0) for b in metric.get("buckets", [])
+            )
+            if bucket_total != metric.get("count"):
+                problems.append(
+                    f"metrics[{name!r}] bucket counts sum to {bucket_total}, "
+                    f"count says {metric.get('count')}"
+                )
+        else:
+            problems.append(f"metrics[{name!r}] has unknown kind {kind!r}")
+    return problems
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in sys.argv[1:]:
+        problems = check_file(path)
+        if problems:
+            status = 1
+            for line in problems:
+                print(f"{path}: {line}")
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            print(f"{path}: ok ({doc['bench']}, {len(doc['metrics'])} metrics,"
+                  f" {len(doc['phases'])} phases)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

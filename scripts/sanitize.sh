@@ -28,9 +28,11 @@ if [[ "${MODE}" == "tsan" ]]; then
   # the tests that exercise them so the job stays fast. Fault and proto
   # tests ride along: the fault-injected churn runs drive the parallel
   # maintenance sweeps, and the timer/retry/keepalive machinery must stay
-  # clean under the threaded build. Override with TSAN_TEST_FILTER='.*'
-  # for a full-suite run.
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork'}
+  # clean under the threaded build. Obs covers the sharded metrics
+  # registry, whose whole design claim is "no cross-thread writes in the
+  # hot path" — TSan is the referee for that claim. Override with
+  # TSAN_TEST_FILTER='.*' for a full-suite run.
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

@@ -27,6 +27,7 @@ QueryAggregate run_abf_batch(const BuiltTopology& topology, std::uint32_t ttl,
     BatchQueryOptions batch;
     batch.queries = options.queries;
     batch.seed = run_rng();
+    batch.metrics = options.metrics;
     driver.run_batch(router, catalog, batch, aggregate);
   }
   return aggregate;
@@ -54,6 +55,7 @@ std::vector<double> abf_success_vs_ttl(const BuiltTopology& topology,
     BatchQueryOptions batch;
     batch.queries = options.queries;
     batch.seed = run_rng();
+    batch.metrics = options.metrics;
     // One route per query at the full budget; a query that succeeded with
     // k messages would also succeed for every TTL >= k, so bucket by the
     // message count at success. The sink runs serially post-batch, so the

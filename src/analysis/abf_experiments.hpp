@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/topology_factory.hpp"
+#include "obs/metrics.hpp"
 #include "search/abf_search.hpp"
 #include "sim/query_stats.hpp"
 
@@ -22,6 +23,8 @@ struct AbfExperimentOptions {
   /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
   /// 1 = serial. Results are identical at any setting.
   std::size_t threads = 0;
+  /// Optional metrics registry (see BatchQueryOptions::metrics).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate outcome at one TTL.

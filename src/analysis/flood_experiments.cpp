@@ -29,6 +29,7 @@ QueryAggregate run_flood_batch(const BuiltTopology& topology,
     batch.queries = options.queries;
     batch.seed = run_rng();
     batch.trace_sink = options.trace_sink;
+    batch.metrics = options.metrics;
 
     if (topology.kind == TopologyKind::kGnutellaV06) {
       TwoTierFloodOptions flood;

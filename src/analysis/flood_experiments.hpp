@@ -31,6 +31,9 @@ struct FloodExperimentOptions {
   std::size_t threads = 0;
   /// Optional per-query observability hook (see BatchQueryOptions).
   std::function<void(const QueryTrace&)> trace_sink;
+  /// Optional metrics registry threaded to the query driver and engines
+  /// (see BatchQueryOptions::metrics). Null = zero-overhead default.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs the batch on `topology` (dispatching to the two-tier engine for

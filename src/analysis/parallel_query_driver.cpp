@@ -2,9 +2,49 @@
 
 #include <vector>
 
+#include "obs/search_metrics.hpp"
+#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace makalu {
+
+namespace {
+
+/// Driver-level metric ids, resolved once per batch (registration is
+/// idempotent, so repeated batches against one registry share ids).
+struct DriverMetricIds {
+  obs::MetricId batches = 0;
+  obs::MetricId queries = 0;
+  obs::MetricId successes = 0;
+  obs::MetricId messages = 0;
+  obs::MetricId duplicates = 0;
+  obs::MetricId nodes_visited = 0;
+  obs::MetricId replicas_found = 0;
+  obs::MetricId forwarders = 0;
+  obs::MetricId truncated = 0;
+  obs::MetricId query_wall_us = 0;
+  obs::MetricId first_hit_hop = 0;
+
+  static DriverMetricIds register_in(obs::MetricsRegistry& registry) {
+    DriverMetricIds ids;
+    ids.batches = registry.counter("driver.batches");
+    ids.queries = registry.counter("driver.queries");
+    ids.successes = registry.counter("driver.successes");
+    ids.messages = registry.counter("driver.messages");
+    ids.duplicates = registry.counter("driver.duplicates");
+    ids.nodes_visited = registry.counter("driver.nodes_visited");
+    ids.replicas_found = registry.counter("driver.replicas_found");
+    ids.forwarders = registry.counter("driver.forwarders");
+    ids.truncated = registry.counter("driver.truncated");
+    ids.query_wall_us = registry.histogram(
+        "driver.query_wall_us", obs::HistogramSpec::exponential(1.0, 4.0, 12));
+    ids.first_hit_hop = registry.histogram(
+        "driver.first_hit_hop", obs::HistogramSpec::linear(0.0, 1.0, 16));
+    return ids;
+  }
+};
+
+}  // namespace
 
 QueryAggregate ParallelQueryDriver::run_batch(
     const SearchEngine& engine, const ObjectCatalog& catalog,
@@ -23,13 +63,31 @@ void ParallelQueryDriver::run_batch(const SearchEngine& engine,
   MAKALU_EXPECTS(catalog.object_count() > 0);
   if (options.queries == 0) return;
 
+  // Serial phase: resolve metric ids and pre-size one shard per worker
+  // slot before any parallel work (registration and shard growth are not
+  // thread-safe by contract).
+  obs::MetricsRegistry* metrics = options.metrics;
+  obs::SearchMetricIds search_ids;
+  DriverMetricIds driver_ids;
+  if (metrics != nullptr) {
+    search_ids = obs::SearchMetricIds::register_in(*metrics);
+    driver_ids = DriverMetricIds::register_in(*metrics);
+  }
+
   std::vector<QueryTrace> traces(options.queries);
 
   // Each chunk is a contiguous query range served by one worker with one
   // workspace; per-query seeding makes the partitioning irrelevant to the
-  // results.
-  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+  // results. `slot` indexes the worker's metrics shard — engine-side
+  // observations land there without locks and fold deterministically at
+  // snapshot time.
+  const auto run_range = [&](std::size_t slot, std::size_t lo,
+                             std::size_t hi) {
     QueryWorkspace workspace;
+    if (metrics != nullptr) {
+      workspace.attach_metrics({&metrics->shard(slot), search_ids});
+    }
+    const bool timed = metrics != nullptr;
     for (std::size_t q = lo; q < hi; ++q) {
       workspace.seed_rng(options.seed, q);
       QueryTrace& trace = traces[q];
@@ -38,29 +96,64 @@ void ParallelQueryDriver::run_batch(const SearchEngine& engine,
           static_cast<NodeId>(workspace.rng().uniform_below(n));
       trace.object = static_cast<ObjectId>(
           workspace.rng().uniform_below(catalog.object_count()));
-      trace.result = engine.run(trace.source, trace.object, catalog,
-                                workspace);
+      if (timed) {
+        const Stopwatch watch;
+        trace.result = engine.run(trace.source, trace.object, catalog,
+                                  workspace);
+        trace.wall_us = watch.seconds() * 1e6;
+      } else {
+        trace.result = engine.run(trace.source, trace.object, catalog,
+                                  workspace);
+      }
     }
   };
 
   if (threads_ == 1) {
-    run_range(0, options.queries);
+    if (metrics != nullptr) metrics->ensure_slots(1);
+    run_range(0, 0, options.queries);
   } else if (threads_ == 0) {
-    ThreadPool::shared().parallel_for_chunked(0, options.queries, run_range,
-                                              /*chunks_per_thread=*/1);
+    ThreadPool& pool = ThreadPool::shared();
+    if (metrics != nullptr) {
+      metrics->ensure_slots(pool.max_slots(/*chunks_per_thread=*/1));
+    }
+    pool.parallel_for_slotted(0, options.queries, run_range,
+                              /*chunks_per_thread=*/1);
   } else {
     ThreadPool pool(threads_);
-    pool.parallel_for_chunked(0, options.queries, run_range,
+    if (metrics != nullptr) {
+      metrics->ensure_slots(pool.max_slots(/*chunks_per_thread=*/1));
+    }
+    pool.parallel_for_slotted(0, options.queries, run_range,
                               /*chunks_per_thread=*/1);
   }
 
   // Serial, in-order aggregation: floating-point accumulation order (and
   // therefore the aggregate, bit for bit) does not depend on the thread
-  // count.
+  // count. Driver metrics are fed here, from the same deterministic
+  // stream the trace sink sees.
+  obs::MetricsShard* sink_shard =
+      metrics != nullptr ? &metrics->shard(0) : nullptr;
   for (const QueryTrace& trace : traces) {
     aggregate.add(trace.result);
+    if (sink_shard != nullptr) {
+      const QueryResult& r = trace.result;
+      sink_shard->add(driver_ids.queries);
+      if (r.success) {
+        sink_shard->add(driver_ids.successes);
+        sink_shard->observe(driver_ids.first_hit_hop,
+                            static_cast<double>(r.first_hit_hop));
+      }
+      sink_shard->add(driver_ids.messages, r.messages);
+      sink_shard->add(driver_ids.duplicates, r.duplicates);
+      sink_shard->add(driver_ids.nodes_visited, r.nodes_visited);
+      sink_shard->add(driver_ids.replicas_found, r.replicas_found);
+      sink_shard->add(driver_ids.forwarders, r.forwarders);
+      if (r.truncated) sink_shard->add(driver_ids.truncated);
+      sink_shard->observe(driver_ids.query_wall_us, trace.wall_us);
+    }
     if (options.trace_sink) options.trace_sink(trace);
   }
+  if (sink_shard != nullptr) sink_shard->add(driver_ids.batches);
 }
 
 }  // namespace makalu

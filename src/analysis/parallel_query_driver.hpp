@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.hpp"
 #include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
@@ -30,6 +31,10 @@ struct QueryTrace {
   NodeId source = kInvalidNode;
   ObjectId object = 0;
   QueryResult result;
+  /// Wall time spent inside the engine for this query, microseconds.
+  /// Only measured when BatchQueryOptions::metrics is set (timing costs
+  /// two clock reads per query); 0 otherwise.
+  double wall_us = 0.0;
 };
 
 struct BatchQueryOptions {
@@ -39,6 +44,15 @@ struct BatchQueryOptions {
   /// parallel phase (so sinks need no locking and see a deterministic
   /// stream).
   std::function<void(const QueryTrace&)> trace_sink;
+  /// Observability registry (nullable — null is the zero-overhead
+  /// default). When set, the driver registers the driver.* and search.*
+  /// metrics, attaches one shard per worker slot to the workspaces (so
+  /// engine hop/frontier histograms shard without locks), times each
+  /// query into QueryTrace::wall_us, and feeds the per-query latency
+  /// histogram plus result counters from the serial in-order
+  /// aggregation pass. Results are bit-identical with and without a
+  /// registry attached, at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ParallelQueryDriver {

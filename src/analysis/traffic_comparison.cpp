@@ -39,6 +39,7 @@ TrafficComparisonResult run_traffic_comparison(
   flood.runs = options.runs;
   flood.seed = options.seed;
   flood.threads = options.threads;
+  flood.metrics = options.metrics;
   const QueryAggregate aggregate = run_flood_batch(topology, flood);
 
   result.makalu_messages_per_query = aggregate.mean_messages();

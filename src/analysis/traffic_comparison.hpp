@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "analysis/topology_factory.hpp"
+#include "obs/metrics.hpp"
 #include "trace/gnutella_traffic.hpp"
 
 namespace makalu {
@@ -27,6 +28,8 @@ struct TrafficComparisonOptions {
   /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
   /// 1 = serial. Results are identical at any setting.
   std::size_t threads = 0;
+  /// Optional metrics registry (see BatchQueryOptions::metrics).
+  obs::MetricsRegistry* metrics = nullptr;
   MakaluParameters makalu = degree95_parameters();
 
   /// Capacity range giving the paper's mean node degree ≈ 9.5.

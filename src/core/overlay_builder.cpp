@@ -5,10 +5,45 @@
 #include <numeric>
 
 #include "graph/algorithms.hpp"
+#include "obs/scoped_timer.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/generators.hpp"
 
 namespace makalu {
+
+namespace {
+
+/// Sweep-level metric ids (registration is idempotent; repeated sweeps
+/// against one registry share ids).
+struct SweepMetricIds {
+  obs::MetricId sweeps = 0;
+  obs::MetricId solicitors = 0;
+  obs::MetricId edges_added = 0;
+  obs::MetricId edges_removed = 0;
+  obs::MetricId plan_ms = 0;
+  obs::MetricId apply_ms = 0;
+  obs::MetricId prune_ms = 0;
+  obs::MetricId cache_hits = 0;
+  obs::MetricId cache_misses = 0;
+  obs::MetricId cache_invalidations = 0;
+
+  static SweepMetricIds register_in(obs::MetricsRegistry& registry) {
+    SweepMetricIds ids;
+    ids.sweeps = registry.counter("sweep.sweeps");
+    ids.solicitors = registry.counter("sweep.solicitors");
+    ids.edges_added = registry.counter("sweep.edges_added");
+    ids.edges_removed = registry.counter("sweep.edges_removed");
+    ids.plan_ms = registry.gauge("sweep.plan_ms");
+    ids.apply_ms = registry.gauge("sweep.apply_ms");
+    ids.prune_ms = registry.gauge("sweep.prune_ms");
+    ids.cache_hits = registry.counter("sweep.cache_hits");
+    ids.cache_misses = registry.counter("sweep.cache_misses");
+    ids.cache_invalidations = registry.counter("sweep.cache_invalidations");
+    return ids;
+  }
+};
+
+}  // namespace
 
 OverlayBuilder::OverlayBuilder(MakaluParameters params)
     : params_(params) {
@@ -276,6 +311,25 @@ std::size_t OverlayBuilder::deterministic_sweep(
   MAKALU_EXPECTS(cache.observes(g));
   MAKALU_EXPECTS(active == nullptr || active->size() == n);
 
+  // All sweep metrics are fed from the calling thread (the parallel phases
+  // only touch the graph/cache), so one shard suffices. Cache counters are
+  // sampled before/after to attribute this sweep's delta. Observe-only:
+  // nothing below reads the registry back or consumes RNG.
+  obs::MetricsShard* obs_shard = nullptr;
+  SweepMetricIds obs_ids;
+  std::uint64_t hits_before = 0;
+  std::uint64_t misses_before = 0;
+  std::uint64_t invalidations_before = 0;
+  if (options.metrics != nullptr) {
+    obs_ids = SweepMetricIds::register_in(*options.metrics);
+    options.metrics->ensure_slots(1);
+    obs_shard = &options.metrics->shard(0);
+    hits_before = cache.hits();
+    misses_before = cache.misses();
+    invalidations_before = cache.invalidations();
+  }
+  obs::ScopedTimer plan_timer(obs_shard, obs_ids.plan_ms);
+
   // Phase 1 — plan candidate walks against the frozen pre-sweep graph.
   // Every under-capacity node draws from its own RNG stream (seed mixed
   // with its id), so the plan set is a pure function of (graph, seed) and
@@ -320,6 +374,8 @@ std::size_t OverlayBuilder::deterministic_sweep(
   } else {
     for (std::size_t i = 0; i < solicitors.size(); ++i) plan_one(i);
   }
+  plan_timer.stop();
+  obs::ScopedTimer apply_timer(obs_shard, obs_ids.apply_ms);
 
   // Phase 2 — apply the planned connections serially, in a seeded
   // permutation of the solicitors (the legacy sweep's random visiting
@@ -343,6 +399,9 @@ std::size_t OverlayBuilder::deterministic_sweep(
       }
     }
   }
+  apply_timer.stop();
+  const std::size_t edges_added = changes;
+  obs::ScopedTimer prune_timer(obs_shard, obs_ids.prune_ms);
 
   // Phase 3 — capacity enforcement. Pruning only removes edges, so the
   // over-capacity set is fixed now (it can only shrink); legacy manages
@@ -386,6 +445,17 @@ std::size_t OverlayBuilder::deterministic_sweep(
         changes += manage(overlay, cache, &scratch, u);
       }
     }
+  }
+  prune_timer.stop();
+  if (obs_shard != nullptr) {
+    obs_shard->add(obs_ids.sweeps);
+    obs_shard->add(obs_ids.solicitors, solicitors.size());
+    obs_shard->add(obs_ids.edges_added, edges_added);
+    obs_shard->add(obs_ids.edges_removed, changes - edges_added);
+    obs_shard->add(obs_ids.cache_hits, cache.hits() - hits_before);
+    obs_shard->add(obs_ids.cache_misses, cache.misses() - misses_before);
+    obs_shard->add(obs_ids.cache_invalidations,
+                   cache.invalidations() - invalidations_before);
   }
   return changes;
 }
@@ -434,8 +504,8 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
 }
 
 MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
-                                    std::uint64_t seed,
-                                    ThreadPool* pool) const {
+                                    std::uint64_t seed, ThreadPool* pool,
+                                    obs::MetricsRegistry* metrics) const {
   const std::size_t n = latency.node_count();
   MAKALU_EXPECTS(n >= 2);
   Rng rng(seed);
@@ -470,6 +540,7 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
       SweepOptions sweep;
       sweep.seed = rng();
       sweep.pool = pool;
+      sweep.metrics = metrics;
       deterministic_sweep(overlay, cache, sweep);
     }
   }

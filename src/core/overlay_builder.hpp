@@ -32,6 +32,7 @@
 #include "core/rating_cache.hpp"
 #include "graph/graph.hpp"
 #include "net/latency_model.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace makalu {
@@ -83,6 +84,11 @@ struct SweepOptions {
   /// Worker pool for the parallel phases; nullptr runs the identical
   /// schedule inline on the calling thread.
   ThreadPool* pool = nullptr;
+  /// Optional observability sink: per-phase wall timings (sum gauges),
+  /// solicitation/edge counters, and rating-cache hit/miss/invalidation
+  /// deltas. Observe-only — the sweep's result is bit-identical with or
+  /// without it. Null = zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class OverlayBuilder {
@@ -100,9 +106,12 @@ class OverlayBuilder {
   /// produces the identical overlay. Note the sweep schedule differs from
   /// the legacy serial one, so results differ from build(latency, seed)
   /// (both are valid runs of the same protocol).
+  /// `metrics` (optional) receives per-sweep phase timings and counters
+  /// for the maintenance rounds (see SweepOptions::metrics).
   [[nodiscard]] MakaluOverlay build(const LatencyModel& latency,
-                                    std::uint64_t seed,
-                                    ThreadPool* pool) const;
+                                    std::uint64_t seed, ThreadPool* pool,
+                                    obs::MetricsRegistry* metrics =
+                                        nullptr) const;
 
   /// Join a single new node into an existing overlay (used by churn /
   /// repair experiments). `joiner` must currently be isolated.

@@ -1,0 +1,73 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json_writer.hpp"
+
+namespace makalu::obs {
+
+BenchReport::BenchReport(BenchRunInfo info) : info_(std::move(info)) {
+  if (info_.git.empty()) info_.git = git_describe();
+}
+
+std::string BenchReport::git_describe() {
+  // popen is fine here: this runs once per bench process, never in a hot
+  // or deterministic path. stderr is dropped so a non-repo cwd stays
+  // quiet.
+  std::FILE* pipe =
+      ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128] = {};
+  std::string out;
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+void BenchReport::write_json(std::ostream& os,
+                             const MetricsSnapshot& snapshot) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("schema").value("makalu.bench.v1");
+  json.key("bench").value(info_.bench);
+  json.key("git").value(info_.git);
+  json.key("config");
+  json.begin_object();
+  json.key("n").value(static_cast<std::uint64_t>(info_.n));
+  json.key("runs").value(static_cast<std::uint64_t>(info_.runs));
+  json.key("queries").value(static_cast<std::uint64_t>(info_.queries));
+  json.key("seed").value(info_.seed);
+  json.key("threads").value(static_cast<std::uint64_t>(info_.threads));
+  json.key("paper").value(info_.paper);
+  json.end_object();
+  json.key("wall_ms").value(wall_.millis());
+  json.key("phases");
+  json.begin_array();
+  for (const PhaseRecord& p : phases_) {
+    json.begin_object();
+    json.key("name").value(p.name);
+    json.key("ms").value(p.ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("metrics");
+  snapshot.write_json(json);
+  json.end_object();
+  os << '\n';
+}
+
+bool BenchReport::write_file(const std::string& path,
+                             const MetricsSnapshot& snapshot) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_json(out, snapshot);
+  return static_cast<bool>(out);
+}
+
+}  // namespace makalu::obs

@@ -1,0 +1,105 @@
+// Machine-readable bench artifacts: run metadata + phase timings + the
+// full metrics snapshot, serialized as one BENCH_<name>.json document.
+//
+// Schema ("makalu.bench.v1"):
+//   {
+//     "schema": "makalu.bench.v1",
+//     "bench": "<name>",
+//     "git": "<git describe --always --dirty, or unknown>",
+//     "config": {"n":..,"runs":..,"queries":..,"seed":..,"threads":..,
+//                "paper":..},
+//     "wall_ms": <total wall time of the run>,
+//     "phases": [{"name":..,"ms":..}, ...],
+//     "metrics": {"<name>": {"kind":"counter","value":..} | gauge |
+//                 histogram, ...}
+//   }
+//
+// scripts/check_bench_json.py validates the schema; scripts/
+// bench_compare.py diffs two documents and gates on metric regressions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/stopwatch.hpp"
+
+namespace makalu::obs {
+
+struct BenchRunInfo {
+  std::string bench;          ///< short name, e.g. "sec43_flood_efficiency"
+  std::string git;            ///< filled by BenchReport if empty
+  std::size_t n = 0;
+  std::size_t runs = 0;
+  std::size_t queries = 0;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;    ///< hardware concurrency the run saw
+  bool paper = false;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(BenchRunInfo info);
+
+  /// RAII phase span: records wall ms into the report on destruction.
+  class Phase {
+   public:
+    Phase(BenchReport& report, std::string name)
+        : report_(&report), name_(std::move(name)) {}
+    Phase(Phase&& other) noexcept
+        : report_(other.report_), name_(std::move(other.name_)) {
+      other.report_ = nullptr;
+    }
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+    Phase& operator=(Phase&&) = delete;
+    ~Phase() { stop(); }
+
+    void stop() {
+      if (report_ == nullptr) return;
+      report_->add_phase(name_, watch_.millis());
+      report_ = nullptr;
+    }
+
+   private:
+    BenchReport* report_;
+    std::string name_;
+    Stopwatch watch_;
+  };
+
+  [[nodiscard]] Phase phase(std::string name) {
+    return Phase(*this, std::move(name));
+  }
+  void add_phase(std::string name, double ms) {
+    phases_.push_back({std::move(name), ms});
+  }
+
+  [[nodiscard]] const BenchRunInfo& info() const noexcept { return info_; }
+
+  /// Serializes the full document; `snapshot` is typically
+  /// registry.snapshot().
+  void write_json(std::ostream& os, const MetricsSnapshot& snapshot) const;
+
+  /// Writes to `path`; returns false (and reports nothing else) when the
+  /// file cannot be opened.
+  [[nodiscard]] bool write_file(const std::string& path,
+                                const MetricsSnapshot& snapshot) const;
+
+  /// `git describe --always --dirty` of the working tree, or "unknown"
+  /// when git (or a repository) is unavailable.
+  [[nodiscard]] static std::string git_describe();
+
+ private:
+  struct PhaseRecord {
+    std::string name;
+    double ms;
+  };
+
+  BenchRunInfo info_;
+  std::vector<PhaseRecord> phases_;
+  Stopwatch wall_;  ///< total run time, started at construction
+};
+
+}  // namespace makalu::obs

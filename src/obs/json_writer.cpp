@@ -1,0 +1,145 @@
+#include "obs/json_writer.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/contracts.hpp"
+
+namespace makalu::obs {
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf.data();
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!frames_.empty() && frames_.back()++ > 0) os_ << ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  frames_.push_back(0);
+  os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MAKALU_EXPECTS(!frames_.empty() && !pending_key_);
+  frames_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  frames_.push_back(0);
+  os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MAKALU_EXPECTS(!frames_.empty() && !pending_key_);
+  frames_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MAKALU_EXPECTS(!frames_.empty() && !pending_key_);
+  if (frames_.back()++ > 0) os_ << ',';
+  write_escaped(os_, name);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(os_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  before_value();
+  // Shortest round-trip representation: deterministic bytes for a given
+  // double, no locale involvement.
+  std::array<char, 32> buf{};
+  const auto result =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  os_.write(buf.data(), result.ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  std::array<char, 24> buf{};
+  const auto result =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  os_.write(buf.data(), result.ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  std::array<char, 24> buf{};
+  const auto result =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  os_.write(buf.data(), result.ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace makalu::obs

@@ -1,0 +1,53 @@
+// Minimal streaming JSON emitter for the BENCH_*.json artifacts.
+//
+// Deliberately tiny: objects, arrays, string/number/bool/null values,
+// RFC-8259 string escaping, and shortest-round-trip double formatting
+// (std::to_chars), so identical inputs always serialize to identical
+// bytes — the property the snapshot golden tests and bench_compare.py
+// rely on. No parsing, no DOM; validation lives in
+// scripts/check_bench_json.py.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace makalu::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member key; the next value()/begin_*() call is its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Writes `text` with RFC-8259 escaping (quotes, backslash, control
+  /// characters; UTF-8 passes through).
+  static void write_escaped(std::ostream& os, std::string_view text);
+
+ private:
+  void before_value();
+
+  std::ostream& os_;
+  /// One frame per open container: count of values emitted (for commas).
+  std::vector<std::size_t> frames_;
+  bool pending_key_ = false;
+};
+
+}  // namespace makalu::obs

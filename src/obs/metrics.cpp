@@ -1,0 +1,264 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json_writer.hpp"
+
+namespace makalu::obs {
+
+HistogramSpec HistogramSpec::linear(double first, double width,
+                                    std::size_t count) {
+  MAKALU_EXPECTS(width > 0.0 && count >= 1);
+  HistogramSpec spec;
+  spec.upper_bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    spec.upper_bounds.push_back(first + width * static_cast<double>(i));
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::exponential(double first, double factor,
+                                         std::size_t count) {
+  MAKALU_EXPECTS(first > 0.0 && factor > 1.0 && count >= 1);
+  HistogramSpec spec;
+  spec.upper_bounds.reserve(count);
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    spec.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t slots) {
+  ensure_slots(slots == 0 ? 1 : slots);
+}
+
+void MetricsRegistry::ensure_slots(std::size_t slots) {
+  while (shards_.size() < slots) {
+    auto shard = std::unique_ptr<MetricsShard>(new MetricsShard(this));
+    sync_shard(*shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void MetricsRegistry::sync_shard(MetricsShard& shard) const {
+  shard.counters_.resize(counter_count_, 0);
+  shard.gauges_.resize(gauge_count_, 0.0);
+  shard.hist_buckets_.resize(hist_bucket_slots_, 0);
+  shard.hist_sums_.resize(hist_count_, 0.0);
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    MAKALU_EXPECTS(infos_[it->second].kind == MetricKind::kCounter);
+    return it->second;
+  }
+  Info info;
+  info.name = name;
+  info.kind = MetricKind::kCounter;
+  info.dense = counter_count_++;
+  const auto id = static_cast<MetricId>(infos_.size());
+  infos_.push_back(std::move(info));
+  by_name_.emplace(name, id);
+  for (auto& shard : shards_) sync_shard(*shard);
+  return id;
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name, GaugeAgg agg) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const Info& existing = infos_[it->second];
+    MAKALU_EXPECTS(existing.kind == MetricKind::kGauge &&
+                   existing.agg == agg);
+    return it->second;
+  }
+  Info info;
+  info.name = name;
+  info.kind = MetricKind::kGauge;
+  info.agg = agg;
+  info.dense = gauge_count_++;
+  const auto id = static_cast<MetricId>(infos_.size());
+  infos_.push_back(std::move(info));
+  by_name_.emplace(name, id);
+  for (auto& shard : shards_) sync_shard(*shard);
+  return id;
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name,
+                                    HistogramSpec spec) {
+  MAKALU_EXPECTS(!spec.upper_bounds.empty());
+  MAKALU_EXPECTS(std::is_sorted(spec.upper_bounds.begin(),
+                                spec.upper_bounds.end()) &&
+                 std::adjacent_find(spec.upper_bounds.begin(),
+                                    spec.upper_bounds.end()) ==
+                     spec.upper_bounds.end());
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const Info& existing = infos_[it->second];
+    MAKALU_EXPECTS(existing.kind == MetricKind::kHistogram &&
+                   existing.bounds == spec.upper_bounds);
+    return it->second;
+  }
+  Info info;
+  info.name = name;
+  info.kind = MetricKind::kHistogram;
+  info.dense = hist_count_++;
+  info.bucket_offset = hist_bucket_slots_;
+  info.bounds = std::move(spec.upper_bounds);
+  // +1: the implicit +inf overflow bucket.
+  hist_bucket_slots_ +=
+      static_cast<std::uint32_t>(info.bounds.size()) + 1;
+  const auto id = static_cast<MetricId>(infos_.size());
+  infos_.push_back(std::move(info));
+  by_name_.emplace(name, id);
+  for (auto& shard : shards_) sync_shard(*shard);
+  return id;
+}
+
+void MetricsShard::add(MetricId id, std::uint64_t delta) noexcept {
+  const auto& info = owner_->infos_[id];
+  MAKALU_ASSERT(info.kind == MetricKind::kCounter);
+  counters_[info.dense] += delta;
+}
+
+void MetricsShard::gauge_set(MetricId id, double value) noexcept {
+  const auto& info = owner_->infos_[id];
+  MAKALU_ASSERT(info.kind == MetricKind::kGauge);
+  gauges_[info.dense] = value;
+}
+
+void MetricsShard::gauge_add(MetricId id, double delta) noexcept {
+  const auto& info = owner_->infos_[id];
+  MAKALU_ASSERT(info.kind == MetricKind::kGauge);
+  gauges_[info.dense] += delta;
+}
+
+void MetricsShard::gauge_max(MetricId id, double value) noexcept {
+  const auto& info = owner_->infos_[id];
+  MAKALU_ASSERT(info.kind == MetricKind::kGauge);
+  gauges_[info.dense] = std::max(gauges_[info.dense], value);
+}
+
+void MetricsShard::observe(MetricId id, double value,
+                           std::uint64_t weight) noexcept {
+  const auto& info = owner_->infos_[id];
+  MAKALU_ASSERT(info.kind == MetricKind::kHistogram);
+  // First bound >= value ("le" semantics); past-the-end = +inf bucket.
+  const auto it =
+      std::lower_bound(info.bounds.begin(), info.bounds.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(it - info.bounds.begin());
+  hist_buckets_[info.bucket_offset + bucket] += weight;
+  hist_sums_[info.dense] += value * static_cast<double>(weight);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.metrics.reserve(infos_.size());
+  for (const Info& info : infos_) {
+    MetricValue v;
+    v.name = info.name;
+    v.kind = info.kind;
+    v.agg = info.agg;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        for (const auto& shard : shards_) {
+          v.count += shard->counters_[info.dense];
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& shard : shards_) {
+          const double g = shard->gauges_[info.dense];
+          if (info.agg == GaugeAgg::kSum) {
+            v.value += g;
+          } else {
+            v.value = std::max(v.value, g);
+          }
+        }
+        break;
+      case MetricKind::kHistogram: {
+        v.bounds = info.bounds;
+        v.buckets.assign(info.bounds.size() + 1, 0);
+        for (const auto& shard : shards_) {
+          for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+            v.buckets[b] += shard->hist_buckets_[info.bucket_offset + b];
+          }
+          v.value += shard->hist_sums_[info.dense];
+        }
+        for (const std::uint64_t c : v.buckets) v.count += c;
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& shard : shards_) {
+    std::fill(shard->counters_.begin(), shard->counters_.end(), 0);
+    std::fill(shard->gauges_.begin(), shard->gauges_.end(), 0.0);
+    std::fill(shard->hist_buckets_.begin(), shard->hist_buckets_.end(), 0);
+    std::fill(shard->hist_sums_.begin(), shard->hist_sums_.end(), 0.0);
+  }
+}
+
+const MetricValue* MetricsSnapshot::find(
+    std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricValue& m, std::string_view key) { return m.name < key; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  JsonWriter json(os);
+  write_json(json);
+}
+
+void MetricsSnapshot::write_json(JsonWriter& json) const {
+  json.begin_object();
+  for (const MetricValue& m : metrics) {
+    json.key(m.name);
+    json.begin_object();
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        json.key("kind").value("counter");
+        json.key("value").value(m.count);
+        break;
+      case MetricKind::kGauge:
+        json.key("kind").value("gauge");
+        json.key("agg").value(m.agg == GaugeAgg::kSum ? "sum" : "max");
+        json.key("value").value(m.value);
+        break;
+      case MetricKind::kHistogram:
+        json.key("kind").value("histogram");
+        json.key("count").value(m.count);
+        json.key("sum").value(m.value);
+        json.key("buckets");
+        json.begin_array();
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          json.begin_object();
+          json.key("le");
+          if (b < m.bounds.size()) {
+            json.value(m.bounds[b]);
+          } else {
+            json.value("+inf");
+          }
+          json.key("count").value(m.buckets[b]);
+          json.end_object();
+        }
+        json.end_array();
+        break;
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace makalu::obs

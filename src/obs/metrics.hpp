@@ -1,0 +1,179 @@
+// Observability core: a deterministic, shard-per-thread-slot metrics
+// registry of named counters, gauges, and fixed-bucket histograms.
+//
+// Design goals, in priority order:
+//
+//  1. Zero interference. Instrumentation is observe-only: attaching (or
+//     not attaching) a registry must never change what the instrumented
+//     code computes. Every hook in the library takes a nullable pointer;
+//     the null path is a single branch. The PR-3/PR-4 determinism and
+//     golden-trace suites run with the registry disabled and must stay
+//     byte-identical — that contract is pinned by ObsInterference tests.
+//
+//  2. Deterministic aggregation. Parallel instrumented code writes into
+//     per-thread-slot shards (one shard per ThreadPool slot, see
+//     ThreadPool::parallel_for_slotted), with no atomics or locks in the
+//     hot path. snapshot() folds the shards in fixed slot order; counter
+//     values and histogram bucket counts are 64-bit integer sums and are
+//     therefore bit-identical at any thread count. Double-valued fields
+//     (gauge sums, histogram sums) are exact — and thread-count-free —
+//     whenever the observed values are integers below 2^53; wall-clock
+//     timings are the one intentionally nondeterministic input.
+//
+//  3. Near-zero overhead. Metric ids are dense indices resolved at
+//     registration time (never name lookups on the hot path); a counter
+//     increment is one array add, a histogram observe is one
+//     std::lower_bound over a handful of bounds plus two array writes.
+//
+// Threading contract: registration and snapshot() are serial-phase
+// operations (call them before/after a parallel region — the thread
+// pool's join provides the visibility barrier). During a parallel region
+// each slot writes only its own shard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu::obs {
+
+/// Dense metric handle; indexes the registry's metric table.
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// How gauge shards fold into one value (shards that never touched the
+/// gauge contribute the identity, 0.0 — gauges are non-negative by
+/// convention).
+enum class GaugeAgg : std::uint8_t { kSum, kMax };
+
+/// Fixed bucket layout for histograms: strictly increasing upper bounds
+/// with "less-or-equal" semantics (value v lands in the first bucket with
+/// v <= bound; values above the last bound land in the implicit +inf
+/// overflow bucket appended by the registry).
+struct HistogramSpec {
+  std::vector<double> upper_bounds;
+
+  /// first, first+width, ..., first+(count-1)*width.
+  static HistogramSpec linear(double first, double width, std::size_t count);
+  /// first, first*factor, first*factor^2, ... (factor > 1).
+  static HistogramSpec exponential(double first, double factor,
+                                   std::size_t count);
+};
+
+class MetricsRegistry;
+
+/// One slot's private storage. Obtained from MetricsRegistry::shard();
+/// all mutators are wait-free array writes (no locks, no atomics).
+class MetricsShard {
+ public:
+  void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  void gauge_set(MetricId id, double value) noexcept;
+  void gauge_add(MetricId id, double delta) noexcept;
+  void gauge_max(MetricId id, double value) noexcept;
+  /// Histogram observation with an integer weight (per-TTL message
+  /// histograms observe the hop index weighted by the messages sent at
+  /// that hop).
+  void observe(MetricId id, double value, std::uint64_t weight = 1) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricsShard(const MetricsRegistry* owner) : owner_(owner) {}
+
+  const MetricsRegistry* owner_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<std::uint64_t> hist_buckets_;  ///< all histograms, concatenated
+  std::vector<double> hist_sums_;            ///< one weighted sum per histogram
+};
+
+/// One metric's aggregated value (see MetricsSnapshot).
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  GaugeAgg agg = GaugeAgg::kSum;
+  std::uint64_t count = 0;  ///< counter value, or histogram total weight
+  double value = 0.0;       ///< gauge value, or histogram weighted sum
+  std::vector<double> bounds;          ///< histogram upper bounds (no +inf)
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+inf last)
+};
+
+class JsonWriter;
+
+/// Shard-folded view of a registry, sorted by metric name (a stable,
+/// diff-friendly order for JSON emission and golden tests).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
+  /// Serializes as one JSON object: {"name": {...}, ...}. See
+  /// BenchReport for the enclosing document.
+  void write_json(std::ostream& os) const;
+  /// Same, as a value in an enclosing document.
+  void write_json(JsonWriter& json) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// `slots` shards are available immediately; ensure_slots() grows the
+  /// set before a parallel region needs more.
+  explicit MetricsRegistry(std::size_t slots = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register-or-lookup by name; re-registration with the same name is
+  /// idempotent and returns the existing id (the kind/spec must match —
+  /// contract-checked). Registration is a serial-phase operation.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name, GaugeAgg agg = GaugeAgg::kSum);
+  MetricId histogram(const std::string& name, HistogramSpec spec);
+
+  [[nodiscard]] std::size_t slots() const noexcept { return shards_.size(); }
+  /// Grows the shard set to at least `slots` (serial-phase only).
+  void ensure_slots(std::size_t slots);
+  [[nodiscard]] MetricsShard& shard(std::size_t slot) {
+    MAKALU_EXPECTS(slot < shards_.size());
+    return *shards_[slot];
+  }
+
+  [[nodiscard]] std::size_t metric_count() const noexcept {
+    return infos_.size();
+  }
+
+  /// Folds all shards (fixed slot order) into a name-sorted snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every shard; registrations are kept.
+  void reset();
+
+ private:
+  friend class MetricsShard;
+
+  struct Info {
+    std::string name;
+    MetricKind kind;
+    GaugeAgg agg = GaugeAgg::kSum;
+    std::uint32_t dense = 0;          ///< index within the metric's kind
+    std::uint32_t bucket_offset = 0;  ///< histograms: offset into buckets
+    std::vector<double> bounds;       ///< histograms: upper bounds (no +inf)
+  };
+
+  void sync_shard(MetricsShard& shard) const;
+
+  std::vector<Info> infos_;
+  std::map<std::string, MetricId, std::less<>> by_name_;
+  std::uint32_t counter_count_ = 0;
+  std::uint32_t gauge_count_ = 0;
+  std::uint32_t hist_count_ = 0;
+  std::uint32_t hist_bucket_slots_ = 0;
+  // unique_ptr keeps shard addresses stable across ensure_slots growth.
+  std::vector<std::unique_ptr<MetricsShard>> shards_;
+};
+
+}  // namespace makalu::obs

@@ -1,0 +1,40 @@
+// Phase/span timing on top of the metrics registry.
+//
+// A ScopedTimer accumulates its lifetime (milliseconds of wall clock)
+// into a sum-gauge when it leaves scope — the span pattern used for the
+// overlay sweep's plan/apply/prune phases. Wall clock is inherently
+// nondeterministic; timers therefore only ever feed gauge values, never
+// anything a determinism test pins.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "support/stopwatch.hpp"
+
+namespace makalu::obs {
+
+class ScopedTimer {
+ public:
+  /// Null `shard` disarms the timer entirely (the universal disabled
+  /// path: no clock reads at all).
+  ScopedTimer(MetricsShard* shard, MetricId gauge_ms) noexcept
+      : shard_(shard), id_(gauge_ms) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the span early; idempotent.
+  void stop() noexcept {
+    if (shard_ == nullptr) return;
+    shard_->gauge_add(id_, watch_.millis());
+    shard_ = nullptr;
+  }
+
+ private:
+  MetricsShard* shard_;
+  MetricId id_;
+  Stopwatch watch_;
+};
+
+}  // namespace makalu::obs

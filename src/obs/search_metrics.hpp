@@ -1,0 +1,47 @@
+// Well-known metric ids for the search layer.
+//
+// Engines never talk to the registry directly: the driver (or test)
+// registers these ids once per registry — registration is idempotent, so
+// any number of batches share the same metrics — and attaches a
+// (shard, ids) pair to each worker's QueryWorkspace. The engine hot loops
+// then report through the workspace's inline hooks, which are a single
+// null check when observability is off.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace makalu::obs {
+
+struct SearchMetricIds {
+  /// Histogram over hop index, weighted by the messages sent at that hop
+  /// — the per-TTL message spectrum of a flood (or step spectrum of a
+  /// walk/ABF route).
+  MetricId hop_messages = 0;
+  /// Histogram of per-hop frontier sizes (flood-family engines; walkers
+  /// report live-walker counts).
+  MetricId frontier_size = 0;
+  /// Counter of hop/step rounds expanded across all queries.
+  MetricId hops_expanded = 0;
+
+  /// Register-or-lookup in `registry` (serial-phase only).
+  static SearchMetricIds register_in(MetricsRegistry& registry) {
+    SearchMetricIds ids;
+    ids.hop_messages = registry.histogram(
+        "search.hop_messages", HistogramSpec::linear(1.0, 1.0, 16));
+    ids.frontier_size = registry.histogram(
+        "search.frontier_size", HistogramSpec::exponential(1.0, 2.0, 16));
+    ids.hops_expanded = registry.counter("search.hops_expanded");
+    return ids;
+  }
+};
+
+/// What a QueryWorkspace carries when instrumented: one shard (the
+/// worker's slot) plus the resolved ids. Default state is detached.
+struct SearchObs {
+  MetricsShard* shard = nullptr;
+  SearchMetricIds ids{};
+};
+
+}  // namespace makalu::obs

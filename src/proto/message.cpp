@@ -1,5 +1,9 @@
 #include "proto/message.hpp"
 
+#include <iterator>
+
+#include "support/contracts.hpp"
+
 namespace makalu::proto {
 
 namespace {
@@ -56,6 +60,18 @@ std::size_t wire_size(const Message& message) {
 
 const char* payload_name(const Payload& payload) {
   return std::visit(NameVisitor{}, payload);
+}
+
+const char* payload_type_name(std::size_t index) {
+  // Kept in variant order; a default-constructed alternative at `index`
+  // would name itself identically via payload_name.
+  static constexpr const char* kNames[] = {
+      "connect-request", "connect-accept", "connect-reject", "disconnect",
+      "table-update",    "walk-probe",     "candidate-reply", "query",
+      "query-hit",       "ping",           "pong"};
+  static_assert(std::size(kNames) == kPayloadTypes);
+  MAKALU_EXPECTS(index < kPayloadTypes);
+  return kNames[index];
 }
 
 }  // namespace makalu::proto

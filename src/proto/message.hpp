@@ -94,6 +94,10 @@ struct Message {
 /// Human-readable payload-type name (stats keys, logs, tests).
 [[nodiscard]] const char* payload_name(const Payload& payload);
 
+/// Same, by dense variant index (metric keys built from TrafficStats
+/// arrays). `index` must be < kPayloadTypes.
+[[nodiscard]] const char* payload_type_name(std::size_t index);
+
 /// Dense payload-type index for per-type counters.
 [[nodiscard]] inline std::size_t payload_index(const Payload& payload) {
   return payload.index();

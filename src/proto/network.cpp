@@ -13,6 +13,32 @@ void TrafficStats::record(const Message& message) {
   total_bytes += size;
 }
 
+void export_traffic_metrics(const TrafficStats& stats,
+                            obs::MetricsRegistry& registry) {
+  registry.ensure_slots(1);
+  obs::MetricsShard& shard = registry.shard(0);
+  shard.add(registry.counter("proto.messages"), stats.total_messages);
+  shard.add(registry.counter("proto.bytes"), stats.total_bytes);
+  for (std::size_t i = 0; i < kPayloadTypes; ++i) {
+    if (stats.count[i] == 0) continue;
+    const std::string name = payload_type_name(i);
+    shard.add(registry.counter("proto.messages." + name), stats.count[i]);
+    shard.add(registry.counter("proto.bytes." + name), stats.bytes[i]);
+  }
+  shard.add(registry.counter("proto.dropped_messages"),
+            stats.dropped_messages);
+  shard.add(registry.counter("proto.dropped_bytes"), stats.dropped_bytes);
+  shard.add(registry.counter("proto.crash_drops"), stats.crash_drops);
+  shard.add(registry.counter("proto.retransmissions"),
+            stats.retransmissions);
+  shard.add(registry.counter("proto.handshake_timeouts"),
+            stats.handshake_timeouts);
+  shard.add(registry.counter("proto.dead_peers_detected"),
+            stats.dead_peers_detected);
+  shard.add(registry.counter("proto.half_open_repairs"),
+            stats.half_open_repairs);
+}
+
 ProtocolNetwork::ProtocolNetwork(const LatencyModel& latency,
                                  const ObjectCatalog* catalog,
                                  const ProtocolOptions& options,

@@ -33,6 +33,7 @@
 #include "core/rating.hpp"
 #include "graph/graph.hpp"
 #include "net/latency_model.hpp"
+#include "obs/metrics.hpp"
 #include "proto/node.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_injector.hpp"
@@ -106,6 +107,16 @@ struct TrafficStats {
 
   void record(const Message& message);
 };
+
+/// Publishes a TrafficStats snapshot into `registry` as counters:
+/// "proto.messages" / "proto.bytes" totals, per-type
+/// "proto.messages.<payload>" / "proto.bytes.<payload>" breakdowns
+/// (zero-valued types are skipped), and the seven reliability counters
+/// under "proto.<name>". Counters are cumulative adds — call once per
+/// finished network (e.g. right before a BenchReport snapshot); calling
+/// again adds the stats a second time.
+void export_traffic_metrics(const TrafficStats& stats,
+                            obs::MetricsRegistry& registry);
 
 struct QueryOutcome {
   bool success = false;

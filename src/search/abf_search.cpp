@@ -160,6 +160,8 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
       ++result.nodes_visited;
       ++result.messages;
       --budget;
+      workspace.obs_messages_at_hop(
+          static_cast<std::uint32_t>(result.messages), 1);
       continue;
     }
 
@@ -169,6 +171,8 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
     path.pop_back();
     ++result.messages;
     --budget;
+    workspace.obs_messages_at_hop(
+        static_cast<std::uint32_t>(result.messages), 1);
   }
 }
 

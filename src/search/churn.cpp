@@ -243,6 +243,7 @@ ChurnReport simulate_churn(const OverlayBuilder& builder,
       sweep.seed = sweep_rng();
       sweep.active = &state.online;
       sweep.pool = pool.get();
+      sweep.metrics = options.metrics;
       builder.deterministic_sweep(state.overlay, *cache, sweep);
     } else {
       builder.maintenance_round(state.overlay, latency, sweep_rng,

@@ -55,6 +55,10 @@ struct ChurnOptions {
   /// simulation bit-identical to a run without it.
   FaultPlan faults{};
   double join_retry_ms = 500.0;
+  /// Optional observability sink, forwarded to every deterministic sweep
+  /// (phase timings, edge/cache counters — see SweepOptions::metrics).
+  /// Only consulted when maintenance_threads >= 1. Observe-only.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ChurnSample {

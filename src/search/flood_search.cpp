@@ -62,6 +62,7 @@ QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,
 
   for (std::uint32_t hop = 1; hop <= options.ttl && !frontier.empty();
        ++hop) {
+    const std::uint64_t messages_before = result.messages;
     next_frontier.clear();
     for (const auto& entry : frontier) {
       std::uint64_t sent = 0;
@@ -90,6 +91,8 @@ QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,
         workspace.charge_outgoing(entry.node, sent);
       }
     }
+    workspace.obs_hop(hop, result.messages - messages_before,
+                      frontier.size());
     workspace.swap_frontiers();
   }
   return result;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/search_metrics.hpp"
 #include "support/rng.hpp"
 
 namespace makalu {
@@ -97,6 +98,44 @@ class QueryWorkspace {
     return outgoing_;
   }
 
+  /// Optional observability attachment (obs/search_metrics.hpp): the
+  /// driver hands each worker workspace its thread-slot shard plus the
+  /// resolved metric ids. Detached (the default) the obs_* hooks below
+  /// are a single null check — attaching a registry must never change
+  /// what an engine computes, only what it reports.
+  void attach_metrics(const obs::SearchObs& metrics) noexcept {
+    metrics_ = metrics;
+  }
+  void detach_metrics() noexcept { metrics_ = {}; }
+  [[nodiscard]] bool metrics_attached() const noexcept {
+    return metrics_.shard != nullptr;
+  }
+
+  /// Engine hook: one hop (or walk step) expanded, sending `messages`
+  /// transmissions with `frontier` nodes (or live walkers) active.
+  void obs_hop(std::uint32_t hop, std::uint64_t messages,
+               std::size_t frontier) noexcept {
+    if (metrics_.shard == nullptr) return;
+    metrics_.shard->add(metrics_.ids.hops_expanded);
+    if (messages > 0) {
+      metrics_.shard->observe(metrics_.ids.hop_messages,
+                              static_cast<double>(hop), messages);
+    }
+    if (frontier > 0) {
+      metrics_.shard->observe(metrics_.ids.frontier_size,
+                              static_cast<double>(frontier));
+    }
+  }
+
+  /// Engine hook for event-driven engines that attribute messages to a
+  /// hop one delivery at a time (timed flood).
+  void obs_messages_at_hop(std::uint32_t hop,
+                           std::uint64_t messages) noexcept {
+    if (metrics_.shard == nullptr || messages == 0) return;
+    metrics_.shard->observe(metrics_.ids.hop_messages,
+                            static_cast<double>(hop), messages);
+  }
+
   [[nodiscard]] std::uint32_t stamp() const noexcept { return stamp_; }
   /// Test seam for the epoch-wraparound path: forces the stamp so the next
   /// begin_query() overflows and takes the refill branch.
@@ -111,6 +150,7 @@ class QueryWorkspace {
   std::vector<double> value_buffer_;
   std::vector<std::uint64_t> outgoing_;
   bool account_outgoing_ = false;
+  obs::SearchObs metrics_{};
   Rng rng_{0};
 };
 

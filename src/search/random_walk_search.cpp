@@ -63,10 +63,13 @@ QueryResult RandomWalkEngine::run(NodeId source, NodePredicate has_object,
   walker_at.assign(options.walkers, source);
   for (std::uint32_t step = 1; step <= options.ttl; ++step) {
     bool any_alive = false;
+    const std::uint64_t messages_before = result.messages;
+    std::size_t alive = 0;
     for (auto& position : walker_at) {
       const auto nbrs = graph_.neighbors(position);
       if (nbrs.empty()) continue;
       any_alive = true;
+      ++alive;
 
       NodeId next = kInvalidNode;
       if (options.avoid_revisits) {
@@ -83,8 +86,12 @@ QueryResult RandomWalkEngine::run(NodeId source, NodePredicate has_object,
       position = next;
       ++result.messages;
       check(position, step);
-      if (result.success && options.stop_on_first_hit) return result;
+      if (result.success && options.stop_on_first_hit) {
+        workspace.obs_hop(step, result.messages - messages_before, alive);
+        return result;
+      }
     }
+    workspace.obs_hop(step, result.messages - messages_before, alive);
     if (!any_alive) break;
   }
   return result;

@@ -83,6 +83,9 @@ TimedFloodResult TimedFloodEngine::run_timed(
         if (sent > 0) {
           ++result.forwarders;
           workspace.charge_outgoing(node, sent);
+          // Transmissions scheduled here arrive one hop further out —
+          // same hop attribution as the synchronous flood engines.
+          workspace.obs_messages_at_hop(hop + 1, sent);
         }
       };
 

@@ -72,6 +72,7 @@ QueryResult TwoTierFloodEngine::run(NodeId source, NodePredicate has_object,
 
   for (std::uint32_t hop = 1; hop <= options.ttl && !frontier.empty();
        ++hop) {
+    const std::uint64_t messages_before = result.messages;
     next_frontier.clear();
     for (const auto& entry : frontier) {
       // Only the source leaf (hop 1) or ultrapeers forward.
@@ -101,6 +102,8 @@ QueryResult TwoTierFloodEngine::run(NodeId source, NodePredicate has_object,
         workspace.charge_outgoing(entry.node, sent);
       }
     }
+    workspace.obs_hop(hop, result.messages - messages_before,
+                      frontier.size());
     workspace.swap_frontiers();
   }
   return result;

@@ -9,7 +9,8 @@ namespace makalu {
 namespace {
 
 const std::vector<std::string> kCommonFlags = {
-    "n", "runs", "queries", "seed", "paper", "csv", "threads", "help"};
+    "n", "runs", "queries", "seed", "paper", "csv", "threads", "json",
+    "help"};
 
 }  // namespace
 
@@ -27,6 +28,9 @@ CliOptions::CliOptions(int argc, const char* const* argv,
     if (const auto eq = arg.find('='); eq != std::string::npos) {
       name = arg.substr(0, eq);
       value = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // "--flag value" spelling: consume the next token as the value.
+      value = argv[++i];
     }
     if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
       throw std::invalid_argument("unknown flag: --" + name);
@@ -75,6 +79,12 @@ std::size_t CliOptions::runs(std::size_t fallback) const {
 
 std::size_t CliOptions::queries(std::size_t fallback) const {
   return sized("queries", "MAKALU_QUERIES", fallback);
+}
+
+std::string CliOptions::json_path() const {
+  if (const auto v = get("json")) return *v;
+  if (const char* e = std::getenv("MAKALU_JSON")) return e;
+  return {};
 }
 
 std::uint64_t CliOptions::seed(std::uint64_t fallback) const {

@@ -7,9 +7,12 @@
 //   --seed=<u64>      master seed             (env MAKALU_SEED)
 //   --paper           use the paper's full-scale parameters
 //   --csv             also emit CSV after each table
+//   --json=<path>     write a machine-readable BENCH report (env
+//                     MAKALU_JSON); see obs/bench_report.hpp
 //
 // plus binary-specific flags registered by the caller. Unknown flags are an
-// error so typos are caught.
+// error so typos are caught. Value flags accept both "--flag=value" and
+// "--flag value" spellings.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +45,8 @@ class CliOptions {
   [[nodiscard]] std::uint64_t seed(std::uint64_t fallback) const;
   [[nodiscard]] bool paper_scale() const { return has("paper"); }
   [[nodiscard]] bool csv() const { return has("csv"); }
+  /// BENCH_*.json output path (empty = no JSON report). Env MAKALU_JSON.
+  [[nodiscard]] std::string json_path() const;
 
  private:
   [[nodiscard]] std::size_t sized(const std::string& flag, const char* env,

@@ -45,9 +45,26 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
+  // RFC 4180: a field containing a comma, double quote, or line break is
+  // wrapped in double quotes, with embedded quotes doubled. Bench labels
+  // routinely contain commas ("gossip p=0.25, past hop 4"), which used to
+  // shift every column after them.
+  auto emit_field = [&](const std::string& field) {
+    if (field.find_first_of(",\"\r\n") == std::string::npos) {
+      os << field;
+      return;
+    }
+    os << '"';
+    for (const char ch : field) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "" : ",") << row[c];
+      if (c != 0) os << ',';
+      emit_field(row[c]);
     }
     os << '\n';
   };

@@ -237,6 +237,41 @@ TEST(Table, Formatters) {
   EXPECT_EQ(Table::percent(0.356, 1), "35.6%");
 }
 
+TEST(Table, CsvQuotesCommasPerRfc4180) {
+  Table t({"mechanism", "msgs"});
+  t.add_row({"gossip p=0.25, past hop 4", "12.5"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("\"gossip p=0.25, past hop 4\",12.5"),
+            std::string::npos);
+}
+
+TEST(Table, CsvDoublesEmbeddedQuotes) {
+  Table t({"label", "value"});
+  t.add_row({"the \"giant\" component", "0.99"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("\"the \"\"giant\"\" component\",0.99"),
+            std::string::npos);
+}
+
+TEST(Table, CsvQuotesLineBreaks) {
+  Table t({"a", "b"});
+  t.add_row({"two\nlines", "plain"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  // Field with a newline is quoted; the unremarkable field stays bare.
+  EXPECT_NE(csv.str().find("\"two\nlines\",plain"), std::string::npos);
+}
+
+TEST(Table, CsvLeavesPlainFieldsUnquoted) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\n");
+}
+
 TEST(Cli, ParsesCommonFlags) {
   const char* argv[] = {"prog", "--n=500", "--runs=3", "--paper",
                         "--seed=99"};
@@ -270,6 +305,27 @@ TEST(Cli, GetDouble) {
 TEST(Cli, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(CliOptions(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, AcceptsSpaceSeparatedValues) {
+  const char* argv[] = {"prog", "--json", "out.json", "--n", "500"};
+  CliOptions options(5, argv);
+  EXPECT_EQ(options.json_path(), "out.json");
+  EXPECT_EQ(options.nodes(100), 500u);
+}
+
+TEST(Cli, JsonPathDefaultsEmpty) {
+  const char* argv[] = {"prog"};
+  CliOptions options(1, argv);
+  EXPECT_TRUE(options.json_path().empty());
+}
+
+TEST(Cli, SpaceSeparatedValueDoesNotEatNextFlag) {
+  // A bare boolean flag followed by another flag must not consume it.
+  const char* argv[] = {"prog", "--paper", "--n=500"};
+  CliOptions options(3, argv);
+  EXPECT_TRUE(options.paper_scale());
+  EXPECT_EQ(options.nodes(100), 500u);
 }
 
 }  // namespace
