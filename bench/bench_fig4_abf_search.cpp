@@ -10,9 +10,11 @@
 
 #include "analysis/abf_experiments.hpp"
 #include "analysis/paper_reference.hpp"
+#include "analysis/parallel_query_driver.hpp"
 #include "dht/chord.hpp"
 #include "net/latency_model.hpp"
 #include "sim/failure.hpp"
+#include "sim/replica_placement.hpp"
 
 int main(int argc, char** argv) try {
   using namespace makalu;
@@ -68,6 +70,113 @@ int main(int argc, char** argv) try {
   std::cout << "\nshape check: higher replication saturates in fewer hops; "
                "0.1% needs the deep tail. Most queries resolve in <10 "
                "messages — comparable to structured (DHT) systems.\n";
+
+  // --- hot path: level-weighted match scoring. The same router routes
+  // the same queries under each scoring path, on bit-identical tables:
+  // the pre-PR baseline replays the original data structure (one heap
+  // AttenuatedBloomFilter per arc, hash pair rederived and runtime-divide
+  // modulus per (neighbor, level) — see AbfRouter::enable_legacy_replay),
+  // kReference keeps that instruction mix on arena memory, and the word
+  // kernels replay one precomputed probe set per query. The speedup gauge
+  // is an honest before/after on identical data. Results must be
+  // bit-identical across every path (the differential suite pins this;
+  // the bench re-checks the aggregate).
+  {
+    auto hot_phase = bench_run.phase("match-kernel-speedup");
+    print_banner(std::cout, "hot path: arena match kernels (queries/sec)");
+    const std::size_t hot_queries = queries * 20;
+    const ObjectCatalog catalog(n, 40, 0.005, seed ^ 0x5c0);
+    const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+    AbfRouter router(csr, catalog, AbfOptions{});
+    const ParallelQueryDriver driver(1);
+    BatchQueryOptions hot_batch;
+    hot_batch.queries = hot_queries;
+    hot_batch.seed = seed ^ 0xa5f;
+
+    struct KernelCase {
+      const char* label;
+      MatchKernel mode;
+      bool legacy;
+      bool batch;
+    };
+    std::vector<KernelCase> kernels = {
+        {"pre-PR (heap filter tables)", MatchKernel::kAuto, true, false},
+        {"reference (pre-arena mix)", MatchKernel::kReference, false, false},
+        {"portable word-loop", MatchKernel::kPortable, false, false},
+    };
+    if (resolved_match_kernel() == MatchKernel::kAvx2) {
+      kernels.push_back({"avx2 gather", MatchKernel::kAvx2, false, false});
+    }
+    // Dispatched kernel + interleaved-walker batching: co-scheduled
+    // queries overlap each other's filter-row loads (see
+    // AbfRouter::run_many), on top of the word-level scoring.
+    kernels.push_back(
+        {"batched walkers + simd", MatchKernel::kAuto, false, true});
+
+    Table hot({"kernel", "wall ms", "queries/s", "speedup", "success"});
+    double baseline_qps = 0.0;
+    double best_qps = 0.0;  // fastest non-baseline configuration
+    QueryAggregate baseline_agg;
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      if (kernels[k].legacy) {
+        router.enable_legacy_replay();
+      } else {
+        router.disable_legacy_replay();
+      }
+      router.set_scoring_mode(kernels[k].mode);
+      hot_batch.batch = kernels[k].batch;
+      double best_ms = 0.0;
+      QueryAggregate agg;
+      for (int rep = 0; rep < 7; ++rep) {  // min-of-7 against timer noise
+        Stopwatch timer;
+        QueryAggregate rep_agg =
+            driver.run_batch(router, catalog, hot_batch);
+        const double ms = timer.millis();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        agg = rep_agg;
+      }
+      const double qps =
+          static_cast<double>(hot_queries) / (best_ms / 1000.0);
+      if (k == 0) {
+        baseline_qps = qps;
+        baseline_agg = agg;
+      } else if (agg.success_rate() != baseline_agg.success_rate() ||
+                 agg.mean_messages() != baseline_agg.mean_messages()) {
+        std::cerr << "error: kernel " << kernels[k].label
+                  << " diverged from the pre-PR results\n";
+        return 1;
+      }
+      hot.add_row({kernels[k].label, Table::num(best_ms, 1),
+                   Table::num(qps, 0),
+                   Table::num(qps / baseline_qps, 2) + "x",
+                   Table::percent(agg.success_rate())});
+      if (kernels[k].legacy) {
+        bench_run.gauge("abf_match.qps_prepr", qps);
+      } else if (kernels[k].mode == MatchKernel::kReference) {
+        bench_run.gauge("abf_match.qps_reference", qps);
+      } else if (kernels[k].mode == MatchKernel::kPortable) {
+        bench_run.gauge("abf_match.qps_portable", qps);
+      } else if (!kernels[k].batch) {
+        bench_run.gauge("abf_match.qps_simd", qps);
+      } else {
+        bench_run.gauge("abf_match.qps_batched", qps);
+      }
+      if (!kernels[k].legacy && qps > best_qps) best_qps = qps;
+    }
+    // Headline = the fastest production configuration: kAuto dispatch,
+    // with or without walker batching (batching wins only when walkers
+    // are latency-bound; scoring here is gather-throughput-bound on one
+    // core, so the scalar dispatch usually leads).
+    bench_run.gauge("abf_match.qps", best_qps);
+    bench_run.gauge("abf_match.speedup", best_qps / baseline_qps);
+    router.disable_legacy_replay();
+    hot_phase.stop();
+    bench::emit(hot, options.csv());
+    std::cout << "\nall scoring paths return bit-identical routes; the "
+                 "speedup gauge is floor-gated by scripts/bench_compare.py "
+                 "--require (see EXPERIMENTS.md for the measured numbers "
+                 "and the thresholds).\n";
+  }
 
   // --- structured baseline: making §4.6's "comparable to structured P2P
   // systems" claim measurable. Routing-resilience comparison: in both

@@ -1,0 +1,169 @@
+// Microbench: raw arena match-kernel throughput (bloom/filter_arena).
+//
+// Isolates the ABF hot loop — score every stack of a neighbor row against
+// a precomputed probe set — from routing, topology, and catalog noise.
+// The pre-PR baseline scores heap-scattered per-arc filters exactly as
+// the old router did, so `micro_abf.speedup` is the honest before/after
+// for the SIMD/word-loop rewrite, floor-gated via bench_compare.py
+// --require (see EXPERIMENTS.md for measured numbers and thresholds).
+//
+// Experiment-bench shape (not google-benchmark) so it emits a
+// makalu.bench.v1 JSON document and rides the bench_smoke ctest label.
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "bloom/attenuated_bloom_filter.hpp"
+#include "bloom/filter_arena.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  // n plays its usual role (network size); arcs follow the search
+  // overlay's mean degree ~9.5 so stride/locality match production use.
+  // (Default below fig4's 20k: the realistic fills below cost ~1.3k
+  // inserts per arc per table at build time.)
+  const std::size_t n = options.nodes(paper ? 100'000 : 10'000);
+  const std::size_t runs = options.runs(3);
+  const std::size_t queries = options.queries(2'000);
+  const std::uint64_t seed = options.seed(42);
+  constexpr std::size_t kDepth = 3;
+  constexpr std::size_t kDegree = 10;  // arcs scored per match_many row
+  bench::print_config("micro: ABF arena match kernels", n, runs, queries,
+                      seed, paper);
+  bench::BenchRun bench_run("micro_abf_match", options, n, runs, queries,
+                            seed);
+
+  auto build_phase = bench_run.phase("build-arena");
+  const std::size_t arcs = n * kDegree;
+  const BloomParameters params{1024, 4};
+  FilterArena arena(arcs, kDepth, params);
+  // The pre-PR routing table, byte for byte: one AttenuatedBloomFilter
+  // object per arc, each level a separately-allocated BloomFilter —
+  // heap-scattered, hashed-and-divided on every probe. Filled with the
+  // same keys as the arena so every baseline scores identical data.
+  std::vector<AttenuatedBloomFilter> legacy;
+  legacy.reserve(arcs);
+  for (std::size_t arc = 0; arc < arcs; ++arc) {
+    legacy.emplace_back(kDepth, params);
+  }
+  Rng fill(seed);
+  // Fill levels to the densities the distance-vector build actually
+  // produces (40 objects/node, mean degree ~9.5): level 0 summarises one
+  // store (~14% fill), level 1 a neighborhood (~77%), level 2 a two-hop
+  // ball (~97%, nearly saturated). Density is what decides the probe
+  // count per level, so matching it keeps the kernel compare honest.
+  constexpr std::size_t kInserts[kDepth] = {40, 376, 900};
+  for (std::size_t arc = 0; arc < arcs; ++arc) {
+    for (std::size_t level = 0; level < kDepth; ++level) {
+      for (std::size_t i = 0; i < kInserts[level]; ++i) {
+        const std::uint64_t key = fill();
+        arena.insert(arc, level, key);
+        legacy[arc].level(level).insert(key);
+      }
+    }
+  }
+  build_phase.stop();
+
+  struct KernelCase {
+    const char* label;
+    const char* gauge;
+    MatchKernel mode;
+  };
+  std::vector<KernelCase> kernels = {
+      {"reference (pre-arena)", "micro_abf.scores_per_sec_reference",
+       MatchKernel::kReference},
+      {"portable word-loop", "micro_abf.scores_per_sec_portable",
+       MatchKernel::kPortable},
+  };
+  if (resolved_match_kernel() == MatchKernel::kAvx2) {
+    kernels.push_back(
+        {"avx2 gather", "micro_abf.scores_per_sec_avx2", MatchKernel::kAvx2});
+  }
+
+  auto match_phase = bench_run.phase("match-kernels");
+  Table table({"kernel", "wall ms", "stack scores/s", "speedup"});
+  const std::size_t rows = arcs / kDegree;
+  double baseline_rate = 0.0;
+  double best_rate = 0.0;
+  double checksum_baseline = 0.0;
+  std::vector<std::uint32_t> masks(kDegree);
+
+  // Pre-PR baseline: score the heap-scattered stacks exactly as the old
+  // router did — one match_score call per neighbor, rehashing and
+  // dividing per (level, probe). Scores are sums of distinct powers of
+  // two, so checksums compare exactly against the mask kernels.
+  {
+    double best_ms = 0.0;
+    for (std::size_t rep = 0; rep < runs; ++rep) {  // min-of-runs timing
+      Rng keys(seed ^ 0xfeed);
+      checksum_baseline = 0.0;
+      Stopwatch timer;
+      for (std::size_t q = 0; q < queries; ++q) {
+        const std::uint64_t key = keys();
+        const std::size_t row = (q * 97) % rows;
+        for (std::size_t j = 0; j < kDegree; ++j) {
+          checksum_baseline += legacy[row * kDegree + j].match_score(key);
+        }
+      }
+      const double ms = timer.millis();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    baseline_rate = static_cast<double>(queries) *
+                    static_cast<double>(kDegree) / (best_ms / 1000.0);
+    table.add_row({"pre-PR (heap per-arc filters)", Table::num(best_ms, 2),
+                   Table::num(baseline_rate, 0), "1.00x"});
+    bench_run.gauge("micro_abf.scores_per_sec_prepr", baseline_rate);
+  }
+
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    double best_ms = 0.0;
+    double checksum = 0.0;
+    for (std::size_t rep = 0; rep < runs; ++rep) {  // min-of-runs timing
+      Rng keys(seed ^ 0xfeed);
+      checksum = 0.0;
+      Stopwatch timer;
+      for (std::size_t q = 0; q < queries; ++q) {
+        const BloomProbeSet probes = arena.make_probe_set(keys());
+        // Stride through the arena one neighbor row at a time, as
+        // routing does at each hop.
+        const std::size_t row = (q * 97) % rows;
+        arena.match_many(row * kDegree, kDegree, probes, masks.data(),
+                         kernels[k].mode);
+        for (const std::uint32_t mask : masks) {
+          checksum += FilterArena::score_from_mask(mask);
+        }
+      }
+      const double ms = timer.millis();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    // Identical matches => identical checksum, bit for bit (sums of exact
+    // powers of two). A kernel that diverges is a correctness bug, not a
+    // measurement artefact.
+    if (checksum != checksum_baseline) {
+      std::cerr << "error: kernel " << kernels[k].label
+                << " diverged from the pre-PR scores\n";
+      return 1;
+    }
+    const double rate = static_cast<double>(queries) *
+                        static_cast<double>(kDegree) / (best_ms / 1000.0);
+    best_rate = rate;  // kernels are ordered slowest-first
+    table.add_row({kernels[k].label, Table::num(best_ms, 2),
+                   Table::num(rate, 0),
+                   Table::num(rate / baseline_rate, 2) + "x"});
+    bench_run.gauge(kernels[k].gauge, rate);
+  }
+  bench_run.gauge("micro_abf.scores_per_sec", best_rate);
+  bench_run.gauge("micro_abf.speedup", best_rate / baseline_rate);
+  match_phase.stop();
+  bench::emit(table, options.csv());
+  std::cout << "\none probe-set build amortises over the whole neighbor "
+               "row; the word kernels replay it with no hashing or "
+               "division per (arc, level).\n";
+  return bench_run.finish() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

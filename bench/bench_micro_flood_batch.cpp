@@ -1,0 +1,124 @@
+// Microbench: scalar vs shared-frontier batched flooding
+// (search/batched_flood).
+//
+// Same engine, same catalog, same per-query RNG jobs — the only variable
+// is whether FloodEngine::run_many co-schedules the queries through the
+// 64-wide epoch-stamped visited words and coalesced frontiers. Results
+// are bit-identical by contract (pinned by the batched differential
+// suite; re-checked here), so `micro_flood.speedup` measures pure
+// hot-path win, gated >=5x via bench_compare.py --require (see
+// EXPERIMENTS.md).
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "search/flood_search.hpp"
+#include "sim/replica_placement.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace makalu;
+  const CliOptions options(argc, argv);
+  const bool paper = options.paper_scale();
+  const std::size_t n = options.nodes(paper ? 100'000 : 20'000);
+  const std::size_t runs = options.runs(3);
+  const std::size_t queries = options.queries(paper ? 300 : 150);
+  const std::uint64_t seed = options.seed(42);
+  bench::print_config("micro: batched flood frontiers", n, runs, queries,
+                      seed, paper);
+  bench::BenchRun bench_run("micro_flood_batch", options, n, runs, queries,
+                            seed);
+
+  auto build_phase = bench_run.phase("build-overlay");
+  const EuclideanModel latency(n, seed ^ 0xf10);
+  TopologyFactoryOptions topo;
+  topo.makalu = bench::search_makalu_parameters();
+  const auto topology =
+      build_topology(TopologyKind::kMakalu, latency, seed, topo);
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  const ObjectCatalog catalog(n, 40, 0.01, seed ^ 0xca7);
+  FloodOptions flood;
+  flood.ttl = 4;
+  const FloodEngine engine(csr, flood);
+
+  // One fixed job list: sources, objects, and RNG states drawn up front
+  // so both code paths replay the exact same queries.
+  Rng draw(seed ^ 0x0b5);
+  std::vector<BatchQueryJob> jobs(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    jobs[q] = {static_cast<NodeId>(draw.uniform_below(n)),
+               static_cast<ObjectId>(draw.uniform_below(40)), Rng(draw())};
+  }
+  std::vector<QueryResult> scalar_results(queries);
+  std::vector<QueryResult> batched_results(queries);
+  build_phase.stop();
+
+  Table table({"mode", "wall ms", "queries/s", "speedup", "msgs/query"});
+  double scalar_ms = 0.0;
+  double batched_ms = 0.0;
+  QueryWorkspace workspace;
+  for (const bool batch : {false, true}) {
+    auto phase =
+        bench_run.phase(batch ? "batched-floods" : "scalar-floods");
+    double best_ms = 0.0;
+    for (std::size_t rep = 0; rep < runs; ++rep) {  // min-of-runs timing
+      QueryResult* out =
+          batch ? batched_results.data() : scalar_results.data();
+      Stopwatch timer;
+      if (batch) {
+        engine.run_many(jobs, catalog, workspace, out);
+      } else {
+        // The scalar baseline: exactly what SearchEngine::run_many's
+        // default loop does (one run() per job).
+        for (std::size_t q = 0; q < queries; ++q) {
+          workspace.rng() = jobs[q].rng;
+          out[q] = engine.run(jobs[q].source, jobs[q].object, catalog,
+                              workspace);
+        }
+      }
+      const double ms = timer.millis();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    phase.stop();
+    (batch ? batched_ms : scalar_ms) = best_ms;
+    double mean_messages = 0.0;
+    const auto& results = batch ? batched_results : scalar_results;
+    for (const QueryResult& r : results) {
+      mean_messages += static_cast<double>(r.messages);
+    }
+    mean_messages /= static_cast<double>(queries);
+    const double qps = static_cast<double>(queries) / (best_ms / 1000.0);
+    table.add_row({batch ? "batched (64-wide frontiers)" : "scalar",
+                   Table::num(best_ms, 1), Table::num(qps, 0),
+                   Table::num(batch ? scalar_ms / batched_ms : 1.0, 2) +
+                       "x",
+                   Table::num(mean_messages, 1)});
+    bench_run.gauge(batch ? "micro_flood.qps_batched"
+                          : "micro_flood.qps_scalar",
+                    qps);
+  }
+  bench_run.gauge("micro_flood.speedup", scalar_ms / batched_ms);
+
+  // Field-for-field equality over every query — the bit-identity contract
+  // the differential tests pin, re-asserted on the bench's own workload.
+  for (std::size_t q = 0; q < queries; ++q) {
+    const QueryResult& a = scalar_results[q];
+    const QueryResult& b = batched_results[q];
+    if (a.success != b.success || a.messages != b.messages ||
+        a.duplicates != b.duplicates ||
+        a.nodes_visited != b.nodes_visited ||
+        a.first_hit_hop != b.first_hit_hop ||
+        a.replicas_found != b.replicas_found ||
+        a.forwarders != b.forwarders || a.truncated != b.truncated) {
+      std::cerr << "error: batched result diverged at query " << q << "\n";
+      return 1;
+    }
+  }
+  bench::emit(table, options.csv());
+  std::cout << "\nbit-identical results, one visited-word load per "
+               "(node, 64 queries) instead of one per (node, query).\n";
+  return bench_run.finish() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -23,6 +23,17 @@ What is compared
 A metric present on one side only is a structural change and always
 fails (unless --allow-missing). Comparing reports from different benches
 is almost certainly a mistake and fails immediately.
+
+Absolute floors/ceilings (--require) gate the candidate alone, so wins
+measured *inside* one run can be locked in against regression without a
+stored baseline. The arena/batching speedup gauges use this:
+
+    scripts/bench_compare.py base.json new.json \
+        --require 'micro_flood.speedup>=5' \
+        --require 'micro_abf.speedup>=1.5'
+
+fails whenever the candidate's gauge drops below the floor (or rises
+above a '<=' ceiling), whatever the baseline said.
 """
 
 from __future__ import annotations
@@ -115,6 +126,44 @@ def compare_metrics(base: dict, cand: dict, args) -> list[str]:
     return regressions
 
 
+def parse_requirement(spec: str) -> tuple[str, str, float]:
+    """Splits 'name>=value' / 'name<=value' into (name, op, value)."""
+    for op in (">=", "<="):
+        if op in spec:
+            name, _, raw = spec.partition(op)
+            try:
+                return name.strip(), op, float(raw)
+            except ValueError:
+                break
+    sys.exit(f"error: bad --require {spec!r} (expected NAME>=VALUE "
+             "or NAME<=VALUE)")
+
+
+def check_requirements(cand: dict, specs: list[str], verbose: bool
+                       ) -> list[str]:
+    """Absolute gates on candidate counters/gauges, baseline-independent."""
+    failures: list[str] = []
+    for spec in specs:
+        name, op, bound = parse_requirement(spec)
+        metric = cand.get(name)
+        value = scalar_value(metric) if isinstance(metric, dict) else None
+        if value is None:
+            failures.append(
+                f"--require {spec!r}: metric {name!r} missing from "
+                "candidate (or not a counter/gauge)"
+            )
+            continue
+        ok = value >= bound if op == ">=" else value <= bound
+        if verbose or not ok:
+            print(f"  require {name} {op} {bound:g}: measured {value:g} "
+                  f"[{'ok' if ok else 'FAIL'}]")
+        if not ok:
+            failures.append(
+                f"--require {spec!r}: measured {value:g}"
+            )
+    return failures
+
+
 def compare_timings(base: dict, cand: dict, args) -> list[str]:
     regressions: list[str] = []
     entries = [("wall_ms", base.get("wall_ms", 0.0), cand.get("wall_ms", 0.0))]
@@ -157,6 +206,11 @@ def main() -> int:
         help="metrics present on only one side warn instead of failing",
     )
     parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME>=VALUE",
+        help="absolute floor (>=) or ceiling (<=) on a candidate counter/"
+             "gauge; repeatable; fails independent of the baseline",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print every compared value, not just regressions",
     )
@@ -183,6 +237,9 @@ def main() -> int:
         base.get("metrics", {}), cand.get("metrics", {}), args
     )
     regressions += compare_timings(base, cand, args)
+    regressions += check_requirements(
+        cand.get("metrics", {}), args.require, args.verbose
+    )
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} regression(s):")

@@ -32,7 +32,10 @@ if [[ "${MODE}" == "tsan" ]]; then
   # registry, whose whole design claim is "no cross-thread writes in the
   # hot path" — TSan is the referee for that claim. Override with
   # TSAN_TEST_FILTER='.*' for a full-suite run.
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs'}
+  # Batched covers the shared-frontier batched driver/differential tests
+  # (BatchedDriverDifferential runs the 64-wide kernel under 2/8-thread
+  # pools; the arena match kernels ride along in the same binary).
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

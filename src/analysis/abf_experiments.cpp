@@ -1,6 +1,7 @@
 #include "analysis/abf_experiments.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "analysis/parallel_query_driver.hpp"
 #include "sim/replica_placement.hpp"
@@ -23,7 +24,8 @@ QueryAggregate run_abf_batch(const BuiltTopology& topology, std::uint32_t ttl,
     Rng run_rng = master.split(run + 1);
     const ObjectCatalog catalog(n, options.objects,
                                 options.replication_ratio, run_rng());
-    const AbfRouter router(csr, catalog, abf);
+    AbfRouter router(csr, catalog, abf);
+    router.set_scoring_mode(options.scoring);
     BatchQueryOptions batch;
     batch.queries = options.queries;
     batch.seed = run_rng();
@@ -51,7 +53,8 @@ std::vector<double> abf_success_vs_ttl(const BuiltTopology& topology,
     Rng run_rng = master.split(run + 1);
     const ObjectCatalog catalog(n, options.objects,
                                 options.replication_ratio, run_rng());
-    const AbfRouter router(csr, catalog, abf);
+    AbfRouter router(csr, catalog, abf);
+    router.set_scoring_mode(options.scoring);
     BatchQueryOptions batch;
     batch.queries = options.queries;
     batch.seed = run_rng();
@@ -67,7 +70,8 @@ std::vector<double> abf_success_vs_ttl(const BuiltTopology& topology,
           std::min<std::uint64_t>(trace.result.messages, max_ttl));
       for (std::uint32_t t = needed; t <= max_ttl; ++t) ++successes[t];
     };
-    driver.run_batch(router, catalog, batch);
+    // The trace sink tallies everything; the aggregate adds nothing here.
+    std::ignore = driver.run_batch(router, catalog, batch);
   }
 
   std::vector<double> rates(max_ttl + 1, 0.0);

@@ -28,6 +28,7 @@ QueryAggregate run_flood_batch(const BuiltTopology& topology,
     BatchQueryOptions batch;
     batch.queries = options.queries;
     batch.seed = run_rng();
+    batch.batch = options.batch;
     batch.trace_sink = options.trace_sink;
     batch.metrics = options.metrics;
 

@@ -29,6 +29,10 @@ struct FloodExperimentOptions {
   /// Query-batch parallelism (ParallelQueryDriver): 0 = shared pool,
   /// 1 = serial. Results are identical at any setting.
   std::size_t threads = 0;
+  /// Co-schedule queries through the shared-frontier batched kernel
+  /// (BatchQueryOptions::batch). Results are bit-identical either way;
+  /// only throughput changes.
+  bool batch = false;
   /// Optional per-query observability hook (see BatchQueryOptions).
   std::function<void(const QueryTrace&)> trace_sink;
   /// Optional metrics registry threaded to the query driver and engines

@@ -40,6 +40,12 @@ struct QueryTrace {
 struct BatchQueryOptions {
   std::size_t queries = 0;
   std::uint64_t seed = 1;
+  /// Co-schedule queries through SearchEngine::run_many (shared-frontier
+  /// batching, QueryWorkspace::kBatchWidth queries per pass) when the
+  /// engine supports it; engines that don't, and option off, run the
+  /// scalar per-query loop. Per-query results are bit-identical either
+  /// way and at any thread count — batching changes throughput only.
+  bool batch = false;
   /// Observability hook: invoked serially, in query order, after the
   /// parallel phase (so sinks need no locking and see a deterministic
   /// stream).

@@ -21,7 +21,12 @@ void AttenuatedBloomFilter::merge(const AttenuatedBloomFilter& other) {
 void AttenuatedBloomFilter::merge_shifted_from(
     const AttenuatedBloomFilter& other) {
   MAKALU_EXPECTS(structure_matches(other));
-  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+  // Walk deepest-first: when `other` aliases `*this` (a node re-soliciting
+  // itself during exchange rounds), a forward walk would read levels_[i]
+  // after levels_[i] was already ORed with levels_[i-1], cascading level-0
+  // content into every deeper level. Deepest-first reads each source level
+  // strictly before any write touches it.
+  for (std::size_t i = levels_.size() - 1; i-- > 0;) {
     levels_[i + 1].merge(other.levels_[i]);
   }
 }

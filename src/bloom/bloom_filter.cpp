@@ -1,5 +1,6 @@
 #include "bloom/bloom_filter.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -22,15 +23,7 @@ BloomParameters BloomParameters::optimal(std::size_t expected_items,
   return params;
 }
 
-BloomFilter::BloomFilter(BloomParameters params)
-    : bits_((params.bits + 63) / 64 * 64),
-      hashes_(params.hashes),
-      blocks_(bits_ / 64, 0) {
-  MAKALU_EXPECTS(params.bits > 0);
-  MAKALU_EXPECTS(params.hashes > 0);
-}
-
-BloomFilter::Probes BloomFilter::hash_key(std::uint64_t key) noexcept {
+BloomProbes bloom_hash_key(std::uint64_t key) noexcept {
   std::uint64_t state = key;
   const std::uint64_t h1 = splitmix64(state);
   std::uint64_t h2 = splitmix64(state);
@@ -38,8 +31,16 @@ BloomFilter::Probes BloomFilter::hash_key(std::uint64_t key) noexcept {
   return {h1, h2};
 }
 
+BloomFilter::BloomFilter(BloomParameters params)
+    : bits_(params.bits),
+      hashes_(params.hashes),
+      blocks_((params.bits + 63) / 64, 0) {
+  MAKALU_EXPECTS(params.bits > 0);
+  MAKALU_EXPECTS(params.hashes > 0);
+}
+
 void BloomFilter::insert(std::uint64_t key) noexcept {
-  const auto [h1, h2] = hash_key(key);
+  const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {
     const std::uint64_t pos = (h1 + i * h2) % bits_;
     blocks_[pos / 64] |= (1ULL << (pos % 64));
@@ -47,7 +48,7 @@ void BloomFilter::insert(std::uint64_t key) noexcept {
 }
 
 bool BloomFilter::maybe_contains(std::uint64_t key) const noexcept {
-  const auto [h1, h2] = hash_key(key);
+  const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {
     const std::uint64_t pos = (h1 + i * h2) % bits_;
     if ((blocks_[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
@@ -60,6 +61,9 @@ void BloomFilter::merge(const BloomFilter& other) {
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     blocks_[i] |= other.blocks_[i];
   }
+  // Matching parameters give matching moduli, so `other` never has padding
+  // bits set — but re-assert the tail invariant rather than rely on it.
+  blocks_.back() &= tail_mask();
 }
 
 void BloomFilter::clear() noexcept {
@@ -67,6 +71,8 @@ void BloomFilter::clear() noexcept {
 }
 
 std::size_t BloomFilter::set_bit_count() const noexcept {
+  // The tail invariant (padding bits zero) makes whole-word popcount exact
+  // for any m, not just multiples of 64.
   std::size_t count = 0;
   for (const auto block : blocks_) {
     count += static_cast<std::size_t>(std::popcount(block));

@@ -3,10 +3,19 @@
 // Double hashing (Kirsch & Mitzenmacher): the k probe positions are
 // h1 + i*h2 mod m, with h1/h2 derived from one splitmix64 pass each —
 // asymptotically as good as k independent hashes and much cheaper.
+//
+// Storage is word-granular (64-bit blocks) and the bit count is kept
+// EXACTLY as requested — m = 63 means modulus 63, not a silent round-up
+// to 64. The bits of the trailing word beyond m are padding and are kept
+// zero as a class invariant (`tail_mask` re-asserts it after every
+// word-granular mutation), so whole-word consumers — merge, popcount
+// fill estimation, and the arena match kernels in bloom/filter_arena —
+// can operate on full words without per-bit bounds checks.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/contracts.hpp"
@@ -14,7 +23,7 @@
 namespace makalu {
 
 struct BloomParameters {
-  std::size_t bits = 1024;  ///< m, rounded up to a multiple of 64 internally
+  std::size_t bits = 1024;  ///< m, used exactly (tail word padded with 0s)
   std::size_t hashes = 4;   ///< k
 
   /// Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2 for n expected
@@ -22,6 +31,23 @@ struct BloomParameters {
   static BloomParameters optimal(std::size_t expected_items,
                                  double target_fpr);
 };
+
+/// Probe derivation shared by every filter flavour (plain, counting,
+/// arena-pooled): identical inputs must yield identical probe sequences
+/// or snapshots/advertisements stop being probe-compatible.
+struct BloomProbes {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+[[nodiscard]] BloomProbes bloom_hash_key(std::uint64_t key) noexcept;
+
+/// Mask selecting the in-range bits of the trailing word of an m-bit
+/// filter (all-ones when m is a multiple of 64).
+[[nodiscard]] constexpr std::uint64_t bloom_tail_mask(
+    std::size_t bits) noexcept {
+  const std::size_t rem = bits % 64;
+  return rem == 0 ? ~0ULL : (1ULL << rem) - 1ULL;
+}
 
 class BloomFilter {
  public:
@@ -66,15 +92,23 @@ class BloomFilter {
 
   /// Serialized size in bytes (bit array only) — used for the bandwidth
   /// accounting of filter exchanges.
-  [[nodiscard]] std::size_t byte_size() const noexcept { return bits_ / 8; }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return (bits_ + 7) / 8;
+  }
+
+  /// Word-level access for whole-word consumers. The invariant that the
+  /// tail word's padding bits are zero holds at every public-API boundary.
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::uint64_t tail_mask() const noexcept {
+    return bloom_tail_mask(bits_);
+  }
 
  private:
-  struct Probes {
-    std::uint64_t h1;
-    std::uint64_t h2;
-  };
-  [[nodiscard]] static Probes hash_key(std::uint64_t key) noexcept;
-
   std::size_t bits_;
   std::size_t hashes_;
   std::vector<std::uint64_t> blocks_;

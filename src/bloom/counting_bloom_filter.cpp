@@ -2,31 +2,16 @@
 
 #include <algorithm>
 
-#include "support/rng.hpp"
-
 namespace makalu {
 
 CountingBloomFilter::CountingBloomFilter(BloomParameters params)
-    : hashes_(params.hashes),
-      counters_((params.bits + 63) / 64 * 64, 0) {
+    : hashes_(params.hashes), counters_(params.bits, 0) {
   MAKALU_EXPECTS(params.bits > 0);
   MAKALU_EXPECTS(params.hashes > 0);
 }
 
-CountingBloomFilter::Probes CountingBloomFilter::hash_key(
-    std::uint64_t key) noexcept {
-  // Identical derivation to BloomFilter::hash_key so that
-  // to_bloom_filter() snapshots are probe-compatible with filters built
-  // directly from the same keys.
-  std::uint64_t state = key;
-  const std::uint64_t h1 = splitmix64(state);
-  std::uint64_t h2 = splitmix64(state);
-  h2 |= 1;
-  return {h1, h2};
-}
-
 void CountingBloomFilter::insert(std::uint64_t key) noexcept {
-  const auto [h1, h2] = hash_key(key);
+  const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {
     auto& counter = counters_[(h1 + i * h2) % counters_.size()];
     if (counter < kSaturation) ++counter;
@@ -34,7 +19,7 @@ void CountingBloomFilter::insert(std::uint64_t key) noexcept {
 }
 
 void CountingBloomFilter::remove(std::uint64_t key) noexcept {
-  const auto [h1, h2] = hash_key(key);
+  const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {
     auto& counter = counters_[(h1 + i * h2) % counters_.size()];
     // Saturated counters have lost their exact count; decrementing one
@@ -44,7 +29,7 @@ void CountingBloomFilter::remove(std::uint64_t key) noexcept {
 }
 
 bool CountingBloomFilter::maybe_contains(std::uint64_t key) const noexcept {
-  const auto [h1, h2] = hash_key(key);
+  const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {
     if (counters_[(h1 + i * h2) % counters_.size()] == 0) return false;
   }
@@ -60,9 +45,9 @@ BloomFilter CountingBloomFilter::to_bloom_filter() const {
   params.bits = counters_.size();
   params.hashes = hashes_;
   BloomFilter out(params);
-  // Probe layouts match slot-for-slot (same hash derivation, same modulus
-  // after the 64-multiple round-up), so bit j set iff counter j nonzero
-  // reproduces membership exactly.
+  // Probe layouts match slot-for-slot (same bloom_hash_key derivation,
+  // same exact modulus), so bit j set iff counter j nonzero reproduces
+  // membership exactly.
   for (std::size_t slot = 0; slot < counters_.size(); ++slot) {
     if (counters_[slot] != 0) out.set_bit(slot);
   }

@@ -47,12 +47,6 @@ class CountingBloomFilter {
   static constexpr std::uint8_t kSaturation = 15;
 
  private:
-  struct Probes {
-    std::uint64_t h1;
-    std::uint64_t h2;
-  };
-  [[nodiscard]] static Probes hash_key(std::uint64_t key) noexcept;
-
   std::size_t hashes_;
   std::vector<std::uint8_t> counters_;
 };

@@ -24,6 +24,13 @@ struct SearchMetricIds {
   MetricId frontier_size = 0;
   /// Counter of hop/step rounds expanded across all queries.
   MetricId hops_expanded = 0;
+  /// Counter of batched frontier passes (shared-frontier floods).
+  MetricId batches = 0;
+  /// Counter of queries served through a batched pass.
+  MetricId batched_queries = 0;
+  /// Counter of batched queries that overflowed the message cap and were
+  /// re-run through the scalar path for exact truncation semantics.
+  MetricId batch_fallbacks = 0;
 
   /// Register-or-lookup in `registry` (serial-phase only).
   static SearchMetricIds register_in(MetricsRegistry& registry) {
@@ -33,6 +40,9 @@ struct SearchMetricIds {
     ids.frontier_size = registry.histogram(
         "search.frontier_size", HistogramSpec::exponential(1.0, 2.0, 16));
     ids.hops_expanded = registry.counter("search.hops_expanded");
+    ids.batches = registry.counter("search.batches");
+    ids.batched_queries = registry.counter("search.batched_queries");
+    ids.batch_fallbacks = registry.counter("search.batch_fallbacks");
     return ids;
   }
 };

@@ -1,22 +1,62 @@
 #include "search/abf_search.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <numeric>
 
 namespace makalu {
 
+namespace {
+
+// Cache lines (as word offsets within one arc's stack) that a probe set
+// touches: level l's probe words sit at l*stride + word. Deduped once per
+// query, replayed as prefetches for upcoming walkers' rows — best-effort,
+// so overflowing entries are simply dropped.
+struct StackPrefetch {
+  std::array<std::uint16_t, 24> line_word{};
+  std::size_t count = 0;
+};
+
+StackPrefetch make_stack_prefetch(const BloomProbeSet& probes,
+                                  std::size_t depth,
+                                  std::size_t stride) noexcept {
+  StackPrefetch pf;
+  for (std::size_t level = 0; level < depth; ++level) {
+    for (std::size_t i = 0; i < probes.count; ++i) {
+      const std::size_t word =
+          level * stride + static_cast<std::size_t>(probes.word[i]);
+      const auto line = static_cast<std::uint16_t>(word & ~std::size_t{7});
+      bool seen = false;
+      for (std::size_t k = 0; k < pf.count; ++k) {
+        if (pf.line_word[k] == line) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && pf.count < pf.line_word.size()) {
+        pf.line_word[pf.count++] = line;
+      }
+    }
+  }
+  return pf;
+}
+
+}  // namespace
+
 AbfRouter::AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
                      const AbfOptions& options)
-    : graph_(graph), catalog_(catalog), options_(options) {
+    : graph_(graph),
+      catalog_(catalog),
+      options_(options),
+      arena_(graph.edge_count() * 2, options.depth, options.level_params) {
   MAKALU_EXPECTS(options.depth >= 1);
   const std::size_t n = graph_.node_count();
   arc_offsets_.assign(n + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
     arc_offsets_[u + 1] = arc_offsets_[u] + graph_.degree(u);
   }
-  adv_in_.reserve(arc_offsets_.back());
-  for (std::size_t a = 0; a < arc_offsets_.back(); ++a) {
-    adv_in_.emplace_back(options_.depth, options_.level_params);
-  }
+  MAKALU_EXPECTS(arc_offsets_.back() == arena_.arc_count());
   build_tables(catalog);
 }
 
@@ -38,9 +78,9 @@ void AbfRouter::build_tables(const ObjectCatalog& catalog) {
     const auto nbrs = graph_.neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const NodeId v = nbrs[i];
-      auto& adv = adv_in_[arc_index(u, i)];
+      const std::size_t arc = arc_index(u, i);
       for (const ObjectId obj : catalog.objects_on(v)) {
-        adv.insert_at(0, ObjectCatalog::object_key(obj));
+        arena_.insert(arc, 0, ObjectCatalog::object_key(obj));
       }
     }
   }
@@ -54,13 +94,13 @@ void AbfRouter::build_tables(const ObjectCatalog& catalog) {
       const auto nbrs = graph_.neighbors(u);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const NodeId v = nbrs[i];
-        auto& adv = adv_in_[arc_index(u, i)];
+        const std::size_t arc = arc_index(u, i);
         const auto v_nbrs = graph_.neighbors(v);
         for (std::size_t j = 0; j < v_nbrs.size(); ++j) {
           const NodeId w = v_nbrs[j];
           if (w == u) continue;
-          const auto& upstream = adv_in_[arc_index(v, j)];  // ADV(w→v)
-          adv.level(level).merge(upstream.level(level - 1));
+          // arc_index(v, j) is ADV(w→v).
+          arena_.merge_level(arc, level, arc_index(v, j), level - 1);
         }
       }
     }
@@ -92,6 +132,39 @@ QueryResult AbfRouter::route(NodeId source, ObjectId object,
   return result;
 }
 
+void AbfRouter::enable_legacy_replay() {
+  legacy_mirror_.clear();
+  legacy_mirror_.reserve(arena_.arc_count());
+  const std::size_t words = arena_.words_per_level();
+  for (std::size_t arc = 0; arc < arena_.arc_count(); ++arc) {
+    auto& stack =
+        legacy_mirror_.emplace_back(options_.depth, options_.level_params);
+    for (std::size_t level = 0; level < options_.depth; ++level) {
+      const std::uint64_t* src = arena_.level_words(arc, level);
+      BloomFilter& dst = stack.level(level);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = src[w];
+        while (bits != 0) {
+          const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+          dst.set_bit(w * 64 + b);
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
+}
+
+double AbfRouter::reference_score(std::size_t arc,
+                                  std::uint64_t key) const noexcept {
+  double score = 0.0;
+  double weight = 1.0;
+  for (std::size_t level = 0; level < options_.depth; ++level) {
+    if (arena_.maybe_contains(arc, level, key)) score += weight;
+    weight *= 0.5;
+  }
+  return score;
+}
+
 QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
                              std::uint32_t ttl,
                              QueryWorkspace& workspace) const {
@@ -101,6 +174,15 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
   Rng& rng = workspace.rng();
 
   const std::uint64_t key = has_object.routing_key();
+  // Probe positions depend only on the key: derive them once per query
+  // and replay against raw arena words at every step (the pre-arena code
+  // recomputed the hash pair and a runtime-divide modulus for every
+  // (neighbor, level) pair — the dominant routing cost).
+  const BloomProbeSet probes = arena_.make_probe_set(key);
+  const bool legacy = !legacy_mirror_.empty();
+  const bool reference = scoring_mode_ == MatchKernel::kReference;
+  auto& masks = workspace.mask_buffer();
+
   NodeId current = source;
   workspace.mark_visited(current);
   result.nodes_visited = 1;
@@ -121,17 +203,45 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
 
     const auto nbrs = graph_.neighbors(current);
 
-    // Best-scoring unvisited neighbor.
+    // Best-scoring unvisited neighbor. Scores are computed for the whole
+    // neighbor row in one kernel pass; ranking (strict >, neighbor-index
+    // order tie-break) is unchanged, so visited neighbors being scored too
+    // cannot alter the selection.
     double best_score = 0.0;
     NodeId best = kInvalidNode;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      if (workspace.visited(v)) continue;
-      const double score =
-          adv_in_[arc_index(current, i)].match_score(key);
-      if (score > best_score) {
-        best_score = score;
-        best = v;
+    if (legacy) {
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (workspace.visited(v)) continue;
+        const double score =
+            legacy_mirror_[arc_index(current, i)].match_score(key);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+    } else if (reference) {
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (workspace.visited(v)) continue;
+        const double score = reference_score(arc_index(current, i), key);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+    } else {
+      masks.resize(nbrs.size());
+      arena_.match_many(arc_offsets_[current], nbrs.size(), probes,
+                        masks.data(), scoring_mode_);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (workspace.visited(v)) continue;
+        const double score = FilterArena::score_from_mask(masks[i]);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
       }
     }
 
@@ -176,8 +286,195 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
   }
 }
 
+void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
+                         const ObjectCatalog& catalog,
+                         QueryWorkspace& workspace,
+                         QueryResult* results) const {
+  if (jobs.empty()) return;
+  const std::size_t n = graph_.node_count();
+  const std::uint32_t ttl = options_.ttl;
+  const bool legacy = !legacy_mirror_.empty();
+  const bool reference = scoring_mode_ == MatchKernel::kReference;
+  auto& masks = workspace.mask_buffer();
+
+  // Per-walker route state. Each walker is the scalar route loop frozen
+  // between iterations: the visited set is its bit in the shared batch
+  // array, the backtrack path a fixed ttl+1 slice of `paths`.
+  struct Walker {
+    NodeId current = kInvalidNode;
+    std::uint32_t budget = 0;
+    std::uint32_t path_len = 0;
+    std::uint64_t key = 0;
+    ObjectId object = 0;
+    Rng rng{0};
+    BloomProbeSet probes;
+    StackPrefetch prefetch;
+    QueryResult result;
+  };
+
+  for (std::size_t lo = 0; lo < jobs.size();
+       lo += QueryWorkspace::kBatchWidth) {
+    const std::size_t len =
+        std::min(QueryWorkspace::kBatchWidth, jobs.size() - lo);
+    workspace.begin_batch(n);
+    std::vector<Walker> walkers(len);
+    std::vector<NodeId> paths(len * (std::size_t{ttl} + 1));
+
+    for (std::size_t w = 0; w < len; ++w) {
+      const BatchQueryJob& job = jobs[lo + w];
+      MAKALU_EXPECTS(job.source < n);
+      Walker& walker = walkers[w];
+      walker.current = job.source;
+      walker.budget = ttl;
+      walker.object = job.object;
+      walker.key = ObjectCatalog::object_key(job.object);
+      walker.rng = job.rng;
+      walker.probes = arena_.make_probe_set(walker.key);
+      walker.prefetch = make_stack_prefetch(walker.probes, options_.depth,
+                                            arena_.level_stride());
+      workspace.batch_mark_visited(job.source, std::uint64_t{1} << w);
+      walker.result.nodes_visited = 1;
+    }
+
+    // One scalar route-loop iteration; mirrors AbfRouter::route step for
+    // step (the differential suite pins the equivalence). Returns true
+    // when the walker's query is finished.
+    const auto step = [&](std::size_t w) -> bool {
+      Walker& walker = walkers[w];
+      const std::uint64_t bit = std::uint64_t{1} << w;
+      if (catalog.node_has_object(walker.current, walker.object)) {
+        walker.result.success = true;
+        walker.result.first_hit_hop =
+            static_cast<std::uint32_t>(walker.result.messages);
+        walker.result.replicas_found = 1;
+        return true;
+      }
+      if (walker.budget == 0) return true;
+
+      const auto nbrs = graph_.neighbors(walker.current);
+      double best_score = 0.0;
+      NodeId best = kInvalidNode;
+      if (legacy) {
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if ((workspace.batch_visited_mask(v) & bit) != 0) continue;
+          const double score =
+              legacy_mirror_[arc_index(walker.current, i)].match_score(
+                  walker.key);
+          if (score > best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+      } else if (reference) {
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if ((workspace.batch_visited_mask(v) & bit) != 0) continue;
+          const double score =
+              reference_score(arc_index(walker.current, i), walker.key);
+          if (score > best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+      } else {
+        masks.resize(nbrs.size());
+        arena_.match_many(arc_offsets_[walker.current], nbrs.size(),
+                          walker.probes, masks.data(), scoring_mode_);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if ((workspace.batch_visited_mask(v) & bit) != 0) continue;
+          const double score = FilterArena::score_from_mask(masks[i]);
+          if (score > best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+      }
+
+      if (best == kInvalidNode) {
+        std::size_t unvisited = 0;
+        for (const NodeId v : nbrs) {
+          if ((workspace.batch_visited_mask(v) & bit) == 0) ++unvisited;
+        }
+        if (unvisited > 0) {
+          std::size_t pick = walker.rng.uniform_below(unvisited);
+          for (const NodeId v : nbrs) {
+            if ((workspace.batch_visited_mask(v) & bit) == 0 &&
+                pick-- == 0) {
+              best = v;
+              break;
+            }
+          }
+        }
+      }
+
+      NodeId* path = paths.data() + w * (std::size_t{ttl} + 1);
+      if (best != kInvalidNode) {
+        path[walker.path_len++] = walker.current;
+        walker.current = best;
+        workspace.batch_mark_visited(best, bit);
+        ++walker.result.nodes_visited;
+        ++walker.result.messages;
+        --walker.budget;
+        workspace.obs_messages_at_hop(
+            static_cast<std::uint32_t>(walker.result.messages), 1);
+        return false;
+      }
+      if (walker.path_len == 0) return true;
+      walker.current = path[--walker.path_len];
+      ++walker.result.messages;
+      --walker.budget;
+      workspace.obs_messages_at_hop(
+          static_cast<std::uint32_t>(walker.result.messages), 1);
+      return false;
+    };
+
+    // Pull the probe lines of walker w's next neighbor row toward the
+    // core. Arena scoring paths share those lines (kReference probes the
+    // same words); the legacy mirror lives elsewhere, so skip there.
+    const auto prefetch_row = [&](std::size_t w) {
+      const Walker& walker = walkers[w];
+      const auto nbrs = graph_.neighbors(walker.current);
+      const std::size_t first_arc = arc_offsets_[walker.current];
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::uint64_t* base = arena_.level_words(first_arc + i, 0);
+        for (std::size_t k = 0; k < walker.prefetch.count; ++k) {
+          __builtin_prefetch(base + walker.prefetch.line_word[k], 0, 1);
+        }
+      }
+    };
+
+    std::vector<std::size_t> alive(len);
+    std::iota(alive.begin(), alive.end(), std::size_t{0});
+    // Far enough that a row's lines arrive before its walker steps, near
+    // enough that they are not evicted again.
+    constexpr std::size_t kPrefetchAhead = 2;
+    while (!alive.empty()) {
+      for (std::size_t idx = 0; idx < alive.size();) {
+        if (!legacy && idx + kPrefetchAhead < alive.size()) {
+          prefetch_row(alive[idx + kPrefetchAhead]);
+        }
+        const std::size_t w = alive[idx];
+        if (step(w)) {
+          results[lo + w] = walkers[w].result;
+          alive.erase(alive.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+        } else {
+          ++idx;
+        }
+      }
+    }
+    workspace.obs_batch(len, 0);
+  }
+}
+
 void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
   MAKALU_EXPECTS(holder < graph_.node_count());
+  // The benchmark mirror cannot track incremental inserts cheaply; keep it
+  // coherent by rebuilding it after the wave (bench-only path, and the
+  // wave below is the hot part).
+  const bool refresh_mirror = !legacy_mirror_.empty();
   const std::uint64_t key = ObjectCatalog::object_key(object);
 
   // Wave of arcs that acquired the key at the previous level. Level 0:
@@ -192,7 +489,7 @@ void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
       const auto it = std::lower_bound(u_row.begin(), u_row.end(), holder);
       const auto idx = static_cast<std::size_t>(it - u_row.begin());
       const std::size_t arc = arc_index(u, idx);
-      adv_in_[arc].insert_at(0, key);
+      arena_.insert(arc, 0, key);
       wave.emplace_back(u, arc);
     }
   }
@@ -213,29 +510,29 @@ void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
         const auto it = std::lower_bound(u_row.begin(), u_row.end(), v);
         const auto idx = static_cast<std::size_t>(it - u_row.begin());
         const std::size_t arc_uv = arc_index(u, idx);
-        if (adv_in_[arc_uv].level(level).maybe_contains(key)) continue;
-        adv_in_[arc_uv].insert_at(level, key);
+        if (arena_.maybe_contains(arc_uv, level, key)) continue;
+        arena_.insert(arc_uv, level, key);
         next_wave.emplace_back(u, arc_uv);
       }
     }
     wave = std::move(next_wave);
   }
+  if (refresh_mirror) enable_legacy_replay();
 }
 
 void AbfRouter::rebuild() {
-  for (auto& adv : adv_in_) adv.clear();
+  arena_.clear();
   build_tables(catalog_);
+  if (!legacy_mirror_.empty()) enable_legacy_replay();
 }
 
 std::size_t AbfRouter::table_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const auto& adv : adv_in_) total += adv.byte_size();
-  return total;
+  return arena_.arc_count() * arena_.stack_byte_size();
 }
 
-const AttenuatedBloomFilter& AbfRouter::advertisement(
-    NodeId u, std::size_t neighbor_index) const {
-  return adv_in_[arc_index(u, neighbor_index)];
+AbfStackView AbfRouter::advertisement(NodeId u,
+                                      std::size_t neighbor_index) const {
+  return AbfStackView(&arena_, arc_index(u, neighbor_index));
 }
 
 }  // namespace makalu

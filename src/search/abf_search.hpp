@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "bloom/attenuated_bloom_filter.hpp"
+#include "bloom/filter_arena.hpp"
 #include "graph/graph.hpp"
 #include "search/search_engine.hpp"
 #include "sim/query_stats.hpp"
@@ -67,6 +68,23 @@ class AbfRouter final : public SearchEngine {
     return "abf-routing";
   }
 
+  /// Batched entry point: co-schedules up to QueryWorkspace::kBatchWidth
+  /// independent walkers, stepping them round-robin over the shared
+  /// epoch-stamped visited bitmask (one bit per walker) and prefetching
+  /// upcoming walkers' neighbor rows so one walker's filter loads resolve
+  /// behind another's scoring — routing is bound by the latency of pulling
+  /// each hop's filter row out of LLC/DRAM, not by compute, and
+  /// independent walkers are the only source of overlappable misses.
+  /// Every walker replays the scalar route loop on its own RNG stream and
+  /// its own visited bit, so results are bit-identical to the scalar path
+  /// at any batch partitioning.
+  [[nodiscard]] bool supports_query_batching() const noexcept override {
+    return true;
+  }
+  void run_many(std::span<const BatchQueryJob> jobs,
+                const ObjectCatalog& catalog, QueryWorkspace& workspace,
+                QueryResult* results) const override;
+
   /// Routes a query with an explicit budget; the workspace RNG drives the
   /// no-match fallback choice.
   [[nodiscard]] QueryResult route(NodeId source, NodePredicate has_object,
@@ -96,22 +114,57 @@ class AbfRouter final : public SearchEngine {
   /// peers on connect).
   [[nodiscard]] std::size_t table_bytes() const noexcept;
 
-  /// The advertisement node u holds for its i-th neighbor.
-  [[nodiscard]] const AttenuatedBloomFilter& advertisement(
-      NodeId u, std::size_t neighbor_index) const;
+  /// The advertisement node u holds for its i-th neighbor — a view into
+  /// the pooled arena (levels of all arcs live in one allocation; see
+  /// bloom/filter_arena.hpp).
+  [[nodiscard]] AbfStackView advertisement(NodeId u,
+                                           std::size_t neighbor_index) const;
 
   [[nodiscard]] std::size_t depth() const noexcept { return options_.depth; }
+
+  /// Which match kernel scores neighbors. kAuto (the default) dispatches
+  /// to AVX2 when available; kReference replays the pre-arena per-level
+  /// per-hash instruction mix for baseline benchmarking; every mode
+  /// returns bit-identical scores.
+  void set_scoring_mode(MatchKernel mode) noexcept { scoring_mode_ = mode; }
+  [[nodiscard]] MatchKernel scoring_mode() const noexcept {
+    return scoring_mode_;
+  }
+
+  /// Benchmark seam for the honest before/after: materialises the routing
+  /// table in its pre-arena form — one heap AttenuatedBloomFilter per arc,
+  /// every level a separately allocated BloomFilter, bit-for-bit equal to
+  /// the arena — and, while enabled, scores neighbors through
+  /// AttenuatedBloomFilter::match_score exactly as the old router did
+  /// (hash pair rederived per (neighbor, level), runtime-divide modulus
+  /// per probe, pointer-chased level storage). Scores are bit-identical
+  /// to every arena kernel, so routes do not change; only the instruction
+  /// and memory mix does. Holds a full duplicate table until disabled.
+  void enable_legacy_replay();
+  void disable_legacy_replay() noexcept {
+    legacy_mirror_.clear();
+    legacy_mirror_.shrink_to_fit();
+  }
+  [[nodiscard]] bool legacy_replay_enabled() const noexcept {
+    return !legacy_mirror_.empty();
+  }
 
  private:
   void build_tables(const ObjectCatalog& catalog);
   [[nodiscard]] std::size_t arc_index(NodeId u,
                                       std::size_t neighbor_index) const;
+  /// Pre-arena score path: per-level maybe_contains with the hash pair
+  /// rederived each call, exactly the old instruction mix.
+  [[nodiscard]] double reference_score(std::size_t arc,
+                                       std::uint64_t key) const noexcept;
 
   const CsrGraph& graph_;
   const ObjectCatalog& catalog_;
   AbfOptions options_;
-  std::vector<std::size_t> arc_offsets_;       // prefix degrees, size n+1
-  std::vector<AttenuatedBloomFilter> adv_in_;  // per arc u→v: ADV(v→u)
+  std::vector<std::size_t> arc_offsets_;  // prefix degrees, size n+1
+  FilterArena arena_;                     // per arc u→v: ADV(v→u) stack
+  MatchKernel scoring_mode_ = MatchKernel::kAuto;
+  std::vector<AttenuatedBloomFilter> legacy_mirror_;  // benchmark seam
 };
 
 }  // namespace makalu

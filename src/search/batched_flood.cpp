@@ -1,0 +1,166 @@
+#include "search/batched_flood.hpp"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "search/query_workspace.hpp"
+
+namespace makalu::detail {
+
+std::uint64_t run_batched_flood(const CsrGraph& graph,
+                                std::span<const BatchQueryJob> jobs,
+                                const ObjectCatalog& catalog,
+                                const BatchedFloodParams& params,
+                                QueryWorkspace& workspace,
+                                QueryResult* results) {
+  const std::size_t width = jobs.size();
+  MAKALU_EXPECTS(width >= 1 && width <= QueryWorkspace::kBatchWidth);
+  const std::size_t n = graph.node_count();
+  workspace.begin_batch(n);
+
+  // Per-batch hit words from the holder lists: one pass here replaces an
+  // indirect predicate call on every fresh visit of every query.
+  for (std::size_t q = 0; q < width; ++q) {
+    const std::uint64_t bit = 1ULL << q;
+    for (const NodeId holder : catalog.holders(jobs[q].object)) {
+      workspace.batch_set_hit(holder, bit);
+    }
+  }
+
+  // Hop 0: every source visits itself; initial frontier coalesced by
+  // source node (queries sharing a source share one entry).
+  auto& frontier = workspace.batch_frontier();
+  auto& next = workspace.batch_next_frontier();
+  auto& touched = workspace.node_buffer();
+  touched.clear();
+  workspace.begin_batch_hop();
+  for (std::size_t q = 0; q < width; ++q) {
+    const NodeId source = jobs[q].source;
+    MAKALU_EXPECTS(source < n);
+    const std::uint64_t bit = 1ULL << q;
+    workspace.batch_mark_visited(source, bit);
+    QueryResult& r = results[q] = QueryResult{};
+    r.nodes_visited = 1;
+    if ((workspace.batch_hit_mask(source) & bit) != 0) {
+      r.success = true;
+      r.first_hit_hop = 0;
+      r.replicas_found = 1;
+    }
+    if (workspace.batch_arrive(source, bit)) touched.push_back(source);
+  }
+  for (const NodeId s : touched) {
+    frontier.push_back({s, workspace.batch_arrival_mask(s)});
+  }
+
+  // Observations are buffered and emitted only for queries that finish in
+  // the batch — an overflowed query is re-run scalar by the caller, and
+  // emitting its partial hops here would double-count them.
+  struct ObsRecord {
+    std::uint32_t hop;
+    std::uint32_t query;
+    std::uint64_t delta;
+    std::uint32_t frontier_count;
+  };
+  std::vector<ObsRecord> obs_records;
+  const bool obs = workspace.metrics_attached();
+
+  std::uint64_t overflow = 0;
+  std::array<std::uint64_t, QueryWorkspace::kBatchWidth> sent_deg{};
+  std::array<std::uint32_t, QueryWorkspace::kBatchWidth> fcnt{};
+  std::array<std::uint64_t, QueryWorkspace::kBatchWidth> fwd{};
+  std::array<std::uint64_t, QueryWorkspace::kBatchWidth> fresh_cnt{};
+
+  for (std::uint32_t hop = 1; hop <= params.ttl && !frontier.empty();
+       ++hop) {
+    // Every hop-≥2 frontier entry was reached THROUGH a neighbor, so each
+    // query it carries incurs exactly one echo (the delivery back to that
+    // query's sender, which scalar flooding skips).
+    const bool echo = hop >= 2;
+    sent_deg.fill(0);
+    fcnt.fill(0);
+    fwd.fill(0);
+    fresh_cnt.fill(0);
+    workspace.begin_batch_hop();
+    touched.clear();
+    next.clear();
+
+    // Scatter: deliver each entry's query mask to every neighbor,
+    // accumulating per-node arrival words; account degrees per query.
+    for (const auto& entry : frontier) {
+      const std::uint64_t m = entry.mask;
+      if (m == 0) continue;  // emptied by an overflow strip
+      const auto nbrs = graph.neighbors(entry.node);
+      const std::uint64_t deg = nbrs.size();
+      const bool forwards = deg > (echo ? 1u : 0u);
+      for (std::uint64_t b = m; b != 0; b &= b - 1) {
+        const auto q = static_cast<std::size_t>(std::countr_zero(b));
+        sent_deg[q] += deg;
+        ++fcnt[q];
+        fwd[q] += static_cast<std::uint64_t>(forwards);
+      }
+      for (const NodeId v : nbrs) {
+        if (workspace.batch_arrive(v, m)) touched.push_back(v);
+      }
+    }
+
+    // Gather: per touched node, the freshly-visited queries advance; the
+    // next frontier gets at most one entry per node (coalesced pushes).
+    for (const NodeId v : touched) {
+      const std::uint64_t arrivals = workspace.batch_arrival_mask(v);
+      const std::uint64_t fresh = workspace.batch_mark_visited(v, arrivals);
+      if (fresh == 0) continue;
+      const std::uint64_t hits = fresh & workspace.batch_hit_mask(v);
+      for (std::uint64_t b = fresh; b != 0; b &= b - 1) {
+        const auto q = static_cast<std::size_t>(std::countr_zero(b));
+        ++fresh_cnt[q];
+        ++results[q].nodes_visited;
+      }
+      for (std::uint64_t b = hits; b != 0; b &= b - 1) {
+        const auto q = static_cast<std::size_t>(std::countr_zero(b));
+        QueryResult& r = results[q];
+        if (!r.success) {
+          r.success = true;
+          r.first_hit_hop = hop;
+        }
+        ++r.replicas_found;
+      }
+      next.push_back({v, fresh});
+    }
+
+    // Fold the hop into per-query counters with the echo correction;
+    // duplicates fall out arithmetically (every message is either a fresh
+    // visit or a duplicate in the suppression-on scalar loop).
+    std::uint64_t newly_overflowed = 0;
+    for (std::size_t q = 0; q < width; ++q) {
+      if (((overflow >> q) & 1) != 0 || fcnt[q] == 0) continue;
+      const std::uint64_t delta =
+          sent_deg[q] - (echo ? static_cast<std::uint64_t>(fcnt[q]) : 0);
+      QueryResult& r = results[q];
+      r.messages += delta;
+      r.duplicates += delta - fresh_cnt[q];
+      r.forwarders += fwd[q];
+      if (r.messages > params.message_cap) {
+        newly_overflowed |= 1ULL << q;
+      } else if (obs) {
+        obs_records.push_back({hop, static_cast<std::uint32_t>(q), delta,
+                               fcnt[q]});
+      }
+    }
+    if (newly_overflowed != 0) {
+      overflow |= newly_overflowed;
+      for (auto& entry : next) entry.mask &= ~newly_overflowed;
+    }
+    workspace.swap_batch_frontiers();
+  }
+
+  if (obs) {
+    for (const ObsRecord& rec : obs_records) {
+      if (((overflow >> rec.query) & 1) != 0) continue;
+      workspace.obs_hop(rec.hop, rec.delta, rec.frontier_count);
+    }
+  }
+  return overflow;
+}
+
+}  // namespace makalu::detail

@@ -1,0 +1,65 @@
+// Shared-frontier flood kernel: up to QueryWorkspace::kBatchWidth (64)
+// co-scheduled suppression-on floods advance hop-synchronously through
+// ONE frontier, with per-node visited/hit/arrival bitmask words instead
+// of 64 separate passes over the graph.
+//
+// Why the per-query results are bit-identical to 64 scalar FloodEngine
+// runs (the differential tests pin this; DESIGN.md §"Batched flood
+// frontiers" carries the full argument):
+//
+//  * Visited sets. Scalar marks v visited for query q on q's first
+//    arrival within a hop; order within the hop only decides WHICH
+//    arrival is first, not whether v ends the hop visited. Batched ORs
+//    each hop's arrival mask into the visited word, giving the same
+//    per-query set.
+//  * The echo correction. Scalar never sends back to the per-query
+//    sender; batched frontier entries coalesce queries per node and drop
+//    sender tracking, so the scatter delivers every query to every
+//    neighbor — including each query's sender ("echo"). The echo target
+//    is always already visited for that query (it forwarded the query
+//    last hop), so echoes never change visited/frontier sets; they are
+//    removed from the counters arithmetically: each frontier entry at
+//    hop ≥ 2 carries exactly one echo per query in its mask, so
+//      messages[q] += Σ_entries∋q degree(u) − (hop ≥ 2 ? entries∋q : 0).
+//  * Duplicates. Scalar counts every delivered message as either a fresh
+//    visit or a duplicate, so per hop
+//      duplicates[q] = messages[q] − fresh_visits[q]
+//    exactly; batched computes the right-hand side.
+//  * All remaining fields (forwarders, frontier sizes, first_hit_hop,
+//    replicas) are per-hop sums over entries or fresh nodes, so they are
+//    independent of entry order — which is the only thing batching
+//    reorders.
+//
+// Message-cap overflow is the one place scalar semantics depend on
+// mid-hop order (it truncates mid-entry): the kernel detects the
+// overflow exactly (cap crossings are per-hop monotone) and reports the
+// affected queries back for a scalar re-run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "search/search_engine.hpp"
+#include "sim/query_stats.hpp"
+#include "sim/replica_placement.hpp"
+
+namespace makalu::detail {
+
+struct BatchedFloodParams {
+  std::uint32_t ttl = 4;
+  /// Queries whose cumulative message count exceeds this are reported as
+  /// overflowed (their results slot is unspecified; the caller re-runs
+  /// them scalar for exact truncation semantics).
+  std::uint64_t message_cap = UINT64_MAX;
+};
+
+/// Runs jobs.size() (≤ QueryWorkspace::kBatchWidth) duplicate-suppressed
+/// floods through one shared frontier, writing results[i] for jobs[i].
+/// Returns the bitmask of overflowed queries.
+[[nodiscard]] std::uint64_t run_batched_flood(
+    const CsrGraph& graph, std::span<const BatchQueryJob> jobs,
+    const ObjectCatalog& catalog, const BatchedFloodParams& params,
+    QueryWorkspace& workspace, QueryResult* results);
+
+}  // namespace makalu::detail

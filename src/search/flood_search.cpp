@@ -1,5 +1,9 @@
 #include "search/flood_search.hpp"
 
+#include <bit>
+
+#include "search/batched_flood.hpp"
+
 namespace makalu {
 
 FloodEngine::FloodEngine(const CsrGraph& graph, FloodOptions options)
@@ -33,6 +37,36 @@ QueryResult FloodEngine::run(NodeId source, ObjectId object,
                              const FloodOptions& options) const {
   QueryWorkspace workspace;
   return run(source, object, catalog, options, workspace);
+}
+
+void FloodEngine::run_many(std::span<const BatchQueryJob> jobs,
+                           const ObjectCatalog& catalog,
+                           QueryWorkspace& workspace,
+                           QueryResult* results) const {
+  if (!options_.duplicate_suppression || workspace.accounts_outgoing() ||
+      jobs.empty()) {
+    SearchEngine::run_many(jobs, catalog, workspace, results);
+    return;
+  }
+  const detail::BatchedFloodParams params{options_.ttl,
+                                          options_.message_cap};
+  for (std::size_t lo = 0; lo < jobs.size();
+       lo += QueryWorkspace::kBatchWidth) {
+    const std::size_t len =
+        std::min(QueryWorkspace::kBatchWidth, jobs.size() - lo);
+    const std::uint64_t overflow = detail::run_batched_flood(
+        graph_, jobs.subspan(lo, len), catalog, params, workspace,
+        results + lo);
+    workspace.obs_batch(len,
+                        static_cast<std::uint64_t>(std::popcount(overflow)));
+    for (std::uint64_t b = overflow; b != 0; b &= b - 1) {
+      const std::size_t q = lo + static_cast<std::size_t>(
+                                     std::countr_zero(b));
+      workspace.rng() = jobs[q].rng;
+      results[q] = run(jobs[q].source, jobs[q].object, catalog, options_,
+                       workspace);
+    }
+  }
 }
 
 QueryResult FloodEngine::run(NodeId source, NodePredicate has_object,

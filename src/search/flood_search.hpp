@@ -72,6 +72,24 @@ class FloodEngine final : public SearchEngine {
                                 const ObjectCatalog& catalog,
                                 const FloodOptions& options) const;
 
+  /// Suppression-on floods batch through shared frontiers (the
+  /// suppression-off ablation re-forwards per arrival, which a per-query
+  /// bitmask cannot express).
+  [[nodiscard]] bool supports_query_batching() const noexcept override {
+    return options_.duplicate_suppression;
+  }
+
+  /// Batched override: co-schedules up to QueryWorkspace::kBatchWidth
+  /// queries per shared-frontier pass (see search/batched_flood.hpp for
+  /// the bit-identity argument). Queries that overflow the message cap are
+  /// re-run through the scalar path for exact truncation semantics, as is
+  /// the whole span when per-node outgoing accounting is enabled (the
+  /// batched pass cannot reproduce a mid-entry truncation's partial
+  /// charges).
+  void run_many(std::span<const BatchQueryJob> jobs,
+                const ObjectCatalog& catalog, QueryWorkspace& workspace,
+                QueryResult* results) const override;
+
  private:
   const CsrGraph& graph_;
   FloodOptions options_;

@@ -1,5 +1,9 @@
 #include "search/gossip_flood.hpp"
 
+#include <limits>
+
+#include "search/batched_flood.hpp"
+
 namespace makalu {
 
 GossipFloodEngine::GossipFloodEngine(const CsrGraph& graph,
@@ -25,6 +29,31 @@ QueryResult GossipFloodEngine::run(NodeId source, ObjectId object,
           options, workspace);
   rng = workspace.rng();
   return result;
+}
+
+void GossipFloodEngine::run_many(std::span<const BatchQueryJob> jobs,
+                                 const ObjectCatalog& catalog,
+                                 QueryWorkspace& workspace,
+                                 QueryResult* results) const {
+  if (!supports_query_batching() || workspace.accounts_outgoing() ||
+      jobs.empty()) {
+    SearchEngine::run_many(jobs, catalog, workspace, results);
+    return;
+  }
+  // Within the boundary the gossip flood is cap-less, so no query can
+  // overflow into a scalar re-run.
+  const detail::BatchedFloodParams params{
+      options_.ttl, std::numeric_limits<std::uint64_t>::max()};
+  for (std::size_t lo = 0; lo < jobs.size();
+       lo += QueryWorkspace::kBatchWidth) {
+    const std::size_t len =
+        std::min(QueryWorkspace::kBatchWidth, jobs.size() - lo);
+    const std::uint64_t overflow = detail::run_batched_flood(
+        graph_, jobs.subspan(lo, len), catalog, params, workspace,
+        results + lo);
+    MAKALU_EXPECTS(overflow == 0);
+    workspace.obs_batch(len, 0);
+  }
 }
 
 QueryResult GossipFloodEngine::run(NodeId source, NodePredicate has_object,

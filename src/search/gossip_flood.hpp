@@ -57,6 +57,19 @@ class GossipFloodEngine final : public SearchEngine {
                                 const ObjectCatalog& catalog, Rng& rng,
                                 const GossipFloodOptions& options) const;
 
+  /// A gossip flood that never leaves the deterministic phase
+  /// (ttl ≤ boundary_hops) is a plain suppression-on flood with no
+  /// message cap and consumes no randomness — exactly the shape the
+  /// shared-frontier kernel batches. Past the boundary each forward
+  /// draws from the per-query RNG stream, which a coalesced frontier
+  /// cannot replay, so those configurations stay scalar.
+  [[nodiscard]] bool supports_query_batching() const noexcept override {
+    return options_.ttl <= options_.boundary_hops;
+  }
+  void run_many(std::span<const BatchQueryJob> jobs,
+                const ObjectCatalog& catalog, QueryWorkspace& workspace,
+                QueryResult* results) const override;
+
  private:
   const CsrGraph& graph_;
   GossipFloodOptions options_;

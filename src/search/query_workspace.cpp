@@ -24,4 +24,34 @@ void QueryWorkspace::begin_query(std::size_t node_count) {
   }
 }
 
+void QueryWorkspace::begin_batch(std::size_t node_count) {
+  if (batch_visit_epoch_.size() != node_count) {
+    batch_visit_epoch_.assign(node_count, 0);
+    batch_visited_.assign(node_count, 0);
+    batch_hit_epoch_.assign(node_count, 0);
+    batch_hit_.assign(node_count, 0);
+    arrival_epoch_.assign(node_count, 0);
+    batch_arrivals_.assign(node_count, 0);
+    batch_stamp_ = 0;
+    arrival_stamp_ = 0;
+  }
+  // One bump serves the whole ≤64-query batch: the visited/hit words are
+  // per-batch bitmasks, so a per-query bump here would invalidate the
+  // earlier queries' bits mid-batch (stale-stamp aliasing across the
+  // bitmask — the satellite bug this PR pins with BatchStamp* tests).
+  ++batch_stamp_;
+  if (batch_stamp_ == 0) {
+    // 2^32 - 1 batches since the last refill: a reused stamp value would
+    // resurrect visit/hit words from the previous cycle.
+    std::fill(batch_visit_epoch_.begin(), batch_visit_epoch_.end(), 0u);
+    std::fill(batch_hit_epoch_.begin(), batch_hit_epoch_.end(), 0u);
+    batch_stamp_ = 1;
+  }
+  batch_frontier_.clear();
+  batch_next_frontier_.clear();
+  if (account_outgoing_ && outgoing_.size() < node_count) {
+    outgoing_.resize(node_count, 0);
+  }
+}
+
 }  // namespace makalu

@@ -13,6 +13,7 @@
 // makes batch results independent of the thread count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -61,6 +62,11 @@ class QueryWorkspace {
   /// Generic double scratch (timed flood's reverse-path latencies).
   [[nodiscard]] std::vector<double>& value_buffer() noexcept {
     return value_buffer_;
+  }
+  /// Generic 32-bit scratch (per-neighbor level-match bitmasks from the
+  /// arena match kernels). Engines resize/overwrite before use.
+  [[nodiscard]] std::vector<std::uint32_t>& mask_buffer() noexcept {
+    return mask_buffer_;
   }
 
   /// The query's RNG stream. Engines draw from this instead of taking an
@@ -141,6 +147,118 @@ class QueryWorkspace {
   /// begin_query() overflows and takes the refill branch.
   void set_stamp_for_testing(std::uint32_t stamp) noexcept { stamp_ = stamp; }
 
+  // ---- batched-query state (shared frontiers, bloom/filter_arena PR) ----
+  //
+  // Up to kBatchWidth co-scheduled queries share one visited word-array:
+  // word v holds a bitmask of the queries that have visited node v. The
+  // words are epoch-stamped like the scalar visited array, but the stamp
+  // advances once per *batch* — a per-query bump would leave earlier
+  // queries' words stale mid-batch, aliasing their visit bits away (the
+  // wraparound regression this PR fixes pre-emptively; see
+  // tests/query_workspace_test.cpp BatchStamp*).
+
+  static constexpr std::size_t kBatchWidth = 64;
+
+  /// Prepares the batched arrays for one batch of ≤ kBatchWidth queries:
+  /// sizes them on topology change, bumps the batch stamp once (O(1)
+  /// reset of visited + hit words), and clears the batch frontiers.
+  void begin_batch(std::size_t node_count);
+
+  [[nodiscard]] std::uint64_t batch_visited_mask(NodeId v) const noexcept {
+    return batch_visit_epoch_[v] == batch_stamp_ ? batch_visited_[v] : 0;
+  }
+  /// ORs `mask` into node v's visited word; returns the freshly-visited
+  /// subset (bits of `mask` not already set).
+  std::uint64_t batch_mark_visited(NodeId v, std::uint64_t mask) noexcept {
+    if (batch_visit_epoch_[v] != batch_stamp_) {
+      batch_visit_epoch_[v] = batch_stamp_;
+      batch_visited_[v] = mask;
+      return mask;
+    }
+    const std::uint64_t fresh = mask & ~batch_visited_[v];
+    batch_visited_[v] |= mask;
+    return fresh;
+  }
+
+  /// Per-batch hit words: bit q of word v set iff node v satisfies query
+  /// q's predicate (built once per batch from the catalog's holder lists,
+  /// replacing a per-visit indirect predicate call).
+  void batch_set_hit(NodeId v, std::uint64_t mask) noexcept {
+    if (batch_hit_epoch_[v] != batch_stamp_) {
+      batch_hit_epoch_[v] = batch_stamp_;
+      batch_hit_[v] = mask;
+    } else {
+      batch_hit_[v] |= mask;
+    }
+  }
+  [[nodiscard]] std::uint64_t batch_hit_mask(NodeId v) const noexcept {
+    return batch_hit_epoch_[v] == batch_stamp_ ? batch_hit_[v] : 0;
+  }
+
+  /// Per-hop arrival scatter words (own stamp, bumped every hop):
+  /// accumulate the query masks delivered to node v this hop so frontier
+  /// pushes coalesce per node.
+  void begin_batch_hop() noexcept {
+    ++arrival_stamp_;
+    if (arrival_stamp_ == 0) {
+      std::fill(arrival_epoch_.begin(), arrival_epoch_.end(), 0u);
+      arrival_stamp_ = 1;
+    }
+  }
+  /// ORs `mask` into v's arrival word; returns true on v's first arrival
+  /// this hop (caller appends v to its touched-node list).
+  bool batch_arrive(NodeId v, std::uint64_t mask) noexcept {
+    if (arrival_epoch_[v] != arrival_stamp_) {
+      arrival_epoch_[v] = arrival_stamp_;
+      batch_arrivals_[v] = mask;
+      return true;
+    }
+    batch_arrivals_[v] |= mask;
+    return false;
+  }
+  [[nodiscard]] std::uint64_t batch_arrival_mask(NodeId v) const noexcept {
+    return arrival_epoch_[v] == arrival_stamp_ ? batch_arrivals_[v] : 0;
+  }
+
+  /// Batched frontier entries: a node plus the queries for which it
+  /// joined the frontier (one entry per node per hop — pushes coalesce).
+  struct BatchFrontierEntry {
+    NodeId node;
+    std::uint64_t mask;
+  };
+  [[nodiscard]] std::vector<BatchFrontierEntry>& batch_frontier() noexcept {
+    return batch_frontier_;
+  }
+  [[nodiscard]] std::vector<BatchFrontierEntry>&
+  batch_next_frontier() noexcept {
+    return batch_next_frontier_;
+  }
+  void swap_batch_frontiers() noexcept {
+    batch_frontier_.swap(batch_next_frontier_);
+  }
+
+  [[nodiscard]] std::uint32_t batch_stamp() const noexcept {
+    return batch_stamp_;
+  }
+  /// Test seams mirroring set_stamp_for_testing for the batched arrays.
+  void set_batch_stamp_for_testing(std::uint32_t stamp) noexcept {
+    batch_stamp_ = stamp;
+  }
+  void set_arrival_stamp_for_testing(std::uint32_t stamp) noexcept {
+    arrival_stamp_ = stamp;
+  }
+
+  /// Engine hook: one batched frontier pass completed, serving `queries`
+  /// queries, of which `fallbacks` overflowed and were re-run scalar.
+  void obs_batch(std::uint64_t queries, std::uint64_t fallbacks) noexcept {
+    if (metrics_.shard == nullptr) return;
+    metrics_.shard->add(metrics_.ids.batches);
+    metrics_.shard->add(metrics_.ids.batched_queries, queries);
+    if (fallbacks > 0) {
+      metrics_.shard->add(metrics_.ids.batch_fallbacks, fallbacks);
+    }
+  }
+
  private:
   std::vector<std::uint32_t> visit_epoch_;
   std::uint32_t stamp_ = 0;
@@ -148,10 +266,24 @@ class QueryWorkspace {
   std::vector<FrontierEntry> next_frontier_;
   std::vector<NodeId> node_buffer_;
   std::vector<double> value_buffer_;
+  std::vector<std::uint32_t> mask_buffer_;
   std::vector<std::uint64_t> outgoing_;
   bool account_outgoing_ = false;
   obs::SearchObs metrics_{};
   Rng rng_{0};
+
+  // Batched-query state (lazily sized by begin_batch; scalar-only callers
+  // never allocate it).
+  std::vector<std::uint32_t> batch_visit_epoch_;
+  std::vector<std::uint64_t> batch_visited_;
+  std::vector<std::uint32_t> batch_hit_epoch_;
+  std::vector<std::uint64_t> batch_hit_;
+  std::vector<std::uint32_t> arrival_epoch_;
+  std::vector<std::uint64_t> batch_arrivals_;
+  std::uint32_t batch_stamp_ = 0;
+  std::uint32_t arrival_stamp_ = 0;
+  std::vector<BatchFrontierEntry> batch_frontier_;
+  std::vector<BatchFrontierEntry> batch_next_frontier_;
 };
 
 }  // namespace makalu

@@ -13,4 +13,14 @@ QueryResult SearchEngine::run(NodeId source, ObjectId object,
              workspace);
 }
 
+void SearchEngine::run_many(std::span<const BatchQueryJob> jobs,
+                            const ObjectCatalog& catalog,
+                            QueryWorkspace& workspace,
+                            QueryResult* results) const {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    workspace.rng() = jobs[i].rng;
+    results[i] = run(jobs[i].source, jobs[i].object, catalog, workspace);
+  }
+}
+
 }  // namespace makalu

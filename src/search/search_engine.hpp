@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <type_traits>
 
@@ -19,6 +20,7 @@
 #include "search/query_workspace.hpp"
 #include "sim/query_stats.hpp"
 #include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
 
 namespace makalu {
 
@@ -64,6 +66,16 @@ class NodePredicate {
   std::uint64_t routing_key_;
 };
 
+/// One query of a co-scheduled batch handed to SearchEngine::run_many.
+/// Carries the pre-advanced RNG state (the stream exactly as the scalar
+/// driver path would hand the engine after drawing source and object), so
+/// the default scalar fallback reproduces per-query results bit-for-bit.
+struct BatchQueryJob {
+  NodeId source = kInvalidNode;
+  ObjectId object = 0;
+  Rng rng{0};
+};
+
 class SearchEngine {
  public:
   virtual ~SearchEngine() = default;
@@ -83,6 +95,23 @@ class SearchEngine {
   [[nodiscard]] QueryResult run(NodeId source, ObjectId object,
                                 const ObjectCatalog& catalog,
                                 QueryWorkspace& workspace) const;
+
+  /// True when run_many co-schedules queries through shared state
+  /// (batched frontiers) rather than looping the scalar path. The driver
+  /// only takes its batched path for engines that return true; results
+  /// must be bit-identical either way.
+  [[nodiscard]] virtual bool supports_query_batching() const noexcept {
+    return false;
+  }
+
+  /// Runs jobs.size() queries, writing results[i] for jobs[i]. The base
+  /// implementation is the scalar loop (seed workspace RNG from the job,
+  /// run, repeat) — the reference every batched override must match
+  /// bit-for-bit, at any batch partitioning.
+  virtual void run_many(std::span<const BatchQueryJob> jobs,
+                        const ObjectCatalog& catalog,
+                        QueryWorkspace& workspace,
+                        QueryResult* results) const;
 
  protected:
   SearchEngine() = default;

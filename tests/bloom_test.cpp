@@ -105,9 +105,57 @@ TEST(BloomFilter, ParametersMatch) {
 TEST(BloomFilter, ByteSize) {
   const BloomFilter f({1024, 4});
   EXPECT_EQ(f.byte_size(), 128u);
-  // Bits round up to a multiple of 64.
+  // The requested bit count is honored exactly; only storage rounds up.
   const BloomFilter g({100, 2});
-  EXPECT_EQ(g.bit_count(), 128u);
+  EXPECT_EQ(g.bit_count(), 100u);
+  EXPECT_EQ(g.byte_size(), 13u);
+  EXPECT_EQ(g.word_count(), 2u);
+}
+
+// Regression: filters whose bit count is not a multiple of 64 used to be
+// silently rounded up, which desynchronised the probe modulus from the
+// advertised parameters and let padding bits leak into word-granular
+// consumers. Sizes 63/64/65 straddle the word boundary.
+class BloomTrailingWord : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomTrailingWord, ExactModulusAndCleanPadding) {
+  const std::size_t bits = GetParam();
+  BloomFilter f({bits, 3});
+  EXPECT_EQ(f.bit_count(), bits);
+  EXPECT_EQ(f.word_count(), (bits + 63) / 64);
+
+  Rng rng(77);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back(rng());
+  for (const auto k : keys) f.insert(k);
+  for (const auto k : keys) EXPECT_TRUE(f.maybe_contains(k));
+
+  // Every probe landed within [0, bits): the tail word's padding stays 0.
+  EXPECT_EQ(f.words().back() & ~f.tail_mask(), 0u);
+
+  // Whole-word popcount fill estimation is exact, not diluted by padding:
+  // with this much pressure on a tiny filter, essentially every real slot
+  // is set, so fill_ratio must be able to reach 1.0, not cap at m/ceil64(m).
+  std::size_t bits_by_probe = 0;
+  for (std::size_t b = 0; b < bits; ++b) bits_by_probe += f.test_bit(b);
+  EXPECT_EQ(f.set_bit_count(), bits_by_probe);
+  EXPECT_LE(f.set_bit_count(), bits);
+
+  // Word-granular merge preserves the invariant too.
+  BloomFilter g({bits, 3});
+  g.insert(rng());
+  g.merge(f);
+  EXPECT_EQ(g.words().back() & ~g.tail_mask(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundary, BloomTrailingWord,
+                         ::testing::Values(63, 64, 65));
+
+TEST(BloomFilter, TailMaskShapes) {
+  EXPECT_EQ(bloom_tail_mask(64), ~0ULL);
+  EXPECT_EQ(bloom_tail_mask(63), (1ULL << 63) - 1);
+  EXPECT_EQ(bloom_tail_mask(65), 1ULL);
+  EXPECT_EQ(BloomFilter({63, 2}).tail_mask(), (1ULL << 63) - 1);
 }
 
 TEST(Abf, InsertAtLevelIsLevelLocal) {
@@ -153,6 +201,27 @@ TEST(Abf, MergeShiftedPushesContentDeeper) {
   EXPECT_FALSE(ours.level(0).maybe_contains(33));
   EXPECT_FALSE(ours.level(1).maybe_contains(33));
   EXPECT_FALSE(ours.level(2).maybe_contains(33));
+}
+
+TEST(Abf, MergeShiftedFromSelfDoesNotCascade) {
+  // Regression: abf.merge_shifted_from(abf) (a node re-solicited as its own
+  // neighbor in the exchange rounds) used to walk levels shallow-to-deep,
+  // reading level i after it had absorbed level i-1 — so level-0 content
+  // cascaded into EVERY deeper level instead of shifting exactly one hop.
+  AttenuatedBloomFilter abf(4, {512, 3});
+  abf.insert_at(0, 11);
+  abf.insert_at(1, 22);
+  abf.merge_shifted_from(abf);
+
+  // 11 shifts exactly one level deeper and no further.
+  EXPECT_TRUE(abf.level(0).maybe_contains(11));  // original copy stays
+  EXPECT_TRUE(abf.level(1).maybe_contains(11));
+  EXPECT_FALSE(abf.level(2).maybe_contains(11));
+  EXPECT_FALSE(abf.level(3).maybe_contains(11));
+  // 22 likewise.
+  EXPECT_TRUE(abf.level(1).maybe_contains(22));
+  EXPECT_TRUE(abf.level(2).maybe_contains(22));
+  EXPECT_FALSE(abf.level(3).maybe_contains(22));
 }
 
 TEST(Abf, LevelwiseMerge) {

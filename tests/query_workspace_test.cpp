@@ -90,6 +90,102 @@ TEST(QueryWorkspace, OutgoingAccountingAccumulatesUntilReenabled) {
   EXPECT_EQ(ws.outgoing()[2], 0u);
 }
 
+TEST(BatchStamp, BumpsOncePerBatchNotPerQuery) {
+  QueryWorkspace ws;
+  ws.begin_batch(8);
+  const std::uint32_t stamp = ws.batch_stamp();
+
+  // Several queries of one batch mark visits; the stamp must not move —
+  // a per-query bump would alias earlier queries' visit words away.
+  EXPECT_EQ(ws.batch_mark_visited(3, 0b0101u), 0b0101u);
+  EXPECT_EQ(ws.batch_mark_visited(3, 0b0011u), 0b0010u);  // bit 0 stale
+  EXPECT_EQ(ws.batch_visited_mask(3), 0b0111u);
+  EXPECT_EQ(ws.batch_stamp(), stamp);
+
+  // The *next* batch gets a fresh stamp and empty words.
+  ws.begin_batch(8);
+  EXPECT_EQ(ws.batch_stamp(), stamp + 1);
+  EXPECT_EQ(ws.batch_visited_mask(3), 0u);
+}
+
+TEST(BatchStamp, WraparoundRefillsVisitedAndHitWords) {
+  QueryWorkspace ws;
+  ws.begin_batch(16);
+  ws.batch_mark_visited(5, 0b1u);
+  ws.batch_set_hit(6, 0b10u);
+
+  // Force the next begin_batch to overflow the 32-bit batch stamp: the
+  // refill branch must clear stale epochs in BOTH the visited and hit
+  // arrays so a reused stamp cannot resurrect last cycle's words.
+  ws.set_batch_stamp_for_testing(0xFFFFFFFFu);
+  ws.begin_batch(16);
+  EXPECT_EQ(ws.batch_stamp(), 1u);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(ws.batch_visited_mask(v), 0u);
+    EXPECT_EQ(ws.batch_hit_mask(v), 0u);
+  }
+
+  // And the refreshed cycle works normally.
+  ws.batch_mark_visited(2, 0b100u);
+  EXPECT_EQ(ws.batch_visited_mask(2), 0b100u);
+  ws.begin_batch(16);
+  EXPECT_EQ(ws.batch_stamp(), 2u);
+  EXPECT_EQ(ws.batch_visited_mask(2), 0u);
+}
+
+TEST(BatchStamp, ResizeForNewTopologyResetsBatchArrays) {
+  QueryWorkspace ws;
+  ws.begin_batch(4);
+  ws.batch_mark_visited(1, ~0ULL);
+  ws.batch_set_hit(2, ~0ULL);
+
+  ws.begin_batch(10);  // different node count → fresh arrays
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(ws.batch_visited_mask(v), 0u);
+    EXPECT_EQ(ws.batch_hit_mask(v), 0u);
+  }
+}
+
+TEST(BatchStamp, ArrivalsCoalescePerHop) {
+  QueryWorkspace ws;
+  ws.begin_batch(8);
+
+  ws.begin_batch_hop();
+  EXPECT_TRUE(ws.batch_arrive(4, 0b01u));   // first arrival this hop
+  EXPECT_FALSE(ws.batch_arrive(4, 0b10u));  // coalesces into one entry
+  EXPECT_EQ(ws.batch_arrival_mask(4), 0b11u);
+
+  // A new hop resets the scatter words without touching visited state.
+  ws.begin_batch_hop();
+  EXPECT_EQ(ws.batch_arrival_mask(4), 0u);
+  EXPECT_TRUE(ws.batch_arrive(4, 0b100u));
+
+  // Arrival-stamp wraparound refill mirrors the batch stamp's: stale
+  // scatter words must not survive a reused stamp value.
+  QueryWorkspace ws2;
+  ws2.begin_batch(8);
+  ws2.begin_batch_hop();
+  ws2.batch_arrive(3, 0b1u);
+  ws2.set_arrival_stamp_for_testing(0xFFFFFFFFu);
+  ws2.begin_batch_hop();
+  EXPECT_EQ(ws2.batch_arrival_mask(3), 0u);
+  EXPECT_TRUE(ws2.batch_arrive(3, 0b10u));
+  EXPECT_EQ(ws2.batch_arrival_mask(3), 0b10u);
+}
+
+TEST(BatchStamp, BatchFrontiersClearedBetweenBatches) {
+  QueryWorkspace ws;
+  ws.begin_batch(4);
+  ws.batch_next_frontier().push_back({1, 0b11u});
+  ws.swap_batch_frontiers();
+  EXPECT_EQ(ws.batch_frontier().size(), 1u);
+  EXPECT_TRUE(ws.batch_next_frontier().empty());
+
+  ws.begin_batch(4);
+  EXPECT_TRUE(ws.batch_frontier().empty());
+  EXPECT_TRUE(ws.batch_next_frontier().empty());
+}
+
 TEST(QueryWorkspace, PerQuerySeedIsDeterministicAndSpread) {
   const std::uint64_t base = 42;
   EXPECT_EQ(QueryWorkspace::per_query_seed(base, 7),
