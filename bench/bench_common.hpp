@@ -11,6 +11,7 @@
 
 #include "analysis/topology_factory.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
@@ -86,12 +87,25 @@ class BenchRun {
     if (!enabled()) return;
     registry_.shard(0).add(registry_.counter(name), delta);
   }
+  /// Memory gauge helper: records `bytes` amortized over `n` nodes (the
+  /// unit bench_compare.py ceiling-gates with --require-max).
+  void bytes_per_node(const std::string& name, std::size_t bytes,
+                      std::size_t n) {
+    if (n == 0) return;
+    gauge(name, static_cast<double>(bytes) / static_cast<double>(n));
+  }
   [[nodiscard]] obs::BenchReport& report() { return report_; }
 
   /// Writes the JSON document when --json was given. Returns false only
   /// on a write failure (missing directory, unwritable path).
+  /// Every report automatically carries the process's peak RSS (MB) so
+  /// memory ceilings are checkable on any bench without per-bench code.
   bool finish() {
     if (!enabled()) return true;
+    if (const std::size_t peak = obs::peak_rss_bytes(); peak > 0) {
+      gauge("peak_rss_mb",
+            static_cast<double>(peak) / (1024.0 * 1024.0));
+    }
     if (!report_.write_file(path_, registry_.snapshot())) {
       std::cerr << "error: cannot write " << path_ << "\n";
       return false;

@@ -126,7 +126,8 @@ def compare_metrics(base: dict, cand: dict, args) -> list[str]:
     return regressions
 
 
-def parse_requirement(spec: str) -> tuple[str, str, float]:
+def parse_requirement(spec: str, flag: str = "--require"
+                      ) -> tuple[str, str, float]:
     """Splits 'name>=value' / 'name<=value' into (name, op, value)."""
     for op in (">=", "<="):
         if op in spec:
@@ -135,21 +136,34 @@ def parse_requirement(spec: str) -> tuple[str, str, float]:
                 return name.strip(), op, float(raw)
             except ValueError:
                 break
-    sys.exit(f"error: bad --require {spec!r} (expected NAME>=VALUE "
+    sys.exit(f"error: bad {flag} {spec!r} (expected NAME>=VALUE "
              "or NAME<=VALUE)")
 
 
-def check_requirements(cand: dict, specs: list[str], verbose: bool
-                       ) -> list[str]:
+def parse_ceiling(spec: str) -> tuple[str, str, float]:
+    """--require-max: 'name<=value' (the memory-ceiling gate). A bare
+    'name=value' is accepted as shorthand for '<='; '>=' is rejected —
+    floors belong to --require."""
+    if ">=" in spec:
+        sys.exit(f"error: --require-max {spec!r} is a ceiling gate; "
+                 "use --require for NAME>=VALUE floors")
+    if "<=" not in spec and "=" in spec:
+        name, _, raw = spec.partition("=")
+        spec = f"{name}<={raw}"
+    return parse_requirement(spec, flag="--require-max")
+
+
+def check_requirements(cand: dict,
+                       specs: list[tuple[str, tuple[str, str, float]]],
+                       verbose: bool) -> list[str]:
     """Absolute gates on candidate counters/gauges, baseline-independent."""
     failures: list[str] = []
-    for spec in specs:
-        name, op, bound = parse_requirement(spec)
+    for spec, (name, op, bound) in specs:
         metric = cand.get(name)
         value = scalar_value(metric) if isinstance(metric, dict) else None
         if value is None:
             failures.append(
-                f"--require {spec!r}: metric {name!r} missing from "
+                f"{spec}: metric {name!r} missing from "
                 "candidate (or not a counter/gauge)"
             )
             continue
@@ -159,7 +173,7 @@ def check_requirements(cand: dict, specs: list[str], verbose: bool
                   f"[{'ok' if ok else 'FAIL'}]")
         if not ok:
             failures.append(
-                f"--require {spec!r}: measured {value:g}"
+                f"{spec}: measured {value:g}"
             )
     return failures
 
@@ -211,6 +225,12 @@ def main() -> int:
              "gauge; repeatable; fails independent of the baseline",
     )
     parser.add_argument(
+        "--require-max", action="append", default=[], metavar="NAME<=VALUE",
+        help="absolute ceiling on a candidate counter/gauge (memory gate: "
+             "e.g. 'scale.bytes_per_node<=64' or 'peak_rss_mb<=16384'); "
+             "repeatable; rejects '>=' specs",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print every compared value, not just regressions",
     )
@@ -237,8 +257,12 @@ def main() -> int:
         base.get("metrics", {}), cand.get("metrics", {}), args
     )
     regressions += compare_timings(base, cand, args)
+    gates = [(f"--require {spec!r}", parse_requirement(spec))
+             for spec in args.require]
+    gates += [(f"--require-max {spec!r}", parse_ceiling(spec))
+              for spec in args.require_max]
     regressions += check_requirements(
-        cand.get("metrics", {}), args.require, args.verbose
+        cand.get("metrics", {}), gates, args.verbose
     )
 
     if regressions:

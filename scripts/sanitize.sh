@@ -35,7 +35,7 @@ if [[ "${MODE}" == "tsan" ]]; then
   # Batched covers the shared-frontier batched driver/differential tests
   # (BatchedDriverDifferential runs the 64-wide kernel under 2/8-thread
   # pools; the arena match kernels ride along in the same binary).
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp'}
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp|CompactGraph|Storage|Scale'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

@@ -47,7 +47,7 @@ BuiltTopology build_topology(TopologyKind kind, const LatencyModel& latency,
     case TopologyKind::kKRegular: {
       std::size_t k = options.k_regular_degree;
       if ((n * k) % 2 != 0) ++k;  // keep n*k even regardless of n
-      KRegularGenerator generator(k);
+      KRegularGenerator generator(k, options.k_regular_storage);
       out.graph = generator.generate(n, seed);
       return out;
     }

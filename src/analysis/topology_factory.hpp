@@ -30,6 +30,9 @@ struct TopologyFactoryOptions {
   // Paper's k-regular baseline: lambda_1 = 2.7315 matches the Alon-
   // Boppana value k - 2 sqrt(k-1) for k = 8.
   std::size_t k_regular_degree = 8;
+  GraphStorage k_regular_storage = GraphStorage::kAdjacencySet;
+  // (Makalu, power-law, and two-tier storage live in their own
+  // parameter structs above.)
 };
 
 struct BuiltTopology {

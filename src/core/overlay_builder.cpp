@@ -114,28 +114,32 @@ std::vector<NodeId> OverlayBuilder::gather_candidates(const Graph& g,
   return candidates;
 }
 
-NodeId OverlayBuilder::pick_victim(
-    const Graph& g, const std::vector<NeighborRating>& ratings) const {
+NodeId OverlayBuilder::pick_victim(const Graph& g,
+                                   RatedNeighborsView ratings) const {
   // Lowest-rated neighbor, skipping peers at or below the low-water
   // mark (dropping them would orphan them); fall back to the absolute
-  // worst when every neighbor is protected.
+  // worst when every neighbor is protected. Index-based over the view so
+  // the identical comparison runs against either rating store.
   MAKALU_ASSERT(!ratings.empty());
-  const NeighborRating* worst = nullptr;
-  const NeighborRating* worst_unprotected = nullptr;
-  auto better = [](const NeighborRating& a, const NeighborRating* b) {
-    if (b == nullptr) return true;
-    if (a.score != b->score) return a.score < b->score;
-    return a.neighbor < b->neighbor;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t worst = kNone;
+  std::size_t worst_unprotected = kNone;
+  auto better = [&ratings](std::size_t a, std::size_t b) {
+    if (b == kNone) return true;
+    if (ratings.score(a) != ratings.score(b)) {
+      return ratings.score(a) < ratings.score(b);
+    }
+    return ratings.neighbor(a) < ratings.neighbor(b);
   };
-  for (const auto& r : ratings) {
-    if (better(r, worst)) worst = &r;
-    if (g.degree(r.neighbor) > params_.low_water_mark &&
-        better(r, worst_unprotected)) {
-      worst_unprotected = &r;
+  for (std::size_t i = 0; i < ratings.size(); ++i) {
+    if (better(i, worst)) worst = i;
+    if (g.degree(ratings.neighbor(i)) > params_.low_water_mark &&
+        better(i, worst_unprotected)) {
+      worst_unprotected = i;
     }
   }
-  return worst_unprotected != nullptr ? worst_unprotected->neighbor
-                                      : worst->neighbor;
+  return ratings.neighbor(worst_unprotected != kNone ? worst_unprotected
+                                                     : worst);
 }
 
 std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
@@ -143,7 +147,9 @@ std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
   std::size_t removed = 0;
   while (overlay.graph.degree(u) > overlay.capacity[u]) {
     const auto ratings = engine.rate_neighbors(u);
-    overlay.graph.remove_edge(u, pick_victim(overlay.graph, ratings));
+    overlay.graph.remove_edge(
+        u, pick_victim(overlay.graph,
+                       RatedNeighborsView::from_packed(ratings)));
     ++removed;
   }
   return removed;
@@ -156,9 +162,8 @@ std::size_t OverlayBuilder::manage(MakaluOverlay& overlay,
   std::size_t removed = 0;
   while (overlay.graph.degree(u) > overlay.capacity[u]) {
     // Re-fetched every iteration: the removal below dirties u's entry.
-    const std::vector<NeighborRating>& ratings =
-        scratch != nullptr ? cache.ratings_for(u, *scratch).ratings
-                           : cache.rate_neighbors(u);
+    const RatedNeighborsView ratings =
+        scratch != nullptr ? cache.view_for(u, *scratch) : cache.view_for(u);
     const NodeId victim = pick_victim(overlay.graph, ratings);
     overlay.graph.remove_edge(u, victim);
     ++removed;
@@ -315,6 +320,17 @@ std::size_t OverlayBuilder::deterministic_sweep(
   // only touch the graph/cache), so one shard suffices. Cache counters are
   // sampled before/after to attribute this sweep's delta. Observe-only:
   // nothing below reads the registry back or consumes RNG.
+  // Sweep start is a quiescent point (no caller holds neighbor spans), so
+  // this is where a bloated compact slab gets its epoch compaction. The
+  // threshold trades repack cost against peak slab size; 0.5 keeps the
+  // slab under 2x its live content. No-op for adjacency storage, and
+  // neighbor content/order is unchanged, so the attached cache stays
+  // aligned.
+  constexpr double kCompactionSlackThreshold = 0.5;
+  if (g.storage_slack_ratio() > kCompactionSlackThreshold) {
+    g.compact_storage();
+  }
+
   obs::MetricsShard* obs_shard = nullptr;
   SweepMetricIds obs_ids;
   std::uint64_t hits_before = 0;
@@ -467,7 +483,7 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
   Rng rng(seed);
 
   MakaluOverlay overlay;
-  overlay.graph = Graph(n);
+  overlay.graph = Graph(n, params_.storage);
   overlay.capacity.resize(n);
   for (auto& cap : overlay.capacity) {
     cap = static_cast<std::size_t>(rng.uniform_int(
@@ -500,6 +516,7 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
   // practice; stitch stragglers (isolated latecomers whose candidates all
   // pruned them) exactly as a real deployment's re-join would.
   ensure_connected(overlay.graph, rng);
+  overlay.graph.compact_storage();
   return overlay;
 }
 
@@ -511,7 +528,7 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
   Rng rng(seed);
 
   MakaluOverlay overlay;
-  overlay.graph = Graph(n);
+  overlay.graph = Graph(n, params_.storage);
   overlay.capacity.resize(n);
   for (auto& cap : overlay.capacity) {
     cap = static_cast<std::size_t>(rng.uniform_int(
@@ -545,6 +562,101 @@ MakaluOverlay OverlayBuilder::build(const LatencyModel& latency,
     }
   }
   ensure_connected(overlay.graph, rng);
+  overlay.graph.compact_storage();
+  return overlay;
+}
+
+MakaluOverlay OverlayBuilder::build_sharded(
+    const LatencyModel& latency, std::uint64_t seed, ThreadPool* pool,
+    obs::MetricsRegistry* metrics) const {
+  const std::size_t n = latency.node_count();
+  MAKALU_EXPECTS(n >= 2);
+  // Independent sub-seeds per phase, drawn in fixed order, so the phases
+  // cannot correlate with each other or with the sweeps' per-node streams.
+  Rng root(seed);
+  const std::uint64_t cap_seed = root();
+  const std::uint64_t boot_seed = root();
+  const std::uint64_t perm_seed = root();
+  const std::uint64_t sweep_seed = root();
+  const std::uint64_t stitch_seed = root();
+
+  MakaluOverlay overlay;
+  overlay.graph = Graph(n, params_.storage);
+  overlay.capacity.resize(n);
+
+  // Phase 1 — plan (parallel over contiguous ranges, read-only). Each node
+  // draws its capacity and its bootstrap candidate list from its own
+  // stream, a pure function of (seed, u): any shard partition — including
+  // none — produces identical plans.
+  std::vector<NodeId> candidates(n * params_.capacity_max, kInvalidNode);
+  const auto plan_one = [&](std::size_t u) {
+    Rng cap_stream(cap_seed ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(u) + 1)));
+    overlay.capacity[u] = static_cast<std::size_t>(cap_stream.uniform_int(
+        static_cast<std::int64_t>(params_.capacity_min),
+        static_cast<std::int64_t>(params_.capacity_max)));
+    Rng boot_stream(boot_seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(u) + 1)));
+    // The bootstrap server hands out capacity[u] uniform random peers.
+    // Duplicates/self draws are simply dropped — the sweeps below absorb
+    // any residual deficit, as they do for walk collisions.
+    NodeId* out = candidates.data() + u * params_.capacity_max;
+    std::size_t count = 0;
+    for (std::size_t draw = 0; draw < overlay.capacity[u]; ++draw) {
+      const auto c = static_cast<NodeId>(boot_stream.uniform_below(n));
+      if (c == u) continue;
+      bool dup = false;
+      for (std::size_t i = 0; i < count; ++i) dup = dup || out[i] == c;
+      if (!dup) out[count++] = c;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, n, plan_one);
+  } else {
+    for (std::size_t u = 0; u < n; ++u) plan_one(u);
+  }
+
+  // Phase 2 — apply serially in a seeded permutation (the one true
+  // bootstrap order, independent of thread count).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng perm_rng(perm_seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[perm_rng.uniform_below(i)]);
+  }
+  Graph& g = overlay.graph;
+  for (const NodeId u : order) {
+    const NodeId* cand = candidates.data() + u * params_.capacity_max;
+    for (std::size_t i = 0;
+         i < params_.capacity_max && cand[i] != kInvalidNode; ++i) {
+      if (g.degree(u) >= overlay.capacity[u]) break;
+      g.add_edge(u, cand[i]);
+    }
+  }
+  candidates.clear();
+  candidates.shrink_to_fit();
+
+  // Phase 3 — manage: deterministic sweeps turn the random bootstrap graph
+  // into a rating-managed overlay. maintenance_rounds + 2: the bootstrap
+  // graph starts with the deficit and over-capacity churn a one-at-a-time
+  // join sequence resolves incrementally, and two extra sweeps absorb it.
+  {
+    CachedRatingEngine cache(g, latency, params_.weights);
+    Rng sweep_rng(sweep_seed);
+    for (std::size_t round = 0; round < params_.maintenance_rounds + 2;
+         ++round) {
+      SweepOptions sweep;
+      sweep.seed = sweep_rng();
+      sweep.pool = pool;
+      sweep.metrics = metrics;
+      deterministic_sweep(overlay, cache, sweep);
+    }
+  }
+  Rng stitch_rng(stitch_seed);
+  ensure_connected(g, stitch_rng);
+  g.compact_storage();
   return overlay;
 }
 

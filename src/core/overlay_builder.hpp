@@ -61,6 +61,11 @@ struct MakaluParameters {
   /// information (peers exchange routing tables on connect). Set to 0 to
   /// disable (ablation).
   std::size_t low_water_mark = 3;
+  /// Storage policy of the built overlay graph. kCompact also makes the
+  /// build's rating cache pool its memo table (RatingStore::kAuto), which
+  /// together is what fits a 1M-node build in memory. Decisions are
+  /// bit-identical across policies.
+  GraphStorage storage = GraphStorage::kAdjacencySet;
 };
 
 /// A built overlay: the graph plus the per-node capacities that shaped it.
@@ -112,6 +117,31 @@ class OverlayBuilder {
                                     std::uint64_t seed, ThreadPool* pool,
                                     obs::MetricsRegistry* metrics =
                                         nullptr) const;
+
+  /// Large-scale sharded build. The serial protocols above join nodes one
+  /// at a time — random walks against the half-built overlay — which is
+  /// faithful to the paper but inherently sequential and O(n) joins deep;
+  /// at 10^6 nodes it is the wall. This variant restructures bootstrap the
+  /// way deterministic_sweep restructures maintenance:
+  ///   1. plan: every node draws capacity[u] bootstrap candidates from its
+  ///      own RNG stream (the bootstrap server handing out uniform random
+  ///      peers), parallel over contiguous node ranges — pure function of
+  ///      (seed, u), so any shard partition produces the same plans;
+  ///   2. apply: planned connections land serially in a seeded permutation
+  ///      (one bootstrap order, independent of thread count);
+  ///   3. manage: maintenance_rounds + 2 deterministic sweeps turn the
+  ///      random bootstrap graph into a rating-managed Makalu overlay
+  ///      (the +2 absorbs the deficit/pruning churn a walk-based join
+  ///      sequence would have resolved incrementally).
+  /// Deterministic in `seed` alone (any pool, any storage policy); the
+  /// result differs from build() — it is a different (scalable) run of the
+  /// same protocol. Ends with compact_storage(): the returned overlay is
+  /// tightly packed.
+  [[nodiscard]] MakaluOverlay build_sharded(const LatencyModel& latency,
+                                            std::uint64_t seed,
+                                            ThreadPool* pool,
+                                            obs::MetricsRegistry* metrics =
+                                                nullptr) const;
 
   /// Join a single new node into an existing overlay (used by churn /
   /// repair experiments). `joiner` must currently be isolated.
@@ -167,10 +197,11 @@ class OverlayBuilder {
                                                       std::size_t want,
                                                       Rng& rng) const;
 
-  /// Lowest-rated neighbor respecting the low-water mark (nullptr never —
-  /// ratings is non-empty by contract).
-  [[nodiscard]] NodeId pick_victim(
-      const Graph& g, const std::vector<NeighborRating>& ratings) const;
+  /// Lowest-rated neighbor respecting the low-water mark (ratings is
+  /// non-empty by contract). Consumes only (neighbor, score) pairs so it
+  /// serves both rating stores.
+  [[nodiscard]] NodeId pick_victim(const Graph& g,
+                                   RatedNeighborsView ratings) const;
 
   /// Enforce the capacity constraint at u by pruning lowest-rated
   /// neighbors. Returns edges removed.

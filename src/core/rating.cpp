@@ -108,7 +108,7 @@ void RatingEngine::rate_node(NodeId u, NodeRatings& out) {
       // member seen by exactly one of u's neighbors (necessarily w).
       if (seen_count_[x] == 1 && mark_epoch_[x] == stamp_) ++unique;
     }
-    r.unique_reachable = unique;
+    r.unique_reachable = static_cast<std::uint32_t>(unique);
     if (normalized) {
       r.connectivity = others > 0 ? static_cast<double>(unique) /
                                         static_cast<double>(others)

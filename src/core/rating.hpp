@@ -54,11 +54,13 @@ struct RatingWeights {
 
 struct NeighborRating {
   NodeId neighbor = kInvalidNode;
+  std::uint32_t unique_reachable = 0;  ///< |R(u,v)| (fits: < node count)
   double score = 0.0;         ///< F(u, v)
   double connectivity = 0.0;  ///< |R(u,v)| / |∂Γ(u)|
   double proximity = 0.0;     ///< d_max / d(u,v)
-  std::size_t unique_reachable = 0;  ///< |R(u,v)|
 };
+static_assert(sizeof(NeighborRating) == 32,
+              "packed for slab pooling — ~10 of these per node at 1M nodes");
 
 /// Everything one node's management step needs, produced in a single pass:
 /// the per-neighbor ratings (in adjacency order), the boundary size, and
@@ -89,6 +91,15 @@ class RatingEngine {
   /// bitwise identical.
   void rate_node(NodeId u, NodeRatings& out);
 
+  /// rate_node into an engine-owned scratch: the reference stays valid
+  /// until the next rate_node/rate_neighbors call on this engine. Lets
+  /// slab-backed caches run the one true kernel without owning a
+  /// NodeRatings per node (each worker's scratch engine brings its own).
+  const NodeRatings& rate_node(NodeId u) {
+    rate_node(u, scratch_ratings_);
+    return scratch_ratings_;
+  }
+
   /// Convenience: the current lowest-rated neighbor of u (ties broken by
   /// smaller id for determinism); kInvalidNode if u is isolated.
   [[nodiscard]] NodeId worst_neighbor(NodeId u);
@@ -113,6 +124,7 @@ class RatingEngine {
   std::vector<std::uint32_t> mark_epoch_;
   std::vector<std::uint32_t> seen_count_;
   std::uint32_t stamp_ = 0;
+  NodeRatings scratch_ratings_;  // backing for rate_node(u)
 };
 
 }  // namespace makalu

@@ -1,16 +1,41 @@
 #include "core/rating_cache.hpp"
 
+#if defined(__has_include)
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define MAKALU_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+#endif
+
 namespace makalu {
+
+namespace {
+
+RatingStore resolve_store(RatingStore requested, const Graph& graph) {
+  if (requested != RatingStore::kAuto) return requested;
+  return graph.storage() == GraphStorage::kCompact
+             ? RatingStore::kPooledSummary
+             : RatingStore::kHeapEntries;
+}
+
+}  // namespace
 
 CachedRatingEngine::CachedRatingEngine(Graph& graph,
                                        const LatencyModel& latency,
-                                       RatingWeights weights)
+                                       RatingWeights weights,
+                                       RatingStore store)
     : graph_(graph),
       latency_(latency),
       weights_(weights),
+      store_(resolve_store(store, graph)),
       serial_engine_(graph, latency, weights),
-      entries_(graph.node_count()),
       valid_(std::make_unique<std::atomic<bool>[]>(graph.node_count())) {
+  const std::size_t n = graph.node_count();
+  if (store_ == RatingStore::kPooledSummary) {
+    info_.resize(n);
+  } else {
+    entries_.resize(n);
+  }
   graph_.set_observer(this);
 }
 
@@ -24,6 +49,7 @@ const NodeRatings& CachedRatingEngine::ratings_for(NodeId u) {
 
 const NodeRatings& CachedRatingEngine::ratings_for(NodeId u,
                                                    RatingEngine& scratch) {
+  MAKALU_EXPECTS(store_ == RatingStore::kHeapEntries);
   MAKALU_EXPECTS(u < entries_.size());
   if (valid_[u].load(std::memory_order_relaxed)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -33,6 +59,78 @@ const NodeRatings& CachedRatingEngine::ratings_for(NodeId u,
   valid_[u].store(true, std::memory_order_relaxed);
   misses_.fetch_add(1, std::memory_order_relaxed);
   return entries_[u];
+}
+
+const NodeRatings& CachedRatingEngine::evaluate_pooled(NodeId u,
+                                                       RatingEngine& scratch) {
+  // One true kernel: the full evaluation runs in the scratch engine's own
+  // NodeRatings; only the {worst, boundary} summary persists. Every double
+  // a caller compares is therefore bitwise identical to what the heap
+  // store would have memoized.
+  const NodeRatings& full = scratch.rate_node(u);
+  info_[u].worst = full.worst;
+  info_[u].boundary = static_cast<std::uint32_t>(full.boundary);
+  valid_[u].store(true, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return full;
+}
+
+RatedNeighborsView CachedRatingEngine::view_for(NodeId u) {
+  return view_for(u, serial_engine_);
+}
+
+RatedNeighborsView CachedRatingEngine::view_for(NodeId u,
+                                                RatingEngine& scratch) {
+  if (store_ == RatingStore::kHeapEntries) {
+    return RatedNeighborsView::from_packed(ratings_for(u, scratch).ratings);
+  }
+  MAKALU_EXPECTS(u < info_.size());
+  // Per-neighbor scores are not persisted (the sweep only asks for a view
+  // right after one of u's edges changed, which invalidated any persisted
+  // row — see the header), so a view request always runs the kernel.
+  return RatedNeighborsView::from_packed(evaluate_pooled(u, scratch).ratings);
+}
+
+NodeId CachedRatingEngine::worst_neighbor(NodeId u) {
+  if (store_ == RatingStore::kHeapEntries) return ratings_for(u).worst;
+  MAKALU_EXPECTS(u < info_.size());
+  if (valid_[u].load(std::memory_order_relaxed)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (void)evaluate_pooled(u, serial_engine_);
+  }
+  return info_[u].worst;
+}
+
+std::size_t CachedRatingEngine::boundary_size(NodeId u) {
+  if (store_ == RatingStore::kHeapEntries) return ratings_for(u).boundary;
+  MAKALU_EXPECTS(u < info_.size());
+  if (valid_[u].load(std::memory_order_relaxed)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (void)evaluate_pooled(u, serial_engine_);
+  }
+  return info_[u].boundary;
+}
+
+std::size_t CachedRatingEngine::memory_footprint() const {
+  const std::size_t n = graph_.node_count();
+  std::size_t bytes = n * sizeof(std::atomic<bool>);
+  if (store_ == RatingStore::kPooledSummary) {
+    bytes += info_.capacity() * sizeof(PooledInfo);
+    return bytes;
+  }
+  bytes += entries_.capacity() * sizeof(NodeRatings);
+  for (const auto& entry : entries_) {
+    if (entry.ratings.capacity() == 0) continue;
+#if defined(MAKALU_HAVE_MALLOC_USABLE_SIZE)
+    bytes += malloc_usable_size(
+        const_cast<void*>(static_cast<const void*>(entry.ratings.data())));
+#else
+    bytes += entry.ratings.capacity() * sizeof(NeighborRating);
+#endif
+  }
+  return bytes;
 }
 
 void CachedRatingEngine::invalidate_footprint(NodeId a, NodeId b) {
@@ -55,10 +153,14 @@ void CachedRatingEngine::on_edge_removed(NodeId u, NodeId v) {
 }
 
 void CachedRatingEngine::on_node_added(NodeId id) {
-  // Serial-only by the threading contract; grow both tables.
+  // Serial-only by the threading contract; grow all tables.
   const std::size_t n = graph_.node_count();
   MAKALU_EXPECTS(id + 1 == n);
-  entries_.resize(n);
+  if (store_ == RatingStore::kPooledSummary) {
+    info_.resize(n);
+  } else {
+    entries_.resize(n);
+  }
   auto grown = std::make_unique<std::atomic<bool>[]>(n);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     grown[i].store(valid_[i].load(std::memory_order_relaxed),

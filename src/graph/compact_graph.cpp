@@ -1,0 +1,28 @@
+#include "graph/compact_graph.hpp"
+
+namespace makalu {
+
+// Size classes follow c -> c + c/2 from kRowArenaMinCapacity: 4, 6, 9, 13,
+// 19, 28, 42, ... Geometric growth keeps per-row append amortized O(1)
+// while bounding in-row slack at ~33%; the sequence is shared by the
+// freelist bucketing, so every relocated block is reusable by any row that
+// later reaches the same class.
+
+std::uint32_t row_arena_class_floor(std::uint32_t cap) noexcept {
+  if (cap < kRowArenaMinCapacity) return 0;
+  std::uint32_t c = kRowArenaMinCapacity;
+  for (;;) {
+    const std::uint32_t next = c + c / 2;
+    if (next > cap) return c;
+    c = next;
+  }
+}
+
+std::uint32_t row_arena_class_ceil(std::uint32_t need,
+                                   std::uint32_t at_least) noexcept {
+  std::uint32_t c = kRowArenaMinCapacity;
+  while (c < need || c <= at_least) c += c / 2;
+  return c;
+}
+
+}  // namespace makalu

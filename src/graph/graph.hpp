@@ -1,16 +1,33 @@
 // Undirected graph types.
 //
-//  - Graph: mutable adjacency-list graph used while *constructing* overlays
-//    (nodes join, edges are added and pruned). Neighbor lists are small
-//    unsorted vectors — overlay degrees are ~10, so linear scans beat any
-//    set structure.
+//  - Graph: mutable graph used while *constructing* overlays (nodes join,
+//    edges are added and pruned). Neighbor lists are small unsorted
+//    sequences — overlay degrees are ~10, so linear scans beat any set
+//    structure. Two storage policies sit behind one interface:
+//      * GraphStorage::kAdjacencySet — one std::vector per node. Simple,
+//        pointer-stable, the historical default.
+//      * GraphStorage::kCompact — every neighbor row lives in one shared
+//        RowArena slab (graph/compact_graph.hpp): 12 bytes of descriptor
+//        per node instead of a vector header plus a private heap chunk.
+//        This is what lets a 1M-node overlay build and churn on one box.
+//    Both policies implement identical list semantics (append on add,
+//    swap-with-last on remove), so the neighbor sequences — and therefore
+//    every downstream decision, RNG draw, and search result — are
+//    bit-identical between them (pinned by tests/storage_differential).
 //  - CsrGraph: immutable compressed-sparse-row snapshot used by every
-//    *analysis* pass (BFS/Dijkstra/APSP/spectral) at up to 100k nodes.
-//    Optionally carries per-edge weights (latencies).
+//    *analysis* pass (BFS/Dijkstra/APSP/spectral). Optionally carries
+//    per-edge weights (latencies).
 //
 // Node identifiers are dense indices [0, n). Failure analysis produces
 // subgraphs via `remove_nodes`, which compacts identifiers and returns the
 // old->new mapping so callers can track survivors.
+//
+// Span invalidation: neighbors(u) stays valid until a mutation touches u
+// itself (same rule as holding vector iterators), with one addition for
+// kCompact: compact_storage() — the explicit epoch compaction — moves
+// every row and invalidates all spans. It is only called at quiescent
+// points (sweep boundaries, end of construction), never from inside
+// add_edge/remove_edge.
 #pragma once
 
 #include <atomic>
@@ -18,12 +35,21 @@
 #include <span>
 #include <vector>
 
+#include "graph/compact_graph.hpp"
 #include "support/contracts.hpp"
 
 namespace makalu {
 
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Storage-policy handle: how a Graph lays out its neighbor rows. Chosen
+/// at construction and carried through copies, remove_nodes subgraphs,
+/// and overlay builds (MakaluParameters::storage).
+enum class GraphStorage : std::uint8_t {
+  kAdjacencySet,  ///< vector-of-vectors; pointer-stable rows
+  kCompact,       ///< arena-backed CSR rows with slack (RowArena)
+};
 
 /// Mutation observer: incremental structures (rating caches, routing
 /// indexes) register one of these to be told about every topology change
@@ -41,7 +67,15 @@ class GraphObserver {
 class Graph {
  public:
   Graph() = default;
-  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+  explicit Graph(std::size_t node_count,
+                 GraphStorage storage = GraphStorage::kAdjacencySet)
+      : storage_(storage) {
+    if (storage_ == GraphStorage::kCompact) {
+      compact_ = RowArena<NodeId>(node_count);
+    } else {
+      adjacency_.resize(node_count);
+    }
+  }
 
   // Observers are bound to one Graph instance: copies/moves deliberately do
   // NOT carry the registration (the observer holds a reference to the
@@ -49,30 +83,44 @@ class Graph {
   // attached is a bug — the observer would silently miss the wholesale
   // topology swap — and is rejected by contract.
   Graph(const Graph& other)
-      : adjacency_(other.adjacency_), edge_count_(other.edge_count()) {}
+      : storage_(other.storage_),
+        adjacency_(other.adjacency_),
+        compact_(other.compact_),
+        edge_count_(other.edge_count()) {}
   Graph(Graph&& other) noexcept
-      : adjacency_(std::move(other.adjacency_)),
+      : storage_(other.storage_),
+        adjacency_(std::move(other.adjacency_)),
+        compact_(std::move(other.compact_)),
         edge_count_(other.edge_count()) {
     other.adjacency_.clear();
+    other.compact_ = RowArena<NodeId>();
     other.edge_count_.store(0, std::memory_order_relaxed);
   }
   Graph& operator=(const Graph& other) {
     MAKALU_EXPECTS(observer_ == nullptr);
+    storage_ = other.storage_;
     adjacency_ = other.adjacency_;
+    compact_ = other.compact_;
     edge_count_.store(other.edge_count(), std::memory_order_relaxed);
     return *this;
   }
   Graph& operator=(Graph&& other) noexcept {
     MAKALU_EXPECTS(observer_ == nullptr);
+    storage_ = other.storage_;
     adjacency_ = std::move(other.adjacency_);
+    compact_ = std::move(other.compact_);
     edge_count_.store(other.edge_count(), std::memory_order_relaxed);
     other.adjacency_.clear();
+    other.compact_ = RowArena<NodeId>();
     other.edge_count_.store(0, std::memory_order_relaxed);
     return *this;
   }
 
+  [[nodiscard]] GraphStorage storage() const noexcept { return storage_; }
+
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return adjacency_.size();
+    return storage_ == GraphStorage::kCompact ? compact_.row_count()
+                                              : adjacency_.size();
   }
   [[nodiscard]] std::size_t edge_count() const noexcept {
     return edge_count_.load(std::memory_order_relaxed);
@@ -99,17 +147,44 @@ class Graph {
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    if (storage_ == GraphStorage::kCompact) return compact_.row(u);
     MAKALU_EXPECTS(u < adjacency_.size());
     return adjacency_[u];
   }
 
   [[nodiscard]] std::size_t degree(NodeId u) const {
+    if (storage_ == GraphStorage::kCompact) return compact_.size(u);
     MAKALU_EXPECTS(u < adjacency_.size());
     return adjacency_[u].size();
   }
 
   /// Disconnects u from every neighbor (u itself stays, isolated).
   void isolate(NodeId u);
+
+  /// Epoch compaction of the kCompact slab (no-op for kAdjacencySet):
+  /// repacks every row tightly and drops the grow freelists. Invalidates
+  /// all neighbor spans; call only at quiescent points. Neighbor content
+  /// and order are unchanged, so attached observers/caches stay valid.
+  void compact_storage() {
+    if (storage_ == GraphStorage::kCompact) compact_.compact();
+  }
+
+  /// Fraction of the kCompact slab that is reclaimable garbage (freed
+  /// grow blocks + class-rounding losses). Always 0 for kAdjacencySet.
+  [[nodiscard]] double storage_slack_ratio() const noexcept {
+    return storage_ == GraphStorage::kCompact ? compact_.slack_ratio() : 0.0;
+  }
+
+  /// Number of epoch compactions performed so far (kCompact only).
+  [[nodiscard]] std::uint64_t storage_epoch() const noexcept {
+    return storage_ == GraphStorage::kCompact ? compact_.epoch() : 0;
+  }
+
+  /// Honest bytes held by the adjacency structure: for kAdjacencySet the
+  /// vector headers plus each row's measured heap chunk; for kCompact the
+  /// arena's descriptors + slab + freelists. The bench_scale bytes/node
+  /// gauges divide this by node_count().
+  [[nodiscard]] std::size_t memory_footprint() const;
 
   /// Returns the subgraph induced by deleting `failed` (given as a
   /// true-means-dead mask over the current node set), with ids compacted.
@@ -123,7 +198,9 @@ class Graph {
   [[nodiscard]] std::vector<std::size_t> degree_sequence() const;
 
  private:
-  std::vector<std::vector<NodeId>> adjacency_;
+  GraphStorage storage_ = GraphStorage::kAdjacencySet;
+  std::vector<std::vector<NodeId>> adjacency_;  // kAdjacencySet rows
+  RowArena<NodeId> compact_;                    // kCompact rows
   // Atomic so the deterministic parallel maintenance sweep may remove
   // edges of 2-hop-independent nodes concurrently (their adjacency lists
   // are disjoint; only this counter is shared). Relaxed ordering suffices:

@@ -14,6 +14,7 @@
 
 // Graphs and metrics.
 #include "graph/algorithms.hpp"
+#include "graph/compact_graph.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"

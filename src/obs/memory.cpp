@@ -1,0 +1,51 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__has_include)
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define MAKALU_HAVE_GETRUSAGE 1
+#endif
+#endif
+
+namespace makalu::obs {
+
+namespace {
+
+/// Reads a "VmXXX:  12345 kB" line from /proc/self/status. Returns bytes,
+/// 0 when the file or field is missing (non-Linux).
+std::size_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + field_len, ": %llu", &value) == 1) kb = value;
+    break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return proc_status_kb("VmRSS"); }
+
+std::size_t peak_rss_bytes() {
+  if (const std::size_t hwm = proc_status_kb("VmHWM"); hwm > 0) return hwm;
+#if defined(MAKALU_HAVE_GETRUSAGE)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
+}  // namespace makalu::obs

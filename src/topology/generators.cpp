@@ -90,7 +90,7 @@ Graph PowerLawGenerator::generate_plrg(std::size_t nodes, Rng& rng) const {
     std::swap(stubs[i - 1], stubs[rng.uniform_below(i)]);
   }
 
-  Graph g(nodes);
+  Graph g(nodes, params_.storage);
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
     g.add_edge(stubs[i], stubs[i + 1]);  // no-op on loop/duplicate
   }
@@ -101,7 +101,7 @@ Graph PowerLawGenerator::generate_ba(std::size_t nodes, Rng& rng) const {
   const std::size_t m = std::max<std::size_t>(1, params_.ba_edges_per_node);
   MAKALU_EXPECTS(nodes > m);
 
-  Graph g(nodes);
+  Graph g(nodes, params_.storage);
   // Seed clique over the first m+1 nodes.
   for (NodeId u = 0; u <= m; ++u) {
     for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v);
@@ -142,7 +142,7 @@ TwoTierGenerator::Result TwoTierGenerator::generate(
   Rng rng(seed);
 
   Result result;
-  result.graph = Graph(nodes);
+  result.graph = Graph(nodes, params_.storage);
   result.is_ultrapeer.assign(nodes, false);
 
   auto ultrapeer_count = static_cast<std::size_t>(
@@ -218,7 +218,7 @@ Graph KRegularGenerator::generate(std::size_t nodes,
     for (std::size_t i = stubs.size(); i > 1; --i) {
       std::swap(stubs[i - 1], stubs[rng.uniform_below(i)]);
     }
-    Graph g(nodes);
+    Graph g(nodes, storage_);
     bool clean = true;
     std::vector<std::pair<NodeId, NodeId>> bad;
     for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {

@@ -37,6 +37,10 @@ struct PowerLawParameters {
   std::size_t max_degree = 100; ///< crawl-observed cap (hub clients)
   bool use_preferential_attachment = false;  ///< BA instead of PLRG
   std::size_t ba_edges_per_node = 2;         ///< BA: m
+  /// Storage policy of the produced Graph; kCompact for the 10^5-10^6-node
+  /// hard-cutoff instances bench_scale builds. The generated topology is
+  /// identical either way (same RNG consumption).
+  GraphStorage storage = GraphStorage::kAdjacencySet;
 };
 
 class PowerLawGenerator {
@@ -64,6 +68,7 @@ struct TwoTierParameters {
   std::size_t up_up_degree = 30;      ///< target UP-UP mesh degree
   std::size_t leaf_parents_min = 1;   ///< leaf attaches to [min, max] UPs
   std::size_t leaf_parents_max = 3;
+  GraphStorage storage = GraphStorage::kAdjacencySet;
 };
 
 class TwoTierGenerator {
@@ -90,7 +95,10 @@ class TwoTierGenerator {
 
 class KRegularGenerator {
  public:
-  explicit KRegularGenerator(std::size_t k = 10) : k_(k) {
+  explicit KRegularGenerator(std::size_t k = 10,
+                             GraphStorage storage =
+                                 GraphStorage::kAdjacencySet)
+      : k_(k), storage_(storage) {
     MAKALU_EXPECTS(k >= 2);
   }
 
@@ -102,6 +110,7 @@ class KRegularGenerator {
 
  private:
   std::size_t k_;
+  GraphStorage storage_;
 };
 
 }  // namespace makalu

@@ -1,0 +1,280 @@
+// The storage-policy differential suite: GraphStorage::kAdjacencySet and
+// GraphStorage::kCompact must be pure representation choices. Every build
+// path (serial, deterministic-parallel, sharded), maintenance sweep,
+// churn episode, and search engine must produce results that are
+// bit-identical between the two storages — and, for the parallel paths,
+// across thread counts (inline, 1, 2, 8). The comparisons are
+// element-for-element over raw neighbor sequences, not just edge sets:
+// both storages promise append-on-add / swap-with-last-on-remove, which
+// is what makes every downstream RNG draw and victim choice line up.
+//
+// The rating-store half of the refactor gets the same treatment:
+// RatingStore::kPooledSummary must be observationally identical to
+// kHeapEntries through the store-agnostic view/summary accessors.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/overlay_builder.hpp"
+#include "core/rating_cache.hpp"
+#include "net/latency_model.hpp"
+#include "search/flood_search.hpp"
+#include "search/random_walk_search.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace makalu {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {0, 1, 2, 8};  // 0 = inline
+
+// Raw neighbor sequences: the strongest equivalence — identical element
+// order, not merely identical edge sets.
+std::vector<std::vector<NodeId>> sequences(const Graph& g) {
+  std::vector<std::vector<NodeId>> rows(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    rows[u].assign(nbrs.begin(), nbrs.end());
+  }
+  return rows;
+}
+
+void expect_identical(const MakaluOverlay& a, const MakaluOverlay& b,
+                      const char* what) {
+  EXPECT_EQ(a.capacity, b.capacity) << what;
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count()) << what;
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count()) << what;
+  EXPECT_EQ(sequences(a.graph), sequences(b.graph)) << what;
+}
+
+OverlayBuilder builder_for(GraphStorage storage) {
+  MakaluParameters params;
+  params.storage = storage;
+  return OverlayBuilder(params);
+}
+
+TEST(StorageDifferential, SerialBuildBitIdentical) {
+  const EuclideanModel latency(300, 17);
+  const MakaluOverlay adj =
+      builder_for(GraphStorage::kAdjacencySet).build(latency, 99);
+  const MakaluOverlay cmp =
+      builder_for(GraphStorage::kCompact).build(latency, 99);
+  EXPECT_EQ(adj.graph.storage(), GraphStorage::kAdjacencySet);
+  EXPECT_EQ(cmp.graph.storage(), GraphStorage::kCompact);
+  expect_identical(adj, cmp, "serial build");
+}
+
+TEST(StorageDifferential, DeterministicBuildBitIdenticalAcrossThreads) {
+  const EuclideanModel latency(300, 29);
+  const MakaluOverlay reference =
+      builder_for(GraphStorage::kAdjacencySet).build(latency, 5, nullptr);
+  for (const GraphStorage storage :
+       {GraphStorage::kAdjacencySet, GraphStorage::kCompact}) {
+    const OverlayBuilder builder = builder_for(storage);
+    for (const std::size_t threads : kThreadCounts) {
+      ThreadPool pool(threads == 0 ? 1 : threads);
+      const MakaluOverlay overlay =
+          builder.build(latency, 5, threads == 0 ? nullptr : &pool);
+      expect_identical(reference, overlay,
+                       "deterministic build, storage x threads");
+    }
+  }
+}
+
+TEST(StorageDifferential, ShardedBuildBitIdenticalAcrossThreads) {
+  const EuclideanModel latency(400, 31);
+  MakaluOverlay reference;
+  bool have_reference = false;
+  for (const GraphStorage storage :
+       {GraphStorage::kAdjacencySet, GraphStorage::kCompact}) {
+    const OverlayBuilder builder = builder_for(storage);
+    for (const std::size_t threads : kThreadCounts) {
+      ThreadPool pool(threads == 0 ? 1 : threads);
+      const MakaluOverlay overlay = builder.build_sharded(
+          latency, 41, threads == 0 ? nullptr : &pool);
+      if (!have_reference) {
+        reference = overlay;
+        have_reference = true;
+        // The sharded path must produce a usable overlay, not a stub.
+        EXPECT_GT(overlay.graph.edge_count(), overlay.node_count());
+      } else {
+        expect_identical(reference, overlay,
+                         "sharded build, storage x threads");
+      }
+    }
+  }
+}
+
+TEST(StorageDifferential, ChurnAndSweepBitIdenticalAcrossThreads) {
+  // Fail 15% of a built overlay, repair among survivors, then rejoin —
+  // the bench_scale churn episode in miniature, across both storages and
+  // every thread count.
+  const EuclideanModel latency(250, 37);
+  std::vector<bool> online(250, true);
+  Rng fault_rng(71);
+  for (std::size_t u = 0; u < online.size(); ++u) {
+    if (fault_rng.chance(0.15)) online[u] = false;
+  }
+
+  MakaluOverlay reference;
+  bool have_reference = false;
+  for (const GraphStorage storage :
+       {GraphStorage::kAdjacencySet, GraphStorage::kCompact}) {
+    const OverlayBuilder builder = builder_for(storage);
+    for (const std::size_t threads : kThreadCounts) {
+      ThreadPool pool(threads == 0 ? 1 : threads);
+      ThreadPool* p = threads == 0 ? nullptr : &pool;
+      MakaluOverlay overlay = builder.build_sharded(latency, 43, p);
+      CachedRatingEngine cache(overlay.graph, latency,
+                               builder.parameters().weights);
+      for (NodeId u = 0; u < overlay.node_count(); ++u) {
+        if (!online[u]) overlay.graph.isolate(u);
+      }
+      SweepOptions repair;
+      repair.seed = 0xabcdULL;
+      repair.active = &online;
+      repair.pool = p;
+      builder.deterministic_sweep(overlay, cache, repair);
+      SweepOptions rejoin;
+      rejoin.seed = 0xef01ULL;
+      rejoin.pool = p;
+      builder.deterministic_sweep(overlay, cache, rejoin);
+      if (!have_reference) {
+        reference = overlay;
+        have_reference = true;
+      } else {
+        expect_identical(reference, overlay, "churn, storage x threads");
+      }
+    }
+  }
+}
+
+TEST(StorageDifferential, SearchEnginesIdenticalOnBothBuilds) {
+  // The engines consume an immutable CsrGraph snapshot; from_graph sorts
+  // rows, so identical overlays must yield per-query-identical searches.
+  // This closes the loop from storage policy to end-to-end results.
+  const EuclideanModel latency(300, 47);
+  const MakaluOverlay adj =
+      builder_for(GraphStorage::kAdjacencySet).build_sharded(latency, 53,
+                                                             nullptr);
+  const MakaluOverlay cmp =
+      builder_for(GraphStorage::kCompact).build_sharded(latency, 53,
+                                                        nullptr);
+  const CsrGraph csr_adj = CsrGraph::from_graph(adj.graph);
+  const CsrGraph csr_cmp = CsrGraph::from_graph(cmp.graph);
+  const std::size_t n = csr_adj.node_count();
+  const ObjectCatalog catalog(n, 16, 0.01, 59);
+
+  const auto compare_engine = [&](const SearchEngine& ea,
+                                  const SearchEngine& eb) {
+    QueryWorkspace wa(n);
+    QueryWorkspace wb(n);
+    Rng pick(61);
+    for (std::size_t q = 0; q < 50; ++q) {
+      const auto source = static_cast<NodeId>(pick.uniform_below(n));
+      const auto object = static_cast<ObjectId>(pick.uniform_below(16));
+      wa.seed_rng(67, q);
+      wb.seed_rng(67, q);
+      const QueryResult ra = ea.run(source, object, catalog, wa);
+      const QueryResult rb = eb.run(source, object, catalog, wb);
+      ASSERT_EQ(ra.success, rb.success) << ea.name() << " query " << q;
+      ASSERT_EQ(ra.messages, rb.messages) << ea.name() << " query " << q;
+      ASSERT_EQ(ra.duplicates, rb.duplicates) << ea.name() << " query " << q;
+      ASSERT_EQ(ra.nodes_visited, rb.nodes_visited)
+          << ea.name() << " query " << q;
+      ASSERT_EQ(ra.replicas_found, rb.replicas_found)
+          << ea.name() << " query " << q;
+      ASSERT_EQ(ra.first_hit_hop, rb.first_hit_hop)
+          << ea.name() << " query " << q;
+    }
+  };
+  compare_engine(FloodEngine(csr_adj), FloodEngine(csr_cmp));
+  compare_engine(RandomWalkEngine(csr_adj), RandomWalkEngine(csr_cmp));
+}
+
+// --- Rating store equivalence ------------------------------------------
+
+TEST(StorageDifferential, PooledSummaryMatchesHeapEntries) {
+  // Same graph, same latency: every observable of the pooled-summary
+  // store must equal the heap store's, before and after mutations, with
+  // exact double equality (one shared rating kernel).
+  const EuclideanModel latency(120, 73);
+  Graph g(120, GraphStorage::kCompact);
+  Rng rng(79);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_below(120));
+    const auto v = static_cast<NodeId>(rng.uniform_below(120));
+    if (u != v) g.add_edge(u, v);
+  }
+  Graph heap_graph(g);  // observer slots are per-instance
+  CachedRatingEngine pooled(g, latency, {}, RatingStore::kPooledSummary);
+  CachedRatingEngine heap(heap_graph, latency, {},
+                          RatingStore::kHeapEntries);
+  ASSERT_EQ(pooled.store(), RatingStore::kPooledSummary);
+  ASSERT_EQ(heap.store(), RatingStore::kHeapEntries);
+
+  const auto expect_equal_everywhere = [&](std::size_t step) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      const RatedNeighborsView vp = pooled.view_for(u);
+      // Compare against the heap view *after* fully materializing the
+      // pooled one: the pooled view borrows the serial scratch engine.
+      std::vector<NodeId> p_neighbors(vp.size());
+      std::vector<double> p_scores(vp.size());
+      for (std::size_t i = 0; i < vp.size(); ++i) {
+        p_neighbors[i] = vp.neighbor(i);
+        p_scores[i] = vp.score(i);
+      }
+      const RatedNeighborsView vh = heap.view_for(u);
+      ASSERT_EQ(vh.size(), p_neighbors.size()) << "step " << step;
+      for (std::size_t i = 0; i < vh.size(); ++i) {
+        ASSERT_EQ(vh.neighbor(i), p_neighbors[i])
+            << "step " << step << " node " << u;
+        ASSERT_EQ(vh.score(i), p_scores[i])
+            << "step " << step << " node " << u;
+      }
+      ASSERT_EQ(pooled.worst_neighbor(u), heap.worst_neighbor(u))
+          << "step " << step << " node " << u;
+      ASSERT_EQ(pooled.boundary_size(u), heap.boundary_size(u))
+          << "step " << step << " node " << u;
+    }
+  };
+
+  expect_equal_everywhere(0);
+  for (std::size_t step = 1; step <= 5; ++step) {
+    // Apply the same mutation batch to both graphs.
+    for (std::size_t i = 0; i < 20; ++i) {
+      const auto u = static_cast<NodeId>(rng.uniform_below(120));
+      const auto v = static_cast<NodeId>(rng.uniform_below(120));
+      if (u == v) continue;
+      if (rng.chance(0.4) && g.has_edge(u, v)) {
+        g.remove_edge(u, v);
+        heap_graph.remove_edge(u, v);
+      } else if (!g.has_edge(u, v)) {
+        g.add_edge(u, v);
+        heap_graph.add_edge(u, v);
+      }
+    }
+    expect_equal_everywhere(step);
+  }
+  // The pooled summary must actually memoize: repeated worst_neighbor
+  // queries on an untouched node hit.
+  const std::uint64_t hits_before = pooled.hits();
+  (void)pooled.worst_neighbor(0);
+  (void)pooled.worst_neighbor(0);
+  EXPECT_GT(pooled.hits(), hits_before);
+}
+
+TEST(StorageDifferential, RatingStoreAutoFollowsGraphStorage) {
+  const EuclideanModel latency(10, 83);
+  Graph adj(10, GraphStorage::kAdjacencySet);
+  Graph cmp(10, GraphStorage::kCompact);
+  CachedRatingEngine a(adj, latency);
+  CachedRatingEngine c(cmp, latency);
+  EXPECT_EQ(a.store(), RatingStore::kHeapEntries);
+  EXPECT_EQ(c.store(), RatingStore::kPooledSummary);
+}
+
+}  // namespace
+}  // namespace makalu
