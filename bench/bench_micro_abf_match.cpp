@@ -11,8 +11,10 @@
 // makalu.bench.v1 JSON document and rides the bench_smoke ctest label.
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#include "bloom/abf_table.hpp"
 #include "bloom/attenuated_bloom_filter.hpp"
 #include "bloom/filter_arena.hpp"
 #include "support/rng.hpp"
@@ -162,6 +164,117 @@ int main(int argc, char** argv) try {
   std::cout << "\none probe-set build amortises over the whole neighbor "
                "row; the word kernels replay it with no hashing or "
                "division per (arc, level).\n";
+
+  // --- blocked layout (bloom/abf_table): one cache line per peer -----------
+  // Base match + sparse delta veto, exactly the kBlockedDelta route hot
+  // loop. Scores here are NOT comparable to the per-arc arena above (a
+  // different filter per origin), so the contract is internal: every
+  // blocked kernel — reference, portable word-loop, AVX2 gather — must
+  // produce the identical checksum, pinning portable-vs-AVX2 equality on
+  // the blocked gather too.
+  {
+    auto blocked_phase = bench_run.phase("blocked-kernels");
+    print_banner(std::cout, "blocked layout: base + delta kernels");
+    const std::size_t brows = n / kDegree;
+    BlockedAbfTable blocked(n, kDepth,
+                            BlockedAbfTable::auto_level_bits(kDepth), 3);
+    // Fill 128-bit levels to roughly the per-node densities the blocked
+    // build produces under the fig4 catalog (~15% / ~60% / ~90%).
+    constexpr std::size_t kBlockedInserts[kDepth] = {6, 35, 95};
+    Rng bfill(seed ^ 0xb10cULL);
+    for (std::uint32_t node = 0; node < n; ++node) {
+      for (std::size_t level = 0; level < kDepth; ++level) {
+        for (std::size_t i = 0; i < kBlockedInserts[level]; ++i) {
+          blocked.insert(node, level, bfill());
+        }
+      }
+    }
+    // Sparse sole-contributor deltas on a quarter of the arcs, two
+    // positions each — the density rescan_deltas typically leaves.
+    for (std::uint32_t owner = 0; owner < n; ++owner) {
+      for (std::size_t arc = 0; arc < kDegree; arc += 4) {
+        for (std::size_t level = 1; level < kDepth; ++level) {
+          std::uint16_t a = static_cast<std::uint16_t>(
+              bfill.uniform_below(blocked.bits_per_level()));
+          std::uint16_t b = static_cast<std::uint16_t>(
+              bfill.uniform_below(blocked.bits_per_level()));
+          if (a > b) std::swap(a, b);
+          if (a == b) continue;
+          const std::uint16_t pos[2] = {a, b};
+          blocked.set_arc_delta(owner, arc, level, pos);
+        }
+      }
+    }
+
+    std::vector<KernelCase> bkernels = {
+        {"reference (per-hash modulus)",
+         "micro_abf.blocked_scores_per_sec_reference",
+         MatchKernel::kReference},
+        {"portable word-loop", "micro_abf.blocked_scores_per_sec_portable",
+         MatchKernel::kPortable},
+    };
+    if (resolved_match_kernel() == MatchKernel::kAvx2) {
+      bkernels.push_back({"avx2 gather (4 stacks/pass)",
+                          "micro_abf.blocked_scores_per_sec_avx2",
+                          MatchKernel::kAvx2});
+    }
+
+    Table btable({"kernel", "wall ms", "stack scores/s", "speedup"});
+    std::vector<std::uint32_t> origins(kDegree);
+    double blocked_reference_rate = 0.0;
+    double blocked_best_rate = 0.0;
+    double blocked_checksum_baseline = 0.0;
+    for (std::size_t k = 0; k < bkernels.size(); ++k) {
+      double best_ms = 0.0;
+      double checksum = 0.0;
+      for (std::size_t rep = 0; rep < runs; ++rep) {
+        Rng keys(seed ^ 0xfeedULL);
+        checksum = 0.0;
+        Stopwatch timer;
+        for (std::size_t q = 0; q < queries; ++q) {
+          const BlockedProbeSet probes = blocked.make_probe_set(keys());
+          const std::size_t row = (q * 97) % brows;
+          const auto base = static_cast<std::uint32_t>(row * kDegree);
+          for (std::size_t j = 0; j < kDegree; ++j) {
+            origins[j] = base + static_cast<std::uint32_t>(j);
+          }
+          blocked.match_nodes(origins.data(), kDegree, probes,
+                              masks.data(), bkernels[k].mode);
+          blocked.apply_deltas(base, probes, masks.data(), kDegree);
+          for (const std::uint32_t mask : masks) {
+            checksum += FilterArena::score_from_mask(mask);
+          }
+        }
+        const double ms = timer.millis();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (k == 0) {
+        blocked_checksum_baseline = checksum;
+      } else if (checksum != blocked_checksum_baseline) {
+        std::cerr << "error: blocked kernel " << bkernels[k].label
+                  << " diverged from the reference scores\n";
+        return 1;
+      }
+      const double rate = static_cast<double>(queries) *
+                          static_cast<double>(kDegree) /
+                          (best_ms / 1000.0);
+      if (k == 0) blocked_reference_rate = rate;
+      blocked_best_rate = rate;  // ordered slowest-first
+      btable.add_row({bkernels[k].label, Table::num(best_ms, 2),
+                      Table::num(rate, 0),
+                      Table::num(rate / blocked_reference_rate, 2) + "x"});
+      bench_run.gauge(bkernels[k].gauge, rate);
+    }
+    bench_run.gauge("micro_abf.blocked_scores_per_sec", blocked_best_rate);
+    bench_run.gauge("micro_abf.blocked_speedup",
+                    blocked_best_rate / blocked_reference_rate);
+    blocked_phase.stop();
+    bench::emit(btable, options.csv());
+    std::cout << "\nblocked stacks fit one 64-byte line per origin, so a "
+                 "row of " << kDegree << " peers is " << kDegree
+              << " line touches; all kernels above produced the identical "
+                 "checksum.\n";
+  }
   return bench_run.finish() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

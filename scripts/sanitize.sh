@@ -35,7 +35,9 @@ if [[ "${MODE}" == "tsan" ]]; then
   # Batched covers the shared-frontier batched driver/differential tests
   # (BatchedDriverDifferential runs the 64-wide kernel under 2/8-thread
   # pools; the arena match kernels ride along in the same binary).
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp|CompactGraph|Storage|Scale'}
+  # TableDifferential runs the blocked/pooled ABF routers under 2/8-thread
+  # driver pools; the counting-maintenance suites ride in the same binary.
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp|CompactGraph|Storage|Scale|TableDifferential|BlockedDelta|CountingAbf'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

@@ -1,0 +1,476 @@
+#include "bloom/abf_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace makalu {
+
+namespace {
+
+std::uint64_t* allocate_words(std::size_t words) {
+  if (words == 0) return nullptr;
+  auto* p = static_cast<std::uint64_t*>(::operator new(
+      words * sizeof(std::uint64_t), std::align_val_t{64}));
+  std::memset(p, 0, words * sizeof(std::uint64_t));
+  return p;
+}
+
+void free_words(std::uint64_t* p) noexcept {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{64});
+}
+
+// ---- base-mask kernels ----------------------------------------------------
+//
+// Unlike FilterArena's arc rows, the stacks scored here are scattered (the
+// origins are a CSR neighbor row of node ids, not consecutive arcs), so
+// every kernel takes the slab base plus a per-item node id. All kernels
+// must agree bit-for-bit; the property suite pins it.
+
+std::uint32_t reference_stack_mask(const std::uint64_t* stack,
+                                   std::size_t level_words,
+                                   std::size_t depth,
+                                   const BlockedProbeSet& p) noexcept {
+  std::uint32_t out = 0;
+  for (std::size_t l = 0; l < depth; ++l) {
+    const std::uint64_t* words = stack + l * level_words;
+    bool ok = true;
+    for (std::size_t i = 0; i < p.hashes; ++i) {
+      const std::uint64_t pos = (p.h1 + i * p.h2) % p.bits;
+      if ((words[pos / 64] & (1ULL << (pos % 64))) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    out |= static_cast<std::uint32_t>(ok) << l;
+  }
+  return out;
+}
+
+void reference_match_nodes(const std::uint64_t* base, std::size_t stride,
+                           std::size_t level_words, std::size_t depth,
+                           const std::uint32_t* origins, std::size_t n,
+                           const BlockedProbeSet& p,
+                           std::uint32_t* out) noexcept {
+  for (std::size_t a = 0; a < n; ++a) {
+    out[a] = reference_stack_mask(base + origins[a] * stride, level_words,
+                                  depth, p);
+  }
+}
+
+void portable_match_nodes(const std::uint64_t* base, std::size_t stride,
+                          std::size_t level_words, std::size_t depth,
+                          const std::uint32_t* origins, std::size_t n,
+                          const BlockedProbeSet& p,
+                          std::uint32_t* out) noexcept {
+  if (p.overflow) {
+    reference_match_nodes(base, stride, level_words, depth, origins, n, p,
+                          out);
+    return;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::uint64_t* stack = base + origins[a] * stride;
+    std::uint32_t mask = 0;
+    for (std::size_t l = 0; l < depth; ++l) {
+      const std::uint64_t* words = stack + l * level_words;
+      bool ok = true;
+      for (std::size_t j = 0; j < p.count; ++j) {
+        ok &= (words[p.word[j]] & p.mask[j]) == p.mask[j];
+      }
+      mask |= static_cast<std::uint32_t>(ok) << l;
+    }
+    out[a] = mask;
+  }
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) void avx2_match_nodes(
+    const std::uint64_t* base, std::size_t stride, std::size_t level_words,
+    std::size_t depth, const std::uint32_t* origins, std::size_t n,
+    const BlockedProbeSet& p, std::uint32_t* out) noexcept {
+  if (p.overflow) {
+    reference_match_nodes(base, stride, level_words, depth, origins, n, p,
+                          out);
+    return;
+  }
+  // Four scattered stacks per pass: lanes carry ORIGINS (never probes).
+  // Each probe j is broadcast across all four lanes, so the gather index
+  // for (lane, level, probe) is origin[lane] * stride + level *
+  // level_words + word[j], and every lane ANDs over the full probe set.
+  __m256i wordv[BlockedProbeSet::kMaxProbes];
+  __m256i need[BlockedProbeSet::kMaxProbes];
+  for (std::size_t j = 0; j < p.count; ++j) {
+    wordv[j] = _mm256_set1_epi64x(static_cast<long long>(p.word[j]));
+    need[j] = _mm256_set1_epi64x(static_cast<long long>(p.mask[j]));
+  }
+  const auto* words = reinterpret_cast<const long long*>(base);
+  std::size_t a = 0;
+  for (; a + 4 <= n; a += 4) {
+    const __m256i offs = _mm256_set_epi64x(
+        static_cast<long long>(origins[a + 3] * stride),
+        static_cast<long long>(origins[a + 2] * stride),
+        static_cast<long long>(origins[a + 1] * stride),
+        static_cast<long long>(origins[a] * stride));
+    std::uint32_t mask[4] = {0, 0, 0, 0};
+    for (std::size_t l = 0; l < depth; ++l) {
+      const __m256i lvl =
+          _mm256_set1_epi64x(static_cast<long long>(l * level_words));
+      __m256i ok = _mm256_set1_epi64x(-1);
+      for (std::size_t j = 0; j < p.count; ++j) {
+        const __m256i idx =
+            _mm256_add_epi64(_mm256_add_epi64(offs, lvl), wordv[j]);
+        const __m256i got = _mm256_i64gather_epi64(words, idx, 8);
+        const __m256i hit =
+            _mm256_cmpeq_epi64(_mm256_and_si256(got, need[j]), need[j]);
+        ok = _mm256_and_si256(ok, hit);
+      }
+      const int lanes = _mm256_movemask_pd(_mm256_castsi256_pd(ok));
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        mask[lane] |=
+            static_cast<std::uint32_t>((lanes >> lane) & 1) << l;
+      }
+    }
+    for (std::size_t lane = 0; lane < 4; ++lane) out[a + lane] = mask[lane];
+  }
+  if (a < n) {
+    portable_match_nodes(base, stride, level_words, depth, origins + a,
+                         n - a, p, out + a);
+  }
+}
+#endif
+
+using MatchNodesFn = void (*)(const std::uint64_t*, std::size_t, std::size_t,
+                              std::size_t, const std::uint32_t*, std::size_t,
+                              const BlockedProbeSet&,
+                              std::uint32_t*) noexcept;
+
+MatchNodesFn kernel_for(MatchKernel mode) noexcept {
+  if (mode == MatchKernel::kAuto) mode = resolved_match_kernel();
+  switch (mode) {
+    case MatchKernel::kReference:
+      return &reference_match_nodes;
+#if defined(__x86_64__)
+    case MatchKernel::kAvx2:
+      return &avx2_match_nodes;
+#endif
+    default:
+      return &portable_match_nodes;
+  }
+}
+
+}  // namespace
+
+const char* table_layout_name(TableLayout layout) noexcept {
+  switch (layout) {
+    case TableLayout::kLegacy:
+      return "legacy";
+    case TableLayout::kPooledStack:
+      return "pooled-stack";
+    case TableLayout::kBlockedDelta:
+      return "blocked-delta";
+  }
+  return "?";
+}
+
+std::size_t BlockedAbfTable::auto_level_bits(std::size_t depth) noexcept {
+  if (depth == 0) return 512;
+  const std::size_t words = 8 / depth;  // whole stack in one 64-byte line
+  return words >= 1 ? words * 64 : 64;
+}
+
+BlockedAbfTable::BlockedAbfTable(std::size_t node_count, std::size_t depth,
+                                 std::size_t level_bits, std::size_t hashes)
+    : nodes_(node_count), depth_(depth), bits_(level_bits), hashes_(hashes) {
+  MAKALU_EXPECTS(depth >= 1 && depth <= kMaxDepth);
+  MAKALU_EXPECTS(level_bits >= 64 && level_bits % 64 == 0 &&
+                 level_bits <= 65536);
+  MAKALU_EXPECTS(hashes >= 1);
+  stride_ = (depth_ * words_per_level() + 7) / 8 * 8;
+  total_words_ = nodes_ * stride_;
+  slab_ = allocate_words(total_words_);
+  deltas_ = RowArena<std::uint32_t>(nodes_);
+}
+
+BlockedAbfTable::~BlockedAbfTable() { free_words(slab_); }
+
+BlockedAbfTable::BlockedAbfTable(BlockedAbfTable&& other) noexcept
+    : nodes_(other.nodes_),
+      depth_(other.depth_),
+      bits_(other.bits_),
+      hashes_(other.hashes_),
+      stride_(other.stride_),
+      slab_(other.slab_),
+      total_words_(other.total_words_),
+      deltas_(std::move(other.deltas_)) {
+  other.slab_ = nullptr;
+  other.total_words_ = 0;
+  other.nodes_ = 0;
+}
+
+BlockedAbfTable& BlockedAbfTable::operator=(
+    BlockedAbfTable&& other) noexcept {
+  if (this != &other) {
+    free_words(slab_);
+    nodes_ = other.nodes_;
+    depth_ = other.depth_;
+    bits_ = other.bits_;
+    hashes_ = other.hashes_;
+    stride_ = other.stride_;
+    slab_ = other.slab_;
+    total_words_ = other.total_words_;
+    deltas_ = std::move(other.deltas_);
+    other.slab_ = nullptr;
+    other.total_words_ = 0;
+    other.nodes_ = 0;
+  }
+  return *this;
+}
+
+bool BlockedAbfTable::insert(std::uint32_t node, std::size_t level,
+                             std::uint64_t key, std::uint16_t* newly_set,
+                             std::size_t* newly_count) noexcept {
+  std::uint64_t* words = level_words(node, level);
+  const auto [h1, h2] = bloom_hash_key(key);
+  bool changed = false;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t pos = (h1 + i * h2) % bits_;
+    const std::uint64_t m = 1ULL << (pos % 64);
+    if ((words[pos / 64] & m) == 0) {
+      words[pos / 64] |= m;
+      changed = true;
+      if (newly_set != nullptr) {
+        newly_set[count] = static_cast<std::uint16_t>(pos);
+      }
+      ++count;
+    }
+  }
+  if (newly_count != nullptr) *newly_count = count;
+  return changed;
+}
+
+void BlockedAbfTable::set_position(std::uint32_t node, std::size_t level,
+                                   std::uint16_t pos) noexcept {
+  MAKALU_EXPECTS(pos < bits_);
+  level_words(node, level)[pos / 64] |= (1ULL << (pos % 64));
+}
+
+void BlockedAbfTable::clear_position(std::uint32_t node, std::size_t level,
+                                     std::uint16_t pos) noexcept {
+  MAKALU_EXPECTS(pos < bits_);
+  level_words(node, level)[pos / 64] &= ~(1ULL << (pos % 64));
+}
+
+bool BlockedAbfTable::test_position(std::uint32_t node, std::size_t level,
+                                    std::uint16_t pos) const noexcept {
+  MAKALU_EXPECTS(pos < bits_);
+  return (level_words(node, level)[pos / 64] & (1ULL << (pos % 64))) != 0;
+}
+
+bool BlockedAbfTable::maybe_contains(std::uint32_t node, std::size_t level,
+                                     std::uint64_t key) const noexcept {
+  const std::uint64_t* words = level_words(node, level);
+  const auto [h1, h2] = bloom_hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t pos = (h1 + i * h2) % bits_;
+    if ((words[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BlockedAbfTable::merge_level(std::uint32_t dst_node,
+                                  std::size_t dst_level,
+                                  std::uint32_t src_node,
+                                  std::size_t src_level) noexcept {
+  std::uint64_t* dst = level_words(dst_node, dst_level);
+  const std::uint64_t* src = level_words(src_node, src_level);
+  const std::size_t w = words_per_level();
+  for (std::size_t i = 0; i < w; ++i) dst[i] |= src[i];
+}
+
+void BlockedAbfTable::merge_shifted_from(std::uint32_t dst_node,
+                                         std::uint32_t src_node) noexcept {
+  for (std::size_t l = depth_; l-- > 1;) {
+    merge_level(dst_node, l, src_node, l - 1);
+  }
+}
+
+void BlockedAbfTable::clear() noexcept {
+  if (slab_ != nullptr) {
+    std::memset(slab_, 0, total_words_ * sizeof(std::uint64_t));
+  }
+  for (std::uint32_t r = 0; r < nodes_; ++r) {
+    deltas_.clear_row(r);
+  }
+  deltas_.compact();
+}
+
+BlockedProbeSet BlockedAbfTable::make_probe_set(
+    std::uint64_t key) const noexcept {
+  BlockedProbeSet p;
+  const auto [h1, h2] = bloom_hash_key(key);
+  p.h1 = h1;
+  p.h2 = h2;
+  p.bits = bits_;
+  p.hashes = hashes_;
+  if (hashes_ > BlockedProbeSet::kMaxProbes) {
+    p.overflow = true;
+    return p;
+  }
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t pos = (h1 + i * h2) % bits_;
+    // Deduped position list (ascending) for the delta veto.
+    std::size_t k = 0;
+    while (k < p.pos_count && p.pos[k] != pos) ++k;
+    if (k == p.pos_count) p.pos[p.pos_count++] = static_cast<std::uint16_t>(pos);
+    // Deduped (word, mask) pairs for the kernels.
+    const std::uint64_t w = pos / 64;
+    const std::uint64_t m = 1ULL << (pos % 64);
+    std::size_t j = 0;
+    while (j < p.count && p.word[j] != w) ++j;
+    if (j == p.count) {
+      p.word[j] = w;
+      p.mask[j] = m;
+      ++p.count;
+    } else {
+      p.mask[j] |= m;
+    }
+  }
+  std::sort(p.pos.begin(), p.pos.begin() + p.pos_count);
+  p.padded_count = (p.count + 3) / 4 * 4;
+  for (std::size_t j = p.count; j < p.padded_count; ++j) {
+    p.word[j] = 0;
+    p.mask[j] = 0;
+  }
+  return p;
+}
+
+void BlockedAbfTable::match_nodes(const std::uint32_t* origins,
+                                  std::size_t count,
+                                  const BlockedProbeSet& probes,
+                                  std::uint32_t* out_masks,
+                                  MatchKernel mode) const noexcept {
+  if (count == 0) return;
+  kernel_for(mode)(slab_, stride_, words_per_level(), depth_, origins, count,
+                   probes, out_masks);
+}
+
+void BlockedAbfTable::apply_deltas(std::uint32_t owner,
+                                   const BlockedProbeSet& probes,
+                                   std::uint32_t* out_masks,
+                                   std::size_t arc_count) const noexcept {
+  const auto row = deltas_.row(owner);
+  for (const std::uint32_t entry : row) {
+    const std::size_t arc = delta_arc_local(entry);
+    if (arc >= arc_count) continue;
+    const std::uint16_t pos = delta_pos(entry);
+    bool probed = false;
+    if (probes.overflow) {
+      for (std::size_t i = 0; i < probes.hashes && !probed; ++i) {
+        probed = ((probes.h1 + i * probes.h2) % probes.bits) == pos;
+      }
+    } else {
+      for (std::size_t i = 0; i < probes.pos_count; ++i) {
+        if (probes.pos[i] == pos) {
+          probed = true;
+          break;
+        }
+      }
+    }
+    if (probed) {
+      out_masks[arc] &=
+          ~(std::uint32_t{1} << delta_level(entry));
+    }
+  }
+}
+
+bool BlockedAbfTable::arc_maybe_contains(std::uint32_t owner,
+                                         std::uint32_t origin,
+                                         std::size_t arc_local,
+                                         std::size_t level,
+                                         std::uint64_t key) const noexcept {
+  if (!maybe_contains(origin, level, key)) return false;
+  const auto [h1, h2] = bloom_hash_key(key);
+  const auto row = deltas_.row(owner);
+  for (const std::uint32_t entry : row) {
+    if (delta_arc_local(entry) != arc_local || delta_level(entry) != level) {
+      continue;
+    }
+    const std::uint16_t pos = delta_pos(entry);
+    for (std::size_t i = 0; i < hashes_; ++i) {
+      if ((h1 + i * h2) % bits_ == pos) return false;
+    }
+  }
+  return true;
+}
+
+void BlockedAbfTable::set_arc_delta(std::uint32_t owner,
+                                    std::size_t arc_local, std::size_t level,
+                                    std::span<const std::uint16_t> positions) {
+  MAKALU_EXPECTS(arc_local < kMaxDeltaArcLocal && level < depth_);
+  const auto row = deltas_.row(owner);
+  std::vector<std::uint32_t> next;
+  next.reserve(row.size() + positions.size());
+  for (const std::uint32_t entry : row) {
+    if (delta_arc_local(entry) == arc_local && delta_level(entry) == level) {
+      continue;
+    }
+    next.push_back(entry);
+  }
+  for (const std::uint16_t pos : positions) {
+    MAKALU_EXPECTS(pos < bits_);
+    next.push_back(encode_delta_entry(arc_local, level, pos));
+  }
+  std::sort(next.begin(), next.end());
+  load_owner_deltas(owner, next);
+}
+
+bool BlockedAbfTable::erase_delta_position(std::uint32_t owner,
+                                           std::size_t arc_local,
+                                           std::size_t level,
+                                           std::uint16_t pos) {
+  if (arc_local >= kMaxDeltaArcLocal) return false;
+  return deltas_.erase_value(owner,
+                             encode_delta_entry(arc_local, level, pos));
+}
+
+void BlockedAbfTable::load_owner_deltas(
+    std::uint32_t owner, std::span<const std::uint32_t> entries) {
+  deltas_.clear_row(owner);
+  if (entries.empty()) return;
+  deltas_.reserve_row(owner,
+                      static_cast<std::uint32_t>(entries.size()));
+  auto block = deltas_.block(owner);
+  std::copy(entries.begin(), entries.end(), block.begin());
+  deltas_.set_size(owner, static_cast<std::uint32_t>(entries.size()));
+}
+
+bool BlockedAbfTable::equals(const BlockedAbfTable& other) const {
+  if (nodes_ != other.nodes_ || depth_ != other.depth_ ||
+      bits_ != other.bits_ || hashes_ != other.hashes_) {
+    return false;
+  }
+  if (total_words_ != other.total_words_) return false;
+  if (total_words_ != 0 &&
+      std::memcmp(slab_, other.slab_,
+                  total_words_ * sizeof(std::uint64_t)) != 0) {
+    return false;
+  }
+  for (std::uint32_t r = 0; r < nodes_; ++r) {
+    const auto a = deltas_.row(r);
+    const auto b = other.deltas_.row(r);
+    if (a.size() != b.size()) return false;
+    std::vector<std::uint32_t> sa(a.begin(), a.end());
+    std::vector<std::uint32_t> sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return false;
+  }
+  return true;
+}
+
+}  // namespace makalu

@@ -1,0 +1,206 @@
+#include "bloom/counting_abf_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace makalu {
+
+namespace {
+constexpr std::uint8_t kUnreached = 0xFF;
+}  // namespace
+
+CountingAbfTable::CountingAbfTable(std::size_t node_count, std::size_t depth,
+                                   BloomParameters level_params)
+    : nodes_(node_count), depth_(depth) {
+  MAKALU_EXPECTS(depth >= 1);
+  filters_.reserve(nodes_ * depth_);
+  for (std::size_t i = 0; i < nodes_ * depth_; ++i) {
+    filters_.emplace_back(level_params);
+  }
+  adjacency_.resize(nodes_);
+  scratch_mult_.assign(nodes_, 0);
+  scratch_dist_.assign(nodes_, kUnreached);
+}
+
+void CountingAbfTable::set_neighbors(std::uint32_t node,
+                                     std::span<const std::uint32_t> row) {
+  MAKALU_EXPECTS(node < nodes_);
+  adjacency_[node].assign(row.begin(), row.end());
+}
+
+void CountingAbfTable::seed_content(std::uint32_t node,
+                                    std::uint64_t key) noexcept {
+  MAKALU_EXPECTS(node < nodes_);
+  filters_[node * depth_].insert(key);
+}
+
+void CountingAbfTable::rebuild_derived() {
+  for (std::size_t l = 1; l < depth_; ++l) {
+    for (std::uint32_t x = 0; x < nodes_; ++x) {
+      CountingBloomFilter& f = filters_[x * depth_ + l];
+      f.clear();
+      for (const std::uint32_t w : adjacency_[x]) {
+        f.add_counts(filters_[w * depth_ + l - 1]);
+      }
+      mark_changed(x, l);
+    }
+  }
+}
+
+void CountingAbfTable::mark_changed(std::uint32_t node, std::size_t level) {
+  changes_.push_back({node, static_cast<std::uint32_t>(level)});
+}
+
+void CountingAbfTable::apply_content_wave(std::uint32_t node,
+                                          std::uint64_t key, bool insert) {
+  MAKALU_EXPECTS(node < nodes_);
+  // Wave of walk multiplicities: at step l, scratch_mult_[x] = number of
+  // length-l walks node -> x, saturated at kSaturation (saturating
+  // counters cannot tell larger multiplicities apart, so clamping is
+  // exact — and keeps the wave values bounded).
+  constexpr std::uint32_t kMultCap = CountingBloomFilter::kSaturation;
+  std::vector<std::uint32_t> frontier{node};
+  scratch_mult_[node] = 1;
+  for (std::size_t l = 0; l < depth_; ++l) {
+    for (const std::uint32_t x : frontier) {
+      CountingBloomFilter& f = filters_[x * depth_ + l];
+      if (insert) {
+        f.insert(key, scratch_mult_[x]);
+      } else {
+        f.remove(key, scratch_mult_[x]);
+      }
+      mark_changed(x, l);
+    }
+    if (l + 1 == depth_) break;
+    // Next wave: multiplicity of w at l+1 is the sum over its neighbors'
+    // multiplicities at l. Two-phase (gather, then overwrite) because
+    // scratch_mult_ holds this level's values while they are being read.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> adds;
+    for (const std::uint32_t x : frontier) {
+      const std::uint32_t mult = scratch_mult_[x];
+      for (const std::uint32_t w : adjacency_[x]) {
+        adds.emplace_back(w, mult);
+      }
+    }
+    for (const std::uint32_t x : frontier) scratch_mult_[x] = 0;
+    std::vector<std::uint32_t> next;
+    for (const auto& [w, mult] : adds) {
+      if (scratch_mult_[w] == 0) next.push_back(w);
+      const std::uint64_t sum =
+          static_cast<std::uint64_t>(scratch_mult_[w]) + mult;
+      scratch_mult_[w] =
+          sum >= kMultCap ? kMultCap : static_cast<std::uint32_t>(sum);
+    }
+    frontier = std::move(next);
+  }
+  for (const std::uint32_t x : frontier) scratch_mult_[x] = 0;
+}
+
+void CountingAbfTable::insert_content(std::uint32_t node,
+                                      std::uint64_t key) {
+  apply_content_wave(node, key, /*insert=*/true);
+}
+
+void CountingAbfTable::remove_content(std::uint32_t node,
+                                      std::uint64_t key) {
+  apply_content_wave(node, key, /*insert=*/false);
+}
+
+bool CountingAbfTable::add_edge(std::uint32_t u, std::uint32_t v) {
+  MAKALU_EXPECTS(u < nodes_ && v < nodes_);
+  if (u == v) return false;
+  auto& row = adjacency_[u];
+  if (std::find(row.begin(), row.end(), v) != row.end()) return false;
+  row.push_back(v);
+  adjacency_[v].push_back(u);
+  recompute_region(u, v);
+  return true;
+}
+
+bool CountingAbfTable::remove_edge(std::uint32_t u, std::uint32_t v) {
+  MAKALU_EXPECTS(u < nodes_ && v < nodes_);
+  auto& row = adjacency_[u];
+  const auto it = std::find(row.begin(), row.end(), v);
+  if (it == row.end()) return false;
+  row.erase(it);
+  auto& back = adjacency_[v];
+  back.erase(std::find(back.begin(), back.end(), u));
+  recompute_region(u, v);
+  return true;
+}
+
+void CountingAbfTable::recompute_region(std::uint32_t u, std::uint32_t v) {
+  if (depth_ < 2) return;
+  // Multi-source BFS from both endpoints, radius depth-2: M(x, l) can
+  // only change when dist(x, {u, v}) <= l-1 (any walk crossing the
+  // flipped edge has an edge-free prefix to one endpoint, so the
+  // post-change graph's distances cover edge removal too).
+  scratch_touched_.clear();
+  scratch_dist_[u] = 0;
+  scratch_dist_[v] = 0;
+  scratch_touched_.push_back(u);
+  scratch_touched_.push_back(v);
+  std::size_t head = 0;
+  while (head < scratch_touched_.size()) {
+    const std::uint32_t x = scratch_touched_[head++];
+    const std::size_t d = scratch_dist_[x];
+    if (d + 1 > depth_ - 2) continue;
+    for (const std::uint32_t w : adjacency_[x]) {
+      if (scratch_dist_[w] != kUnreached) continue;
+      scratch_dist_[w] = static_cast<std::uint8_t>(d + 1);
+      scratch_touched_.push_back(w);
+    }
+  }
+  // Level-synchronous local recompute: level l for every x within l-1.
+  // Every changed (w, l-1) sits within l-2, so it is final before any
+  // level-l read.
+  for (std::size_t l = 1; l < depth_; ++l) {
+    for (const std::uint32_t x : scratch_touched_) {
+      if (static_cast<std::size_t>(scratch_dist_[x]) > l - 1) continue;
+      CountingBloomFilter& f = filters_[x * depth_ + l];
+      f.clear();
+      for (const std::uint32_t w : adjacency_[x]) {
+        f.add_counts(filters_[w * depth_ + l - 1]);
+      }
+      mark_changed(x, l);
+    }
+  }
+  for (const std::uint32_t x : scratch_touched_) {
+    scratch_dist_[x] = kUnreached;
+  }
+  scratch_touched_.clear();
+}
+
+std::vector<CountingAbfTable::ChangedLevel> CountingAbfTable::take_changes() {
+  std::sort(changes_.begin(), changes_.end());
+  changes_.erase(std::unique(changes_.begin(), changes_.end()),
+                 changes_.end());
+  return std::exchange(changes_, {});
+}
+
+bool CountingAbfTable::equals(const CountingAbfTable& other) const {
+  if (nodes_ != other.nodes_ || depth_ != other.depth_) return false;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (!(filters_[i] == other.filters_[i])) return false;
+  }
+  for (std::uint32_t x = 0; x < nodes_; ++x) {
+    auto a = adjacency_[x];
+    auto b = other.adjacency_[x];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::size_t CountingAbfTable::memory_bytes() const noexcept {
+  std::size_t total = filters_.capacity() * sizeof(CountingBloomFilter);
+  for (const auto& f : filters_) total += f.slot_count();
+  total += adjacency_.capacity() * sizeof(adjacency_[0]);
+  for (const auto& row : adjacency_) {
+    total += row.capacity() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace makalu

@@ -28,6 +28,55 @@ void CountingBloomFilter::remove(std::uint64_t key) noexcept {
   }
 }
 
+void CountingBloomFilter::insert(std::uint64_t key,
+                                 std::uint32_t count) noexcept {
+  if (count == 0) return;
+  const auto [h1, h2] = bloom_hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % counters_.size()];
+    const std::uint32_t next = counter + count;
+    counter = next >= kSaturation ? kSaturation
+                                  : static_cast<std::uint8_t>(next);
+  }
+}
+
+void CountingBloomFilter::remove(std::uint64_t key,
+                                 std::uint32_t count) noexcept {
+  if (count == 0) return;
+  const auto [h1, h2] = bloom_hash_key(key);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % counters_.size()];
+    if (counter >= kSaturation) continue;  // sticky saturation
+    counter = counter > count ? static_cast<std::uint8_t>(counter - count)
+                              : std::uint8_t{0};  // underflow guard
+  }
+}
+
+void CountingBloomFilter::add_counts(
+    const CountingBloomFilter& other) noexcept {
+  MAKALU_EXPECTS(hashes_ == other.hashes_ &&
+                 counters_.size() == other.counters_.size());
+  for (std::size_t slot = 0; slot < counters_.size(); ++slot) {
+    const std::uint32_t next = counters_[slot] + other.counters_[slot];
+    counters_[slot] = next >= kSaturation
+                          ? kSaturation
+                          : static_cast<std::uint8_t>(next);
+  }
+}
+
+void CountingBloomFilter::subtract_counts(
+    const CountingBloomFilter& other) noexcept {
+  MAKALU_EXPECTS(hashes_ == other.hashes_ &&
+                 counters_.size() == other.counters_.size());
+  for (std::size_t slot = 0; slot < counters_.size(); ++slot) {
+    auto& counter = counters_[slot];
+    if (counter >= kSaturation) continue;  // sticky saturation
+    const std::uint8_t sub = other.counters_[slot];
+    counter = counter > sub ? static_cast<std::uint8_t>(counter - sub)
+                            : std::uint8_t{0};  // underflow guard
+  }
+}
+
 bool CountingBloomFilter::maybe_contains(std::uint64_t key) const noexcept {
   const auto [h1, h2] = bloom_hash_key(key);
   for (std::size_t i = 0; i < hashes_; ++i) {

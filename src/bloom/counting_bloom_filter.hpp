@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
@@ -28,6 +29,30 @@ class CountingBloomFilter {
   /// negatives for colliding keys) — callers track membership themselves,
   /// as with every counting filter.
   void remove(std::uint64_t key) noexcept;
+
+  /// Multi-count variants, for callers that maintain aggregated filters
+  /// (one logical insertion observed along `count` distinct paths — see
+  /// bloom/counting_abf_table.hpp). insert saturates per slot; remove
+  /// never decrements a saturated slot (its exact count is lost) and
+  /// clamps at zero rather than wrapping (the decrement-underflow guard
+  /// the incremental-update property suite exercises).
+  void insert(std::uint64_t key, std::uint32_t count) noexcept;
+  void remove(std::uint64_t key, std::uint32_t count) noexcept;
+
+  /// Slot-wise aggregation with the same saturation/underflow rules:
+  /// add_counts(o) adds o's counters into this filter (saturating),
+  /// subtract_counts(o) removes them (sticky saturation, clamped at 0).
+  /// Shapes must match.
+  void add_counts(const CountingBloomFilter& other) noexcept;
+  void subtract_counts(const CountingBloomFilter& other) noexcept;
+
+  [[nodiscard]] std::span<const std::uint8_t> counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] bool operator==(const CountingBloomFilter& other) const
+      noexcept {
+    return hashes_ == other.hashes_ && counters_ == other.counters_;
+  }
 
   [[nodiscard]] bool maybe_contains(std::uint64_t key) const noexcept;
 

@@ -49,15 +49,28 @@ AbfRouter::AbfRouter(const CsrGraph& graph, const ObjectCatalog& catalog,
     : graph_(graph),
       catalog_(catalog),
       options_(options),
-      arena_(graph.edge_count() * 2, options.depth, options.level_params) {
+      // The blocked layout never materialises per-arc stacks; give it an
+      // empty arena (probe parameters only, no slab).
+      arena_(options.layout == TableLayout::kBlockedDelta
+                 ? 0
+                 : graph.edge_count() * 2,
+             options.depth, options.level_params) {
   MAKALU_EXPECTS(options.depth >= 1);
   const std::size_t n = graph_.node_count();
   arc_offsets_.assign(n + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
     arc_offsets_[u + 1] = arc_offsets_[u] + graph_.degree(u);
   }
-  MAKALU_EXPECTS(arc_offsets_.back() == arena_.arc_count());
-  build_tables(catalog);
+  if (options_.layout == TableLayout::kBlockedDelta) {
+    build_blocked_tables(catalog);
+  } else {
+    MAKALU_EXPECTS(arc_offsets_.back() == arena_.arc_count());
+    build_tables(catalog);
+    // kLegacy IS the pre-arena representation: scores flow through the
+    // heap-filter mirror permanently (the arena stays as build scratch
+    // and the bit-for-bit source of truth for rebuilds).
+    if (options_.layout == TableLayout::kLegacy) enable_legacy_replay();
+  }
 }
 
 std::size_t AbfRouter::arc_index(NodeId u,
@@ -65,6 +78,13 @@ std::size_t AbfRouter::arc_index(NodeId u,
   MAKALU_EXPECTS(u < graph_.node_count());
   MAKALU_EXPECTS(neighbor_index < graph_.degree(u));
   return arc_offsets_[u] + neighbor_index;
+}
+
+std::size_t AbfRouter::neighbor_local_index(NodeId u, NodeId v) const {
+  const auto row = graph_.neighbors(u);
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  MAKALU_EXPECTS(it != row.end() && *it == v);
+  return static_cast<std::size_t>(it - row.begin());
 }
 
 void AbfRouter::build_tables(const ObjectCatalog& catalog) {
@@ -107,6 +127,136 @@ void AbfRouter::build_tables(const ObjectCatalog& catalog) {
   }
 }
 
+void AbfRouter::build_blocked_tables(const ObjectCatalog& catalog) {
+  const std::size_t n = graph_.node_count();
+  MAKALU_EXPECTS(catalog.node_count() == n);
+  const std::size_t level_bits =
+      options_.blocked_level_bits != 0
+          ? options_.blocked_level_bits
+          : BlockedAbfTable::auto_level_bits(options_.depth);
+  blocked_ = std::make_unique<BlockedAbfTable>(
+      n, options_.depth, level_bits, options_.level_params.hashes);
+
+  // Base recursion (bloom/abf_table.hpp): level 0 is the node's own
+  // content, level l the union of every neighbor's level l-1 — no per-arc
+  // exclusion, so one stack per node. Level-synchronous: level l-1 is
+  // final before any level-l read.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const ObjectId obj : catalog.objects_on(v)) {
+      blocked_->insert(v, 0, ObjectCatalog::object_key(obj));
+    }
+  }
+  for (std::size_t level = 1; level < options_.depth; ++level) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId w : graph_.neighbors(v)) {
+        blocked_->merge_level(v, level, w, level - 1);
+      }
+    }
+  }
+  // Sole-contributor deltas recover the excluded-neighbor term per arc.
+  for (std::size_t level = 1; level < options_.depth; ++level) {
+    for (NodeId v = 0; v < n; ++v) {
+      rescan_deltas(v, level);
+    }
+  }
+
+  if (options_.counting_maintenance) {
+    BloomParameters counting_params;
+    counting_params.bits = level_bits;
+    counting_params.hashes = options_.level_params.hashes;
+    counting_ = std::make_unique<CountingAbfTable>(n, options_.depth,
+                                                   counting_params);
+    for (NodeId v = 0; v < n; ++v) {
+      counting_->set_neighbors(v, graph_.neighbors(v));
+      for (const ObjectId obj : catalog.objects_on(v)) {
+        counting_->seed_content(v, ObjectCatalog::object_key(obj));
+      }
+    }
+    // Walk-multiplicity sums project to exactly the bitwise base above
+    // (support of a sum is the union of supports), so no reprojection is
+    // needed — just start the journal empty.
+    counting_->rebuild_derived();
+    (void)counting_->take_changes();
+  }
+}
+
+void AbfRouter::rescan_deltas(NodeId v, std::size_t level) {
+  MAKALU_EXPECTS(level >= 1 && level < options_.depth);
+  // delta_cap == 0 runs the layout base-only (every row stays empty, so
+  // there is nothing to rescan or clear) — the memory-floor configuration
+  // bench_scale gates at 100k-1M nodes.
+  if (options_.delta_cap == 0) return;
+  const auto nbrs = graph_.neighbors(v);
+  const std::size_t bits = blocked_->bits_per_level();
+  // Contributor census over the level's bit domain: count (saturated at
+  // 2 — only "exactly one" matters) and the last contributing neighbor.
+  std::vector<std::uint8_t> count(bits, 0);
+  std::vector<NodeId> last(bits, kInvalidNode);
+  const std::size_t words = blocked_->words_per_level();
+  for (const NodeId w : nbrs) {
+    const std::uint64_t* level_words = blocked_->level_words(w, level - 1);
+    for (std::size_t i = 0; i < words; ++i) {
+      std::uint64_t word = level_words[i];
+      while (word != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(word));
+        const std::size_t pos = i * 64 + b;
+        if (count[pos] < 2) {
+          ++count[pos];
+          last[pos] = w;
+        }
+        word &= word - 1;
+      }
+    }
+  }
+  // Bucket sole-contributor positions by the contributing neighbor, then
+  // rewrite every owner's (arc u->v, level) delta — including to empty,
+  // which clears stale entries on re-scan.
+  std::vector<std::vector<std::uint16_t>> buckets(nbrs.size());
+  for (std::size_t pos = 0; pos < bits; ++pos) {
+    if (count[pos] != 1) continue;
+    const std::size_t j = neighbor_local_index(v, last[pos]);
+    if (buckets[j].size() < options_.delta_cap) {
+      buckets[j].push_back(static_cast<std::uint16_t>(pos));
+    }
+  }
+  for (std::size_t j = 0; j < nbrs.size(); ++j) {
+    const NodeId u = nbrs[j];
+    const std::size_t arc_local = neighbor_local_index(u, v);
+    if (arc_local >= BlockedAbfTable::kMaxDeltaArcLocal) continue;
+    blocked_->set_arc_delta(u, arc_local, level, buckets[j]);
+  }
+}
+
+void AbfRouter::drain_counting_changes() {
+  const auto changes = counting_->take_changes();
+  // 1. Reproject every changed level into the blocked base (bit j set iff
+  //    counter j nonzero — CountingBloomFilter::to_bloom_filter's rule,
+  //    word-written straight into the slab).
+  for (const auto& [node, level] : changes) {
+    std::uint64_t* words = blocked_->level_words(node, level);
+    const std::size_t word_count = blocked_->words_per_level();
+    std::fill_n(words, word_count, 0);
+    const auto counters = counting_->level(node, level).counters();
+    for (std::size_t pos = 0; pos < counters.size(); ++pos) {
+      if (counters[pos] != 0) words[pos / 64] |= (1ULL << (pos % 64));
+    }
+  }
+  // 2. A changed (w, l) invalidates the contributor censuses that read
+  //    it: the scans of (v, l+1) for every neighbor v of w.
+  std::vector<std::pair<NodeId, std::uint32_t>> scans;
+  for (const auto& [node, level] : changes) {
+    if (level + 1 >= options_.depth) continue;
+    for (const NodeId v : graph_.neighbors(node)) {
+      scans.emplace_back(v, level + 1);
+    }
+  }
+  std::sort(scans.begin(), scans.end());
+  scans.erase(std::unique(scans.begin(), scans.end()), scans.end());
+  for (const auto& [v, level] : scans) {
+    rescan_deltas(v, level);
+  }
+}
+
 QueryResult AbfRouter::run(NodeId source, NodePredicate has_object,
                            QueryWorkspace& workspace) const {
   return route(source, has_object, options_.ttl, workspace);
@@ -133,6 +283,7 @@ QueryResult AbfRouter::route(NodeId source, ObjectId object,
 }
 
 void AbfRouter::enable_legacy_replay() {
+  MAKALU_EXPECTS(options_.layout != TableLayout::kBlockedDelta);
   legacy_mirror_.clear();
   legacy_mirror_.reserve(arena_.arc_count());
   const std::size_t words = arena_.words_per_level();
@@ -175,10 +326,17 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
 
   const std::uint64_t key = has_object.routing_key();
   // Probe positions depend only on the key: derive them once per query
-  // and replay against raw arena words at every step (the pre-arena code
+  // and replay against raw table words at every step (the pre-arena code
   // recomputed the hash pair and a runtime-divide modulus for every
   // (neighbor, level) pair — the dominant routing cost).
-  const BloomProbeSet probes = arena_.make_probe_set(key);
+  const bool blocked = blocked_ != nullptr;
+  BloomProbeSet probes;
+  BlockedProbeSet bprobes;
+  if (blocked) {
+    bprobes = blocked_->make_probe_set(key);
+  } else {
+    probes = arena_.make_probe_set(key);
+  }
   const bool legacy = !legacy_mirror_.empty();
   const bool reference = scoring_mode_ == MatchKernel::kReference;
   auto& masks = workspace.mask_buffer();
@@ -209,7 +367,23 @@ QueryResult AbfRouter::route(NodeId source, NodePredicate has_object,
     // cannot alter the selection.
     double best_score = 0.0;
     NodeId best = kInvalidNode;
-    if (legacy) {
+    if (blocked) {
+      // One kernel pass over the neighbors' base stacks, then the sparse
+      // delta veto for arcs current→v; masks score exactly like the arena's.
+      masks.resize(nbrs.size());
+      blocked_->match_nodes(nbrs.data(), nbrs.size(), bprobes, masks.data(),
+                            scoring_mode_);
+      blocked_->apply_deltas(current, bprobes, masks.data(), nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (workspace.visited(v)) continue;
+        const double score = FilterArena::score_from_mask(masks[i]);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+    } else if (legacy) {
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const NodeId v = nbrs[i];
         if (workspace.visited(v)) continue;
@@ -293,6 +467,7 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
   if (jobs.empty()) return;
   const std::size_t n = graph_.node_count();
   const std::uint32_t ttl = options_.ttl;
+  const bool blocked = blocked_ != nullptr;
   const bool legacy = !legacy_mirror_.empty();
   const bool reference = scoring_mode_ == MatchKernel::kReference;
   auto& masks = workspace.mask_buffer();
@@ -308,6 +483,7 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
     ObjectId object = 0;
     Rng rng{0};
     BloomProbeSet probes;
+    BlockedProbeSet bprobes;
     StackPrefetch prefetch;
     QueryResult result;
   };
@@ -329,9 +505,13 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
       walker.object = job.object;
       walker.key = ObjectCatalog::object_key(job.object);
       walker.rng = job.rng;
-      walker.probes = arena_.make_probe_set(walker.key);
-      walker.prefetch = make_stack_prefetch(walker.probes, options_.depth,
-                                            arena_.level_stride());
+      if (blocked) {
+        walker.bprobes = blocked_->make_probe_set(walker.key);
+      } else {
+        walker.probes = arena_.make_probe_set(walker.key);
+        walker.prefetch = make_stack_prefetch(walker.probes, options_.depth,
+                                              arena_.level_stride());
+      }
       workspace.batch_mark_visited(job.source, std::uint64_t{1} << w);
       walker.result.nodes_visited = 1;
     }
@@ -354,7 +534,22 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
       const auto nbrs = graph_.neighbors(walker.current);
       double best_score = 0.0;
       NodeId best = kInvalidNode;
-      if (legacy) {
+      if (blocked) {
+        masks.resize(nbrs.size());
+        blocked_->match_nodes(nbrs.data(), nbrs.size(), walker.bprobes,
+                              masks.data(), scoring_mode_);
+        blocked_->apply_deltas(walker.current, walker.bprobes, masks.data(),
+                               nbrs.size());
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if ((workspace.batch_visited_mask(v) & bit) != 0) continue;
+          const double score = FilterArena::score_from_mask(masks[i]);
+          if (score > best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+      } else if (legacy) {
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
           const NodeId v = nbrs[i];
           if ((workspace.batch_visited_mask(v) & bit) != 0) continue;
@@ -436,6 +631,18 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
     const auto prefetch_row = [&](std::size_t w) {
       const Walker& walker = walkers[w];
       const auto nbrs = graph_.neighbors(walker.current);
+      if (blocked) {
+        // One whole stack per neighbor — typically one 64-byte line (the
+        // auto width), at most a few for wide configs.
+        const std::size_t stride = blocked_->stack_stride();
+        for (const NodeId v : nbrs) {
+          const std::uint64_t* base = blocked_->stack_words(v);
+          for (std::size_t word = 0; word < stride; word += 8) {
+            __builtin_prefetch(base + word, 0, 1);
+          }
+        }
+        return;
+      }
       const std::size_t first_arc = arc_offsets_[walker.current];
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const std::uint64_t* base = arena_.level_words(first_arc + i, 0);
@@ -471,11 +678,59 @@ void AbfRouter::run_many(std::span<const BatchQueryJob> jobs,
 
 void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
   MAKALU_EXPECTS(holder < graph_.node_count());
+  const std::uint64_t key = ObjectCatalog::object_key(object);
+  if (counting_) {
+    // Counters are the source of truth under counting maintenance: route
+    // the insert through the walk-multiplicity wave so a later remove of
+    // the same key decrements coherently, then drain the journal into the
+    // blocked base + delta rows.
+    counting_->insert_content(holder, key);
+    drain_counting_changes();
+    return;
+  }
+  if (blocked_) {
+    // Node-level wave: position p newly set at (w, l-1) propagates to
+    // every neighbor's level l. Tracking exactly the 0→1 flips keeps the
+    // wave O(affected ball); levels that gained nothing spawn nothing.
+    // Any changed (w, l) invalidates the sole-contributor censuses that
+    // read it — the scans of (v, l+1) for v in N(w) — so re-deriving
+    // those rows lands on exactly the from-scratch delta table (pinned by
+    // the differential suite).
+    std::vector<std::uint16_t> newly(blocked_->hash_count());
+    std::size_t newly_count = 0;
+    std::vector<std::pair<NodeId, std::vector<std::uint16_t>>> wave;
+    if (blocked_->insert(holder, 0, key, newly.data(), &newly_count)) {
+      wave.emplace_back(holder,
+                        std::vector<std::uint16_t>(
+                            newly.begin(), newly.begin() + newly_count));
+    }
+    std::vector<std::pair<NodeId, std::uint32_t>> scans;
+    for (std::size_t level = 1; level < options_.depth && !wave.empty();
+         ++level) {
+      std::vector<std::pair<NodeId, std::vector<std::uint16_t>>> next_wave;
+      for (const auto& [w0, positions] : wave) {
+        for (const NodeId v : graph_.neighbors(w0)) {
+          scans.emplace_back(v, static_cast<std::uint32_t>(level));
+          std::vector<std::uint16_t> fresh;
+          for (const std::uint16_t p : positions) {
+            if (blocked_->test_position(v, level, p)) continue;
+            blocked_->set_position(v, level, p);
+            fresh.push_back(p);
+          }
+          if (!fresh.empty()) next_wave.emplace_back(v, std::move(fresh));
+        }
+      }
+      wave = std::move(next_wave);
+    }
+    std::sort(scans.begin(), scans.end());
+    scans.erase(std::unique(scans.begin(), scans.end()), scans.end());
+    for (const auto& [v, level] : scans) rescan_deltas(v, level);
+    return;
+  }
   // The benchmark mirror cannot track incremental inserts cheaply; keep it
   // coherent by rebuilding it after the wave (bench-only path, and the
   // wave below is the hot part).
   const bool refresh_mirror = !legacy_mirror_.empty();
-  const std::uint64_t key = ObjectCatalog::object_key(object);
 
   // Wave of arcs that acquired the key at the previous level. Level 0:
   // every in-arc of the holder (the holder advertises its own content).
@@ -520,18 +775,37 @@ void AbfRouter::notify_insert(NodeId holder, ObjectId object) {
   if (refresh_mirror) enable_legacy_replay();
 }
 
+void AbfRouter::notify_remove(NodeId holder, ObjectId object) {
+  MAKALU_EXPECTS(holder < graph_.node_count());
+  if (counting_) {
+    counting_->remove_content(holder, ObjectCatalog::object_key(object));
+    drain_counting_changes();
+    return;
+  }
+  // Plain Bloom levels are monotone — no incremental subtraction exists.
+  rebuild();
+}
+
 void AbfRouter::rebuild() {
+  if (blocked_) {
+    blocked_.reset();
+    counting_.reset();
+    build_blocked_tables(catalog_);
+    return;
+  }
   arena_.clear();
   build_tables(catalog_);
   if (!legacy_mirror_.empty()) enable_legacy_replay();
 }
 
 std::size_t AbfRouter::table_bytes() const noexcept {
+  if (blocked_) return blocked_->table_bytes();
   return arena_.arc_count() * arena_.stack_byte_size();
 }
 
 AbfStackView AbfRouter::advertisement(NodeId u,
                                       std::size_t neighbor_index) const {
+  MAKALU_EXPECTS(options_.layout != TableLayout::kBlockedDelta);
   return AbfStackView(&arena_, arc_index(u, neighbor_index));
 }
 

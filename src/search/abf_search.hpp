@@ -27,8 +27,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "bloom/abf_table.hpp"
 #include "bloom/attenuated_bloom_filter.hpp"
+#include "bloom/counting_abf_table.hpp"
 #include "bloom/filter_arena.hpp"
 #include "graph/graph.hpp"
 #include "search/search_engine.hpp"
@@ -44,6 +47,24 @@ struct AbfOptions {
   /// Message budget for the uniform SearchEngine::run entry point (route()
   /// takes the TTL explicitly).
   std::uint32_t ttl = 25;
+  /// Routing-table representation (bloom/abf_table.hpp). kLegacy and
+  /// kPooledStack route bit-identically; kBlockedDelta trades a bounded
+  /// false-positive widening for ~10x less table memory and one cache
+  /// line per neighbor score (quality-gated, see DESIGN.md §14).
+  TableLayout layout = TableLayout::kPooledStack;
+  /// kBlockedDelta level width in bits (multiple of 64). 0 = auto: pack
+  /// the whole depth-D stack into one 64-byte line (depth 3 -> 128).
+  /// Size it up for content-heavy catalogs: a level holding k keys wants
+  /// >= ~8k bits to keep its false-positive rate near the legacy table's.
+  std::size_t blocked_level_bits = 0;
+  /// Max delta entries per (arc, level); extras are dropped (the arc
+  /// falls back toward the base superset — never a false negative).
+  std::size_t delta_cap = 16;
+  /// kBlockedDelta only: mirror the table in a CountingAbfTable so
+  /// content *removal* (notify_remove) is an incremental counter wave +
+  /// local reprojection instead of a full rebuild. Costs the counter
+  /// memory (bits/8 x depth bytes per node x 8-bit slots).
+  bool counting_maintenance = false;
 };
 
 class AbfRouter final : public SearchEngine {
@@ -101,13 +122,23 @@ class AbfRouter final : public SearchEngine {
 
   /// Content churn, additive path: propagates a newly published object
   /// outward exactly as the incremental advertisement exchanges would —
-  /// an arc-level wave, depth-bounded by the filter depth. O(depth *
-  /// affected-arcs * filter-words); far cheaper than a rebuild.
+  /// an arc-level wave (kPooledStack) or a node-level wave plus
+  /// sole-contributor delta repair (kBlockedDelta), depth-bounded by the
+  /// filter depth. O(depth * affected-arcs * filter-words); far cheaper
+  /// than a rebuild, and exactly equal to one (pinned by the churn and
+  /// table-differential suites). kLegacy rebuilds.
   void notify_insert(NodeId holder, ObjectId object);
 
-  /// Content churn, subtractive path: Bloom advertisements are monotone,
-  /// so removals require recomputing the tables from the (already
-  /// updated) catalog. Equivalent to reconstructing the router.
+  /// Content churn, subtractive path. Plain Bloom levels are monotone, so
+  /// by default this recomputes the tables from the (already updated)
+  /// catalog — equivalent to reconstructing the router. With
+  /// AbfOptions::counting_maintenance the blocked layout instead drains a
+  /// counting-filter wave: decrement the walk counters, clear the
+  /// newly-zero bits, and re-derive the affected delta rows — local work,
+  /// equal to a rebuild while no counter has saturated.
+  void notify_remove(NodeId holder, ObjectId object);
+
+  /// Full recompute from the catalog (the subtractive fallback).
   void rebuild();
 
   /// Total routing-table memory (what a deployment would ship between
@@ -116,11 +147,26 @@ class AbfRouter final : public SearchEngine {
 
   /// The advertisement node u holds for its i-th neighbor — a view into
   /// the pooled arena (levels of all arcs live in one allocation; see
-  /// bloom/filter_arena.hpp).
+  /// bloom/filter_arena.hpp). Arena-backed layouts only (kLegacy /
+  /// kPooledStack); the blocked layout has no per-arc stack to view —
+  /// use blocked_table() / arc_maybe_contains there.
   [[nodiscard]] AbfStackView advertisement(NodeId u,
                                            std::size_t neighbor_index) const;
 
   [[nodiscard]] std::size_t depth() const noexcept { return options_.depth; }
+  [[nodiscard]] TableLayout layout() const noexcept {
+    return options_.layout;
+  }
+  /// Non-null iff layout == kBlockedDelta.
+  [[nodiscard]] const BlockedAbfTable* blocked_table() const noexcept {
+    return blocked_.get();
+  }
+  /// Non-null iff counting maintenance is active.
+  [[nodiscard]] const CountingAbfTable* counting_table() const noexcept {
+    return counting_.get();
+  }
+  /// Arc-local index of neighbor v in u's sorted CSR row.
+  [[nodiscard]] std::size_t neighbor_local_index(NodeId u, NodeId v) const;
 
   /// Which match kernel scores neighbors. kAuto (the default) dispatches
   /// to AVX2 when available; kReference replays the pre-arena per-level
@@ -151,6 +197,13 @@ class AbfRouter final : public SearchEngine {
 
  private:
   void build_tables(const ObjectCatalog& catalog);
+  void build_blocked_tables(const ObjectCatalog& catalog);
+  /// Recomputes the sole-contributor delta scan of (origin v, level) and
+  /// rewrites the affected owners' rows.
+  void rescan_deltas(NodeId v, std::size_t level);
+  /// Drains the counting mirror's change journal: reproject changed
+  /// levels into the blocked base, then re-derive affected delta scans.
+  void drain_counting_changes();
   [[nodiscard]] std::size_t arc_index(NodeId u,
                                       std::size_t neighbor_index) const;
   /// Pre-arena score path: per-level maybe_contains with the hash pair
@@ -163,6 +216,8 @@ class AbfRouter final : public SearchEngine {
   AbfOptions options_;
   std::vector<std::size_t> arc_offsets_;  // prefix degrees, size n+1
   FilterArena arena_;                     // per arc u→v: ADV(v→u) stack
+  std::unique_ptr<BlockedAbfTable> blocked_;   // kBlockedDelta only
+  std::unique_ptr<CountingAbfTable> counting_; // counting_maintenance only
   MatchKernel scoring_mode_ = MatchKernel::kAuto;
   std::vector<AttenuatedBloomFilter> legacy_mirror_;  // benchmark seam
 };

@@ -51,10 +51,19 @@ Graph PowerLawGenerator::generate_plrg(std::size_t nodes, Rng& rng) const {
   MAKALU_EXPECTS(params_.min_degree >= 1);
   MAKALU_EXPECTS(params_.max_degree >= params_.min_degree);
 
+  // Hard cutoff (Guclu & Yuksel): the cap scales as c*sqrt(n) instead of
+  // the fixed crawl-observed value.
+  std::size_t max_degree = params_.max_degree;
+  if (params_.hard_cutoff_factor > 0.0) {
+    const auto cutoff = static_cast<std::size_t>(
+        params_.hard_cutoff_factor *
+        std::sqrt(static_cast<double>(nodes)));
+    max_degree = std::max(params_.min_degree, cutoff);
+  }
+
   // Sample a power-law degree sequence by inverse transform over the
   // discrete support [min_degree, max_degree].
-  const std::size_t support =
-      params_.max_degree - params_.min_degree + 1;
+  const std::size_t support = max_degree - params_.min_degree + 1;
   std::vector<double> cdf(support);
   double total = 0.0;
   for (std::size_t i = 0; i < support; ++i) {

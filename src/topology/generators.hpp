@@ -35,6 +35,13 @@ struct PowerLawParameters {
   double exponent = 2.3;        ///< degree distribution P(d) ~ d^-exponent
   std::size_t min_degree = 1;
   std::size_t max_degree = 100; ///< crawl-observed cap (hub clients)
+  /// Hard-cutoff scale-free variant (Guclu & Yuksel): when > 0, the PLRG
+  /// degree-sequence cap becomes hard_cutoff_factor * sqrt(n) (clamped to
+  /// at least min_degree) INSTEAD of max_degree, so hub sizes grow with
+  /// the network — the structural regime where per-arc routing tables blow
+  /// up and the blocked per-node layout pays off most. PLRG path only;
+  /// ignored under preferential attachment.
+  double hard_cutoff_factor = 0.0;
   bool use_preferential_attachment = false;  ///< BA instead of PLRG
   std::size_t ba_edges_per_node = 2;         ///< BA: m
   /// Storage policy of the produced Graph; kCompact for the 10^5-10^6-node

@@ -1,0 +1,440 @@
+// Differential suite for the ABF routing-table layouts (bloom/abf_table,
+// search/abf_search TableLayout wiring).
+//
+// Contracts, by layout:
+//  - kPooledStack vs kLegacy: bit-identity. Same filters, same scores,
+//    same routes — every QueryResult field equal, scalar and batched, at
+//    any driver thread count. Pinned over ~1k seeded random topologies.
+//  - kBlockedDelta: the per-node base + sole-contributor deltas is NOT
+//    bit-identical (echo walks widen the false-positive set), so it ships
+//    with (a) a hard no-false-negative oracle — every key the exact
+//    advertisement recursion truly carries must pass the blocked arc
+//    filter — and (b) a corpus-aggregate quality gate: success rate
+//    within 0.5 pp and messages/query within 2% of the legacy table.
+//  - Incremental churn on the blocked table (insert wave + delta rescan,
+//    counting-filter remove) must land on exactly the from-scratch table,
+//    delta rows included (BlockedAbfTable::equals).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/parallel_query_driver.hpp"
+#include "bloom/abf_table.hpp"
+#include "search/abf_search.hpp"
+#include "test_util.hpp"
+
+namespace makalu {
+namespace {
+
+Graph random_graph(std::size_t n, std::size_t extra_edges, Rng& rng) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));  // connected ring
+  }
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_below(n)),
+               static_cast<NodeId>(rng.uniform_below(n)));
+  }
+  return g;
+}
+
+void expect_same_result(const QueryResult& a, const QueryResult& b,
+                        const char* what, std::uint64_t seed) {
+  EXPECT_EQ(a.success, b.success) << what << " seed=" << seed;
+  EXPECT_EQ(a.messages, b.messages) << what << " seed=" << seed;
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << what << " seed=" << seed;
+  EXPECT_EQ(a.first_hit_hop, b.first_hit_hop) << what << " seed=" << seed;
+  EXPECT_EQ(a.replicas_found, b.replicas_found) << what << " seed=" << seed;
+}
+
+AbfOptions layout_options(TableLayout layout) {
+  AbfOptions options;
+  options.depth = 3;
+  options.level_params = {/*bits=*/256, /*hashes=*/3};
+  options.ttl = 25;
+  options.layout = layout;
+  // Match the legacy width so the blocked layout's only divergence is the
+  // base/delta approximation itself, not a narrower bit domain.
+  options.blocked_level_bits = 256;
+  return options;
+}
+
+class TableDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- kPooledStack vs kLegacy: exact equality -------------------------------
+
+// 8 param seeds x 125 inner topologies = 1000 seeded topologies. The two
+// layouts must produce identical QueryResults query for query, through
+// both the scalar route() and the batched run_many() entry points.
+TEST_P(TableDifferential, PooledStackRoutesIdenticallyToLegacy) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 2731 + 17);
+  for (int t = 0; t < 125; ++t) {
+    const std::size_t n = 24 + topo_rng.uniform_below(40);
+    const Graph g = random_graph(n, topo_rng.uniform_below(48), topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const ObjectCatalog catalog(n, 4, 0.08, seed * 1000 + t);
+
+    const AbfRouter legacy(csr, catalog,
+                           layout_options(TableLayout::kLegacy));
+    const AbfRouter pooled(csr, catalog,
+                           layout_options(TableLayout::kPooledStack));
+    ASSERT_TRUE(legacy.legacy_replay_enabled());
+    ASSERT_FALSE(pooled.legacy_replay_enabled());
+
+    // Scalar path.
+    for (std::uint64_t q = 0; q < 4; ++q) {
+      const NodeId source = static_cast<NodeId>(topo_rng.uniform_below(n));
+      const ObjectId object =
+          static_cast<ObjectId>(topo_rng.uniform_below(4));
+      QueryWorkspace ws_a;
+      ws_a.seed_rng(seed, q);
+      QueryWorkspace ws_b;
+      ws_b.seed_rng(seed, q);
+      expect_same_result(pooled.route(source, object, 25, ws_b),
+                         legacy.route(source, object, 25, ws_a),
+                         "pooled-vs-legacy-scalar", seed * 1000 + t);
+    }
+
+    // Batched run_many path (same jobs, both layouts).
+    std::vector<BatchQueryJob> jobs(6);
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+      jobs[q] = {static_cast<NodeId>(topo_rng.uniform_below(n)),
+                 static_cast<ObjectId>(topo_rng.uniform_below(4)),
+                 Rng(seed * 977 + q)};
+    }
+    std::vector<QueryResult> legacy_results(jobs.size());
+    std::vector<QueryResult> pooled_results(jobs.size());
+    QueryWorkspace ws_a;
+    QueryWorkspace ws_b;
+    legacy.run_many(jobs, catalog, ws_a, legacy_results.data());
+    pooled.run_many(jobs, catalog, ws_b, pooled_results.data());
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+      expect_same_result(pooled_results[q], legacy_results[q],
+                         "pooled-vs-legacy-batched", seed * 1000 + t);
+    }
+  }
+}
+
+// Driver-level sweep: the ParallelQueryDriver aggregate must be invariant
+// across layouts at 1, 2, and 8 worker threads (scalar and batched mode).
+TEST_P(TableDifferential, PooledStackDriverAggregatesMatchLegacy) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 911 + 3);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t n = 150 + topo_rng.uniform_below(100);
+    const Graph g = random_graph(n, n, topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const ObjectCatalog catalog(n, 6, 0.03, seed * 37 + t);
+
+    const AbfRouter legacy(csr, catalog,
+                           layout_options(TableLayout::kLegacy));
+    const AbfRouter pooled(csr, catalog,
+                           layout_options(TableLayout::kPooledStack));
+
+    BatchQueryOptions query_options;
+    query_options.queries = 120;  // spans two 64-wide batches
+    query_options.seed = seed * 53 + t;
+    query_options.batch = false;
+    const QueryAggregate baseline =
+        ParallelQueryDriver(1).run_batch(legacy, catalog, query_options);
+
+    for (const bool batch : {false, true}) {
+      query_options.batch = batch;
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const QueryAggregate agg = ParallelQueryDriver(threads).run_batch(
+            pooled, catalog, query_options);
+        EXPECT_EQ(agg.queries(), baseline.queries());
+        EXPECT_EQ(agg.success_rate(), baseline.success_rate())
+            << "batch=" << batch << " threads=" << threads;
+        EXPECT_EQ(agg.mean_messages(), baseline.mean_messages())
+            << "batch=" << batch << " threads=" << threads;
+        EXPECT_EQ(agg.mean_nodes_visited(), baseline.mean_nodes_visited())
+            << "batch=" << batch << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// --- kBlockedDelta: no false negatives -------------------------------------
+
+// Reference advertisement node-sets, computed straight from the paper's
+// recursion: R(v->u, 0) = {v}, R(v->u, l) = U_{w in N(v)\{u}} R(w->v, l-1).
+// Every key stored on a node in R(v->u, l) is truly advertised at that
+// (arc, level); the blocked base-minus-delta filter must never reject it.
+TEST_P(TableDifferential, BlockedDeltaNeverFalseNegative) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 499 + 29);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 16 + topo_rng.uniform_below(24);
+    const Graph g = random_graph(n, topo_rng.uniform_below(24), topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const ObjectCatalog catalog(n, 4, 0.1, seed * 71 + t);
+    AbfOptions options = layout_options(TableLayout::kBlockedDelta);
+    const AbfRouter router(csr, catalog, options);
+    const BlockedAbfTable* table = router.blocked_table();
+    ASSERT_NE(table, nullptr);
+
+    // arc_sets[arc u->v][l] = R(v->u, l), arcs indexed owner-major in CSR
+    // row order (matching neighbor_local_index).
+    std::vector<std::size_t> arc_base(n + 1, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      arc_base[u + 1] = arc_base[u] + csr.degree(u);
+    }
+    std::vector<std::vector<std::set<NodeId>>> arc_sets(
+        arc_base.back(), std::vector<std::set<NodeId>>(options.depth));
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = csr.neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        arc_sets[arc_base[u] + i][0] = {nbrs[i]};
+      }
+    }
+    for (std::size_t level = 1; level < options.depth; ++level) {
+      for (NodeId u = 0; u < n; ++u) {
+        const auto nbrs = csr.neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          const auto v_nbrs = csr.neighbors(v);
+          auto& out = arc_sets[arc_base[u] + i][level];
+          for (std::size_t j = 0; j < v_nbrs.size(); ++j) {
+            if (v_nbrs[j] == u) continue;
+            const auto& in = arc_sets[arc_base[v] + j][level - 1];
+            out.insert(in.begin(), in.end());
+          }
+        }
+      }
+    }
+
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = csr.neighbors(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t level = 0; level < options.depth; ++level) {
+          for (const NodeId w : arc_sets[arc_base[u] + i][level]) {
+            for (const ObjectId obj : catalog.objects_on(w)) {
+              EXPECT_TRUE(table->arc_maybe_contains(
+                  u, nbrs[i], i, level, ObjectCatalog::object_key(obj)))
+                  << "false negative: arc " << u << "->" << nbrs[i]
+                  << " level " << level << " object " << obj
+                  << " seed=" << seed * 71 + t;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- kBlockedDelta: corpus-aggregate quality gate --------------------------
+
+// The blocked layout's false-positive widening may perturb individual
+// routes, but over the corpus the routing quality must hold: success rate
+// within 0.5 pp and mean messages/query within 2% of the legacy table.
+TEST(BlockedDeltaQuality, SuccessAndMessagesWithinGateOverCorpus) {
+  std::uint64_t legacy_success = 0;
+  std::uint64_t blocked_success = 0;
+  std::uint64_t legacy_messages = 0;
+  std::uint64_t blocked_messages = 0;
+  std::uint64_t queries = 0;
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng topo_rng(seed * 1543 + 7);
+    for (int t = 0; t < 25; ++t) {
+      const std::size_t n = 48 + topo_rng.uniform_below(64);
+      const Graph g =
+          random_graph(n, topo_rng.uniform_below(64), topo_rng);
+      const CsrGraph csr = CsrGraph::from_graph(g);
+      const ObjectCatalog catalog(n, 6, 0.05, seed * 211 + t);
+
+      const AbfRouter legacy(csr, catalog,
+                             layout_options(TableLayout::kLegacy));
+      const AbfRouter blocked(csr, catalog,
+                              layout_options(TableLayout::kBlockedDelta));
+
+      for (std::uint64_t q = 0; q < 8; ++q) {
+        const NodeId source =
+            static_cast<NodeId>(topo_rng.uniform_below(n));
+        const ObjectId object =
+            static_cast<ObjectId>(topo_rng.uniform_below(6));
+        QueryWorkspace ws_a;
+        ws_a.seed_rng(seed, q);
+        QueryWorkspace ws_b;
+        ws_b.seed_rng(seed, q);
+        const QueryResult a = legacy.route(source, object, 25, ws_a);
+        const QueryResult b = blocked.route(source, object, 25, ws_b);
+        legacy_success += a.success ? 1 : 0;
+        blocked_success += b.success ? 1 : 0;
+        legacy_messages += a.messages;
+        blocked_messages += b.messages;
+        ++queries;
+      }
+    }
+  }
+
+  const double success_delta_pp =
+      (static_cast<double>(blocked_success) -
+       static_cast<double>(legacy_success)) /
+      static_cast<double>(queries) * 100.0;
+  const double legacy_mean =
+      static_cast<double>(legacy_messages) / static_cast<double>(queries);
+  const double blocked_mean =
+      static_cast<double>(blocked_messages) / static_cast<double>(queries);
+  EXPECT_LE(std::abs(success_delta_pp), 0.5)
+      << "legacy=" << legacy_success << "/" << queries
+      << " blocked=" << blocked_success << "/" << queries;
+  EXPECT_LE(std::abs(blocked_mean - legacy_mean) / legacy_mean, 0.02)
+      << "legacy mean=" << legacy_mean << " blocked mean=" << blocked_mean;
+}
+
+// Batched blocked routing must agree with scalar blocked routing exactly
+// (the approximation lives in the table, never in the walker scheduling).
+TEST_P(TableDifferential, BlockedBatchedWalkersMatchScalar) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 6007 + 1);
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t n = 48 + topo_rng.uniform_below(48);
+    const Graph g = random_graph(n, topo_rng.uniform_below(60), topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const ObjectCatalog catalog(n, 5, 0.06, seed * 131 + t);
+    AbfOptions options = layout_options(TableLayout::kBlockedDelta);
+    options.ttl = 20;
+    const AbfRouter router(csr, catalog, options);
+
+    const std::size_t jobs_n = (t == 0) ? 70 : 9;
+    std::vector<BatchQueryJob> jobs(jobs_n);
+    for (std::size_t q = 0; q < jobs_n; ++q) {
+      jobs[q] = {static_cast<NodeId>(topo_rng.uniform_below(n)),
+                 static_cast<ObjectId>(topo_rng.uniform_below(5)),
+                 Rng(seed * 17 + q)};
+    }
+    std::vector<QueryResult> batched(jobs_n);
+    QueryWorkspace batch_ws;
+    router.run_many(jobs, catalog, batch_ws, batched.data());
+    for (std::size_t q = 0; q < jobs_n; ++q) {
+      QueryWorkspace scalar_ws;
+      scalar_ws.rng() = jobs[q].rng;
+      const QueryResult scalar =
+          router.run(jobs[q].source, jobs[q].object, catalog, scalar_ws);
+      expect_same_result(batched[q], scalar, "blocked-batched", seed);
+    }
+  }
+}
+
+// Every match kernel must agree on the blocked layout too (the base mask
+// is kernel-computed; the delta veto is shared scalar code).
+TEST_P(TableDifferential, BlockedKernelsRouteIdentically) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 331 + 13);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t n = 24 + topo_rng.uniform_below(32);
+    const Graph g = random_graph(n, topo_rng.uniform_below(40), topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const ObjectCatalog catalog(n, 4, 0.08, seed * 41 + t);
+    AbfRouter router(csr, catalog,
+                     layout_options(TableLayout::kBlockedDelta));
+
+    std::vector<MatchKernel> modes = {MatchKernel::kReference,
+                                      MatchKernel::kPortable,
+                                      MatchKernel::kAuto};
+    if (resolved_match_kernel() == MatchKernel::kAvx2) {
+      modes.push_back(MatchKernel::kAvx2);
+    }
+    for (std::uint64_t q = 0; q < 4; ++q) {
+      const NodeId source = static_cast<NodeId>(topo_rng.uniform_below(n));
+      const ObjectId object =
+          static_cast<ObjectId>(topo_rng.uniform_below(4));
+      QueryResult baseline;
+      for (std::size_t m = 0; m < modes.size(); ++m) {
+        router.set_scoring_mode(modes[m]);
+        QueryWorkspace ws;
+        ws.seed_rng(seed, q);
+        const QueryResult r = router.route(source, object, 30, ws);
+        if (m == 0) {
+          baseline = r;
+        } else {
+          expect_same_result(r, baseline, "blocked-kernel", seed);
+        }
+      }
+    }
+  }
+}
+
+// --- kBlockedDelta churn: incremental equals rebuild -----------------------
+
+// notify_insert's node wave + delta rescan must land on exactly the table
+// a from-scratch build over the updated catalog produces — base bits AND
+// delta rows (BlockedAbfTable::equals compares both).
+TEST_P(TableDifferential, BlockedInsertWaveEqualsRebuild) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 7207 + 5);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 24 + topo_rng.uniform_below(24);
+    const Graph g = random_graph(n, topo_rng.uniform_below(24), topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    ObjectCatalog catalog(n, 4, 0.06, seed * 101 + t);
+    const AbfOptions options = layout_options(TableLayout::kBlockedDelta);
+    AbfRouter incremental(csr, catalog, options);
+
+    for (int step = 0; step < 4; ++step) {
+      const auto holder = static_cast<NodeId>(topo_rng.uniform_below(n));
+      const auto object = static_cast<ObjectId>(topo_rng.uniform_below(4));
+      catalog.add_replica(object, holder);
+      incremental.notify_insert(holder, object);
+    }
+    const AbfRouter rebuilt(csr, catalog, options);
+    EXPECT_TRUE(incremental.blocked_table()->equals(*rebuilt.blocked_table()))
+        << "insert wave diverged from rebuild, seed=" << seed * 101 + t;
+  }
+}
+
+// With counting maintenance, notify_remove drains a counter wave instead
+// of rebuilding; while no counter saturates the result must equal the
+// from-scratch table exactly — counters, base bits, and delta rows.
+TEST_P(TableDifferential, CountingRemoveEqualsRebuild) {
+  const std::uint64_t seed = GetParam();
+  Rng topo_rng(seed * 353 + 9);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t n = 20 + topo_rng.uniform_below(20);
+    // Sparse (ring + few chords) keeps walk multiplicities far from the
+    // counter saturation point, where incremental = rebuild is exact.
+    const Graph g = random_graph(n, 6, topo_rng);
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    ObjectCatalog catalog(n, 3, 0.15, seed * 61 + t);
+    AbfOptions options = layout_options(TableLayout::kBlockedDelta);
+    options.counting_maintenance = true;
+    AbfRouter incremental(csr, catalog, options);
+    ASSERT_NE(incremental.counting_table(), nullptr);
+
+    // Interleave inserts and removes of real replicas.
+    for (int step = 0; step < 6; ++step) {
+      const auto object = static_cast<ObjectId>(topo_rng.uniform_below(3));
+      if (topo_rng.chance(0.5) || catalog.holders(object).empty()) {
+        const auto holder =
+            static_cast<NodeId>(topo_rng.uniform_below(n));
+        if (catalog.node_has_object(holder, object)) continue;
+        catalog.add_replica(object, holder);
+        incremental.notify_insert(holder, object);
+      } else {
+        const auto& holders = catalog.holders(object);
+        const NodeId holder = holders.front();
+        catalog.remove_replica(object, holder);
+        incremental.notify_remove(holder, object);
+      }
+    }
+    AbfRouter rebuilt(csr, catalog, options);
+    EXPECT_TRUE(
+        incremental.counting_table()->equals(*rebuilt.counting_table()))
+        << "counting table diverged, seed=" << seed * 61 + t;
+    EXPECT_TRUE(
+        incremental.blocked_table()->equals(*rebuilt.blocked_table()))
+        << "blocked projection diverged, seed=" << seed * 61 + t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableLayouts, TableDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace makalu

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bloom/abf_table.hpp"
+#include "bloom/attenuated_bloom_filter.hpp"
 #include "core/rating.hpp"
 #include "graph/algorithms.hpp"
 #include "net/latency_model.hpp"
@@ -255,6 +257,132 @@ TEST_P(SeededProperty, NormalizedSpectrumInvariants) {
   // their normalized row is all-zero, contributing eigenvalue 0).
   const auto comps = connected_components(csr);
   EXPECT_EQ(eigenvalue_multiplicity(spectrum, 0.0, 1e-7), comps.count);
+}
+
+// --- Blocked ABF delta slab vs shadow map -----------------------------------
+
+// Random set/erase interleavings over many owners, checked row for row
+// against a plain map: one owner's RowArena row must never leak into or
+// clobber another's (aliasing is exactly the freelist/relocation bug
+// class the slab design risks), and compact() must preserve content while
+// driving slack to zero.
+TEST_P(SeededProperty, BlockedDeltaRowsNeverAliasUnderRandomOps) {
+  Rng rng(GetParam() * 6961 + 23);
+  const std::size_t nodes = 24;
+  const std::size_t depth = 3;
+  BlockedAbfTable table(nodes, depth, /*level_bits=*/256, /*hashes=*/3);
+
+  // shadow[owner] maps (arc_local, level) -> sorted positions.
+  using ArcLevel = std::pair<std::size_t, std::size_t>;
+  std::vector<std::map<ArcLevel, std::vector<std::uint16_t>>> shadow(nodes);
+
+  const auto verify_all_rows = [&]() {
+    for (std::uint32_t owner = 0; owner < nodes; ++owner) {
+      std::map<ArcLevel, std::vector<std::uint16_t>> decoded;
+      for (const std::uint32_t entry : table.owner_deltas(owner)) {
+        decoded[{BlockedAbfTable::delta_arc_local(entry),
+                 BlockedAbfTable::delta_level(entry)}]
+            .push_back(BlockedAbfTable::delta_pos(entry));
+      }
+      for (auto& [arc_level, positions] : decoded) {
+        std::sort(positions.begin(), positions.end());
+      }
+      // Drop empty vectors from the shadow before comparing.
+      std::map<ArcLevel, std::vector<std::uint16_t>> expected;
+      for (const auto& [arc_level, positions] : shadow[owner]) {
+        if (!positions.empty()) expected[arc_level] = positions;
+      }
+      ASSERT_EQ(decoded, expected) << "owner " << owner;
+    }
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const auto owner = static_cast<std::uint32_t>(rng.uniform_below(nodes));
+    const std::size_t arc_local = rng.uniform_below(6);
+    const std::size_t level = 1 + rng.uniform_below(depth - 1);
+    if (rng.chance(0.6)) {
+      // Replace the (arc, level) position set with a fresh random one
+      // (possibly empty — which must clear stale entries).
+      std::set<std::uint16_t> fresh;
+      const std::size_t count = rng.uniform_below(5);
+      for (std::size_t i = 0; i < count; ++i) {
+        fresh.insert(static_cast<std::uint16_t>(rng.uniform_below(256)));
+      }
+      const std::vector<std::uint16_t> positions(fresh.begin(), fresh.end());
+      table.set_arc_delta(owner, arc_local, level, positions);
+      shadow[owner][{arc_local, level}] = positions;
+    } else {
+      const auto pos = static_cast<std::uint16_t>(rng.uniform_below(256));
+      const bool erased =
+          table.erase_delta_position(owner, arc_local, level, pos);
+      auto& positions = shadow[owner][{arc_local, level}];
+      const auto it =
+          std::find(positions.begin(), positions.end(), pos);
+      EXPECT_EQ(erased, it != positions.end());
+      if (it != positions.end()) positions.erase(it);
+    }
+    if (op % 80 == 79) {
+      verify_all_rows();
+      table.compact_deltas();
+      EXPECT_EQ(table.delta_slack_ratio(), 0.0);
+      verify_all_rows();  // compaction must not move content across rows
+    }
+  }
+  verify_all_rows();
+}
+
+// --- Blocked shift-merge vs AttenuatedBloomFilter reference -----------------
+
+// merge_shifted_from on blocked stacks must reproduce the reference
+// deepest-first walk bit for bit — including the self-merge case, whose
+// semantics are "merge the PRE-state" (no cascading a level's new bits
+// into the next). Equal widths + the shared double-hash family make the
+// two representations directly comparable word for word.
+TEST_P(SeededProperty, BlockedShiftMergeMatchesAttenuatedReference) {
+  Rng rng(GetParam() * 769 + 41);
+  const std::size_t nodes = 8;
+  const std::size_t depth = 3;
+  const BloomParameters params{/*bits=*/256, /*hashes=*/3};
+  BlockedAbfTable table(nodes, depth, params.bits, params.hashes);
+  std::vector<AttenuatedBloomFilter> reference(
+      nodes, AttenuatedBloomFilter(depth, params));
+
+  const auto expect_equal_bits = [&](std::uint32_t node) {
+    for (std::size_t level = 0; level < depth; ++level) {
+      const auto ref_words = reference[node].level(level).words();
+      const std::uint64_t* words = table.level_words(node, level);
+      for (std::size_t w = 0; w < ref_words.size(); ++w) {
+        ASSERT_EQ(words[w], ref_words[w])
+            << "node " << node << " level " << level << " word " << w;
+      }
+    }
+  };
+
+  // Seed random content at random levels.
+  for (int i = 0; i < 40; ++i) {
+    const auto node = static_cast<std::uint32_t>(rng.uniform_below(nodes));
+    const std::size_t level = rng.uniform_below(depth);
+    const std::uint64_t key = rng.uniform_below(1000);
+    table.insert(node, level, key);
+    reference[node].insert_at(level, key);
+  }
+  for (std::uint32_t v = 0; v < nodes; ++v) expect_equal_bits(v);
+
+  // Random shift-merges, self-merge included. The reference applies the
+  // shift from a COPY of the source, pinning pre-state semantics; the
+  // blocked implementation must match without copying (deepest-first).
+  for (int i = 0; i < 60; ++i) {
+    const auto dst = static_cast<std::uint32_t>(rng.uniform_below(nodes));
+    const auto src = (i % 10 == 0)
+                         ? dst  // force regular self-merge coverage
+                         : static_cast<std::uint32_t>(
+                               rng.uniform_below(nodes));
+    table.merge_shifted_from(dst, src);
+    const AttenuatedBloomFilter snapshot = reference[src];
+    reference[dst].merge_shifted_from(snapshot);
+    expect_equal_bits(dst);
+  }
+  for (std::uint32_t v = 0; v < nodes; ++v) expect_equal_bits(v);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
