@@ -1,0 +1,92 @@
+#include "cluster/control.hpp"
+
+#include <cctype>
+
+namespace makalu::cluster {
+
+namespace {
+// Domain-separation tags so the latency plane, catalog placement, and
+// per-node streams are uncorrelated even though they share one seed.
+constexpr std::uint64_t kLatencyTag = 0x6c61746e63793031ULL;
+constexpr std::uint64_t kCatalogTag = 0x636174616c6f6730ULL;
+constexpr std::uint64_t kEngineTag = 0x656e67696e653031ULL;
+}  // namespace
+
+EuclideanModel scenario_latency(std::size_t node_count, std::uint64_t seed) {
+  std::uint64_t s = seed ^ kLatencyTag;
+  return EuclideanModel(node_count, splitmix64(s));
+}
+
+ObjectCatalog scenario_catalog(std::size_t node_count,
+                               std::size_t object_count,
+                               double replication_ratio,
+                               std::uint64_t seed) {
+  std::uint64_t s = seed ^ kCatalogTag;
+  return ObjectCatalog(node_count, object_count, replication_ratio,
+                       splitmix64(s));
+}
+
+std::size_t scenario_capacity(NodeId id, std::size_t capacity_min,
+                              std::size_t capacity_max, std::uint64_t seed) {
+  // ProtocolNetwork draws capacities as the first n uniform_int calls on
+  // Rng(seed); replay the prefix to get draw #id.
+  Rng rng(seed);
+  std::size_t capacity = capacity_min;
+  for (NodeId i = 0; i <= id; ++i) {
+    capacity = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(capacity_min),
+        static_cast<std::int64_t>(capacity_max)));
+  }
+  return capacity;
+}
+
+std::uint64_t scenario_engine_seed(NodeId id, std::uint64_t seed) {
+  std::uint64_t s = seed ^ kEngineTag ^
+                    (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1));
+  return splitmix64(s);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string join_ids(const std::vector<NodeId>& ids) {
+  if (ids.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+std::vector<NodeId> parse_ids(const std::string& text) {
+  std::vector<NodeId> ids;
+  if (text == "-" || text.empty()) return ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!piece.empty()) {
+      ids.push_back(static_cast<NodeId>(std::stoul(piece)));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+}  // namespace makalu::cluster

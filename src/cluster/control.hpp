@@ -1,0 +1,74 @@
+// Cluster control plane: shared scenario derivation + the text protocol
+// spoken between the driver and node processes.
+//
+// Every process in a cluster run derives the *same* scenario (latency
+// oracle, object catalog, per-node capacities, engine RNG streams) from
+// one scenario seed, so no scenario state ever crosses the wire — the
+// driver only orchestrates. Control traffic runs over a second,
+// *unshimmed* UDP socket per node: chaos (drop/jitter/partitions) is
+// injected strictly on the data plane, so the experiment's instruments
+// are never the thing being perturbed.
+//
+// The control grammar is single-datagram text lines (loopback UDP; the
+// driver retries idempotent commands until acknowledged):
+//   node -> driver:
+//     REGISTER <id> <data_port>          (repeated until PEERS arrives)
+//     READY <id>                          (acks PEERS)
+//     STAT <id> <degree> <n1,n2,...|->    (answers STAT?)
+//     QRES <qid> <0|1> <response_ms>      (answers QUERY)
+//     METRICS <id> k=v k=v ...            (answers DUMP)
+//     BYE <id>                            (acks SHUTDOWN, then exits)
+//   driver -> node:
+//     PEERS <id:port> <id:port> ...       (data-plane peer map)
+//     JOIN <seed_node>
+//     STAT?
+//     QUERY <qid> <object> <ttl> <deadline_ms>
+//     PART <n1,n2,...>                    (blackhole these data peers)
+//     HEAL
+//     DUMP
+//     SHUTDOWN                            (graceful leave + exit)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/latency_model.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu::cluster {
+
+/// NodeId the node processes use for the driver on their control socket.
+inline constexpr NodeId kDriverId = 0xFFFFFF00U;
+
+/// Scenario derivation: every process calls these with the same
+/// (node_count, seed) and gets identical oracles.
+[[nodiscard]] EuclideanModel scenario_latency(std::size_t node_count,
+                                              std::uint64_t seed);
+[[nodiscard]] ObjectCatalog scenario_catalog(std::size_t node_count,
+                                             std::size_t object_count,
+                                             double replication_ratio,
+                                             std::uint64_t seed);
+/// Node `id`'s overlay capacity: the same sequential draw the simulated
+/// ProtocolNetwork makes, so the live capacity distribution matches the
+/// in-memory baseline exactly.
+[[nodiscard]] std::size_t scenario_capacity(NodeId id,
+                                            std::size_t capacity_min,
+                                            std::size_t capacity_max,
+                                            std::uint64_t seed);
+/// Node `id`'s private engine RNG seed (independent streams per node).
+[[nodiscard]] std::uint64_t scenario_engine_seed(NodeId id,
+                                                 std::uint64_t seed);
+
+// --- text helpers ------------------------------------------------------------
+
+/// Splits on runs of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string> split_tokens(const std::string& line);
+
+/// "1,5,9" (or "-" for an empty list).
+[[nodiscard]] std::string join_ids(const std::vector<NodeId>& ids);
+[[nodiscard]] std::vector<NodeId> parse_ids(const std::string& text);
+
+}  // namespace makalu::cluster

@@ -1,0 +1,442 @@
+#include "cluster/driver.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+
+#include "support/contracts.hpp"
+
+namespace makalu::cluster {
+
+namespace {
+
+net::UdpTransport::Options control_transport_options() {
+  net::UdpTransport::Options options;
+  options.tick_ms = 1.0;
+  return options;
+}
+
+std::uint64_t driver_seed(std::uint64_t seed) {
+  std::uint64_t s = seed ^ 0x647269766572ULL;  // "driver"
+  return splitmix64(s);
+}
+
+}  // namespace
+
+ClusterDriver::ClusterDriver(const ClusterOptions& options)
+    : options_(options),
+      control_(control_transport_options()),
+      rng_(driver_seed(options.seed)),
+      procs_(options.node_count) {
+  MAKALU_EXPECTS(options.node_count >= 2);
+  MAKALU_EXPECTS(!options.node_binary.empty());
+  control_.set_unknown_sender_handler(
+      [this](std::uint16_t from_port, const std::uint8_t* data,
+             std::size_t size) {
+        handle_control(
+            std::string(reinterpret_cast<const char*>(data), size),
+            from_port);
+      });
+  control_.set_receive_handler(
+      [this](NodeId, const std::uint8_t* data, std::size_t size) {
+        handle_control(
+            std::string(reinterpret_cast<const char*>(data), size), 0);
+      });
+}
+
+ClusterDriver::~ClusterDriver() {
+  for (auto& proc : procs_) {
+    if (proc.pid > 0 && !proc.exited) {
+      ::kill(proc.pid, SIGKILL);
+    }
+  }
+  reap(true);
+}
+
+void ClusterDriver::spawn_node(NodeId id) {
+  std::vector<std::string> args = {
+      options_.node_binary,
+      "--id", std::to_string(id),
+      "--nodes", std::to_string(options_.node_count),
+      "--seed", std::to_string(options_.seed),
+      "--driver-port", std::to_string(control_.port()),
+      "--objects", std::to_string(options_.object_count),
+      "--replication", std::to_string(options_.replication_ratio),
+      "--drop", std::to_string(options_.drop),
+      "--duplicate", std::to_string(options_.duplicate),
+      "--reorder", std::to_string(options_.reorder),
+      "--jitter", std::to_string(options_.jitter_ms),
+  };
+  const int pid = ::fork();
+  if (pid < 0) return;  // spawn failure surfaces as a missing REGISTER
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+  procs_[id].pid = pid;
+}
+
+bool ClusterDriver::start() {
+  for (NodeId id = 0; id < options_.node_count; ++id) spawn_node(id);
+  const double deadline = control_.now_ms() + options_.spawn_timeout_ms;
+  double next_broadcast = 0.0;
+  while (control_.now_ms() < deadline) {
+    pump(25.0);
+    std::size_t registered = 0;
+    std::size_t ready = 0;
+    for (const auto& proc : procs_) {
+      if (proc.control_port != 0) ++registered;
+      if (proc.ready) ++ready;
+    }
+    if (ready == options_.node_count) return true;
+    if (registered == options_.node_count &&
+        control_.now_ms() >= next_broadcast) {
+      broadcast_peers();  // re-sent until every node acks READY
+      next_broadcast = control_.now_ms() + 200.0;
+    }
+  }
+  return false;
+}
+
+void ClusterDriver::broadcast_peers() {
+  std::string line = "PEERS";
+  for (NodeId id = 0; id < options_.node_count; ++id) {
+    line += ' ';
+    line += std::to_string(id);
+    line += ':';
+    line += std::to_string(procs_[id].data_port);
+  }
+  for (NodeId id = 0; id < options_.node_count; ++id) {
+    if (!procs_[id].ready) send_to(id, line);
+  }
+}
+
+void ClusterDriver::send_to(NodeId id, const std::string& line) {
+  if (procs_[id].control_port == 0 || procs_[id].killed) return;
+  control_.send(id, reinterpret_cast<const std::uint8_t*>(line.data()),
+                line.size());
+}
+
+void ClusterDriver::pump(double ms) {
+  const double until = control_.now_ms() + ms;
+  do {
+    control_.poll(std::max(1.0, until - control_.now_ms()));
+  } while (control_.now_ms() < until);
+}
+
+void ClusterDriver::handle_control(const std::string& line,
+                                   std::uint16_t from_port) {
+  const auto tokens = split_tokens(line);
+  if (tokens.empty()) return;
+  const std::string& verb = tokens[0];
+  if (verb == "REGISTER" && tokens.size() == 3) {
+    const auto id = static_cast<NodeId>(std::stoul(tokens[1]));
+    if (id >= procs_.size()) return;
+    procs_[id].control_port = from_port != 0 ? from_port
+                                             : procs_[id].control_port;
+    procs_[id].data_port =
+        static_cast<std::uint16_t>(std::stoul(tokens[2]));
+    if (from_port != 0) control_.add_peer(id, from_port);
+    return;
+  }
+  if (verb == "READY" && tokens.size() == 2) {
+    const auto id = static_cast<NodeId>(std::stoul(tokens[1]));
+    if (id < procs_.size()) procs_[id].ready = true;
+    return;
+  }
+  if (verb == "STAT" && tokens.size() == 4) {
+    const auto id = static_cast<NodeId>(std::stoul(tokens[1]));
+    if (id >= procs_.size()) return;
+    procs_[id].stat_fresh = true;
+    procs_[id].stat_neighbors = parse_ids(tokens[3]);
+    return;
+  }
+  if (verb == "QRES" && tokens.size() == 4) {
+    last_qres_ = {static_cast<QueryId>(std::stoull(tokens[1])),
+                  tokens[2] == "1", std::stod(tokens[3])};
+    return;
+  }
+  if (verb == "METRICS" && tokens.size() >= 2) {
+    const auto id = static_cast<NodeId>(std::stoul(tokens[1]));
+    if (id >= procs_.size()) return;
+    auto& proc = procs_[id];
+    proc.metrics.clear();
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos) continue;
+      proc.metrics[tokens[i].substr(0, eq)] =
+          std::stoull(tokens[i].substr(eq + 1));
+    }
+    proc.metrics_fresh = true;
+    return;
+  }
+  if (verb == "BYE" && tokens.size() == 2) {
+    const auto id = static_cast<NodeId>(std::stoul(tokens[1]));
+    if (id < procs_.size()) procs_[id].ready = false;
+    return;
+  }
+}
+
+std::vector<NodeId> ClusterDriver::live_ids() const {
+  std::vector<NodeId> ids;
+  for (NodeId id = 0; id < procs_.size(); ++id) {
+    if (procs_[id].pid > 0 && !procs_[id].killed) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t ClusterDriver::live_count() const { return live_ids().size(); }
+
+bool ClusterDriver::converge(double timeout_ms) {
+  // Staggered joins in seeded-random order; each joiner seeds from an
+  // earlier node, mirroring the simulator's bootstrap_all.
+  std::vector<NodeId> order = live_ids();
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.uniform_below(i)]);
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId seed = order[rng_.uniform_below(i)];
+    send_to(order[i], "JOIN " + std::to_string(seed));
+    pump(options_.join_spacing_ms);
+  }
+
+  const double deadline = control_.now_ms() + timeout_ms;
+  while (control_.now_ms() < deadline) {
+    poll_stats(options_.stat_poll_interval_ms);
+    bool all_connected = true;
+    for (const NodeId id : live_ids()) {
+      if (!procs_[id].stat_fresh || procs_[id].stat_neighbors.empty()) {
+        all_connected = false;
+        // Orphan (or silent) node: nudge it back in.
+        const auto live = live_ids();
+        if (live.size() > 1) {
+          NodeId seed = live[rng_.uniform_below(live.size())];
+          if (seed == id) seed = live[0] == id ? live[1] : live[0];
+          send_to(id, "JOIN " + std::to_string(seed));
+        }
+      }
+    }
+    if (all_connected && compute_giant_fraction() >= 1.0) {
+      converged_ = true;
+      return true;
+    }
+  }
+  converged_ = compute_giant_fraction() >= 1.0;
+  return converged_;
+}
+
+std::size_t ClusterDriver::poll_stats(double wait_ms) {
+  for (auto& proc : procs_) proc.stat_fresh = false;
+  for (const NodeId id : live_ids()) send_to(id, "STAT?");
+  const double deadline = control_.now_ms() + wait_ms;
+  std::size_t answered = 0;
+  for (;;) {
+    answered = 0;
+    for (const NodeId id : live_ids()) {
+      if (procs_[id].stat_fresh) ++answered;
+    }
+    if (answered == live_count() || control_.now_ms() >= deadline) break;
+    control_.poll(std::max(1.0, deadline - control_.now_ms()));
+  }
+  return answered;
+}
+
+double ClusterDriver::compute_giant_fraction() const {
+  const auto live = live_ids();
+  if (live.empty()) return 0.0;
+  // Mutual links only: both endpoints list each other and both are live.
+  std::map<NodeId, std::vector<NodeId>> adjacency;
+  for (const NodeId id : live) {
+    if (!procs_[id].stat_fresh) continue;
+    for (const NodeId peer : procs_[id].stat_neighbors) {
+      if (peer >= procs_.size() || procs_[peer].killed) continue;
+      if (!procs_[peer].stat_fresh) continue;
+      const auto& back = procs_[peer].stat_neighbors;
+      if (std::find(back.begin(), back.end(), id) != back.end()) {
+        adjacency[id].push_back(peer);
+      }
+    }
+  }
+  std::map<NodeId, bool> visited;
+  std::size_t best = 0;
+  for (const NodeId root : live) {
+    if (visited[root]) continue;
+    std::vector<NodeId> stack{root};
+    visited[root] = true;
+    std::size_t size = 0;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const NodeId w : adjacency[v]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return static_cast<double>(best) / static_cast<double>(live.size());
+}
+
+double ClusterDriver::giant_fraction() {
+  poll_stats(options_.stat_poll_interval_ms);
+  return compute_giant_fraction();
+}
+
+QueryStats ClusterDriver::run_queries(std::size_t count) {
+  QueryStats stats;
+  std::uint64_t sequence = 0;
+  for (std::size_t q = 0; q < count; ++q) {
+    const auto live = live_ids();
+    if (live.empty()) break;
+    const NodeId origin = live[rng_.uniform_below(live.size())];
+    const auto object =
+        static_cast<ObjectId>(rng_.uniform_below(options_.object_count));
+    const QueryId qid =
+        (static_cast<QueryId>(origin) + 1) << 32 | ++sequence;
+    last_qres_.reset();
+    send_to(origin,
+            "QUERY " + std::to_string(qid) + ' ' + std::to_string(object) +
+                ' ' + std::to_string(options_.query_ttl) + ' ' +
+                std::to_string(options_.query_deadline_ms));
+    ++stats.issued;
+    // Wait for the node's verdict: its own deadline timer bounds the
+    // reply, so the extra slack only covers control-plane latency.
+    const double deadline =
+        control_.now_ms() + options_.query_deadline_ms + 250.0;
+    while (control_.now_ms() < deadline) {
+      control_.poll(std::max(1.0, deadline - control_.now_ms()));
+      if (last_qres_ && std::get<0>(*last_qres_) == qid) break;
+    }
+    if (last_qres_ && std::get<0>(*last_qres_) == qid &&
+        std::get<1>(*last_qres_)) {
+      ++stats.succeeded;
+      stats.total_response_ms += std::get<2>(*last_qres_);
+    }
+  }
+  query_totals_.issued += stats.issued;
+  query_totals_.succeeded += stats.succeeded;
+  query_totals_.total_response_ms += stats.total_response_ms;
+  return stats;
+}
+
+std::vector<NodeId> ClusterDriver::kill_fraction(double fraction) {
+  std::vector<NodeId> victims;
+  if (fraction <= 0.0) return victims;
+  auto live = live_ids();
+  std::size_t target = static_cast<std::size_t>(
+      fraction * static_cast<double>(live.size()));
+  target = std::max<std::size_t>(1, target);
+  // Never kill below two nodes (the overlay needs a pair to exist).
+  target = std::min(target, live.size() >= 3 ? live.size() - 2 : 0);
+  for (std::size_t k = 0; k < target; ++k) {
+    const std::size_t pick = rng_.uniform_below(live.size());
+    const NodeId victim = live[pick];
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    ::kill(procs_[victim].pid, SIGKILL);
+    procs_[victim].killed = true;
+    victims.push_back(victim);
+  }
+  reap(false);
+  return victims;
+}
+
+void ClusterDriver::partition(double fraction) {
+  auto live = live_ids();
+  if (live.size() < 2 || fraction <= 0.0) return;
+  // Seeded-random cut set.
+  for (std::size_t i = live.size(); i > 1; --i) {
+    std::swap(live[i - 1], live[rng_.uniform_below(i)]);
+  }
+  std::size_t cut = static_cast<std::size_t>(
+      fraction * static_cast<double>(live.size()));
+  cut = std::max<std::size_t>(1, std::min(cut, live.size() - 1));
+  const std::vector<NodeId> island(live.begin(),
+                                   live.begin() + static_cast<std::ptrdiff_t>(cut));
+  const std::vector<NodeId> mainland(
+      live.begin() + static_cast<std::ptrdiff_t>(cut), live.end());
+  for (const NodeId id : island) {
+    send_to(id, "PART " + join_ids(mainland));
+  }
+  for (const NodeId id : mainland) {
+    send_to(id, "PART " + join_ids(island));
+  }
+}
+
+void ClusterDriver::heal() {
+  for (const NodeId id : live_ids()) send_to(id, "HEAL");
+}
+
+void ClusterDriver::reap(bool block) {
+  for (auto& proc : procs_) {
+    if (proc.pid <= 0 || proc.exited) continue;
+    int status = 0;
+    const int got = ::waitpid(proc.pid, &status, block ? 0 : WNOHANG);
+    if (got == proc.pid) proc.exited = true;
+  }
+}
+
+ClusterReport ClusterDriver::finish() {
+  ClusterReport report;
+  for (const auto& proc : procs_) {
+    if (proc.pid > 0) ++report.spawned;
+    if (proc.killed) ++report.killed;
+  }
+  report.survivors = live_count();
+  report.bootstrap_converged = converged_;
+  report.queries = query_totals_;
+  report.giant_fraction = giant_fraction();
+
+  // Collect metric dumps (retry; a surviving node answers quickly).
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    bool all = true;
+    for (const NodeId id : live_ids()) {
+      if (!procs_[id].metrics_fresh) {
+        all = false;
+        send_to(id, "DUMP");
+      }
+    }
+    if (all) break;
+    pump(100.0);
+  }
+  for (const NodeId id : live_ids()) {
+    if (!procs_[id].metrics_fresh) continue;
+    ++report.metrics_collected;
+    for (const auto& [key, value] : procs_[id].metrics) {
+      report.aggregate[key] += value;
+    }
+  }
+
+  // Graceful shutdown, then escalate.
+  for (const NodeId id : live_ids()) send_to(id, "SHUTDOWN");
+  pump(200.0);
+  for (const NodeId id : live_ids()) {
+    if (procs_[id].ready) send_to(id, "SHUTDOWN");
+  }
+  pump(200.0);
+  for (auto& proc : procs_) {
+    if (proc.pid > 0 && !proc.killed && !proc.exited) {
+      ::kill(proc.pid, SIGTERM);
+    }
+  }
+  pump(200.0);
+  reap(false);
+  for (auto& proc : procs_) {
+    if (proc.pid > 0 && !proc.exited) ::kill(proc.pid, SIGKILL);
+  }
+  reap(true);
+  return report;
+}
+
+}  // namespace makalu::cluster

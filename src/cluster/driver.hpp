@@ -1,0 +1,171 @@
+// Multi-process local-cluster driver: spawns N makalu_node processes,
+// orchestrates bootstrap/queries over the control plane, and injects
+// chaos (SIGKILL crashes, partitions) mid-run.
+//
+// The driver is the experiment harness, not a protocol participant: it
+// holds no overlay state beyond what STAT replies report, and it talks
+// only over the unshimmed control sockets. Node processes derive the
+// whole scenario from the seed (see cluster/control.hpp), so the
+// driver's job reduces to: collect REGISTERs, broadcast the data-plane
+// peer map, stagger JOINs, poll STATs until the survivor overlay is one
+// connected component, pump queries, kill/partition on schedule, and
+// aggregate the per-process metric dumps.
+//
+// Everything is single-threaded and retry-based: control commands are
+// idempotent and re-sent until acknowledged, so a lost control datagram
+// (loopback UDP, unshimmed — rare but possible under buffer pressure)
+// costs latency, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/control.hpp"
+#include "net/udp_transport.hpp"
+#include "proto/message.hpp"
+#include "support/rng.hpp"
+
+namespace makalu::cluster {
+
+using proto::QueryId;
+
+struct ClusterOptions {
+  std::string node_binary;          ///< path to the makalu_node executable
+  std::size_t node_count = 8;
+  std::uint64_t seed = 1;
+  std::size_t object_count = 64;
+  double replication_ratio = 0.02;
+
+  // Data-plane chaos (forwarded to each node's FaultShim; the shim seed
+  // is derived per node from `seed`).
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double jitter_ms = 0.0;
+
+  // Orchestration timing (wall-clock ms).
+  double spawn_timeout_ms = 15000.0;
+  double join_spacing_ms = 15.0;
+  double convergence_timeout_ms = 20000.0;
+  double stat_poll_interval_ms = 250.0;
+  double query_deadline_ms = 400.0;
+  std::uint8_t query_ttl = 7;
+};
+
+struct QueryStats {
+  std::size_t issued = 0;
+  std::size_t succeeded = 0;
+  double total_response_ms = 0.0;  ///< summed over successes
+
+  [[nodiscard]] double success_rate() const {
+    return issued == 0 ? 0.0
+                       : static_cast<double>(succeeded) /
+                             static_cast<double>(issued);
+  }
+};
+
+struct ClusterReport {
+  std::size_t spawned = 0;
+  std::size_t killed = 0;
+  std::size_t survivors = 0;
+  bool bootstrap_converged = false;
+  double giant_fraction = 0.0;  ///< of survivors, at the last STAT poll
+  QueryStats queries;
+  /// Per-process metric dumps summed across surviving nodes
+  /// (messages/bytes, reliability counters, codec rejects, ...).
+  std::map<std::string, std::uint64_t> aggregate;
+  std::size_t metrics_collected = 0;
+};
+
+class ClusterDriver {
+ public:
+  explicit ClusterDriver(const ClusterOptions& options);
+  /// SIGKILLs any child still running.
+  ~ClusterDriver();
+
+  ClusterDriver(const ClusterDriver&) = delete;
+  ClusterDriver& operator=(const ClusterDriver&) = delete;
+
+  /// Spawns all node processes, collects registrations, broadcasts the
+  /// peer map, and waits for every node to ack. False on timeout.
+  bool start();
+
+  /// Staggers JOINs and polls STATs until the survivor overlay is one
+  /// connected component with no isolated node (or the timeout passes).
+  /// Returns true when converged; giant_fraction() holds the last
+  /// measurement either way. Callable again after chaos to await
+  /// re-convergence.
+  bool converge(double timeout_ms);
+
+  /// Runs `count` sequential flooded queries from random live origins on
+  /// random objects.
+  QueryStats run_queries(std::size_t count);
+
+  /// SIGKILLs floor(fraction * live) seeded-random victims (at least one
+  /// if fraction > 0 and a victim exists). Returns ids killed.
+  std::vector<NodeId> kill_fraction(double fraction);
+
+  /// Partitions the live set: a seeded-random `fraction` of nodes is cut
+  /// from the rest (both directions blackholed on the data plane).
+  void partition(double fraction);
+  /// Lifts all partitions.
+  void heal();
+
+  /// Giant-component fraction over live nodes from the latest STAT poll
+  /// (refreshes the poll).
+  double giant_fraction();
+
+  /// Collects metric dumps, shuts every node down gracefully, reaps the
+  /// processes, and returns the aggregate report.
+  ClusterReport finish();
+
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] const ClusterOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct NodeProc {
+    int pid = -1;
+    std::uint16_t control_port = 0;  // 0 until REGISTERed
+    std::uint16_t data_port = 0;
+    bool ready = false;      // acked PEERS
+    bool killed = false;     // SIGKILLed by chaos
+    bool exited = false;     // reaped
+    // Latest STAT reply.
+    bool stat_fresh = false;
+    std::vector<NodeId> stat_neighbors;
+    // DUMP reply.
+    bool metrics_fresh = false;
+    std::map<std::string, std::uint64_t> metrics;
+  };
+
+  void handle_control(const std::string& line, std::uint16_t from_port);
+  /// Pumps the control socket for `ms` wall-clock.
+  void pump(double ms);
+  void send_to(NodeId id, const std::string& line);
+  void broadcast_peers();
+  [[nodiscard]] std::vector<NodeId> live_ids() const;
+  /// One STAT round: request + collect until all live answered or
+  /// `wait_ms` passed. Returns ids that answered.
+  std::size_t poll_stats(double wait_ms);
+  /// Giant component over live nodes using mutual links from the latest
+  /// STAT replies (nodes without a fresh reply count as isolated).
+  double compute_giant_fraction() const;
+  void spawn_node(NodeId id);
+  void reap(bool block);
+
+  ClusterOptions options_;
+  net::UdpTransport control_;
+  Rng rng_;
+  std::vector<NodeProc> procs_;
+  bool converged_ = false;   // most recent converge() verdict
+  QueryStats query_totals_;  // accumulated across run_queries() calls
+  // Latest QRES (id, success, response_ms).
+  std::optional<std::tuple<QueryId, bool, double>> last_qres_;
+};
+
+}  // namespace makalu::cluster

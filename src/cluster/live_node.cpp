@@ -1,0 +1,234 @@
+#include "cluster/live_node.hpp"
+
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace makalu::cluster {
+
+proto::ProtocolOptions live_protocol_options() {
+  proto::ProtocolOptions options;
+  options.robustness.enabled = true;
+  options.robustness.handshake_timeout_ms = 60.0;
+  options.robustness.backoff = 2.0;
+  options.robustness.max_retries = 3;
+  options.robustness.walk_retry_timeout_ms = 250.0;
+  options.robustness.walk_retries = 2;
+  options.robustness.keepalive_interval_ms = 80.0;
+  options.robustness.keepalive_max_misses = 3;
+  options.table_push_delay_ms = 20.0;
+  return options;
+}
+
+// --- Host -------------------------------------------------------------------
+
+void LiveNode::Host::send(NodeId to, proto::Payload payload) {
+  LiveNode& node = *self_;
+  proto::Message message{node.options_.id, to, std::move(payload)};
+  node.traffic_.record(message);
+  node.encode_buffer_.clear();
+  proto::encode(message, node.encode_buffer_);
+  node.transport_.send(to, node.encode_buffer_.data(),
+                       node.encode_buffer_.size());
+}
+
+void LiveNode::Host::schedule(double delay_ms, std::function<void()> fn) {
+  self_->transport_.schedule(delay_ms, std::move(fn));
+}
+
+double LiveNode::Host::now_ms() const { return self_->transport_.now_ms(); }
+
+Rng& LiveNode::Host::rng() { return self_->rng_; }
+
+double LiveNode::Host::link_latency_ms(NodeId peer) const {
+  // The scenario oracle stands in for a connect-time ping measurement;
+  // using it keeps live ratings comparable with the in-memory baseline.
+  return self_->latency_.latency(self_->options_.id, peer);
+}
+
+NodeId LiveNode::Host::random_live_peer(NodeId exclude) {
+  return self_->random_other(exclude);
+}
+
+const ObjectCatalog* LiveNode::Host::catalog() const {
+  return &self_->catalog_;
+}
+
+void LiveNode::Host::count(proto::EngineCounter counter) {
+  switch (counter) {
+    case proto::EngineCounter::kRetransmission:
+      ++self_->traffic_.retransmissions;
+      break;
+    case proto::EngineCounter::kHandshakeTimeout:
+      ++self_->traffic_.handshake_timeouts;
+      break;
+    case proto::EngineCounter::kDeadPeerDetected:
+      ++self_->traffic_.dead_peers_detected;
+      break;
+    case proto::EngineCounter::kHalfOpenRepair:
+      ++self_->traffic_.half_open_repairs;
+      break;
+  }
+}
+
+void LiveNode::Host::on_query_sent(QueryId id) { (void)id; }
+
+void LiveNode::Host::on_hit_sent(QueryId id) { (void)id; }
+
+bool LiveNode::Host::consume_hit_at_origin(const proto::QueryHit& hit) {
+  LiveNode& node = *self_;
+  if (!node.active_query_ || node.active_query_->id != hit.id) {
+    return false;
+  }
+  node.finish_query(true, now_ms() - node.active_query_->issued_ms);
+  return true;
+}
+
+// --- LiveNode ----------------------------------------------------------------
+
+LiveNode::LiveNode(net::DatagramTransport& transport,
+                   const LiveNodeOptions& options)
+    : transport_(transport),
+      options_(options),
+      latency_(scenario_latency(options.node_count, options.scenario_seed)),
+      catalog_(scenario_catalog(options.node_count, options.object_count,
+                                options.replication_ratio,
+                                options.scenario_seed)),
+      rng_(scenario_engine_seed(options.id, options.scenario_seed)),
+      node_(options.id,
+            scenario_capacity(options.id, options.protocol.capacity_min,
+                              options.protocol.capacity_max,
+                              options.scenario_seed),
+            options.protocol.weights, options.protocol.seen_query_capacity),
+      host_(this),
+      engine_(node_, options_.protocol, host_) {
+  MAKALU_EXPECTS(options.node_count >= 2);
+  MAKALU_EXPECTS(options.id < options.node_count);
+  MAKALU_EXPECTS(options.protocol.robustness.enabled);
+  transport_.set_receive_handler(
+      [this](NodeId from, const std::uint8_t* data, std::size_t size) {
+        receive(from, data, size);
+      });
+}
+
+void LiveNode::receive(NodeId from, const std::uint8_t* data,
+                       std::size_t size) {
+  proto::DecodeError error = proto::DecodeError::kNone;
+  const auto message = proto::decode(data, size, &error);
+  if (!message) {
+    ++codec_rejects_;
+    return;
+  }
+  // The transport authenticated `from` by source port; a frame whose
+  // claimed sender or addressee disagrees is garbage, not protocol.
+  if (message->from != from || message->to != options_.id) {
+    ++misaddressed_;
+    return;
+  }
+  if (options_.protocol.robustness.enabled) {
+    node_.note_alive(message->from);
+  }
+  engine_.handle(*message);
+}
+
+NodeId LiveNode::random_other(NodeId exclude) {
+  const std::size_t n = options_.node_count;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto candidate = static_cast<NodeId>(rng_.uniform_below(n));
+    if (candidate != options_.id && candidate != exclude) return candidate;
+  }
+  return kInvalidNode;
+}
+
+void LiveNode::start_runtime() {
+  if (running_) return;
+  running_ = true;
+  transport_.schedule(options_.protocol.robustness.keepalive_interval_ms,
+                      [this] { runtime_tick(); });
+}
+
+void LiveNode::join(NodeId seed_peer) {
+  engine_.start_join(seed_peer);
+  start_runtime();
+}
+
+void LiveNode::runtime_tick() {
+  if (!running_) return;
+  ++tick_count_;
+  engine_.keepalive_tick();
+  // Orphan rescue: keepalive_tick is a no-op at degree 0, so a node whose
+  // join raced entirely with losses or crashes would stay isolated
+  // forever. Re-join through the host cache every few ticks.
+  if (node_.degree() == 0 && tick_count_ % 4 == 0) {
+    const NodeId seed = random_other(kInvalidNode);
+    if (seed != kInvalidNode) engine_.start_join(seed);
+  }
+  transport_.schedule(options_.protocol.robustness.keepalive_interval_ms,
+                      [this] { runtime_tick(); });
+}
+
+void LiveNode::start_query(QueryId qid, ObjectId object, std::uint8_t ttl,
+                           double deadline_ms, QueryCallback callback) {
+  MAKALU_EXPECTS(!active_query_);
+  ++queries_issued_;
+  ActiveQuery query;
+  query.id = qid;
+  query.issued_ms = transport_.now_ms();
+  query.callback = std::move(callback);
+  active_query_ = std::move(query);
+  if (engine_.start_query(qid, object, ttl)) {
+    finish_query(true, 0.0);
+    return;
+  }
+  active_query_->deadline_timer =
+      transport_.schedule(deadline_ms, [this, qid] {
+        if (active_query_ && active_query_->id == qid) {
+          finish_query(false, -1.0);
+        }
+      });
+}
+
+void LiveNode::finish_query(bool success, double response_ms) {
+  MAKALU_ASSERT(active_query_.has_value());
+  if (success) ++queries_succeeded_;
+  if (active_query_->deadline_timer != net::kInvalidTimer) {
+    transport_.cancel(active_query_->deadline_timer);
+  }
+  QueryCallback callback = std::move(active_query_->callback);
+  active_query_.reset();
+  if (callback) callback(success, response_ms);
+}
+
+void LiveNode::leave() {
+  running_ = false;
+  if (active_query_) finish_query(false, -1.0);
+  engine_.leave();
+}
+
+std::map<std::string, std::uint64_t> LiveNode::metrics() const {
+  std::map<std::string, std::uint64_t> out;
+  out["messages"] = traffic_.total_messages;
+  out["bytes"] = traffic_.total_bytes;
+  for (std::size_t i = 0; i < proto::kPayloadTypes; ++i) {
+    if (traffic_.count[i] == 0) continue;
+    out["messages." + std::string(proto::payload_type_name(i))] =
+        traffic_.count[i];
+  }
+  const auto& wire = transport_.stats();
+  out["shim_dropped"] = wire.shim_dropped;
+  out["shim_duplicated"] = wire.shim_duplicated;
+  out["shim_delayed"] = wire.shim_delayed;
+  out["shim_blackholed"] = wire.shim_blackholed;
+  out["retransmissions"] = traffic_.retransmissions;
+  out["handshake_timeouts"] = traffic_.handshake_timeouts;
+  out["dead_peers_detected"] = traffic_.dead_peers_detected;
+  out["half_open_repairs"] = traffic_.half_open_repairs;
+  out["codec_rejects"] = codec_rejects_;
+  out["misaddressed"] = misaddressed_;
+  out["queries_issued"] = queries_issued_;
+  out["queries_succeeded"] = queries_succeeded_;
+  out["degree"] = node_.degree();
+  return out;
+}
+
+}  // namespace makalu::cluster

@@ -1,0 +1,85 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace makalu::net {
+
+TimerWheel::TimerWheel(double tick_ms, std::size_t slots)
+    : tick_ms_(tick_ms), slots_(slots) {
+  MAKALU_EXPECTS(tick_ms > 0.0);
+  MAKALU_EXPECTS(slots >= 2 && (slots & (slots - 1)) == 0);
+}
+
+TimerId TimerWheel::schedule(double now_ms, double delay_ms,
+                             std::function<void()> fn) {
+  const double due_ms = now_ms + std::max(0.0, delay_ms);
+  auto tick = static_cast<std::uint64_t>(
+      std::ceil(due_ms / tick_ms_));
+  // Never due at or before the tick the clock has already consumed:
+  // schedule() must not fire synchronously, and a callback's own timers
+  // must land after the advancing tick.
+  tick = std::max(tick, current_tick_ + 1);
+  const TimerId id = next_id_++;
+  slots_[slot_of(tick)].push_back(Entry{tick, id, std::move(fn)});
+  live_.emplace(id, tick);
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  // Lazy cancellation: drop the live entry; the slot's Entry is skipped
+  // (and reclaimed) when its tick is processed.
+  return live_.erase(id) != 0;
+}
+
+std::size_t TimerWheel::advance(double now_ms) {
+  MAKALU_EXPECTS(!advancing_);
+  const auto target =
+      static_cast<std::uint64_t>(std::floor(now_ms / tick_ms_));
+  std::size_t fired = 0;
+  advancing_ = true;
+  std::vector<Entry> due;
+  while (current_tick_ < target) {
+    if (live_.empty()) {
+      current_tick_ = target;
+      break;
+    }
+    ++current_tick_;
+    auto& bucket = slots_[slot_of(current_tick_)];
+    if (bucket.empty()) continue;
+    // Split out this tick's entries in insertion (FIFO) order; later
+    // revolutions stay behind.
+    due.clear();
+    auto keep = bucket.begin();
+    for (auto& entry : bucket) {
+      if (entry.tick == current_tick_) {
+        due.push_back(std::move(entry));
+      } else {
+        *keep++ = std::move(entry);
+      }
+    }
+    bucket.erase(keep, bucket.end());
+    for (auto& entry : due) {
+      // Entries cancelled after extraction (by an earlier callback in
+      // this same tick) must not fire.
+      if (live_.erase(entry.id) == 0) continue;
+      ++fired;
+      entry.fn();
+    }
+  }
+  advancing_ = false;
+  return fired;
+}
+
+double TimerWheel::next_deadline_ms() const {
+  std::uint64_t earliest = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, tick] : live_) earliest = std::min(earliest, tick);
+  if (earliest == std::numeric_limits<std::uint64_t>::max()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(earliest) * tick_ms_;
+}
+
+}  // namespace makalu::net

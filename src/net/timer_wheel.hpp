@@ -1,0 +1,72 @@
+// Hashed timing wheel for transport timers.
+//
+// The live transports arm many short timers (handshake RTOs, walk
+// retries, keepalive cadence, query deadlines) against a continuously
+// advancing clock. A hashed wheel makes schedule/fire O(1) amortized:
+// time is quantized into ticks, each tick hashes to one of `slots`
+// buckets, and advancing the clock walks only the buckets whose turn has
+// come. Entries whose deadline lies more than one wheel revolution ahead
+// simply stay in their bucket until their tick comes around (classic
+// hashed — not hierarchical — wheel; fine at our horizon of seconds).
+//
+// Determinism: timers due at the same tick fire in schedule order
+// (FIFO), matching the EventQueue's tie-break so protocol behavior does
+// not depend on which transport drives it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace makalu::net {
+
+class TimerWheel {
+ public:
+  /// `tick_ms` is the firing granularity (timers fire at most one tick
+  /// late); `slots` must be a power of two.
+  explicit TimerWheel(double tick_ms = 1.0, std::size_t slots = 256);
+
+  /// Arms `fn` to fire once `delay_ms` after `now_ms`. Zero/negative
+  /// delays round up to the next tick — a timer never fires inside the
+  /// schedule() call.
+  TimerId schedule(double now_ms, double delay_ms, std::function<void()> fn);
+
+  /// Cancels a pending timer; false if unknown or already fired.
+  bool cancel(TimerId id);
+
+  /// Fires every timer due at or before `now_ms`, oldest tick first,
+  /// FIFO within a tick. Returns the number fired. Callbacks may
+  /// schedule() new timers (they land strictly after the current tick)
+  /// but must not re-enter advance().
+  std::size_t advance(double now_ms);
+
+  /// Earliest pending deadline in ms, or +infinity when idle. O(pending).
+  [[nodiscard]] double next_deadline_ms() const;
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+  [[nodiscard]] double tick_ms() const noexcept { return tick_ms_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tick = 0;
+    TimerId id = kInvalidTimer;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t tick) const noexcept {
+    return static_cast<std::size_t>(tick) & (slots_.size() - 1);
+  }
+
+  double tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_map<TimerId, std::uint64_t> live_;  // id -> deadline tick
+  std::uint64_t current_tick_ = 0;
+  TimerId next_id_ = 1;
+  bool advancing_ = false;
+};
+
+}  // namespace makalu::net

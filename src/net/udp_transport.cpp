@@ -1,0 +1,164 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "support/contracts.hpp"
+
+namespace makalu::net {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const Options& options)
+    : wheel_(options.tick_ms, options.wheel_slots) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("udp socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr = loopback_addr(options.port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("udp bind: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("udp getsockname: ") +
+                             std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  epoch_ns_ = steady_ns();
+}
+
+UdpTransport::UdpTransport() : UdpTransport(Options()) {}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::add_peer(NodeId id, std::uint16_t peer_port) {
+  const auto it = peer_addr_.find(id);
+  if (it != peer_addr_.end()) addr_peer_.erase(it->second);
+  peer_addr_[id] = peer_port;
+  addr_peer_[peer_port] = id;
+}
+
+bool UdpTransport::has_peer(NodeId id) const {
+  return peer_addr_.count(id) != 0;
+}
+
+double UdpTransport::now_ms() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) / 1e6;
+}
+
+void UdpTransport::send(NodeId to, const std::uint8_t* data,
+                        std::size_t size) {
+  const auto it = peer_addr_.find(to);
+  if (it == peer_addr_.end()) {
+    ++stats_.send_errors;
+    return;
+  }
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(it->second));
+  const ssize_t sent =
+      ::sendto(fd_, data, size, 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0 || static_cast<std::size_t>(sent) != size) {
+    // ENOBUFS/EAGAIN under burst: UDP gets to drop — the protocol layer
+    // treats it exactly like wire loss.
+    ++stats_.send_errors;
+    return;
+  }
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += size;
+}
+
+void UdpTransport::receive_ready() {
+  std::uint8_t buffer[65536];
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t got =
+        ::recvfrom(fd_, buffer, sizeof(buffer), MSG_TRUNC,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      ++stats_.send_errors;  // transient socket error; keep going
+      return;
+    }
+    if (static_cast<std::size_t>(got) > sizeof(buffer)) {
+      ++stats_.truncated_dropped;
+      continue;
+    }
+    const auto it = addr_peer_.find(ntohs(from.sin_port));
+    if (it == addr_peer_.end()) {
+      if (raw_handler_) {
+        ++stats_.datagrams_received;
+        stats_.bytes_received += static_cast<std::uint64_t>(got);
+        raw_handler_(ntohs(from.sin_port), buffer,
+                     static_cast<std::size_t>(got));
+      } else {
+        ++stats_.unknown_sender;
+      }
+      continue;
+    }
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(got);
+    if (handler_) {
+      handler_(it->second, buffer, static_cast<std::size_t>(got));
+    }
+  }
+}
+
+void UdpTransport::drain() {
+  receive_ready();
+  wheel_.advance(now_ms());
+}
+
+void UdpTransport::poll(double max_wait_ms) {
+  MAKALU_EXPECTS(max_wait_ms >= 0.0);
+  double wait = max_wait_ms;
+  const double deadline = wheel_.next_deadline_ms();
+  if (std::isfinite(deadline)) {
+    wait = std::min(wait, std::max(0.0, deadline - now_ms()));
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout = static_cast<int>(std::ceil(wait));
+  (void)::poll(&pfd, 1, timeout);
+  drain();
+}
+
+}  // namespace makalu::net

@@ -1,0 +1,99 @@
+// Non-blocking UDP datagram transport with a wall-clock timer wheel.
+//
+// One UdpTransport is one socket bound to 127.0.0.1:<ephemeral> plus a
+// peer table mapping NodeId -> port. Everything runs on the caller's
+// thread: poll() sleeps in ::poll(2) until a datagram arrives or the
+// next timer is due, drains the socket (dispatching each datagram to the
+// receive handler), and advances the timer wheel. Binding to an
+// ephemeral port (and publishing the result via port()) sidesteps every
+// port-collision flake in multi-process runs — the cluster driver
+// collects real ports at registration and broadcasts the peer map.
+//
+// The transport neither frames nor interprets bytes; the proto codec and
+// PeerEngine sit above, and a FaultShim optionally sits between.
+#pragma once
+
+#include <cstdint>
+
+#include "net/timer_wheel.hpp"
+#include "net/transport.hpp"
+
+namespace makalu::net {
+
+class UdpTransport final : public DatagramTransport {
+ public:
+  struct Options {
+    double tick_ms = 1.0;        ///< timer-wheel granularity
+    std::size_t wheel_slots = 256;
+    std::uint16_t port = 0;      ///< 0 = ephemeral
+  };
+
+  /// Binds the socket; throws std::runtime_error on socket/bind failure.
+  explicit UdpTransport(const Options& options);
+  UdpTransport();  // default Options
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// The bound UDP port (loopback).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Raw fd for callers that multiplex several sockets in one ::poll.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Datagrams from ports with no registered peer are dropped (counted
+  /// under unknown_sender) unless this handler is set — the cluster
+  /// driver's control socket uses it to accept REGISTER datagrams from
+  /// node processes it has not met yet.
+  using RawHandler = std::function<void(std::uint16_t from_port,
+                                        const std::uint8_t* data,
+                                        std::size_t size)>;
+  void set_unknown_sender_handler(RawHandler handler) {
+    raw_handler_ = std::move(handler);
+  }
+
+  /// Registers (or re-registers) peer `id` at 127.0.0.1:`port`.
+  void add_peer(NodeId id, std::uint16_t peer_port);
+  [[nodiscard]] bool has_peer(NodeId id) const;
+
+  // --- DatagramTransport ----------------------------------------------------
+  void send(NodeId to, const std::uint8_t* data, std::size_t size) override;
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  TimerId schedule(double delay_ms, std::function<void()> fn) override {
+    return wheel_.schedule(now_ms(), delay_ms, std::move(fn));
+  }
+  bool cancel(TimerId id) override { return wheel_.cancel(id); }
+  [[nodiscard]] double now_ms() const override;
+  [[nodiscard]] const TransportStats& stats() const override {
+    return stats_;
+  }
+
+  /// Sleeps until a datagram arrives, the next timer is due, or
+  /// `max_wait_ms` elapses; then drains I/O and fires due timers.
+  void poll(double max_wait_ms);
+
+  /// Non-blocking: drains readable datagrams and fires due timers.
+  void drain();
+
+  /// Next timer deadline (ms on this transport's clock), +inf when idle.
+  [[nodiscard]] double next_deadline_ms() const {
+    return wheel_.next_deadline_ms();
+  }
+
+ private:
+  void receive_ready();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  TimerWheel wheel_;
+  ReceiveHandler handler_;
+  RawHandler raw_handler_;
+  TransportStats stats_;
+  std::int64_t epoch_ns_ = 0;  ///< steady-clock origin of now_ms()
+  std::unordered_map<NodeId, std::uint32_t> peer_addr_;  // id -> port
+  std::unordered_map<std::uint32_t, NodeId> addr_peer_;  // port -> id
+};
+
+}  // namespace makalu::net

@@ -1,0 +1,235 @@
+#include "proto/codec.hpp"
+
+#include <cstring>
+
+#include "support/contracts.hpp"
+
+namespace makalu::proto {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'M';
+constexpr std::uint8_t kMagic1 = 'K';
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Bounds-checked little-endian reader over one frame body. Every read
+/// either succeeds or marks the cursor failed; the caller checks ok()
+/// once at the end (and done() to reject trailing bytes).
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+  std::uint8_t u8() { return read_bytes<std::uint8_t, 1>(); }
+  std::uint16_t u16() { return read_bytes<std::uint16_t, 2>(); }
+  std::uint32_t u32() { return read_bytes<std::uint32_t, 4>(); }
+  std::uint64_t u64() { return read_bytes<std::uint64_t, 8>(); }
+
+ private:
+  template <typename T, std::size_t Bytes>
+  T read_bytes() {
+    if (!ok_ || size_ - pos_ < Bytes) {
+      ok_ = false;
+      return T{};
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < Bytes; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += Bytes;
+    return static_cast<T>(v);
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void put_table(std::vector<std::uint8_t>& out,
+               const std::vector<NodeId>& table) {
+  MAKALU_EXPECTS(table.size() <= kMaxTableEntries);
+  put_u16(out, static_cast<std::uint16_t>(table.size()));
+  for (const NodeId id : table) put_u32(out, id);
+}
+
+bool get_table(Cursor& cursor, std::vector<NodeId>& table,
+               DecodeError& error) {
+  const std::uint16_t count = cursor.u16();
+  if (!cursor.ok()) return false;
+  if (count > kMaxTableEntries) {
+    error = DecodeError::kTableTooLarge;
+    return false;
+  }
+  table.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    table.push_back(cursor.u32());
+  }
+  return cursor.ok();
+}
+
+struct EncodeVisitor {
+  std::vector<std::uint8_t>& out;
+
+  void operator()(const ConnectRequest&) const {}
+  void operator()(const ConnectAccept& m) const {
+    put_table(out, m.neighbor_table);
+  }
+  void operator()(const ConnectReject&) const {}
+  void operator()(const Disconnect&) const {}
+  void operator()(const TableUpdate& m) const {
+    put_table(out, m.neighbor_table);
+  }
+  void operator()(const WalkProbe& m) const {
+    put_u32(out, m.joiner);
+    put_u16(out, m.steps_left);
+  }
+  void operator()(const CandidateReply&) const {}
+  void operator()(const Query& m) const {
+    put_u64(out, m.id);
+    put_u32(out, m.object);
+    out.push_back(m.ttl);
+  }
+  void operator()(const QueryHit& m) const {
+    put_u64(out, m.id);
+    put_u32(out, m.object);
+    put_u32(out, m.provider);
+  }
+  void operator()(const Ping&) const {}
+  void operator()(const Pong&) const {}
+};
+
+/// Decodes the body for payload-type index `type`; returns nullopt and
+/// sets `error` on malformed content (cursor exhaustion is mapped to
+/// kTruncated by the caller).
+std::optional<Payload> decode_body(std::size_t type, Cursor& cursor,
+                                   DecodeError& error) {
+  switch (type) {
+    case 0: return Payload{ConnectRequest{}};
+    case 1: {
+      ConnectAccept m;
+      if (!get_table(cursor, m.neighbor_table, error)) return std::nullopt;
+      return Payload{std::move(m)};
+    }
+    case 2: return Payload{ConnectReject{}};
+    case 3: return Payload{Disconnect{}};
+    case 4: {
+      TableUpdate m;
+      if (!get_table(cursor, m.neighbor_table, error)) return std::nullopt;
+      return Payload{std::move(m)};
+    }
+    case 5: {
+      WalkProbe m;
+      m.joiner = cursor.u32();
+      m.steps_left = cursor.u16();
+      return Payload{m};
+    }
+    case 6: return Payload{CandidateReply{}};
+    case 7: {
+      Query m;
+      m.id = cursor.u64();
+      m.object = cursor.u32();
+      m.ttl = cursor.u8();
+      return Payload{m};
+    }
+    case 8: {
+      QueryHit m;
+      m.id = cursor.u64();
+      m.object = cursor.u32();
+      m.provider = cursor.u32();
+      return Payload{m};
+    }
+    case 9: return Payload{Ping{}};
+    case 10: return Payload{Pong{}};
+    default: MAKALU_ASSERT(false); return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone: return "ok";
+    case DecodeError::kTooShort: return "too-short";
+    case DecodeError::kBadMagic: return "bad-magic";
+    case DecodeError::kBadVersion: return "bad-version";
+    case DecodeError::kBadType: return "bad-type";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kTrailingBytes: return "trailing-bytes";
+    case DecodeError::kTableTooLarge: return "table-too-large";
+  }
+  return "unknown";
+}
+
+void encode(const Message& message, std::vector<std::uint8_t>& out) {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kCodecVersion);
+  out.push_back(static_cast<std::uint8_t>(payload_index(message.payload)));
+  put_u32(out, message.from);
+  put_u32(out, message.to);
+  std::visit(EncodeVisitor{out}, message.payload);
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  encode(message, out);
+  return out;
+}
+
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size,
+                              DecodeError* error) {
+  DecodeError reason = DecodeError::kNone;
+  std::optional<Message> result;
+  if (size < kFrameHeaderBytes) {
+    reason = DecodeError::kTooShort;
+  } else if (data[0] != kMagic0 || data[1] != kMagic1) {
+    reason = DecodeError::kBadMagic;
+  } else if (data[2] != kCodecVersion) {
+    reason = DecodeError::kBadVersion;
+  } else if (data[3] >= kPayloadTypes) {
+    reason = DecodeError::kBadType;
+  } else {
+    Cursor header(data + 4, 8);
+    Message message;
+    message.from = header.u32();
+    message.to = header.u32();
+    Cursor body(data + kFrameHeaderBytes, size - kFrameHeaderBytes);
+    auto payload = decode_body(data[3], body, reason);
+    if (!payload.has_value()) {
+      if (reason == DecodeError::kNone) reason = DecodeError::kTruncated;
+    } else if (!body.ok()) {
+      reason = DecodeError::kTruncated;
+    } else if (!body.done()) {
+      reason = DecodeError::kTrailingBytes;
+    } else {
+      message.payload = std::move(*payload);
+      result = std::move(message);
+    }
+  }
+  if (error != nullptr) *error = reason;
+  return result;
+}
+
+}  // namespace makalu::proto

@@ -39,6 +39,88 @@ void export_traffic_metrics(const TrafficStats& stats,
             stats.half_open_repairs);
 }
 
+// --- SimHost: one engine's view of the simulated world ----------------------
+
+void ProtocolNetwork::SimHost::send(NodeId to, Payload payload) {
+  net_->send(self_, to, std::move(payload));
+}
+
+void ProtocolNetwork::SimHost::schedule(double delay_ms,
+                                        std::function<void()> fn) {
+  net_->queue_.schedule_in(delay_ms, std::move(fn));
+}
+
+double ProtocolNetwork::SimHost::now_ms() const {
+  return net_->queue_.now();
+}
+
+Rng& ProtocolNetwork::SimHost::rng() { return net_->rng_; }
+
+double ProtocolNetwork::SimHost::link_latency_ms(NodeId peer) const {
+  return net_->latency_.latency(self_, peer);
+}
+
+bool ProtocolNetwork::SimHost::self_crashed() const {
+  return net_->faults_.active() &&
+         net_->faults_.crashed(self_, net_->queue_.now());
+}
+
+bool ProtocolNetwork::SimHost::peer_crashed(NodeId peer) const {
+  return net_->faults_.active() &&
+         net_->faults_.crashed(peer, net_->queue_.now());
+}
+
+NodeId ProtocolNetwork::SimHost::random_live_peer(NodeId exclude) {
+  return net_->random_live_node(exclude);
+}
+
+const ObjectCatalog* ProtocolNetwork::SimHost::catalog() const {
+  return net_->catalog_;
+}
+
+void ProtocolNetwork::SimHost::count(EngineCounter counter) {
+  switch (counter) {
+    case EngineCounter::kRetransmission:
+      ++net_->traffic_.retransmissions;
+      break;
+    case EngineCounter::kHandshakeTimeout:
+      ++net_->traffic_.handshake_timeouts;
+      break;
+    case EngineCounter::kDeadPeerDetected:
+      ++net_->traffic_.dead_peers_detected;
+      break;
+    case EngineCounter::kHalfOpenRepair:
+      ++net_->traffic_.half_open_repairs;
+      break;
+  }
+}
+
+void ProtocolNetwork::SimHost::on_query_sent(QueryId id) {
+  auto& active = net_->active_query_;
+  if (active && active->id == id) ++active->outcome.query_messages;
+}
+
+void ProtocolNetwork::SimHost::on_hit_sent(QueryId id) {
+  auto& active = net_->active_query_;
+  if (active && active->id == id) ++active->outcome.hit_messages;
+}
+
+bool ProtocolNetwork::SimHost::consume_hit_at_origin(const QueryHit& hit) {
+  auto& active = net_->active_query_;
+  if (!active || active->id != hit.id || self_ != active->origin) {
+    return false;
+  }
+  auto& outcome = active->outcome;
+  ++outcome.hits;
+  if (!outcome.success) {
+    outcome.success = true;
+    outcome.response_ms = net_->queue_.now() - active->issued_ms;
+  }
+  return true;
+}
+
+// --- network -----------------------------------------------------------------
+
 ProtocolNetwork::ProtocolNetwork(const LatencyModel& latency,
                                  const ObjectCatalog* catalog,
                                  const ProtocolOptions& options,
@@ -59,13 +141,18 @@ ProtocolNetwork::ProtocolNetwork(const LatencyModel& latency,
     nodes_.emplace_back(id, capacity, options.weights,
                         options.seen_query_capacity);
   }
-  push_pending_.assign(n, false);
-  join_attempts_left_.assign(n, 0);
+  // Hosts and engines reference nodes_/hosts_ slots; all three vectors
+  // are sized here and never grow, so the references stay valid.
+  hosts_.reserve(n);
+  engines_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    hosts_.emplace_back(this, id);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    engines_.emplace_back(nodes_[id], options_, hosts_[id]);
+  }
   node_out_bytes_.assign(n, 0);
   node_in_bytes_.assign(n, 0);
-  pending_connects_.resize(n);
-  walk_epoch_.assign(n, 0);
-  last_join_seed_.assign(n, kInvalidNode);
 }
 
 void ProtocolNetwork::attach_fault_plan(FaultPlan plan) {
@@ -113,252 +200,13 @@ void ProtocolNetwork::deliver(const Message& message) {
     // Any delivered traffic is proof of life for the failure detector.
     nodes_[message.to].note_alive(message.from);
   }
-  switch (payload_index(message.payload)) {
-    case 0: handle_connect_request(message); break;
-    case 1: handle_connect_accept(message); break;
-    case 2: handle_connect_reject(message); break;
-    case 3: handle_disconnect(message); break;
-    case 4: handle_table_update(message); break;
-    case 5: handle_walk_probe(message); break;
-    case 6: handle_candidate_reply(message); break;
-    case 7: handle_query(message); break;
-    case 8: handle_query_hit(message); break;
-    case 9: handle_ping(message); break;
-    case 10: handle_pong(message); break;
-    default: MAKALU_ASSERT(false);
-  }
+  engines_[message.to].handle(message);
 }
-
-// --- join / connection management ------------------------------------------
 
 void ProtocolNetwork::start_join(NodeId joiner, NodeId seed_peer) {
   MAKALU_EXPECTS(joiner < nodes_.size());
   MAKALU_EXPECTS(seed_peer < nodes_.size() && seed_peer != joiner);
-  join_attempts_left_[joiner] = 2 * options_.walk_count;
-  last_join_seed_[joiner] = seed_peer;
-  for (std::size_t walk = 0; walk < options_.walk_count; ++walk) {
-    send(joiner, seed_peer,
-         WalkProbe{joiner, options_.walk_steps});
-  }
-  if (options_.robustness.enabled) {
-    const std::uint64_t epoch = ++walk_epoch_[joiner];
-    schedule_walk_retry(joiner, options_.robustness.walk_retries, epoch);
-  }
-}
-
-void ProtocolNetwork::schedule_walk_retry(NodeId joiner,
-                                          std::size_t retries_left,
-                                          std::uint64_t epoch) {
-  queue_.schedule_in(
-      options_.robustness.walk_retry_timeout_ms,
-      [this, joiner, retries_left, epoch] {
-        if (walk_epoch_[joiner] != epoch) return;  // superseded join
-        if (faults_.active() && faults_.crashed(joiner, queue_.now())) return;
-        ProtocolNode& node = nodes_[joiner];
-        if (node.degree() >= node.capacity()) return;  // satisfied
-        if (retries_left == 0) {
-          ++traffic_.handshake_timeouts;
-          return;
-        }
-        // Re-launch half the walk budget. Prefer a live neighbor as the
-        // seed; otherwise fall back to the recorded join seed, replacing
-        // it if it crashed (what a real host cache would do).
-        NodeId seed = last_join_seed_[joiner];
-        if (node.degree() > 0) {
-          const auto& nbrs = node.neighbors();
-          seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
-        } else if (faults_.active() &&
-                   faults_.crashed(seed, queue_.now())) {
-          seed = random_live_node(joiner);
-          if (seed == kInvalidNode) return;
-        }
-        join_attempts_left_[joiner] =
-            std::max(join_attempts_left_[joiner], options_.walk_count);
-        const std::size_t walks =
-            std::max<std::size_t>(1, options_.walk_count / 2);
-        for (std::size_t walk = 0; walk < walks; ++walk) {
-          ++traffic_.retransmissions;
-          send(joiner, seed, WalkProbe{joiner, options_.walk_steps});
-        }
-        schedule_walk_retry(joiner, retries_left - 1, epoch);
-      });
-}
-
-void ProtocolNetwork::handle_walk_probe(const Message& message) {
-  const auto& probe = std::get<WalkProbe>(message.payload);
-  ProtocolNode& here = nodes_[message.to];
-  if (probe.steps_left == 0 || here.degree() == 0) {
-    if (message.to != probe.joiner) {
-      send(message.to, probe.joiner, CandidateReply{});
-    } else if (here.degree() > 0) {
-      // Walk ended back at the joiner: use a random neighbor instead.
-      const auto& nbrs = here.neighbors();
-      send(message.to, nbrs[rng_.uniform_below(nbrs.size())].peer,
-           WalkProbe{probe.joiner, 0});
-    }
-    return;
-  }
-  // Metropolis-Hastings step using advertised table sizes as degrees
-  // (local information: tables were exchanged on connect).
-  const auto& nbrs = here.neighbors();
-  const auto& proposal = nbrs[rng_.uniform_below(nbrs.size())];
-  const double here_degree = static_cast<double>(here.degree());
-  const double proposal_degree =
-      static_cast<double>(std::max<std::size_t>(1, proposal.table.size()));
-  NodeId next = message.to;  // stay on rejection
-  if (here_degree >= proposal_degree ||
-      rng_.uniform() < here_degree / proposal_degree) {
-    next = proposal.peer;
-  }
-  if (next == message.to) {
-    // Self-loop step: burn one hop locally.
-    Message forwarded = message;
-    auto& p = std::get<WalkProbe>(forwarded.payload);
-    p.steps_left = static_cast<std::uint16_t>(probe.steps_left - 1);
-    deliver(forwarded);  // no wire cost for staying put
-    return;
-  }
-  send(message.to, next,
-       WalkProbe{probe.joiner,
-                 static_cast<std::uint16_t>(probe.steps_left - 1)});
-}
-
-void ProtocolNetwork::handle_candidate_reply(const Message& message) {
-  const NodeId joiner = message.to;
-  const NodeId candidate = message.from;
-  ProtocolNode& node = nodes_[joiner];
-  if (join_attempts_left_[joiner] == 0) return;
-  if (node.degree() >= node.capacity()) return;  // satisfied
-  if (node.has_neighbor(candidate)) return;
-  --join_attempts_left_[joiner];
-  send(joiner, candidate, ConnectRequest{});
-  if (options_.robustness.enabled) begin_handshake(joiner, candidate);
-}
-
-void ProtocolNetwork::begin_handshake(NodeId requester, NodeId target) {
-  auto& pending = pending_connects_[requester];
-  if (pending.count(target) != 0) return;  // a retry loop is already armed
-  const std::uint64_t epoch = next_epoch_++;
-  PendingHandshake state;
-  state.rto_ms = options_.robustness.handshake_timeout_ms;
-  state.retries_left = options_.robustness.max_retries;
-  state.epoch = epoch;
-  pending.emplace(target, state);
-  queue_.schedule_in(state.rto_ms, [this, requester, target, epoch] {
-    connect_timer_fired(requester, target, epoch);
-  });
-}
-
-void ProtocolNetwork::connect_timer_fired(NodeId requester, NodeId target,
-                                          std::uint64_t epoch) {
-  auto& pending = pending_connects_[requester];
-  const auto it = pending.find(target);
-  if (it == pending.end() || it->second.epoch != epoch) return;  // resolved
-  ProtocolNode& node = nodes_[requester];
-  if ((faults_.active() && faults_.crashed(requester, queue_.now())) ||
-      node.has_neighbor(target) || node.degree() >= node.capacity()) {
-    pending.erase(it);
-    return;
-  }
-  if (it->second.retries_left == 0) {
-    pending.erase(it);
-    ++traffic_.handshake_timeouts;
-    return;
-  }
-  --it->second.retries_left;
-  it->second.rto_ms *= options_.robustness.backoff;
-  ++traffic_.retransmissions;
-  send(requester, target, ConnectRequest{});
-  queue_.schedule_in(it->second.rto_ms, [this, requester, target, epoch] {
-    connect_timer_fired(requester, target, epoch);
-  });
-}
-
-void ProtocolNetwork::handle_connect_request(const Message& message) {
-  const NodeId acceptor_id = message.to;
-  const NodeId requester = message.from;
-  ProtocolNode& acceptor = nodes_[acceptor_id];
-  if (acceptor.has_neighbor(requester)) {
-    // Duplicate handshake. On a perfect wire both sides raced and the
-    // request can be ignored; under the robustness layer the duplicate is
-    // more likely a retransmission whose ConnectAccept was lost, so the
-    // ack is re-sent (idempotent on the requester).
-    if (options_.robustness.enabled) {
-      send(acceptor_id, requester,
-           ConnectAccept{acceptor.neighbor_table()});
-    }
-    return;
-  }
-  // Accept-then-manage, per the paper's Manage() loop. The link becomes
-  // live on the acceptor immediately; the requester learns via
-  // ConnectAccept. If management evicts the requester right away the
-  // ensuing Disconnect wins the race by arriving after the accept.
-  acceptor.add_neighbor(requester,
-                        std::max(0.01, latency_.latency(acceptor_id,
-                                                        requester)),
-                        {});  // table arrives with the requester's push
-  send(acceptor_id, requester,
-       ConnectAccept{acceptor.neighbor_table()});
-  schedule_table_push(acceptor_id);
-  manage(acceptor_id);
-}
-
-void ProtocolNetwork::handle_connect_accept(const Message& message) {
-  const NodeId joiner = message.to;
-  const NodeId acceptor = message.from;
-  if (options_.robustness.enabled) {
-    pending_connects_[joiner].erase(acceptor);  // acked
-  }
-  ProtocolNode& node = nodes_[joiner];
-  if (node.has_neighbor(acceptor)) return;
-  const auto& accept = std::get<ConnectAccept>(message.payload);
-  node.add_neighbor(acceptor,
-                    std::max(0.01, latency_.latency(joiner, acceptor)),
-                    accept.neighbor_table);
-  schedule_table_push(joiner);
-  manage(joiner);
-}
-
-void ProtocolNetwork::handle_connect_reject(const Message& message) {
-  // Requester simply moves on; nothing to clean up (the link was never
-  // added on its side).
-  if (options_.robustness.enabled) {
-    pending_connects_[message.to].erase(message.from);  // negative ack
-  }
-}
-
-void ProtocolNetwork::handle_disconnect(const Message& message) {
-  ProtocolNode& node = nodes_[message.to];
-  if (!node.remove_neighbor(message.from)) return;
-  schedule_table_push(message.to);
-  if (node.degree() == 0) {
-    // Orphaned: fully re-join. The pruning peer is a live address (every
-    // deployment keeps exactly this kind of host cache) — unless it has
-    // crash-stopped, in which case fall back to any live host.
-    NodeId seed = message.from;
-    if (faults_.active() && faults_.crashed(seed, queue_.now())) {
-      seed = random_live_node(message.to);
-      if (seed == kInvalidNode) return;
-    }
-    start_join(message.to, seed);
-    return;
-  }
-  // Under-provisioned: re-solicit through fresh walks from a surviving
-  // neighbor.
-  if (node.degree() + 2 < node.capacity()) {
-    const auto& nbrs = node.neighbors();
-    const NodeId seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
-    join_attempts_left_[message.to] =
-        std::max(join_attempts_left_[message.to], options_.walk_count);
-    for (std::size_t walk = 0; walk < 4; ++walk) {
-      send(message.to, seed, WalkProbe{message.to, options_.walk_steps});
-    }
-  }
-}
-
-void ProtocolNetwork::handle_table_update(const Message& message) {
-  const auto& update = std::get<TableUpdate>(message.payload);
-  nodes_[message.to].update_table(message.from, update.neighbor_table);
+  engines_[joiner].start_join(seed_peer);
 }
 
 // --- keepalive / failure detection ------------------------------------------
@@ -376,45 +224,7 @@ void ProtocolNetwork::run_keepalive_rounds(std::size_t rounds) {
 }
 
 void ProtocolNetwork::keepalive_tick(NodeId node_id) {
-  if (faults_.active() && faults_.crashed(node_id, queue_.now())) return;
-  ProtocolNode& node = nodes_[node_id];
-  if (node.degree() == 0) return;
-  const auto dead =
-      node.keepalive_tick(options_.robustness.keepalive_max_misses);
-  for (const NodeId peer : dead) {
-    ++traffic_.dead_peers_detected;
-    teardown_dead_peer(node_id, peer);
-  }
-  // Ping the survivors (teardown may have re-ordered the neighbor list,
-  // so iterate the post-teardown state).
-  for (const auto& neighbor : nodes_[node_id].neighbors()) {
-    send(node_id, neighbor.peer, Ping{});
-  }
-}
-
-void ProtocolNetwork::teardown_dead_peer(NodeId node_id, NodeId peer) {
-  ProtocolNode& node = nodes_[node_id];
-  if (!node.remove_neighbor(peer)) return;
-  schedule_table_push(node_id);
-  resolicit(node_id);
-}
-
-void ProtocolNetwork::resolicit(NodeId node_id) {
-  ProtocolNode& node = nodes_[node_id];
-  if (node.degree() == 0) {
-    const NodeId seed = random_live_node(node_id);
-    if (seed != kInvalidNode) start_join(node_id, seed);
-    return;
-  }
-  if (node.degree() + 2 < node.capacity()) {
-    const auto& nbrs = node.neighbors();
-    const NodeId seed = nbrs[rng_.uniform_below(nbrs.size())].peer;
-    join_attempts_left_[node_id] =
-        std::max(join_attempts_left_[node_id], options_.walk_count);
-    for (std::size_t walk = 0; walk < 4; ++walk) {
-      send(node_id, seed, WalkProbe{node_id, options_.walk_steps});
-    }
-  }
+  engines_[node_id].keepalive_tick();
 }
 
 NodeId ProtocolNetwork::random_live_node(NodeId exclude) {
@@ -428,49 +238,6 @@ NodeId ProtocolNetwork::random_live_node(NodeId exclude) {
     if (nodes_[candidate].degree() > 0) return candidate;
   }
   return kInvalidNode;
-}
-
-void ProtocolNetwork::handle_ping(const Message& message) {
-  ProtocolNode& node = nodes_[message.to];
-  if (!node.has_neighbor(message.from)) {
-    // Half-open link: the pinger carries a one-sided neighbor entry for
-    // us (its ConnectAccept-side state survived a lost teardown or a lost
-    // handshake leg). Answer Disconnect so the entry dies.
-    ++traffic_.half_open_repairs;
-    send(message.to, message.from, Disconnect{});
-    return;
-  }
-  send(message.to, message.from, Pong{});
-}
-
-void ProtocolNetwork::handle_pong(const Message& message) {
-  // Proof of life was already recorded by deliver(); nothing else to do.
-  (void)message;
-}
-
-void ProtocolNetwork::manage(NodeId node_id) {
-  ProtocolNode& node = nodes_[node_id];
-  while (node.degree() > node.capacity()) {
-    const NodeId victim = node.worst_neighbor(options_.low_water_mark);
-    MAKALU_ASSERT(victim != kInvalidNode);
-    node.remove_neighbor(victim);
-    send(node_id, victim, Disconnect{});
-    schedule_table_push(node_id);
-  }
-}
-
-void ProtocolNetwork::schedule_table_push(NodeId node_id) {
-  if (push_pending_[node_id]) return;
-  push_pending_[node_id] = true;
-  queue_.schedule_in(options_.table_push_delay_ms, [this, node_id] {
-    push_pending_[node_id] = false;
-    if (faults_.active() && faults_.crashed(node_id, queue_.now())) return;
-    const ProtocolNode& node = nodes_[node_id];
-    const auto table = node.neighbor_table();
-    for (const auto& neighbor : node.neighbors()) {
-      send(node_id, neighbor.peer, TableUpdate{table});
-    }
-  });
 }
 
 double ProtocolNetwork::bootstrap_all() {
@@ -572,71 +339,15 @@ QueryOutcome ProtocolNetwork::run_query(NodeId source, ObjectId object,
   query.issued_ms = queue_.now();
   active_query_ = query;
 
-  ProtocolNode& origin = nodes_[source];
-  origin.remember_query(query.id, kInvalidNode);
-  if (catalog_->node_has_object(source, object)) {
+  if (engines_[source].start_query(query.id, object, ttl)) {
     active_query_->outcome.success = true;
     active_query_->outcome.response_ms = 0.0;
     active_query_->outcome.hits = 1;
-  } else if (ttl > 0) {
-    for (const auto& neighbor : origin.neighbors()) {
-      send(source, neighbor.peer,
-           Query{query.id, object,
-                 static_cast<std::uint8_t>(ttl - 1)});
-      ++active_query_->outcome.query_messages;
-    }
   }
   queue_.run();
   const QueryOutcome outcome = active_query_->outcome;
   active_query_.reset();
   return outcome;
-}
-
-void ProtocolNetwork::handle_query(const Message& message) {
-  const auto& query = std::get<Query>(message.payload);
-  ProtocolNode& node = nodes_[message.to];
-  if (!node.remember_query(query.id, message.from)) return;  // duplicate
-
-  if (catalog_ != nullptr &&
-      catalog_->node_has_object(message.to, query.object)) {
-    send(message.to, message.from,
-         QueryHit{query.id, query.object, message.to});
-    if (active_query_ && active_query_->id == query.id) {
-      ++active_query_->outcome.hit_messages;
-    }
-  }
-  if (query.ttl == 0) return;
-  for (const auto& neighbor : node.neighbors()) {
-    if (neighbor.peer == message.from) continue;
-    send(message.to, neighbor.peer,
-         Query{query.id, query.object,
-               static_cast<std::uint8_t>(query.ttl - 1)});
-    if (active_query_ && active_query_->id == query.id) {
-      ++active_query_->outcome.query_messages;
-    }
-  }
-}
-
-void ProtocolNetwork::handle_query_hit(const Message& message) {
-  const auto& hit = std::get<QueryHit>(message.payload);
-  ProtocolNode& node = nodes_[message.to];
-  if (active_query_ && active_query_->id == hit.id &&
-      message.to == active_query_->origin) {
-    auto& outcome = active_query_->outcome;
-    ++outcome.hits;
-    if (!outcome.success) {
-      outcome.success = true;
-      outcome.response_ms = queue_.now() - active_query_->issued_ms;
-    }
-    return;
-  }
-  // Route back along the breadcrumb trail.
-  const auto crumb = node.breadcrumb(hit.id);
-  if (!crumb || *crumb == kInvalidNode) return;  // trail lost
-  send(message.to, *crumb, hit);
-  if (active_query_ && active_query_->id == hit.id) {
-    ++active_query_->outcome.hit_messages;
-  }
 }
 
 }  // namespace makalu::proto

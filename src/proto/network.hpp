@@ -9,6 +9,14 @@
 // the overlay costs, how message latency shapes response time, and
 // whether the emergent overlay matches the direct builder's quality.
 //
+// The per-node protocol logic itself lives in proto::PeerEngine — this
+// class is the *simulation host*: it owns N engines, one shared Rng and
+// EventQueue, the latency model, the traffic ledger, and the FaultPlan
+// crash/loss oracle, and it adapts each engine to that world through a
+// per-node EngineHost. The same engines run unchanged over real UDP in
+// cluster::LiveNode; here, the shared RNG stream and deterministic event
+// order make whole runs bit-reproducible.
+//
 // Fault tolerance: attach_fault_plan() subjects every transmission to a
 // FaultPlan (message loss, latency jitter/spikes, scheduled crash-stop
 // failures), and ProtocolOptions::robustness enables the protocol-side
@@ -19,15 +27,15 @@
 // from a non-neighbor is answered with Disconnect). Both layers are
 // strictly opt-in: with no plan attached and robustness disabled (the
 // defaults), the network's traffic is bit-identical to the pre-fault
-// implementation — the fault layer is provably zero-cost by default
-// (pinned by the golden-trace test in tests/fault_test.cpp).
+// implementation — the fault layer (and the engine extraction) is
+// provably zero-cost by default (pinned by the golden-trace test in
+// tests/fault_test.cpp).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/rating.hpp"
@@ -35,53 +43,13 @@
 #include "net/latency_model.hpp"
 #include "obs/metrics.hpp"
 #include "proto/node.hpp"
+#include "proto/peer_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/replica_placement.hpp"
 #include "support/rng.hpp"
 
 namespace makalu::proto {
-
-/// Timer/retry/keepalive state machine knobs. Disabled by default so the
-/// perfect-wire behavior (and its traffic trace) is untouched; enable
-/// when running under a FaultPlan.
-struct RobustnessOptions {
-  bool enabled = false;
-  /// Initial ConnectRequest ack timeout; doubles per retry (`backoff`).
-  double handshake_timeout_ms = 120.0;
-  double backoff = 2.0;
-  std::size_t max_retries = 3;
-  /// A joiner whose walks went quiet re-launches half its walk budget
-  /// after this long, up to `walk_retries` times.
-  double walk_retry_timeout_ms = 600.0;
-  std::size_t walk_retries = 2;
-  /// Keepalive cadence for run_keepalive_rounds(); a neighbor silent for
-  /// more than `keepalive_max_misses` consecutive rounds is declared dead.
-  double keepalive_interval_ms = 400.0;
-  std::uint32_t keepalive_max_misses = 2;
-};
-
-struct ProtocolOptions {
-  RatingWeights weights{};
-  std::size_t capacity_min = 6;
-  std::size_t capacity_max = 13;
-  std::size_t walk_count = 16;      ///< candidate walks per join
-  std::uint16_t walk_steps = 12;    ///< steps per walk
-  std::size_t low_water_mark = 3;
-  /// Routing-table pushes are debounced: a change schedules one
-  /// TableUpdate batch after this delay.
-  double table_push_delay_ms = 40.0;
-  /// Gap between staggered joins during bootstrap_all().
-  double join_spacing_ms = 5.0;
-  /// Post-join maintenance pulses in bootstrap_all(): under-provisioned
-  /// nodes re-solicit from the bootstrap cache (random live host). These
-  /// re-merge clusters whose long-haul bridges got pruned mid-bootstrap.
-  std::size_t maintenance_pulses = 3;
-  /// Per-generation bound on each node's duplicate-suppression cache
-  /// (memory is capped at 2x this many entries per node).
-  std::size_t seen_query_capacity = ProtocolNode::kDefaultSeenQueryCapacity;
-  RobustnessOptions robustness{};
-};
 
 /// Per-message-type traffic counters, plus the reliability counters the
 /// fault layer feeds. Accounting convention: count/bytes (and the
@@ -131,6 +99,10 @@ class ProtocolNetwork {
   /// `catalog` may be null when only overlay construction is exercised.
   ProtocolNetwork(const LatencyModel& latency, const ObjectCatalog* catalog,
                   const ProtocolOptions& options, std::uint64_t seed);
+
+  // Engines' hosts hold back-pointers into this object.
+  ProtocolNetwork(const ProtocolNetwork&) = delete;
+  ProtocolNetwork& operator=(const ProtocolNetwork&) = delete;
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -199,42 +171,36 @@ class ProtocolNetwork {
   [[nodiscard]] double now_ms() const noexcept { return queue_.now(); }
 
  private:
+  /// Adapts one engine to the simulated world: sends route through the
+  /// network's traffic ledger + FaultPlan, timers through the shared
+  /// EventQueue, randomness through the shared stream, and the crash
+  /// oracle through the plan.
+  class SimHost final : public EngineHost {
+   public:
+    SimHost(ProtocolNetwork* net, NodeId self) : net_(net), self_(self) {}
+
+    void send(NodeId to, Payload payload) override;
+    void schedule(double delay_ms, std::function<void()> fn) override;
+    [[nodiscard]] double now_ms() const override;
+    Rng& rng() override;
+    [[nodiscard]] double link_latency_ms(NodeId peer) const override;
+    [[nodiscard]] bool self_crashed() const override;
+    [[nodiscard]] bool peer_crashed(NodeId peer) const override;
+    NodeId random_live_peer(NodeId exclude) override;
+    [[nodiscard]] const ObjectCatalog* catalog() const override;
+    void count(EngineCounter counter) override;
+    void on_query_sent(QueryId id) override;
+    void on_hit_sent(QueryId id) override;
+    bool consume_hit_at_origin(const QueryHit& hit) override;
+
+   private:
+    ProtocolNetwork* net_;
+    NodeId self_;
+  };
+
   void send(NodeId from, NodeId to, Payload payload);
   void deliver(const Message& message);
-
-  void handle_connect_request(const Message& message);
-  void handle_connect_accept(const Message& message);
-  void handle_connect_reject(const Message& message);
-  void handle_disconnect(const Message& message);
-  void handle_table_update(const Message& message);
-  void handle_walk_probe(const Message& message);
-  void handle_candidate_reply(const Message& message);
-  void handle_query(const Message& message);
-  void handle_query_hit(const Message& message);
-  void handle_ping(const Message& message);
-  void handle_pong(const Message& message);
-
-  /// Enforce capacity at `node` by pruning (Disconnect) the worst-rated
-  /// neighbors.
-  void manage(NodeId node);
-  /// Debounced routing-table push to all current neighbors of `node`.
-  void schedule_table_push(NodeId node);
-
-  // --- robustness machinery (only reached when robustness.enabled) ---------
-  /// Arms the ack timeout for a ConnectRequest from requester to target.
-  void begin_handshake(NodeId requester, NodeId target);
-  void connect_timer_fired(NodeId requester, NodeId target,
-                           std::uint64_t epoch);
-  /// Arms the walk-retry timer for a join in progress.
-  void schedule_walk_retry(NodeId joiner, std::size_t retries_left,
-                           std::uint64_t epoch);
-  /// One keepalive round at `node`: bump miss counters, tear down dead
-  /// peers, ping the survivors.
   void keepalive_tick(NodeId node);
-  /// Removes a keepalive-declared-dead neighbor and re-solicits.
-  void teardown_dead_peer(NodeId node, NodeId peer);
-  /// Refill links after losing a neighbor (walks from a live seed).
-  void resolicit(NodeId node);
   /// Uniformly random non-crashed node with degree > 0 (bootstrap-cache
   /// stand-in); kInvalidNode if none found.
   NodeId random_live_node(NodeId exclude);
@@ -246,24 +212,11 @@ class ProtocolNetwork {
   EventQueue queue_;
   FaultPlan faults_;
   std::vector<ProtocolNode> nodes_;
+  std::vector<SimHost> hosts_;      // parallel to nodes_
+  std::vector<PeerEngine> engines_; // parallel to nodes_
   std::vector<std::uint64_t> node_out_bytes_;
   std::vector<std::uint64_t> node_in_bytes_;
-  std::vector<bool> push_pending_;
-  std::vector<std::size_t> join_attempts_left_;  // per joiner
   TrafficStats traffic_;
-
-  // Handshake/walk retry state (robustness layer). Epochs invalidate
-  // timers whose handshake resolved or whose join was superseded.
-  struct PendingHandshake {
-    double rto_ms = 0.0;
-    std::size_t retries_left = 0;
-    std::uint64_t epoch = 0;
-  };
-  std::vector<std::unordered_map<NodeId, PendingHandshake>>
-      pending_connects_;                      // per requester
-  std::vector<std::uint64_t> walk_epoch_;     // per joiner
-  std::vector<NodeId> last_join_seed_;        // per joiner
-  std::uint64_t next_epoch_ = 1;
 
   // Active query bookkeeping (one query at a time through run_query).
   struct ActiveQuery {

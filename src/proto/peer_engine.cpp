@@ -1,0 +1,405 @@
+#include "proto/peer_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace makalu::proto {
+
+PeerEngine::PeerEngine(ProtocolNode& node, const ProtocolOptions& options,
+                       EngineHost& host)
+    : node_(node), options_(options), host_(host) {}
+
+bool PeerEngine::robust() const noexcept {
+  return options_.robustness.enabled;
+}
+
+void PeerEngine::handle(const Message& message) {
+  MAKALU_EXPECTS(message.to == self());
+  switch (payload_index(message.payload)) {
+    case 0: handle_connect_request(message); break;
+    case 1: handle_connect_accept(message); break;
+    case 2: handle_connect_reject(message); break;
+    case 3: handle_disconnect(message); break;
+    case 4: handle_table_update(message); break;
+    case 5: handle_walk_probe(message); break;
+    case 6: handle_candidate_reply(message); break;
+    case 7: handle_query(message); break;
+    case 8: handle_query_hit(message); break;
+    case 9: handle_ping(message); break;
+    case 10: handle_pong(message); break;
+    default: MAKALU_ASSERT(false);
+  }
+}
+
+void PeerEngine::redeliver_local(const Message& message) {
+  if (robust()) {
+    // Delivery-side proof of life, as a wire delivery would apply.
+    node_.note_alive(message.from);
+  }
+  handle(message);
+}
+
+// --- join / connection management ------------------------------------------
+
+void PeerEngine::start_join(NodeId seed_peer) {
+  MAKALU_EXPECTS(seed_peer != self());
+  join_attempts_left_ = 2 * options_.walk_count;
+  last_join_seed_ = seed_peer;
+  walks_sent_ = 0;
+  walk_replies_ = 0;
+  for (std::size_t walk = 0; walk < options_.walk_count; ++walk) {
+    ++walks_sent_;
+    host_.send(seed_peer, WalkProbe{self(), options_.walk_steps});
+  }
+  if (robust()) {
+    const std::uint64_t epoch = ++walk_epoch_;
+    schedule_walk_retry(options_.robustness.walk_retries, epoch);
+  }
+}
+
+void PeerEngine::schedule_walk_retry(std::size_t retries_left,
+                                     std::uint64_t epoch) {
+  host_.schedule(
+      options_.robustness.walk_retry_timeout_ms,
+      [this, retries_left, epoch] {
+        if (walk_epoch_ != epoch) return;  // superseded join
+        if (host_.self_crashed()) return;
+        if (node_.degree() >= node_.capacity()) return;  // satisfied
+        if (walk_replies_ >= walks_sent_) return;  // nothing went quiet
+        if (retries_left == 0) {
+          host_.count(EngineCounter::kHandshakeTimeout);
+          return;
+        }
+        // Re-launch half the walk budget. Prefer a live neighbor as the
+        // seed; otherwise fall back to the recorded join seed, replacing
+        // it if it crashed (what a real host cache would do).
+        NodeId seed = last_join_seed_;
+        if (node_.degree() > 0) {
+          const auto& nbrs = node_.neighbors();
+          seed = nbrs[host_.rng().uniform_below(nbrs.size())].peer;
+        } else if (host_.peer_crashed(seed)) {
+          seed = host_.random_live_peer(self());
+          if (seed == kInvalidNode) return;
+        }
+        join_attempts_left_ =
+            std::max(join_attempts_left_, options_.walk_count);
+        const std::size_t walks =
+            std::max<std::size_t>(1, options_.walk_count / 2);
+        for (std::size_t walk = 0; walk < walks; ++walk) {
+          host_.count(EngineCounter::kRetransmission);
+          ++walks_sent_;
+          host_.send(seed, WalkProbe{self(), options_.walk_steps});
+        }
+        schedule_walk_retry(retries_left - 1, epoch);
+      });
+}
+
+void PeerEngine::handle_walk_probe(const Message& message) {
+  const auto& probe = std::get<WalkProbe>(message.payload);
+  if (probe.steps_left == 0 || node_.degree() == 0) {
+    if (self() != probe.joiner) {
+      host_.send(probe.joiner, CandidateReply{});
+    } else if (node_.degree() > 0) {
+      // Walk ended back at the joiner: use a random neighbor instead.
+      const auto& nbrs = node_.neighbors();
+      host_.send(nbrs[host_.rng().uniform_below(nbrs.size())].peer,
+                 WalkProbe{probe.joiner, 0});
+    }
+    return;
+  }
+  // Metropolis-Hastings step using advertised table sizes as degrees
+  // (local information: tables were exchanged on connect).
+  const auto& nbrs = node_.neighbors();
+  const auto& proposal = nbrs[host_.rng().uniform_below(nbrs.size())];
+  const double here_degree = static_cast<double>(node_.degree());
+  const double proposal_degree =
+      static_cast<double>(std::max<std::size_t>(1, proposal.table.size()));
+  NodeId next = self();  // stay on rejection
+  if (here_degree >= proposal_degree ||
+      host_.rng().uniform() < here_degree / proposal_degree) {
+    next = proposal.peer;
+  }
+  if (next == self()) {
+    // Self-loop step: burn one hop locally (no wire cost for staying put).
+    Message forwarded = message;
+    auto& p = std::get<WalkProbe>(forwarded.payload);
+    p.steps_left = static_cast<std::uint16_t>(probe.steps_left - 1);
+    redeliver_local(forwarded);
+    return;
+  }
+  host_.send(next,
+             WalkProbe{probe.joiner,
+                       static_cast<std::uint16_t>(probe.steps_left - 1)});
+}
+
+void PeerEngine::handle_candidate_reply(const Message& message) {
+  const NodeId candidate = message.from;
+  ++walk_replies_;  // a walk terminated; see the loss-detector comment
+  if (join_attempts_left_ == 0) return;
+  if (node_.degree() >= node_.capacity()) return;  // satisfied
+  if (node_.has_neighbor(candidate)) return;
+  --join_attempts_left_;
+  host_.send(candidate, ConnectRequest{});
+  if (robust()) begin_handshake(candidate);
+}
+
+void PeerEngine::begin_handshake(NodeId target) {
+  if (pending_connects_.count(target) != 0) {
+    return;  // a retry loop is already armed
+  }
+  const std::uint64_t epoch = next_epoch_++;
+  PendingHandshake state;
+  state.rto_ms = options_.robustness.handshake_timeout_ms;
+  state.retries_left = options_.robustness.max_retries;
+  state.epoch = epoch;
+  pending_connects_.emplace(target, state);
+  host_.schedule(state.rto_ms, [this, target, epoch] {
+    connect_timer_fired(target, epoch);
+  });
+}
+
+void PeerEngine::connect_timer_fired(NodeId target, std::uint64_t epoch) {
+  const auto it = pending_connects_.find(target);
+  if (it == pending_connects_.end() || it->second.epoch != epoch) {
+    return;  // resolved
+  }
+  if (host_.self_crashed() || node_.has_neighbor(target) ||
+      node_.degree() >= node_.capacity()) {
+    pending_connects_.erase(it);
+    return;
+  }
+  if (it->second.retries_left == 0) {
+    pending_connects_.erase(it);
+    host_.count(EngineCounter::kHandshakeTimeout);
+    return;
+  }
+  --it->second.retries_left;
+  it->second.rto_ms *= options_.robustness.backoff;
+  host_.count(EngineCounter::kRetransmission);
+  host_.send(target, ConnectRequest{});
+  host_.schedule(it->second.rto_ms, [this, target, epoch] {
+    connect_timer_fired(target, epoch);
+  });
+}
+
+void PeerEngine::handle_connect_request(const Message& message) {
+  const NodeId requester = message.from;
+  if (node_.has_neighbor(requester)) {
+    // Duplicate handshake. On a perfect wire both sides raced and the
+    // request can be ignored; under the robustness layer the duplicate is
+    // more likely a retransmission whose ConnectAccept was lost, so the
+    // ack is re-sent (idempotent on the requester).
+    if (robust()) {
+      host_.send(requester, ConnectAccept{node_.neighbor_table()});
+    }
+    return;
+  }
+  // Accept-then-manage, per the paper's Manage() loop. The link becomes
+  // live on the acceptor immediately; the requester learns via
+  // ConnectAccept. If management evicts the requester right away the
+  // ensuing Disconnect wins the race by arriving after the accept.
+  node_.add_neighbor(requester,
+                     std::max(0.01, host_.link_latency_ms(requester)),
+                     {});  // table arrives with the requester's push
+  host_.send(requester, ConnectAccept{node_.neighbor_table()});
+  schedule_table_push();
+  manage();
+}
+
+void PeerEngine::handle_connect_accept(const Message& message) {
+  const NodeId acceptor = message.from;
+  if (robust()) {
+    pending_connects_.erase(acceptor);  // acked
+  }
+  if (node_.has_neighbor(acceptor)) return;
+  const auto& accept = std::get<ConnectAccept>(message.payload);
+  node_.add_neighbor(acceptor,
+                     std::max(0.01, host_.link_latency_ms(acceptor)),
+                     accept.neighbor_table);
+  schedule_table_push();
+  manage();
+}
+
+void PeerEngine::handle_connect_reject(const Message& message) {
+  // Requester simply moves on; nothing to clean up (the link was never
+  // added on its side).
+  if (robust()) {
+    pending_connects_.erase(message.from);  // negative ack
+  }
+}
+
+void PeerEngine::handle_disconnect(const Message& message) {
+  if (!node_.remove_neighbor(message.from)) return;
+  schedule_table_push();
+  if (node_.degree() == 0) {
+    // Orphaned: fully re-join. The pruning peer is a live address (every
+    // deployment keeps exactly this kind of host cache) — unless it has
+    // crash-stopped, in which case fall back to any live host.
+    NodeId seed = message.from;
+    if (host_.peer_crashed(seed)) {
+      seed = host_.random_live_peer(self());
+      if (seed == kInvalidNode) return;
+    }
+    start_join(seed);
+    return;
+  }
+  // Under-provisioned: re-solicit through fresh walks from a surviving
+  // neighbor.
+  if (node_.degree() + 2 < node_.capacity()) {
+    const auto& nbrs = node_.neighbors();
+    const NodeId seed = nbrs[host_.rng().uniform_below(nbrs.size())].peer;
+    join_attempts_left_ = std::max(join_attempts_left_, options_.walk_count);
+    for (std::size_t walk = 0; walk < 4; ++walk) {
+      host_.send(seed, WalkProbe{self(), options_.walk_steps});
+    }
+  }
+}
+
+void PeerEngine::handle_table_update(const Message& message) {
+  const auto& update = std::get<TableUpdate>(message.payload);
+  node_.update_table(message.from, update.neighbor_table);
+}
+
+// --- keepalive / failure detection ------------------------------------------
+
+void PeerEngine::keepalive_tick() {
+  if (host_.self_crashed()) return;
+  if (node_.degree() == 0) return;
+  const auto dead =
+      node_.keepalive_tick(options_.robustness.keepalive_max_misses);
+  for (const NodeId peer : dead) {
+    host_.count(EngineCounter::kDeadPeerDetected);
+    teardown_dead_peer(peer);
+  }
+  // Ping the survivors (teardown may have re-ordered the neighbor list,
+  // so iterate the post-teardown state).
+  for (const auto& neighbor : node_.neighbors()) {
+    host_.send(neighbor.peer, Ping{});
+  }
+}
+
+void PeerEngine::teardown_dead_peer(NodeId peer) {
+  if (!node_.remove_neighbor(peer)) return;
+  schedule_table_push();
+  resolicit();
+}
+
+void PeerEngine::resolicit() {
+  if (node_.degree() == 0) {
+    const NodeId seed = host_.random_live_peer(self());
+    if (seed != kInvalidNode) start_join(seed);
+    return;
+  }
+  if (node_.degree() + 2 < node_.capacity()) {
+    const auto& nbrs = node_.neighbors();
+    const NodeId seed = nbrs[host_.rng().uniform_below(nbrs.size())].peer;
+    join_attempts_left_ = std::max(join_attempts_left_, options_.walk_count);
+    for (std::size_t walk = 0; walk < 4; ++walk) {
+      host_.send(seed, WalkProbe{self(), options_.walk_steps});
+    }
+  }
+}
+
+void PeerEngine::handle_ping(const Message& message) {
+  if (!node_.has_neighbor(message.from)) {
+    // Half-open link: the pinger carries a one-sided neighbor entry for
+    // us (its ConnectAccept-side state survived a lost teardown or a lost
+    // handshake leg). Answer Disconnect so the entry dies.
+    host_.count(EngineCounter::kHalfOpenRepair);
+    host_.send(message.from, Disconnect{});
+    return;
+  }
+  host_.send(message.from, Pong{});
+}
+
+void PeerEngine::handle_pong(const Message& message) {
+  // Proof of life was already recorded on delivery; nothing else to do.
+  (void)message;
+}
+
+void PeerEngine::manage() {
+  while (node_.degree() > node_.capacity()) {
+    const NodeId victim = node_.worst_neighbor(options_.low_water_mark);
+    MAKALU_ASSERT(victim != kInvalidNode);
+    node_.remove_neighbor(victim);
+    host_.send(victim, Disconnect{});
+    schedule_table_push();
+  }
+}
+
+void PeerEngine::schedule_table_push() {
+  if (push_pending_) return;
+  push_pending_ = true;
+  host_.schedule(options_.table_push_delay_ms, [this] {
+    push_pending_ = false;
+    if (host_.self_crashed()) return;
+    const auto table = node_.neighbor_table();
+    for (const auto& neighbor : node_.neighbors()) {
+      host_.send(neighbor.peer, TableUpdate{table});
+    }
+  });
+}
+
+void PeerEngine::leave() {
+  std::vector<NodeId> peers;
+  peers.reserve(node_.degree());
+  for (const auto& neighbor : node_.neighbors()) {
+    peers.push_back(neighbor.peer);
+  }
+  for (const NodeId peer : peers) {
+    host_.send(peer, Disconnect{});
+    node_.remove_neighbor(peer);
+  }
+}
+
+// --- queries -----------------------------------------------------------------
+
+bool PeerEngine::start_query(QueryId id, ObjectId object, std::uint8_t ttl) {
+  node_.remember_query(id, kInvalidNode);
+  const ObjectCatalog* catalog = host_.catalog();
+  if (catalog != nullptr && catalog->node_has_object(self(), object)) {
+    return true;
+  }
+  if (ttl > 0) {
+    for (const auto& neighbor : node_.neighbors()) {
+      host_.send(neighbor.peer,
+                 Query{id, object, static_cast<std::uint8_t>(ttl - 1)});
+      host_.on_query_sent(id);
+    }
+  }
+  return false;
+}
+
+void PeerEngine::handle_query(const Message& message) {
+  const auto& query = std::get<Query>(message.payload);
+  if (!node_.remember_query(query.id, message.from)) return;  // duplicate
+
+  const ObjectCatalog* catalog = host_.catalog();
+  if (catalog != nullptr &&
+      catalog->node_has_object(self(), query.object)) {
+    host_.send(message.from, QueryHit{query.id, query.object, self()});
+    host_.on_hit_sent(query.id);
+  }
+  if (query.ttl == 0) return;
+  for (const auto& neighbor : node_.neighbors()) {
+    if (neighbor.peer == message.from) continue;
+    host_.send(neighbor.peer,
+               Query{query.id, query.object,
+                     static_cast<std::uint8_t>(query.ttl - 1)});
+    host_.on_query_sent(query.id);
+  }
+}
+
+void PeerEngine::handle_query_hit(const Message& message) {
+  const auto& hit = std::get<QueryHit>(message.payload);
+  if (host_.consume_hit_at_origin(hit)) return;
+  // Route back along the breadcrumb trail.
+  const auto crumb = node_.breadcrumb(hit.id);
+  if (!crumb || *crumb == kInvalidNode) return;  // trail lost
+  host_.send(*crumb, message.payload);
+  host_.on_hit_sent(hit.id);
+}
+
+}  // namespace makalu::proto

@@ -1,0 +1,374 @@
+// Tests for the live-cluster layer (cluster/): shared scenario
+// derivation, the control-plane text helpers, LiveNode + PeerEngine over
+// the deterministic loopback transport (zero-fault equivalence with the
+// in-memory simulation, partition/heal reconvergence), and a real
+// multi-process run through ClusterDriver + the makalu_node binary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/control.hpp"
+#include "cluster/driver.hpp"
+#include "cluster/live_node.hpp"
+#include "graph/algorithms.hpp"
+#include "net/fault_shim.hpp"
+#include "net/loopback_transport.hpp"
+#include "proto/network.hpp"
+
+namespace makalu {
+namespace {
+
+using cluster::ClusterDriver;
+using cluster::ClusterOptions;
+using cluster::LiveNode;
+using cluster::LiveNodeOptions;
+using net::FaultShim;
+using net::FaultShimOptions;
+using net::LoopbackHub;
+
+// --- control helpers ---------------------------------------------------------
+
+TEST(ClusterControl, TokenAndIdListRoundTrips) {
+  EXPECT_EQ(cluster::split_tokens("  REGISTER 4   12345 "),
+            (std::vector<std::string>{"REGISTER", "4", "12345"}));
+  EXPECT_TRUE(cluster::split_tokens("").empty());
+  EXPECT_TRUE(cluster::split_tokens("   ").empty());
+
+  const std::vector<NodeId> ids = {1, 5, 9};
+  EXPECT_EQ(cluster::join_ids(ids), "1,5,9");
+  EXPECT_EQ(cluster::parse_ids("1,5,9"), ids);
+  EXPECT_EQ(cluster::join_ids({}), "-");
+  EXPECT_TRUE(cluster::parse_ids("-").empty());
+  EXPECT_EQ(cluster::parse_ids(cluster::join_ids({7})),
+            (std::vector<NodeId>{7}));
+}
+
+TEST(ClusterControl, ScenarioDerivationIsDeterministic) {
+  const auto lat1 = cluster::scenario_latency(32, 99);
+  const auto lat2 = cluster::scenario_latency(32, 99);
+  EXPECT_DOUBLE_EQ(lat1.latency(3, 17), lat2.latency(3, 17));
+  EXPECT_DOUBLE_EQ(lat1.latency(3, 17), lat1.latency(17, 3));
+
+  const auto cat1 = cluster::scenario_catalog(32, 64, 0.05, 99);
+  const auto cat2 = cluster::scenario_catalog(32, 64, 0.05, 99);
+  ASSERT_EQ(cat1.object_count(), 64u);
+  for (ObjectId object = 0; object < 64; ++object) {
+    EXPECT_EQ(cat1.holders(object), cat2.holders(object));
+    EXPECT_FALSE(cat1.holders(object).empty());
+  }
+
+  EXPECT_EQ(cluster::scenario_engine_seed(4, 99),
+            cluster::scenario_engine_seed(4, 99));
+  EXPECT_NE(cluster::scenario_engine_seed(4, 99),
+            cluster::scenario_engine_seed(5, 99));
+}
+
+TEST(ClusterControl, ScenarioCapacityReplaysTheSimulatedDraws) {
+  // The live cluster must give node v the exact capacity the in-memory
+  // ProtocolNetwork draws for it, or the two worlds build structurally
+  // different overlays and the baseline comparison is meaningless.
+  const std::uint64_t seed = 12345;
+  proto::ProtocolOptions options = cluster::live_protocol_options();
+  const auto latency = cluster::scenario_latency(24, seed);
+  proto::ProtocolNetwork network(latency, nullptr, options, seed);
+  for (NodeId v = 0; v < 24; ++v) {
+    EXPECT_EQ(cluster::scenario_capacity(v, options.capacity_min,
+                                         options.capacity_max, seed),
+              network.node(v).capacity())
+        << "node " << v;
+  }
+}
+
+// --- LiveNode over the loopback transport ------------------------------------
+
+/// Mutual-link overlay graph over a set of live nodes (same definition as
+/// ProtocolNetwork::overlay_snapshot: both endpoints list the link).
+Graph mutual_overlay(const std::vector<std::unique_ptr<LiveNode>>& nodes) {
+  Graph g(nodes.size());
+  for (NodeId u = 0; u < nodes.size(); ++u) {
+    for (const auto& entry : nodes[u]->node().neighbors()) {
+      const NodeId v = entry.peer;
+      if (v <= u || v >= nodes.size()) continue;
+      for (const auto& back : nodes[v]->node().neighbors()) {
+        if (back.peer == u) {
+          g.add_edge(u, v);
+          break;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+struct LoopbackCluster {
+  explicit LoopbackCluster(std::size_t n, std::uint64_t seed,
+                           const FaultShimOptions& faults = {})
+      : hub(0.05) {
+    for (NodeId id = 0; id < n; ++id) {
+      auto& endpoint = hub.endpoint(id);
+      shims.push_back(std::make_unique<FaultShim>(
+          endpoint, faults, seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))));
+      LiveNodeOptions options;
+      options.id = id;
+      options.node_count = n;
+      options.scenario_seed = seed;
+      nodes.push_back(std::make_unique<LiveNode>(*shims.back(), options));
+    }
+  }
+
+  /// Staggered joins (node i through node i-1), then runs the hub. Every
+  /// node runs its runtime tick — including node 0, which never joins
+  /// (it is the anchor) but must still keepalive its links.
+  void bootstrap(double settle_ms = 3000.0) {
+    for (const auto& node : nodes) node->start_runtime();
+    for (NodeId id = 1; id < nodes.size(); ++id) {
+      LiveNode* node = nodes[id].get();
+      const NodeId seed_peer = id - 1;
+      hub.endpoint(id).schedule(5.0 * id,
+                                [node, seed_peer] { node->join(seed_peer); });
+    }
+    hub.run_until(settle_ms);
+  }
+
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<FaultShim>> shims;
+  std::vector<std::unique_ptr<LiveNode>> nodes;
+};
+
+TEST(ClusterLoopback, ZeroFaultRunMatchesInMemoryBaseline) {
+  const std::size_t n = 16;
+  const std::uint64_t seed = 7;
+  LoopbackCluster cluster(n, seed);
+  cluster.bootstrap();
+
+  // Same connectivity as the simulation: one component, nobody isolated.
+  const Graph overlay = mutual_overlay(cluster.nodes);
+  EXPECT_TRUE(is_connected(CsrGraph::from_graph(overlay)));
+
+  // On a perfect wire the reliability machinery must never trigger: the
+  // counters the fault layer feeds stay exactly zero, as in the
+  // simulated golden trace.
+  for (const auto& node : cluster.nodes) {
+    const auto& traffic = node->traffic();
+    EXPECT_EQ(traffic.retransmissions, 0u) << "node " << node->id();
+    EXPECT_EQ(traffic.handshake_timeouts, 0u) << "node " << node->id();
+    EXPECT_EQ(traffic.dead_peers_detected, 0u) << "node " << node->id();
+    EXPECT_EQ(node->codec_rejects(), 0u) << "node " << node->id();
+    EXPECT_EQ(node->misaddressed(), 0u) << "node " << node->id();
+    EXPECT_GT(traffic.total_messages, 0u) << "node " << node->id();
+    EXPECT_GE(node->node().degree(), 1u) << "node " << node->id();
+  }
+
+  // The in-memory baseline under the same scenario: also connected, and
+  // structurally the same nodes (identical capacities by construction —
+  // pinned exhaustively in ScenarioCapacityReplaysTheSimulatedDraws).
+  const auto latency = cluster::scenario_latency(n, seed);
+  const auto catalog = cluster::scenario_catalog(n, 64, 0.02, seed);
+  proto::ProtocolNetwork baseline(latency, &catalog,
+                                  cluster::live_protocol_options(), seed);
+  baseline.bootstrap_all();
+  EXPECT_TRUE(
+      is_connected(CsrGraph::from_graph(baseline.overlay_snapshot())));
+
+  // Queries succeed on both sides of the equivalence.
+  std::size_t live_ok = 0;
+  std::size_t baseline_ok = 0;
+  for (ObjectId object = 0; object < 8; ++object) {
+    const NodeId origin = (object * 3 + 1) % n;
+    bool done = false;
+    bool success = false;
+    cluster.nodes[origin]->start_query(
+        1000 + object, object, 7, 500.0, [&](bool ok, double) {
+          done = true;
+          success = ok;
+        });
+    cluster.hub.run_for(600.0);
+    EXPECT_TRUE(done) << "query " << object;
+    live_ok += success ? 1 : 0;
+    baseline_ok += baseline.run_query(origin, object, 7).success ? 1 : 0;
+  }
+  EXPECT_EQ(live_ok, 8u);
+  EXPECT_EQ(baseline_ok, 8u);
+}
+
+TEST(ClusterLoopback, SurvivorsDetectAnIsolatedPeerAndItRejoinsAfterHeal) {
+  const std::size_t n = 10;
+  LoopbackCluster cluster(n, 21);
+  cluster.bootstrap();
+  ASSERT_TRUE(
+      is_connected(CsrGraph::from_graph(mutual_overlay(cluster.nodes))));
+
+  // Partition node 7 from everyone (both directions): to the survivors
+  // this is indistinguishable from a crashed host.
+  const NodeId victim = 7;
+  std::vector<NodeId> others;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != victim) others.push_back(id);
+  }
+  cluster.shims[victim]->blackhole(others);
+  for (const NodeId id : others) cluster.shims[id]->blackhole({victim});
+  cluster.hub.run_for(2000.0);
+
+  // Keepalives tore the victim's links down on both sides...
+  EXPECT_EQ(cluster.nodes[victim]->node().degree(), 0u);
+  std::uint64_t detections = 0;
+  for (const auto& node : cluster.nodes) {
+    detections += node->traffic().dead_peers_detected;
+    for (const auto& entry : node->node().neighbors()) {
+      if (node->id() != victim) {
+        EXPECT_NE(entry.peer, victim);
+      }
+    }
+  }
+  EXPECT_GT(detections, 0u);
+
+  // ...and the survivor overlay healed around the hole.
+  Graph survivors = mutual_overlay(cluster.nodes);
+  const auto components =
+      connected_components(CsrGraph::from_graph(survivors));
+  // victim is its own component; the other nine must form exactly one.
+  EXPECT_EQ(components.count, 2u);
+
+  // Heal the partition: the victim's orphan-rescue tick re-joins it.
+  for (const auto& shim : cluster.shims) shim->heal();
+  cluster.hub.run_for(3000.0);
+  EXPECT_GE(cluster.nodes[victim]->node().degree(), 1u);
+  EXPECT_TRUE(
+      is_connected(CsrGraph::from_graph(mutual_overlay(cluster.nodes))));
+}
+
+TEST(ClusterLoopback, LossyWireFiresRetriesAndIsSeedDeterministic) {
+  // Virtual time makes the lossy path reproducible: the hub's calendar
+  // breaks ties FIFO and every verdict stream is seeded, so the same
+  // seed must produce the same drops AND the same retry counters. At 20%
+  // drop the walk/handshake retry machinery is guaranteed to fire.
+  net::FaultShimOptions faults;
+  faults.drop = 0.20;
+  auto run = [&](std::uint64_t seed) {
+    LoopbackCluster cluster(12, seed, faults);
+    cluster.bootstrap(6000.0);
+    std::uint64_t retransmissions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t drops = 0;
+    for (const auto& node : cluster.nodes) {
+      retransmissions += node->traffic().retransmissions;
+      timeouts += node->traffic().handshake_timeouts;
+    }
+    for (const auto& shim : cluster.shims) {
+      drops += shim->stats().shim_dropped;
+    }
+    return std::tuple(retransmissions, timeouts, drops);
+  };
+  const auto [r1, t1, d1] = run(31);
+  EXPECT_GT(d1, 0u);
+  EXPECT_GT(r1, 0u);
+  const auto [r2, t2, d2] = run(31);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(ClusterLoopback, GarbageDatagramsAreCountedNotCrashing) {
+  LoopbackHub hub(0.05);
+  auto& attacker = hub.endpoint(0);
+  auto& target_endpoint = hub.endpoint(1);
+  LiveNodeOptions options;
+  options.id = 1;
+  options.node_count = 4;
+  options.scenario_seed = 5;
+  LiveNode target(target_endpoint, options);
+
+  const std::uint8_t garbage[] = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  attacker.send(1, garbage, sizeof(garbage));
+  // Valid frame, but the claimed sender (9) disagrees with the transport
+  // source (0): must be dropped as misaddressed, not dispatched.
+  const auto forged =
+      proto::encode(proto::Message{9, 1, proto::Payload{proto::Ping{}}});
+  attacker.send(1, forged.data(), forged.size());
+  // Valid frame addressed to somebody else entirely.
+  const auto misrouted =
+      proto::encode(proto::Message{0, 3, proto::Payload{proto::Ping{}}});
+  attacker.send(1, misrouted.data(), misrouted.size());
+  hub.run_until_idle();
+
+  EXPECT_EQ(target.codec_rejects(), 1u);
+  EXPECT_EQ(target.misaddressed(), 2u);
+  EXPECT_EQ(target.node().degree(), 0u);
+}
+
+// --- multi-process cluster ---------------------------------------------------
+
+ClusterOptions small_cluster_options(std::uint64_t seed) {
+  ClusterOptions options;
+  options.node_binary = MAKALU_NODE_BIN;
+  options.node_count = 8;
+  options.seed = seed;
+  options.spawn_timeout_ms = 20000.0;
+  options.convergence_timeout_ms = 30000.0;
+  return options;
+}
+
+TEST(ClusterProcess, ZeroFaultClusterConvergesQueriesAndSurvivesKills) {
+  ClusterOptions options = small_cluster_options(3);
+  ClusterDriver driver(options);
+  ASSERT_TRUE(driver.start()) << "node processes failed to register";
+  EXPECT_EQ(driver.live_count(), options.node_count);
+  ASSERT_TRUE(driver.converge(options.convergence_timeout_ms));
+  EXPECT_DOUBLE_EQ(driver.giant_fraction(), 1.0);
+
+  const auto clean = driver.run_queries(12);
+  EXPECT_EQ(clean.issued, 12u);
+  // Zero-fault loopback UDP: allow at most one flake under scheduler
+  // pressure, no more.
+  EXPECT_GE(clean.succeeded, 11u);
+
+  const auto victims = driver.kill_fraction(0.25);
+  EXPECT_EQ(victims.size(), 2u);
+  EXPECT_EQ(driver.live_count(), options.node_count - victims.size());
+  EXPECT_TRUE(driver.converge(options.convergence_timeout_ms))
+      << "survivors did not re-converge after SIGKILL";
+
+  const auto report = driver.finish();
+  EXPECT_EQ(report.spawned, options.node_count);
+  EXPECT_EQ(report.killed, victims.size());
+  EXPECT_EQ(report.survivors, options.node_count - victims.size());
+  EXPECT_TRUE(report.bootstrap_converged);
+  EXPECT_DOUBLE_EQ(report.giant_fraction, 1.0);
+  EXPECT_EQ(report.metrics_collected, report.survivors);
+  ASSERT_TRUE(report.aggregate.count("messages"));
+  EXPECT_GT(report.aggregate.at("messages"), 0u);
+  // Victims' dumps are lost with them, so the aggregate sees at most the
+  // queries the driver issued (origins may have been killed later).
+  ASSERT_TRUE(report.aggregate.count("queries_issued"));
+  EXPECT_GT(report.aggregate.at("queries_issued"), 0u);
+  EXPECT_LE(report.aggregate.at("queries_issued"), clean.issued);
+}
+
+TEST(ClusterProcess, LossyClusterStillConvergesAndAnswersQueries) {
+  ClusterOptions options = small_cluster_options(11);
+  options.drop = 0.05;
+  options.jitter_ms = 0.5;
+  ClusterDriver driver(options);
+  ASSERT_TRUE(driver.start());
+  ASSERT_TRUE(driver.converge(options.convergence_timeout_ms));
+
+  const auto stats = driver.run_queries(10);
+  EXPECT_EQ(stats.issued, 10u);
+  EXPECT_GE(stats.succeeded, 7u);
+
+  const auto report = driver.finish();
+  EXPECT_EQ(report.survivors, options.node_count);
+  // 5% loss on every link: the shims must actually have dropped datagrams
+  // (deterministic given the traffic volume), and the cluster converged
+  // and answered queries anyway. Whether any particular drop forces a
+  // retransmission is wall-clock-timing dependent at this scale (the
+  // 16-walk surplus absorbs most walk losses), so the retry counters are
+  // asserted in the deterministic virtual-time loopback test instead.
+  ASSERT_TRUE(report.aggregate.count("shim_dropped"));
+  EXPECT_GT(report.aggregate.at("shim_dropped"), 0u);
+}
+
+}  // namespace
+}  // namespace makalu
