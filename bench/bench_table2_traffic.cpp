@@ -15,6 +15,7 @@
 
 #include "analysis/paper_reference.hpp"
 #include "analysis/traffic_comparison.hpp"
+#include "workload/closed_loop.hpp"
 
 int main(int argc, char** argv) try {
   using namespace makalu;
@@ -33,6 +34,13 @@ int main(int argc, char** argv) try {
 
   auto compare_phase = bench_run.phase("traffic-comparison");
   topts.metrics = bench_run.metrics();
+  // Admit the paper's replay through the workload engine's closed-loop
+  // arrival preset; aggregates are bit-identical to run_flood_batch
+  // (tests/workload_test.cpp pins the zero-drift contract).
+  topts.flood_batch = [](const BuiltTopology& topology,
+                         const FloodExperimentOptions& flood) {
+    return workload::closed_loop_flood_batch(topology, flood);
+  };
   const auto result = run_traffic_comparison(topts);
   compare_phase.stop();
   const auto& g = result.gnutella;

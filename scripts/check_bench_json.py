@@ -69,6 +69,11 @@ def check_file(path: str) -> list[str]:
         if kind in ("counter", "gauge"):
             if "value" not in metric:
                 problems.append(f"metrics[{name!r}] missing 'value'")
+            elif not _is_finite_number(metric["value"]):
+                problems.append(
+                    f"metrics[{name!r}] value {metric['value']!r} is not a "
+                    f"finite number"
+                )
         elif kind == "histogram":
             for key in ("count", "sum", "buckets"):
                 if key not in metric:
@@ -83,6 +88,63 @@ def check_file(path: str) -> list[str]:
                 )
         else:
             problems.append(f"metrics[{name!r}] has unknown kind {kind!r}")
+    problems.extend(check_workload_metrics(metrics))
+    return problems
+
+
+def _is_finite_number(value) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return value == value and value not in (float("inf"), float("-inf"))
+
+
+# The workload.* namespace (bench_ext_workload and the open-loop engine)
+# carries a typed contract on top of the generic schema: percentile
+# gauges must be histogram-derived and monotone, the engine's two raw
+# histograms must actually be histograms, and the headline saturation /
+# wave gauges must be present as gauges whenever any of the namespace is.
+WORKLOAD_HISTOGRAMS = ("workload.sojourn_ms", "workload.queue_depth")
+WORKLOAD_GAUGES = (
+    "workload.saturation_qps",
+    "workload.p50_ms",
+    "workload.p99_ms",
+    "workload.p999_ms",
+    "workload.abf_update_wave_us",
+)
+
+
+def check_workload_metrics(metrics: dict) -> list[str]:
+    problems: list[str] = []
+    if not any(name.startswith("workload.") for name in metrics):
+        return problems
+    for name in WORKLOAD_HISTOGRAMS:
+        metric = metrics.get(name)
+        if metric is not None and metric.get("kind") != "histogram":
+            problems.append(f"metrics[{name!r}] must be a histogram")
+    for name in WORKLOAD_GAUGES:
+        metric = metrics.get(name)
+        if metric is None:
+            problems.append(f"workload.* namespace present but {name!r} "
+                            f"is missing")
+        elif metric.get("kind") != "gauge":
+            problems.append(f"metrics[{name!r}] must be a gauge")
+    # Percentile triples (workload.p50_ms / <profile>_p50_ms etc.) must
+    # be monotone: p50 <= p99 <= p999.
+    for name, metric in metrics.items():
+        if not name.startswith("workload.") or not name.endswith("p50_ms"):
+            continue
+        prefix = name[: -len("p50_ms")]
+        p50 = metric.get("value")
+        p99 = metrics.get(f"{prefix}p99_ms", {}).get("value")
+        p999 = metrics.get(f"{prefix}p999_ms", {}).get("value")
+        for hi_name, lo, hi in ((f"{prefix}p99_ms", p50, p99),
+                                (f"{prefix}p999_ms", p99, p999)):
+            if (_is_finite_number(lo) and _is_finite_number(hi)
+                    and hi < lo):
+                problems.append(
+                    f"metrics[{hi_name!r}] = {hi} is below its lower "
+                    f"percentile {lo} (non-monotone percentiles)"
+                )
     return problems
 
 

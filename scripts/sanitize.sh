@@ -42,7 +42,10 @@ if [[ "${MODE}" == "tsan" ]]; then
   # TSan-built makalu_node processes) is single-threaded by design but
   # signal- and poll-driven; keeping it in the TSan job guards the
   # "no hidden threads" claim as the net/ layer grows.
-  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp|CompactGraph|Storage|Scale|TableDifferential|BlockedDelta|CountingAbf|Codec|TimerWheel|Loopback|UdpTransport|FaultShim|Cluster'}
+  # Workload/Arrival/Catalog/Saturation cover the open-loop engine: the
+  # thread-count-invariance suites drive ParallelQueryDriver at 2/8
+  # threads through the workload admission path.
+  TSAN_TEST_FILTER=${TSAN_TEST_FILTER:-'ThreadPool|Determinism|Parallel|Churn|Fault|SeenQuery|ProtoNetwork|Obs|Batched|BatchStamp|CompactGraph|Storage|Scale|TableDifferential|BlockedDelta|CountingAbf|Codec|TimerWheel|Loopback|UdpTransport|FaultShim|Cluster|Workload|Arrival|Catalog|Saturation'}
 else
   BUILD_DIR=${BUILD_DIR:-build-sanitize}
   SANITIZERS=${SANITIZERS:-address,undefined}

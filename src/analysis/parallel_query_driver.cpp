@@ -99,13 +99,16 @@ void ParallelQueryDriver::run_batch(const SearchEngine& engine,
       std::vector<BatchQueryJob> jobs(hi - lo);
       std::vector<QueryResult> results(hi - lo);
       for (std::size_t q = lo; q < hi; ++q) {
-        workspace.seed_rng(options.seed, q);
+        workspace.seed_rng(options.seed, options.first_query_index + q);
         QueryTrace& trace = traces[q];
-        trace.query_index = q;
+        trace.query_index = options.first_query_index + q;
         trace.source =
             static_cast<NodeId>(workspace.rng().uniform_below(n));
-        trace.object = static_cast<ObjectId>(
-            workspace.rng().uniform_below(catalog.object_count()));
+        trace.object =
+            options.object_sampler
+                ? options.object_sampler(workspace.rng())
+                : static_cast<ObjectId>(
+                      workspace.rng().uniform_below(catalog.object_count()));
         jobs[q - lo] = {trace.source, trace.object, workspace.rng()};
       }
       const Stopwatch watch;
@@ -122,13 +125,16 @@ void ParallelQueryDriver::run_batch(const SearchEngine& engine,
       return;
     }
     for (std::size_t q = lo; q < hi; ++q) {
-      workspace.seed_rng(options.seed, q);
+      workspace.seed_rng(options.seed, options.first_query_index + q);
       QueryTrace& trace = traces[q];
-      trace.query_index = q;
+      trace.query_index = options.first_query_index + q;
       trace.source =
           static_cast<NodeId>(workspace.rng().uniform_below(n));
-      trace.object = static_cast<ObjectId>(
-          workspace.rng().uniform_below(catalog.object_count()));
+      trace.object =
+          options.object_sampler
+              ? options.object_sampler(workspace.rng())
+              : static_cast<ObjectId>(
+                    workspace.rng().uniform_below(catalog.object_count()));
       if (timed) {
         const Stopwatch watch;
         trace.result = engine.run(trace.source, trace.object, catalog,

@@ -40,6 +40,19 @@ struct QueryTrace {
 struct BatchQueryOptions {
   std::size_t queries = 0;
   std::uint64_t seed = 1;
+  /// Admission seam (workload/engine.hpp): global stream index of this
+  /// batch's first query. Query q of the batch is seeded as
+  /// (seed, first_query_index + q), so an open-loop executor can slice
+  /// one logical query stream into timestamp-driven sub-batches without
+  /// changing any per-query result — stream query k draws the same
+  /// (source, object, RNG tail) however the slices fall. 0 (the default)
+  /// is the pre-existing single-batch behaviour, bit for bit.
+  std::uint64_t first_query_index = 0;
+  /// Optional popularity sampler: draws the query's object from the
+  /// per-query RNG stream in place of the uniform draw (Zipf catalogs,
+  /// workload/catalog.hpp). Must be a pure function of the RNG argument
+  /// so results stay independent of thread count and batch slicing.
+  std::function<ObjectId(Rng&)> object_sampler;
   /// Co-schedule queries through SearchEngine::run_many (shared-frontier
   /// batching, QueryWorkspace::kBatchWidth queries per pass) when the
   /// engine supports it; engines that don't, and option off, run the

@@ -40,7 +40,9 @@ TrafficComparisonResult run_traffic_comparison(
   flood.seed = options.seed;
   flood.threads = options.threads;
   flood.metrics = options.metrics;
-  const QueryAggregate aggregate = run_flood_batch(topology, flood);
+  const QueryAggregate aggregate = options.flood_batch
+                                       ? options.flood_batch(topology, flood)
+                                       : run_flood_batch(topology, flood);
 
   result.makalu_messages_per_query = aggregate.mean_messages();
   result.makalu = makalu_profile_from(

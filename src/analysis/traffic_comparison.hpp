@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
+#include "analysis/flood_experiments.hpp"
 #include "analysis/topology_factory.hpp"
 #include "obs/metrics.hpp"
 #include "trace/gnutella_traffic.hpp"
@@ -30,6 +32,14 @@ struct TrafficComparisonOptions {
   std::size_t threads = 0;
   /// Optional metrics registry (see BatchQueryOptions::metrics).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Admission seam: how the query batch is run. Null = run_flood_batch
+  /// directly; bench_table2_traffic injects
+  /// workload::closed_loop_flood_batch so the paper's replay is admitted
+  /// through the open-loop engine's arrival interface (aggregates are
+  /// bit-identical either way — pinned by tests/workload_test.cpp).
+  std::function<QueryAggregate(const BuiltTopology&,
+                               const FloodExperimentOptions&)>
+      flood_batch;
   MakaluParameters makalu = degree95_parameters();
 
   /// Capacity range giving the paper's mean node degree ≈ 9.5.

@@ -1,0 +1,24 @@
+#include "cluster/workload_backend.hpp"
+
+#include "support/stopwatch.hpp"
+
+namespace makalu::cluster {
+
+double ClusterWorkloadBackend::run_slice(std::uint64_t /*first_query_index*/,
+                                         std::size_t count,
+                                         QueryAggregate& aggregate) {
+  Stopwatch watch;
+  const QueryStats stats = driver_->run_queries(count);
+  const double seconds = watch.seconds();
+  // QueryStats is slice-granular; synthesise per-query outcomes so the
+  // engine's aggregate fold sees one entry per offered query (successes
+  // first — order inside a slice carries no information here).
+  for (std::size_t q = 0; q < stats.issued; ++q) {
+    QueryResult result;
+    result.success = q < stats.succeeded;
+    aggregate.add(result);
+  }
+  return seconds;
+}
+
+}  // namespace makalu::cluster

@@ -1,0 +1,38 @@
+// Live-cluster adapter for the open-loop workload engine: the same
+// QueryBackend seam the in-process driver implements, served by real UDP
+// node processes through ClusterDriver.
+//
+// Fidelity contract: this is a *statistical* cell, not a bit-identical
+// one. The cluster driver issues queries from seeded-random live sources
+// over the wire; packet timing, loss, and node scheduling make individual
+// outcomes machine-dependent, and per-query message counts are not
+// reported back (QueryStats carries issued/succeeded/response totals
+// only). The backend therefore synthesises success/failure QueryResults
+// in completion order — aggregate success rates and the engine's
+// sojourn/saturation measurements are meaningful; per-query fields
+// beyond `success` are zero. The determinism ladder (DESIGN.md §16)
+// applies to DriverQueryBackend only.
+#pragma once
+
+#include "cluster/driver.hpp"
+#include "workload/engine.hpp"
+
+namespace makalu::cluster {
+
+class ClusterWorkloadBackend final : public workload::QueryBackend {
+ public:
+  explicit ClusterWorkloadBackend(ClusterDriver& driver)
+      : driver_(&driver) {}
+
+  double run_slice(std::uint64_t first_query_index, std::size_t count,
+                   QueryAggregate& aggregate) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cluster";
+  }
+
+ private:
+  ClusterDriver* driver_;
+};
+
+}  // namespace makalu::cluster

@@ -152,6 +152,36 @@ void MetricsShard::observe(MetricId id, double value,
   hist_sums_[info.dense] += value * static_cast<double>(weight);
 }
 
+double HistogramView::quantile(double q) const noexcept {
+  const std::uint64_t count = total();
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The target rank in (0, count]: the k-th observation in bucket order,
+  // with k = ceil-like q * count kept in doubles so boundary ranks land
+  // exactly on cumulative bucket edges (counts are integers < 2^53).
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const double in_bucket = static_cast<double>(buckets_[b]);
+    if (in_bucket == 0.0) continue;
+    const double next = cumulative + in_bucket;
+    if (rank <= next) {
+      if (b >= bounds_.size()) {
+        // +inf overflow bucket: clamp to the largest finite bound.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double upper = bounds_[b];
+      const double lower =
+          b == 0 ? std::min(0.0, bounds_[0]) : bounds_[b - 1];
+      const double within = std::max(rank - cumulative, 0.0) / in_bucket;
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  // Unreachable while counts are consistent; keep the clamp for safety.
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   snap.metrics.reserve(infos_.size());

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -92,6 +93,47 @@ class MetricsShard {
   std::vector<double> hist_sums_;            ///< one weighted sum per histogram
 };
 
+/// Read-only view over one folded histogram (bounds plus the
+/// bounds.size() + 1 bucket counts, +inf last) with the one audited
+/// quantile computation every percentile gauge derives from.
+///
+/// Quantile semantics under "le" buckets: the returned value is the
+/// linearly interpolated position of rank q * total within the first
+/// bucket whose cumulative count reaches that rank. Bucket b spans
+/// (lower(b), bounds[b]] with lower(0) = min(0, bounds[0]) (latency
+/// histograms start at zero) and lower(b) = bounds[b-1] otherwise;
+/// interpolation is uniform within the bucket, the best estimate a
+/// fixed-bucket histogram admits. Consequences, pinned by the unit
+/// tests:
+///   * quantile(1.0) is the upper bound of the last occupied bucket;
+///   * a rank landing exactly on a bucket's cumulative boundary returns
+///     that bucket's upper bound (never interpolates into the next);
+///   * ranks resolved by the +inf overflow bucket clamp to the largest
+///     finite bound (the histogram cannot see beyond it — size the
+///     bucket layout so the tail stays finite);
+///   * an empty histogram returns 0.
+class HistogramView {
+ public:
+  HistogramView(std::span<const double> bounds,
+                std::span<const std::uint64_t> buckets) noexcept
+      : bounds_(bounds), buckets_(buckets) {
+    MAKALU_EXPECTS(buckets.size() == bounds.size() + 1);
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : buckets_) sum += c;
+    return sum;
+  }
+
+  /// q in [0, 1]; values outside clamp.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::span<const double> bounds_;
+  std::span<const std::uint64_t> buckets_;
+};
+
 /// One metric's aggregated value (see MetricsSnapshot).
 struct MetricValue {
   std::string name;
@@ -101,6 +143,12 @@ struct MetricValue {
   double value = 0.0;       ///< gauge value, or histogram weighted sum
   std::vector<double> bounds;          ///< histogram upper bounds (no +inf)
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+inf last)
+
+  /// Histogram metrics only: the quantile view over bounds/buckets.
+  [[nodiscard]] HistogramView histogram_view() const noexcept {
+    MAKALU_EXPECTS(kind == MetricKind::kHistogram);
+    return HistogramView(bounds, buckets);
+  }
 };
 
 class JsonWriter;

@@ -1,0 +1,186 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace makalu::workload {
+
+std::vector<double> ArrivalProcess::take(std::size_t count) {
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) times.push_back(next_ms());
+  return times;
+}
+
+namespace {
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double rate_qps, std::uint64_t seed)
+      : rate_per_ms_(rate_qps / 1000.0), rate_qps_(rate_qps), rng_(seed) {
+    MAKALU_EXPECTS(rate_qps > 0.0);
+  }
+
+  double next_ms() override {
+    now_ms_ += rng_.exponential(rate_per_ms_);
+    return now_ms_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "poisson";
+  }
+  [[nodiscard]] double nominal_qps() const noexcept override {
+    return rate_qps_;
+  }
+
+ private:
+  double rate_per_ms_;
+  double rate_qps_;
+  double now_ms_ = 0.0;
+  Rng rng_;
+};
+
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(const BurstyOptions& options, std::uint64_t seed)
+      : options_(options), rng_(seed) {
+    MAKALU_EXPECTS(options.rate_qps > 0.0);
+    MAKALU_EXPECTS(options.burst_factor > 1.0);
+    MAKALU_EXPECTS(options.mean_on_ms > 0.0 && options.mean_off_ms > 0.0);
+    // Solve the two state rates from the calibration constraint
+    //   duty * on + (1 - duty) * off = mean,  on = burst_factor * off.
+    const double duty =
+        options.mean_on_ms / (options.mean_on_ms + options.mean_off_ms);
+    const double mean_per_ms = options.rate_qps / 1000.0;
+    off_rate_ =
+        mean_per_ms / (duty * options.burst_factor + (1.0 - duty));
+    on_rate_ = options.burst_factor * off_rate_;
+    state_ends_ms_ = rng_.exponential(1.0 / options.mean_on_ms);
+  }
+
+  double next_ms() override {
+    // Memorylessness lets the dwell clock restart at every state switch:
+    // advance by exponential(current rate) and, whenever the tentative
+    // arrival crosses the state boundary, re-draw the remainder at the
+    // next state's rate from the boundary.
+    for (;;) {
+      const double rate = on_ ? on_rate_ : off_rate_;
+      const double tentative = now_ms_ + rng_.exponential(rate);
+      if (tentative <= state_ends_ms_) {
+        now_ms_ = tentative;
+        return now_ms_;
+      }
+      now_ms_ = state_ends_ms_;
+      on_ = !on_;
+      const double dwell = on_ ? options_.mean_on_ms : options_.mean_off_ms;
+      state_ends_ms_ += rng_.exponential(1.0 / dwell);
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bursty-mmpp2";
+  }
+  [[nodiscard]] double nominal_qps() const noexcept override {
+    return options_.rate_qps;
+  }
+
+ private:
+  BurstyOptions options_;
+  double on_rate_ = 0.0;   ///< arrivals per ms in the ON state
+  double off_rate_ = 0.0;  ///< arrivals per ms in the OFF state
+  bool on_ = true;
+  double now_ms_ = 0.0;
+  double state_ends_ms_ = 0.0;
+  Rng rng_;
+};
+
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(const DiurnalOptions& options, std::uint64_t seed)
+      : options_(options), rng_(seed) {
+    MAKALU_EXPECTS(options.rate_qps > 0.0);
+    MAKALU_EXPECTS(options.period_ms > 0.0);
+    MAKALU_EXPECTS(options.trough_fraction >= 0.0 &&
+                   options.trough_fraction < 1.0);
+    peak_per_ms_ = 2.0 * (options.rate_qps / 1000.0) /
+                   (1.0 + options.trough_fraction);
+  }
+
+  double next_ms() override {
+    // Lewis-Shedler thinning: candidates at the constant peak rate,
+    // accepted with probability rate(t)/peak.
+    for (;;) {
+      now_ms_ += rng_.exponential(peak_per_ms_);
+      if (rng_.uniform() <= envelope(now_ms_)) return now_ms_;
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "diurnal";
+  }
+  [[nodiscard]] double nominal_qps() const noexcept override {
+    return options_.rate_qps;
+  }
+
+ private:
+  /// Raised cosine in [trough_fraction, 1]: 1 at phase 0, trough at
+  /// half-period.
+  [[nodiscard]] double envelope(double t_ms) const noexcept {
+    constexpr double kTau = 6.283185307179586476925286766559;
+    const double phase = kTau * (t_ms / options_.period_ms);
+    const double lo = options_.trough_fraction;
+    return lo + (1.0 - lo) * 0.5 * (1.0 + std::cos(phase));
+  }
+
+  DiurnalOptions options_;
+  double peak_per_ms_ = 0.0;
+  double now_ms_ = 0.0;
+  Rng rng_;
+};
+
+class ClosedLoopPaperArrivals final : public ArrivalProcess {
+ public:
+  explicit ClosedLoopPaperArrivals(const TrafficProfile& profile)
+      : interval_ms_(1000.0 / profile.queries_per_second),
+        rate_qps_(profile.queries_per_second) {
+    MAKALU_EXPECTS(profile.queries_per_second > 0.0);
+  }
+
+  double next_ms() override {
+    ++index_;
+    return interval_ms_ * static_cast<double>(index_);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "closed-loop-paper";
+  }
+  [[nodiscard]] double nominal_qps() const noexcept override {
+    return rate_qps_;
+  }
+
+ private:
+  double interval_ms_;
+  double rate_qps_;
+  std::uint64_t index_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> poisson_arrivals(double rate_qps,
+                                                 std::uint64_t seed) {
+  return std::make_unique<PoissonArrivals>(rate_qps, seed);
+}
+
+std::unique_ptr<ArrivalProcess> bursty_arrivals(const BurstyOptions& options,
+                                                std::uint64_t seed) {
+  return std::make_unique<BurstyArrivals>(options, seed);
+}
+
+std::unique_ptr<ArrivalProcess> diurnal_arrivals(
+    const DiurnalOptions& options, std::uint64_t seed) {
+  return std::make_unique<DiurnalArrivals>(options, seed);
+}
+
+std::unique_ptr<ArrivalProcess> closed_loop_paper_arrivals(
+    const TrafficProfile& profile) {
+  return std::make_unique<ClosedLoopPaperArrivals>(profile);
+}
+
+}  // namespace makalu::workload

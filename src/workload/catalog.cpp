@@ -1,0 +1,149 @@
+#include "workload/catalog.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace makalu::workload {
+
+namespace {
+
+/// Tagged sub-seed: placement and churn draw from independent streams of
+/// the one catalog seed.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t tag) noexcept {
+  std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL * tag;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+ZipfCatalog::ZipfCatalog(std::size_t node_count,
+                         const ZipfCatalogOptions& options)
+    : node_count_(node_count),
+      replicas_per_object_(options.replicas_per_object),
+      catalog_(node_count, options.objects,
+               static_cast<double>(options.replicas_per_object) /
+                   static_cast<double>(node_count),
+               derive_seed(options.seed, 1)),
+      zipf_(options.objects, options.zipf_exponent),
+      live_count_(options.objects),
+      churn_rng_(derive_seed(options.seed, 2)) {
+  MAKALU_EXPECTS(node_count > 0 && options.objects > 0);
+  MAKALU_EXPECTS(options.replicas_per_object >= 1);
+  MAKALU_EXPECTS(options.live_fraction > 0.0 &&
+                 options.live_fraction <= 1.0);
+  rank_to_object_.resize(options.objects);
+  for (std::size_t r = 0; r < options.objects; ++r) {
+    rank_to_object_[r] = static_cast<ObjectId>(r);
+  }
+  // Kill the cold tail down to live_fraction before any router sees the
+  // catalog: the coldest ranks die first (they are also the likeliest to
+  // be dead in a real catalog), so the initial rank-frequency curve stays
+  // Zipf over the hot head.
+  const auto target_live = static_cast<std::size_t>(std::ceil(
+      options.live_fraction * static_cast<double>(options.objects)));
+  for (std::size_t r = options.objects; r-- > target_live;) {
+    remove_all_replicas(rank_to_object_[r], nullptr);
+  }
+  // Initial placement is construction, not churn.
+  churn_ = {};
+}
+
+std::size_t ZipfCatalog::churn_step(AbfRouter* router) {
+  const std::size_t before = churn_.replica_changes;
+  const bool can_birth = live_count_ < object_count();
+  const bool can_death = live_count_ > 0;
+  const double u = churn_rng_.uniform();
+  // Birth and death draw with equal probability so the live count is a
+  // balanced random walk; the remaining mass drifts replicas. Events
+  // whose precondition fails fall through to drift (and drift on an
+  // all-dead catalog falls back to birth).
+  if (u < 0.25 && can_birth) {
+    ++churn_.births;
+    place_replicas(pick_dead(churn_rng_), router);
+  } else if (u < 0.5 && can_death) {
+    ++churn_.deaths;
+    remove_all_replicas(pick_live(churn_rng_), router);
+  } else if (can_death) {
+    ++churn_.drifts;
+    const ObjectId object = pick_live(churn_rng_);
+    const auto& holders = catalog_.holders(object);
+    const NodeId from = holders[static_cast<std::size_t>(
+        churn_rng_.uniform_below(holders.size()))];
+    // A fresh holder; bounded retries in case the object is everywhere.
+    NodeId to = kInvalidNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto candidate =
+          static_cast<NodeId>(churn_rng_.uniform_below(node_count_));
+      if (candidate != from && !catalog_.node_has_object(candidate, object)) {
+        to = candidate;
+        break;
+      }
+    }
+    if (catalog_.remove_replica(object, from)) {
+      if (router != nullptr) router->notify_remove(from, object);
+      ++churn_.replica_changes;
+      if (holders.empty()) --live_count_;  // drifted the last replica away
+    }
+    if (to != kInvalidNode && !catalog_.node_has_object(to, object)) {
+      const bool was_dead = catalog_.holders(object).empty();
+      catalog_.add_replica(object, to);
+      if (router != nullptr) router->notify_insert(to, object);
+      ++churn_.replica_changes;
+      if (was_dead) ++live_count_;
+    }
+  } else if (can_birth) {
+    ++churn_.births;
+    place_replicas(pick_dead(churn_rng_), router);
+  }
+  return churn_.replica_changes - before;
+}
+
+void ZipfCatalog::place_replicas(ObjectId object, AbfRouter* router) {
+  MAKALU_EXPECTS(catalog_.holders(object).empty());
+  std::size_t placed = 0;
+  // Distinct uniform holders; collisions redraw (replicas_per_object is
+  // tiny next to node_count, so redraws are rare).
+  while (placed < replicas_per_object_) {
+    const auto node =
+        static_cast<NodeId>(churn_rng_.uniform_below(node_count_));
+    if (catalog_.node_has_object(node, object)) continue;
+    catalog_.add_replica(object, node);
+    if (router != nullptr) router->notify_insert(node, object);
+    ++churn_.replica_changes;
+    ++placed;
+  }
+  ++live_count_;
+}
+
+void ZipfCatalog::remove_all_replicas(ObjectId object, AbfRouter* router) {
+  MAKALU_EXPECTS(!catalog_.holders(object).empty());
+  while (!catalog_.holders(object).empty()) {
+    const NodeId node = catalog_.holders(object).back();
+    if (catalog_.remove_replica(object, node)) {
+      if (router != nullptr) router->notify_remove(node, object);
+      ++churn_.replica_changes;
+    }
+  }
+  --live_count_;
+}
+
+ObjectId ZipfCatalog::pick_live(Rng& rng) const noexcept {
+  MAKALU_EXPECTS(live_count_ > 0);
+  for (;;) {
+    const auto object =
+        static_cast<ObjectId>(rng.uniform_below(object_count()));
+    if (is_live(object)) return object;
+  }
+}
+
+ObjectId ZipfCatalog::pick_dead(Rng& rng) const noexcept {
+  MAKALU_EXPECTS(live_count_ < object_count());
+  for (;;) {
+    const auto object =
+        static_cast<ObjectId>(rng.uniform_below(object_count()));
+    if (!is_live(object)) return object;
+  }
+}
+
+}  // namespace makalu::workload

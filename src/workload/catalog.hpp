@@ -1,0 +1,125 @@
+// Zipf-popular content catalogs with churn: what the query stream asks
+// for, and how the asked-for set drifts while the overlay serves it.
+//
+// Real P2P request streams are heavily rank-skewed (Haribabu et al.,
+// PAPERS.md: adaptive lookup exploits exactly this), and the catalog
+// itself churns — items are born, die, and their replicas drift between
+// nodes. ZipfCatalog packages both on top of the existing
+// sim/replica_placement.hpp ObjectCatalog:
+//
+//   * popularity: queries draw objects rank-by-rank from a ZipfSampler
+//     (support/rng.hpp) over the object domain — rank r with probability
+//     proportional to 1/(r+1)^s. The sampler plugs into the query driver
+//     through BatchQueryOptions::object_sampler, so the per-query-seed
+//     discipline is untouched: the object drawn by stream query k is a
+//     pure function of (seed, k).
+//
+//   * churn: a deterministic event stream over the catalog — item birth
+//     (a dead object re-enters on fresh replicas), item death (a live
+//     object loses every replica), and replica drift (one replica moves
+//     to a new holder). Each event mutates the ObjectCatalog AND pushes
+//     the change through AbfRouter::notify_insert / notify_remove — the
+//     incremental counting-ABF waves — never through a full rebuild;
+//     that path being rebuild-equivalent (below counter saturation) and
+//     superset-sound always is pinned by tests/workload_test.cpp and the
+//     counting suites.
+//
+// Determinism: churn events are drawn from a private seeded Rng at
+// construction-defined points in the query stream (the engine applies
+// them between admission slices at fixed query indices), so catalog
+// state as seen by stream query k is a pure function of (options, k).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "search/abf_search.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/rng.hpp"
+
+namespace makalu::workload {
+
+struct ZipfCatalogOptions {
+  std::size_t objects = 512;
+  double zipf_exponent = 0.8;  ///< rank-frequency slope of the queries
+  /// Replicas placed per live object (uniform random holders, as in the
+  /// paper's §4.1 placement).
+  std::size_t replicas_per_object = 4;
+  /// Fraction of the object domain alive at start; dead objects hold no
+  /// replicas until a birth event revives them. Queries still target the
+  /// whole domain — asking for content that just died is part of the
+  /// workload.
+  double live_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class ZipfCatalog {
+ public:
+  ZipfCatalog(std::size_t node_count, const ZipfCatalogOptions& options);
+
+  [[nodiscard]] const ObjectCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] ObjectCatalog& catalog() noexcept { return catalog_; }
+
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return catalog_.object_count();
+  }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return live_count_;
+  }
+  [[nodiscard]] bool is_live(ObjectId object) const noexcept {
+    return !catalog_.holders(object).empty();
+  }
+
+  /// Zipf(s) object draw over the whole domain: rank r (0 = hottest)
+  /// maps to the object id at that popularity rank. Pure in `rng`.
+  [[nodiscard]] ObjectId sample(Rng& rng) const noexcept {
+    return rank_to_object_[zipf_(rng)];
+  }
+
+  // --- churn ---------------------------------------------------------------
+
+  /// One churn event: birth (revive a dead object on
+  /// replicas_per_object fresh holders), death (remove every replica of
+  /// a live object), or drift (move one replica of a live object to a
+  /// new holder). The mix is drawn from the catalog's private churn RNG;
+  /// births and deaths balance in expectation so live_count is stable.
+  ///
+  /// When `router` is non-null every replica change is pushed through
+  /// its incremental notify_insert/notify_remove waves (the counting-ABF
+  /// path — no rebuild). Returns the number of replica changes applied.
+  std::size_t churn_step(AbfRouter* router);
+
+  /// Applied churn-event counters (births/deaths/drifts since start).
+  struct ChurnCounters {
+    std::size_t births = 0;
+    std::size_t deaths = 0;
+    std::size_t drifts = 0;
+    std::size_t replica_changes = 0;
+  };
+  [[nodiscard]] const ChurnCounters& churn_counters() const noexcept {
+    return churn_;
+  }
+
+ private:
+  void place_replicas(ObjectId object, AbfRouter* router);
+  void remove_all_replicas(ObjectId object, AbfRouter* router);
+  [[nodiscard]] ObjectId pick_live(Rng& rng) const noexcept;
+  [[nodiscard]] ObjectId pick_dead(Rng& rng) const noexcept;
+
+  std::size_t node_count_ = 0;
+  std::size_t replicas_per_object_ = 0;
+  ObjectCatalog catalog_;
+  ZipfSampler zipf_;
+  /// Popularity rank -> object id. Identity today; kept explicit so a
+  /// popularity-shuffle (hot item dies, rank order drifts) is a local
+  /// change.
+  std::vector<ObjectId> rank_to_object_;
+  std::size_t live_count_ = 0;
+  Rng churn_rng_;
+  ChurnCounters churn_;
+};
+
+}  // namespace makalu::workload

@@ -1,0 +1,64 @@
+#include "workload/closed_loop.hpp"
+
+#include "search/flood_search.hpp"
+#include "search/two_tier_flood.hpp"
+#include "sim/replica_placement.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "workload/engine.hpp"
+
+namespace makalu::workload {
+
+QueryAggregate closed_loop_flood_batch(const BuiltTopology& topology,
+                                       const FloodExperimentOptions& options,
+                                       const TrafficProfile& profile) {
+  MAKALU_EXPECTS(options.runs >= 1);
+  MAKALU_EXPECTS(options.queries >= 1);
+  const CsrGraph csr = CsrGraph::from_graph(topology.graph);
+  const std::size_t n = csr.node_count();
+
+  QueryAggregate aggregate;
+  Rng master(options.seed);
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    // Identical derivation to run_flood_batch: per-run placement and
+    // batch seed from the same split stream, in the same draw order.
+    Rng run_rng = master.split(run + 1);
+    const ObjectCatalog catalog(n, options.objects,
+                                options.replication_ratio, run_rng());
+
+    DriverQueryBackend::Options backend_options;
+    backend_options.seed = run_rng();
+    backend_options.threads = options.threads;
+    backend_options.batch = options.batch;
+    backend_options.trace_sink = options.trace_sink;
+    backend_options.metrics = options.metrics;
+
+    // The closed-loop preset spaces arrivals by 1000/qps ms — far apart
+    // next to flood service time, so the engine typically serves one
+    // query per slice. By the determinism ladder the aggregate is the
+    // same however the slices fall, and the accumulating run() overload
+    // folds it in stream order — run_flood_batch fold for fold.
+    const auto run_one = [&](const SearchEngine& engine) {
+      DriverQueryBackend backend(engine, catalog, backend_options);
+      const auto arrivals = closed_loop_paper_arrivals(profile);
+      OpenLoopEngine open_loop(backend);
+      (void)open_loop.run(*arrivals, options.queries, {}, aggregate);
+    };
+
+    if (topology.kind == TopologyKind::kGnutellaV06) {
+      TwoTierFloodOptions flood;
+      flood.ttl = options.ttl;
+      const TwoTierFloodEngine engine(csr, topology.is_ultrapeer, flood);
+      run_one(engine);
+    } else {
+      FloodOptions flood;
+      flood.ttl = options.ttl;
+      flood.duplicate_suppression = options.duplicate_suppression;
+      const FloodEngine engine(csr, flood);
+      run_one(engine);
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace makalu::workload

@@ -1,0 +1,29 @@
+// The paper's closed-loop replay, routed through the open-loop engine.
+//
+// run_flood_batch (analysis/flood_experiments.hpp) is the Table 2 query
+// loop: per run, one placement and one driver batch. This helper is the
+// same loop admitted through OpenLoopEngine with the fixed-interval
+// closed_loop_paper_arrivals preset — the arrival interface the rest of
+// the workload subsystem uses. Zero drift is a hard contract: by the
+// determinism ladder (stream-indexed per-query seeds, stream-order
+// aggregate fold), the returned aggregate is bit-identical to
+// run_flood_batch for the same options, however the admission slices
+// fall. tests/workload_test.cpp pins this field by field, and
+// bench_table2_traffic injects it through
+// TrafficComparisonOptions::flood_batch so the paper table is produced
+// by the workload path in production, not just in the test.
+#pragma once
+
+#include "analysis/flood_experiments.hpp"
+#include "analysis/topology_factory.hpp"
+#include "trace/gnutella_traffic.hpp"
+
+namespace makalu::workload {
+
+/// Drop-in for run_flood_batch: same per-run placement/seed derivation,
+/// queries admitted by `profile`'s fixed-interval closed-loop arrivals.
+[[nodiscard]] QueryAggregate closed_loop_flood_batch(
+    const BuiltTopology& topology, const FloodExperimentOptions& options,
+    const TrafficProfile& profile = gnutella_traffic_2006());
+
+}  // namespace makalu::workload

@@ -1,0 +1,91 @@
+#include "workload/saturation.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace makalu::workload {
+
+SaturationReport find_saturation(QueryBackend& backend,
+                                 const SaturationOptions& options) {
+  MAKALU_EXPECTS(options.start_qps > 0.0);
+  MAKALU_EXPECTS(options.ramp_factor > 1.0);
+  MAKALU_EXPECTS(options.probe_queries > 0);
+
+  SaturationReport report;
+  // Every probe replays the same arrival seed at a different rate, so
+  // probes differ only in time-compression of one fixed demand sequence.
+  // NOTE: a churn_hook in options.probe mutates the shared catalog, so
+  // probes would no longer be independent — the bench keeps churn in a
+  // separate measured cell and probes churn-free.
+  const auto probe = [&](double rate_qps, obs::MetricsRegistry* metrics) {
+    const auto arrivals = poisson_arrivals(rate_qps, options.arrival_seed);
+    OpenLoopOptions probe_options = options.probe;
+    probe_options.metrics = metrics;
+    OpenLoopEngine engine(backend);
+    OpenLoopReport run =
+        engine.run(*arrivals, options.probe_queries, probe_options);
+    SaturationProbe p;
+    p.offered_qps = rate_qps;
+    p.completed_qps = run.completed_qps;
+    p.completed_fraction = run.completed_fraction();
+    p.passed = p.completed_fraction >= options.target_completed_fraction;
+    report.probes.push_back(p);
+    return std::pair<bool, OpenLoopReport>(p.passed, std::move(run));
+  };
+
+  double last_pass = 0.0;
+  double first_fail = 0.0;
+  double rate = options.start_qps;
+  if (probe(rate, nullptr).first) {
+    // Ramp up until the backend breaks (or we run out of steps:
+    // unbracketed, saturation_qps is then only a demonstrated floor).
+    last_pass = rate;
+    for (std::size_t step = 0; step < options.max_ramp_steps; ++step) {
+      rate *= options.ramp_factor;
+      if (probe(rate, nullptr).first) {
+        last_pass = rate;
+      } else {
+        first_fail = rate;
+        break;
+      }
+    }
+  } else {
+    // Even the starting rate is beyond capacity: ramp down to find any
+    // sustainable rate at all.
+    first_fail = rate;
+    for (std::size_t step = 0; step < options.max_ramp_steps; ++step) {
+      rate /= options.ramp_factor;
+      if (probe(rate, nullptr).first) {
+        last_pass = rate;
+        break;
+      }
+      first_fail = rate;
+    }
+  }
+
+  report.bracketed = last_pass > 0.0 && first_fail > 0.0;
+  if (report.bracketed) {
+    // Geometric bisection: the bracket is a ratio (ramp_factor), so the
+    // midpoint in log-space halves it each round.
+    for (std::size_t step = 0; step < options.bisection_steps; ++step) {
+      const double mid = std::sqrt(last_pass * first_fail);
+      if (probe(mid, nullptr).first) {
+        last_pass = mid;
+      } else {
+        first_fail = mid;
+      }
+    }
+  }
+
+  report.saturation_qps = last_pass;
+  if (last_pass > 0.0) {
+    // Re-run at the found rate with the caller's registry attached: the
+    // reported percentiles are measured at saturation.
+    report.at_saturation = probe(last_pass, options.probe.metrics).second;
+  }
+  return report;
+}
+
+}  // namespace makalu::workload

@@ -1,0 +1,71 @@
+// Saturation search: the highest offered Poisson rate a backend sustains.
+//
+// Pass/fail signal: an OpenLoopReport "passes" at rate R when
+// completed_fraction() >= target_completed_fraction — i.e. the virtual
+// makespan stayed within 1/target of the arrival horizon, so the queue
+// drained instead of growing. Below capacity the fraction sits near 1;
+// beyond capacity it collapses toward capacity/R, so the pass/fail
+// boundary brackets the service capacity.
+//
+// Search: multiplicative ramp (rate *= ramp_factor) from start_qps until
+// the first failure (or downward, /= ramp_factor, if even start_qps
+// fails), then geometric bisection of [last_pass, first_fail] for
+// bisection_steps rounds. The result is last_pass — a rate the backend
+// demonstrably sustained, conservative by at most the final bracket
+// ratio. A final probe re-runs at that rate with the caller's metrics
+// registry attached so the reported latency percentiles are measured at
+// saturation, not at some probe along the way.
+//
+// Wall-clock honesty: probes time real service work, so saturation_qps
+// is machine-dependent by design (same contract as driver.query_wall_us).
+// The per-query aggregates inside every probe remain bit-identical per
+// the engine's determinism ladder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/engine.hpp"
+
+namespace makalu::workload {
+
+struct SaturationOptions {
+  double start_qps = 500.0;
+  double ramp_factor = 2.0;
+  /// Bound on ramp probes (up or down) before giving up on a bracket.
+  std::size_t max_ramp_steps = 20;
+  std::size_t bisection_steps = 4;
+  /// Pass when completed_fraction() >= this.
+  double target_completed_fraction = 0.9;
+  /// Queries per probe. Short probes are cheap but noisy near the
+  /// boundary; the bench sizes this so a probe runs ~a second.
+  std::uint64_t probe_queries = 2000;
+  std::uint64_t arrival_seed = 7;  ///< same seed for every probe's arrivals
+  /// Options forwarded to every probe (churn cadence, admission cap).
+  /// `metrics` inside is attached only to the final at-saturation probe;
+  /// bracketing probes use private registries.
+  OpenLoopOptions probe;
+};
+
+struct SaturationProbe {
+  double offered_qps = 0.0;   ///< nominal Poisson rate of the probe
+  double completed_qps = 0.0;
+  double completed_fraction = 0.0;
+  bool passed = false;
+};
+
+struct SaturationReport {
+  /// Highest probed rate that passed (0 if every probe failed).
+  double saturation_qps = 0.0;
+  /// True when a failing rate above saturation_qps was found, so the
+  /// capacity is bracketed rather than ramp-limited.
+  bool bracketed = false;
+  /// The at-saturation re-run (metrics attached, percentiles populated).
+  OpenLoopReport at_saturation;
+  std::vector<SaturationProbe> probes;  ///< in probe order
+};
+
+[[nodiscard]] SaturationReport find_saturation(QueryBackend& backend,
+                                               const SaturationOptions& options);
+
+}  // namespace makalu::workload

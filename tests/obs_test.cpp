@@ -31,6 +31,7 @@ namespace {
 
 using obs::GaugeAgg;
 using obs::HistogramSpec;
+using obs::HistogramView;
 using obs::JsonWriter;
 using obs::MetricId;
 using obs::MetricKind;
@@ -430,6 +431,77 @@ TEST(ObsTraffic, ExportPublishesTotalsPerTypeAndReliability) {
   // Cumulative-add: a second export doubles the counters.
   proto::export_traffic_metrics(stats, registry);
   EXPECT_EQ(registry.snapshot().find("proto.messages")->count, 8u);
+}
+
+TEST(ObsHistogramView, EmptyHistogramAndClampedQuantileArguments) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> empty = {0, 0, 0, 0};
+  const HistogramView none(bounds, empty);
+  EXPECT_EQ(none.total(), 0u);
+  EXPECT_EQ(none.quantile(0.5), 0.0);
+
+  const std::vector<std::uint64_t> some = {4, 0, 0, 0};
+  const HistogramView view(bounds, some);
+  // q outside [0, 1] clamps to the endpoints.
+  EXPECT_EQ(view.quantile(-3.0), view.quantile(0.0));
+  EXPECT_EQ(view.quantile(7.0), view.quantile(1.0));
+}
+
+TEST(ObsHistogramView, InterpolatesUniformlyWithinABucket) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> buckets = {4, 0, 0, 0};
+  const HistogramView view(bounds, buckets);
+  EXPECT_EQ(view.total(), 4u);
+  // Bucket 0 spans (0, 10]; rank q*4 interpolates linearly across it.
+  EXPECT_DOUBLE_EQ(view.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(view.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 10.0);
+}
+
+TEST(ObsHistogramView, BoundaryRankReturnsBucketUpperBound) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> buckets = {2, 2, 0, 0};
+  const HistogramView view(bounds, buckets);
+  // Rank 2 lands exactly on bucket 0's cumulative edge: the quantile is
+  // bucket 0's upper bound — it never interpolates into bucket 1.
+  EXPECT_DOUBLE_EQ(view.quantile(0.5), 10.0);
+  // One rank past the edge starts from bucket 1's lower bound.
+  EXPECT_DOUBLE_EQ(view.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 20.0);
+}
+
+TEST(ObsHistogramView, OverflowBucketClampsToLargestFiniteBound) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> buckets = {1, 0, 0, 3};
+  const HistogramView view(bounds, buckets);
+  // Ranks resolved by the +inf bucket cannot be located beyond the last
+  // finite bound; they clamp there instead of inventing a value.
+  EXPECT_DOUBLE_EQ(view.quantile(0.9), 30.0);
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 30.0);
+  // Ranks inside the finite buckets are unaffected by the overflow mass.
+  EXPECT_DOUBLE_EQ(view.quantile(0.25), 10.0);
+}
+
+TEST(ObsHistogramView, SnapshotHistogramViewMatchesObservations) {
+  MetricsRegistry registry;
+  // Bounds 5, 10, 15, 20 (+inf last).
+  const MetricId id =
+      registry.histogram("lat", HistogramSpec::linear(5.0, 5.0, 4));
+  auto& shard = registry.shard(0);
+  for (int i = 0; i < 8; ++i) shard.observe(id, 2.0);   // bucket 0
+  for (int i = 0; i < 2; ++i) shard.observe(id, 12.0);  // bucket 2
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto* h = snap.find("lat");
+  ASSERT_NE(h, nullptr);
+  const HistogramView view = h->histogram_view();
+  EXPECT_EQ(view.total(), 10u);
+  // Rank 5 of 8 in bucket (0, 5]: 5/8 of the way across.
+  EXPECT_DOUBLE_EQ(view.quantile(0.5), 3.125);
+  // Rank 8 is exactly bucket 0's edge; rank 9 starts bucket 2 at 10.
+  EXPECT_DOUBLE_EQ(view.quantile(0.8), 5.0);
+  EXPECT_DOUBLE_EQ(view.quantile(0.9), 12.5);
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 15.0);
 }
 
 TEST(ObsTraffic, PayloadTypeNamesCoverEveryIndex) {
